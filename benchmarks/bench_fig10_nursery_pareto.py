@@ -1,0 +1,63 @@
+"""Fig. 10 — the Nursery use case: pareto-optimal schemes.
+
+Paper: sweeping J from 0 to 0.5 on Nursery (12 960 x 9) yields 415 schemes;
+at J = 0 no decomposition exists (m = 1, S = 0, E = 0); increasing J yields
+schemes with more relations, higher storage savings S (up to ~97 %) and
+higher spurious-tuple rates E; ten pareto-optimal schemes are shown, e.g.
+J=0.277 -> m=4, S=95.7 %, E=26.8 %.
+
+Reproduction: the reconstructed Nursery (identical shape and density).
+Expected shape: m=1 at J=0; pareto front sweeps up and to the right in
+(S, E); several schemes reach S > 80 % with E under ~50 %.
+"""
+
+import pytest
+
+from benchmarks.conftest import scaled
+from repro.bench.harness import Table, run_nursery_sweep
+from repro.data.generators import nursery
+
+
+@pytest.fixture(scope="module")
+def nursery_relation():
+    return nursery()
+
+
+def test_fig10_nursery_pareto(benchmark, nursery_relation):
+    rows, pareto = benchmark.pedantic(
+        run_nursery_sweep,
+        kwargs=dict(
+            relation=nursery_relation,
+            thresholds=(0.0, 0.05, 0.1, 0.2),
+            schema_limit=12,
+            schema_budget_s=scaled(6.0),
+            mvd_budget_s=scaled(20.0),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = Table(
+        "Fig 10 - Nursery pareto-optimal schemes (J, S%, E%, m)",
+        ["eps", "J", "S%", "E%", "m", "width"],
+    )
+    for i in pareto:
+        table.add(rows[i])
+    table.show()
+
+    # Shape: at eps=0 the only schema is the trivial one.
+    exact = [r for r in rows if r["eps"] == 0.0]
+    assert len(exact) == 1
+    assert exact[0]["m"] == 1
+    assert exact[0]["S%"] == 0.0
+    assert exact[0]["E%"] == 0.0
+
+    # Approximation finds real decompositions with large savings.
+    assert any(r["m"] >= 3 for r in rows)
+    assert max(r["S%"] for r in rows) > 60.0
+
+    # Pareto points are sorted along the trade-off: more savings costs
+    # more spurious tuples.
+    front = sorted((rows[i]["S%"], rows[i]["E%"]) for i in pareto)
+    for (s1, e1), (s2, e2) in zip(front, front[1:]):
+        assert s2 >= s1
+        assert e2 >= e1 - 1e-9

@@ -1,0 +1,50 @@
+"""Fig. 11 — all discovered Nursery schemes: savings S vs spurious E.
+
+Paper: the full cloud of 415 schemes found for J in [0, 0.5]; the pareto
+front (Fig. 10's ten schemes) bounds it from above-left; schemes exist with
+S > 80 % at E < 10 %.
+
+Reproduction: same sweep at reduced enumeration budgets.  Expected shape:
+a positively associated cloud (higher savings generally costs spurious
+tuples), pareto front non-trivial, at least a few dozen schemes.
+"""
+
+import pytest
+
+from benchmarks.conftest import scaled
+from repro.bench.harness import Table, run_nursery_sweep
+from repro.data.generators import nursery
+
+
+def test_fig11_nursery_scatter(benchmark):
+    relation = nursery()
+    rows, pareto = benchmark.pedantic(
+        run_nursery_sweep,
+        kwargs=dict(
+            relation=relation,
+            thresholds=(0.0, 0.04, 0.08, 0.15, 0.25),
+            schema_limit=25,
+            schema_budget_s=scaled(6.0),
+            mvd_budget_s=scaled(20.0),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = Table(
+        f"Fig 11 - Nursery scheme cloud ({len(rows)} schemes, "
+        f"{len(pareto)} pareto-optimal)",
+        ["eps", "J", "S%", "E%", "m"],
+    )
+    for r in sorted(rows, key=lambda r: r["J"])[:30]:
+        table.add(r)
+    table.show()
+
+    assert len(rows) >= 15, "expected a non-trivial scheme cloud"
+    assert 2 <= len(pareto) <= len(rows)
+    # The dominated majority: pareto front is a strict subset.
+    assert len(pareto) < len(rows)
+    # Positive association between J and E across the cloud (rank-level).
+    ordered = sorted(rows, key=lambda r: r["J"])
+    lo = [r["E%"] for r in ordered[: len(ordered) // 3]]
+    hi = [r["E%"] for r in ordered[-len(ordered) // 3 :]]
+    assert sum(hi) / len(hi) >= sum(lo) / len(lo)

@@ -1,0 +1,54 @@
+"""Fig. 14 — column scalability of minimal-separator mining.
+
+Paper: on Entity Source, Voter State and Census, with all rows and 10 %..
+100 % of the columns, for eps in {0, 0.01, 0.1}, 5-hour limit: runtime grows
+sharply with the number of columns and is driven by the number of minimal
+separators (Corollary 6.3's delay depends on |C| and exponentially on n);
+the widest settings hit the time limit.
+
+Reproduction: same surrogates, scaled rows, seconds-scale limit.  Expected
+shape: runtime (or timeout incidence) grows with column count; wider
+prefixes find at least as much structure as narrow ones until the budget
+bites.
+"""
+
+import pytest
+
+from benchmarks.conftest import scaled
+from repro.bench.harness import Table, column_scalability
+
+DATASETS = ["Entity_Source", "Voter_State", "Census"]
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_fig14_column_scalability(benchmark, name):
+    rows = benchmark.pedantic(
+        column_scalability,
+        kwargs=dict(
+            name=name,
+            col_counts=(5, 8, 11),
+            eps_values=(0.0, 0.01),
+            max_rows=scaled(700),
+            time_limit_s=scaled(12.0),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = Table(
+        f"Fig 14 ({name}) - minimal separator mining vs #columns",
+        ["cols", "eps", "runtime_s", "min_seps", "timed_out"],
+    )
+    for r in rows:
+        table.add(r)
+    table.show()
+
+    # Shape: for each eps the runtime is non-decreasing in column count
+    # (up to generous noise), or the run timed out at the wide end.
+    for eps in (0.0, 0.01):
+        series = [r for r in rows if r["eps"] == eps]
+        assert series
+        narrow, wide = series[0], series[-1]
+        assert (
+            wide["timed_out"]
+            or wide["runtime_s"] >= 0.3 * narrow["runtime_s"]
+        )

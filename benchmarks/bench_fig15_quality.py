@@ -1,0 +1,52 @@
+"""Fig. 15 — quality of approximate schemas vs threshold.
+
+Paper: for 8 datasets, per threshold eps (30-minute enumeration budget):
+number of schemes, maximum #relations over the schemes, minimum width and
+minimum intersection width.  As eps increases, the system finds more
+interesting schemes: width decreases (Image, Abalone) and/or #relations
+increases (Adult, BreastCancer).
+
+Reproduction: surrogates (seconds budget).  Expected shape: max #relations
+non-decreasing and min width non-increasing as eps grows.
+"""
+
+import pytest
+
+from benchmarks.conftest import scaled
+from repro.bench.harness import Table, quality_sweep
+from repro.data import datasets
+
+DATASETS = ["Image", "Abalone", "Adult", "Breast_Cancer"]
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_fig15_quality_vs_threshold(benchmark, name):
+    relation = datasets.load(name, scale=1.0, max_rows=400, max_cols=8)
+    rows = benchmark.pedantic(
+        quality_sweep,
+        kwargs=dict(
+            relation=relation,
+            thresholds=(0.0, 0.05, 0.1, 0.2, 0.3),
+            schema_limit=30,
+            schema_budget_s=scaled(4.0),
+            mvd_budget_s=scaled(8.0),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = Table(
+        f"Fig 15 ({name}) - schema quality vs threshold",
+        ["eps", "n_schemes", "max_relations", "min_width", "min_intWidth"],
+    )
+    for r in rows:
+        table.add(r)
+    table.show()
+
+    assert len(rows) == 5
+    series = [r for r in rows if r["n_schemes"] > 0]
+    assert series, "no schemes found at any threshold"
+    # Shape: the best decomposition at the largest threshold is at least as
+    # fine as at eps = 0.
+    assert series[-1]["max_relations"] >= series[0]["max_relations"]
+    if series[0]["min_width"] is not None and series[-1]["min_width"] is not None:
+        assert series[-1]["min_width"] <= series[0]["min_width"]

@@ -1,0 +1,25 @@
+"""Shared configuration for the benchmark suite.
+
+Every bench regenerates one table or figure of the paper on scaled-down
+surrogate datasets (DESIGN.md §3).  Scales are chosen so the whole suite
+finishes in a few minutes; raise the ``REPRO_BENCH_SCALE`` environment
+variable (default 1.0 = the small defaults below) to run closer to paper
+scale.
+"""
+
+import os
+
+import pytest
+
+#: Multiplier applied to rows/time budgets in the benches.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(value):
+    """Scale a row count or seconds budget by the suite multiplier."""
+    return max(1, int(round(value * SCALE))) if isinstance(value, int) else value * SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return SCALE

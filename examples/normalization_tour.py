@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Normalization tour: BCNF vs 4NF vs Maimon's schema enumeration.
+
+Three generations of decomposition machinery on the same data:
+
+1. **BCNF** (Codd / Bernstein): split on functional dependencies only;
+2. **4NF** (Fagin): split on multivalued dependencies — one decomposition;
+3. **Maimon** (the paper): enumerate *all* maximal acyclic schemas
+   synthesisable from the approximate MVDs, ranked by an objective.
+
+The demo data is a small "course offerings" relation with layered
+structure: an FD (course -> department), a pure MVD
+(course ->> teacher | book), and noise in a grade attribute that only the
+approximate machinery can see past.
+
+Run:  python examples/normalization_tour.py
+"""
+
+import itertools
+
+from repro import Maimon, Relation
+from repro.core.normalize import fourNF_decompose
+from repro.core.ranking import rank_schemas
+from repro.fd.normalize import bcnf_decompose
+from repro.quality.metrics import evaluate_schema
+
+
+def course_relation(noise_rows: int = 2) -> Relation:
+    """course -> dept (FD); course ->> teacher | book (MVD); plus noise."""
+    courses = {
+        "db": ("cs", ["kim", "lee"], ["ullman", "silberschatz"]),
+        "ml": ("cs", ["ng"], ["bishop", "murphy", "esl"]),
+        "alg": ("math", ["tar", "kle"], ["clrs"]),
+        "top": ("math", ["mun"], ["munkres", "hatcher"]),
+    }
+    rows = []
+    for course, (dept, teachers, books) in courses.items():
+        for t, b in itertools.product(teachers, books):
+            rows.append((course, dept, t, b))
+    # Noise: a couple of rows with the "wrong" department.
+    noisy = [("db", "math", "kim", "ullman"), ("ml", "math", "ng", "bishop")]
+    rows.extend(noisy[:noise_rows])
+    return Relation.from_rows(rows, ["course", "dept", "teacher", "book"],
+                              name="courses")
+
+
+def report(title: str, relation: Relation, schema, oracle=None) -> None:
+    q = evaluate_schema(relation, schema, oracle=oracle)
+    j = f" J={q.j_measure:.4f}" if q.j_measure is not None else ""
+    print(
+        f"{title}: {schema.format(relation.columns)}\n"
+        f"   m={q.n_relations} width={q.width} "
+        f"S={q.savings_pct:.1f}% E={q.spurious_pct:.1f}%{j}"
+    )
+
+
+def main() -> None:
+    relation = course_relation()
+    print(f"{relation.name}: {relation.n_rows} rows x {relation.n_cols} cols")
+    print(relation.pretty(limit=8))
+    print()
+
+    maimon = Maimon(relation)
+    oracle = maimon.oracle
+
+    # 1. BCNF from exact FDs: the noise rows break course -> dept, so exact
+    #    BCNF finds nothing to split; approximate FDs recover the split.
+    report("BCNF (exact FDs)   ", relation, bcnf_decompose(relation), oracle)
+    report("BCNF (g3 <= 0.1)   ", relation, bcnf_decompose(relation, error=0.1),
+           oracle)
+    print()
+
+    # 2. 4NF from MVDs at two thresholds.
+    report("4NF  (eps = 0)     ", relation, fourNF_decompose(relation, eps=0.0,
+                                                             oracle=oracle), oracle)
+    report("4NF  (eps = 0.25)  ", relation, fourNF_decompose(relation, eps=0.25,
+                                                             oracle=oracle), oracle)
+    print()
+
+    # 3. Maimon: the whole space, ranked.
+    print("Maimon enumeration at eps = 0.25, ranked (balanced objective):")
+    for rs in rank_schemas(maimon, eps=0.25, k=5):
+        report(f"   #{rs.rank} (score {rs.score:7.2f})", relation,
+               rs.discovered.schema, oracle)
+
+    print(
+        "\nTakeaway: BCNF sees only the FD; 4NF additionally splits the\n"
+        "teacher/book cross product but commits to a single schema; Maimon\n"
+        "exposes the full trade-off space and lets the application choose."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""The Nursery use case (Section 8.1 of the paper).
+
+Reconstructs the Nursery dataset (full Cartesian product of 8 categorical
+attributes + rule-based class = 12 960 rows), sweeps the threshold J from 0
+upwards, and reports every discovered scheme's storage savings S and
+spurious-tuple rate E, ending with the pareto-optimal schemes — the
+reproduction of Figs. 10 and 11.
+
+Run:  python examples/nursery_usecase.py [--fast]
+"""
+
+import argparse
+
+from repro import Maimon, SearchBudget
+from repro.bench.harness import Table
+from repro.data.generators import nursery
+from repro.quality.metrics import pareto_front
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="sample 2000 rows and fewer thresholds (seconds instead of minutes)",
+    )
+    args = parser.parse_args()
+
+    relation = nursery()
+    if args.fast:
+        relation = relation.sample_rows(2000, seed=1)
+    thresholds = (0.0, 0.05, 0.1, 0.2) if args.fast else (
+        0.0, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3,
+    )
+    print(f"Nursery: {relation.n_rows} rows x {relation.n_cols} cols "
+          f"({relation.n_cells} cells)")
+
+    maimon = Maimon(relation)
+    rows = []
+    seen = set()
+    for eps in thresholds:
+        budget = SearchBudget(max_seconds=8.0).start()
+        for ds in maimon.discover_schemas(eps, limit=20, schema_budget=budget):
+            if ds.schema in seen:
+                continue
+            seen.add(ds.schema)
+            q = ds.quality
+            rows.append(
+                {
+                    "eps": eps,
+                    "J": round(ds.j_measure, 4),
+                    "m": q.n_relations,
+                    "width": q.width,
+                    "S%": round(q.savings_pct, 2),
+                    "E%": round(q.spurious_pct or 0.0, 2),
+                    "schema": ds.schema.format(relation.columns),
+                }
+            )
+        print(f"eps={eps:<5} -> {len(rows)} schemes so far")
+
+    table = Table(
+        f"All {len(rows)} discovered Nursery schemes (Fig. 11)",
+        ["eps", "J", "m", "width", "S%", "E%"],
+    )
+    for r in sorted(rows, key=lambda r: r["J"]):
+        table.add(r)
+    table.show()
+
+    front = pareto_front([(r["S%"], r["E%"]) for r in rows])
+    table = Table(
+        f"{len(front)} pareto-optimal schemes (Fig. 10)",
+        ["J", "m", "width", "S%", "E%", "schema"],
+    )
+    for i in sorted(front, key=lambda i: rows[i]["J"]):
+        table.add(rows[i])
+    table.show()
+
+    print(
+        "Reading the trade-off: at J=0 Nursery admits no decomposition\n"
+        "(the class attribute functionally depends on all eight inputs);\n"
+        "as J grows, Maimon finds schemes with more relations and large\n"
+        "cell savings at the cost of spurious tuples."
+    )
+
+
+if __name__ == "__main__":
+    main()

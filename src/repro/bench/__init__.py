@@ -1,0 +1,23 @@
+"""Benchmark harness utilities (table rendering, experiment runners)."""
+
+from repro.bench.harness import (
+    Table,
+    run_nursery_sweep,
+    spurious_vs_j_buckets,
+    row_scalability,
+    column_scalability,
+    table2_row,
+    quality_sweep,
+    full_mvd_rates,
+)
+
+__all__ = [
+    "Table",
+    "run_nursery_sweep",
+    "spurious_vs_j_buckets",
+    "row_scalability",
+    "column_scalability",
+    "table2_row",
+    "quality_sweep",
+    "full_mvd_rates",
+]

@@ -1,0 +1,384 @@
+"""Experiment drivers behind the ``benchmarks/`` suite.
+
+Each public function regenerates the data series of one table or figure of
+the paper and returns a list of plain-dict rows; the bench files wrap them
+with ``pytest-benchmark`` timing and print paper-style tables.  Budgets are
+parameters everywhere: the paper's 5-hour / 30-minute limits scale down to
+seconds on laptop-sized surrogates (DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.asminer import ASMiner
+from repro.core.budget import SearchBudget
+from repro.core.maimon import Maimon
+from repro.core.miner import MVDMiner
+from repro.core.minsep import mine_all_min_seps
+from repro.core.fullmvd import get_full_mvds
+from repro.data import datasets
+from repro.data.relation import Relation
+from repro.entropy.oracle import make_oracle
+from repro.quality.metrics import evaluate_schema, pareto_front
+
+
+class Table:
+    """Minimal fixed-width table printer for bench output."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add(self, row: Dict[str, object]) -> None:
+        self.rows.append([self._fmt(row.get(c)) for c in self.columns])
+
+    @staticmethod
+    def _fmt(v: object) -> str:
+        if v is None:
+            return "-"
+        if isinstance(v, float):
+            return f"{v:.4g}"
+        return str(v)
+
+    def render(self) -> str:
+        header = list(self.columns)
+        body = [header] + self.rows
+        widths = [max(len(r[j]) for r in body) for j in range(len(header))]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(h.ljust(widths[j]) for j, h in enumerate(header)))
+        lines.append("  ".join("-" * w for w in widths))
+        for r in self.rows:
+            lines.append("  ".join(r[j].ljust(widths[j]) for j in range(len(header))))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print("\n" + self.render() + "\n")
+
+
+# --------------------------------------------------------------------- #
+# Table 2 — dataset suite, full MVDs at threshold 0
+# --------------------------------------------------------------------- #
+
+def table2_row(
+    name: str,
+    scale: float = 0.001,
+    max_rows: Optional[int] = 3000,
+    max_cols: Optional[int] = 14,
+    eps: float = 0.0,
+    time_limit_s: float = 20.0,
+) -> Dict[str, object]:
+    """One row of Table 2 on the dataset's surrogate (scaled)."""
+    relation = datasets.load(name, scale=scale, max_rows=max_rows, max_cols=max_cols)
+    miner = MVDMiner(relation)
+    budget = SearchBudget(max_seconds=time_limit_s).start()
+    result = miner.mine(eps, budget=budget)
+    return {
+        "dataset": name,
+        "cols": relation.n_cols,
+        "rows": relation.n_rows,
+        "runtime_s": round(result.elapsed, 2),
+        "full_mvds": "TL" if result.timed_out else result.n_mvds,
+        "min_seps": result.n_min_seps,
+        "timed_out": result.timed_out,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Figs 10 & 11 — Nursery use case
+# --------------------------------------------------------------------- #
+
+def run_nursery_sweep(
+    relation: Relation,
+    thresholds: Sequence[float] = (0.0, 0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5),
+    schema_limit: int = 40,
+    schema_budget_s: float = 10.0,
+    mvd_budget_s: Optional[float] = 30.0,
+) -> Tuple[List[Dict[str, object]], List[int]]:
+    """All (J, S, E, m) points of the threshold sweep plus the pareto front.
+
+    Returns ``(rows, pareto_indices)`` — Fig. 11 is the scatter of all rows,
+    Fig. 10 the pareto-optimal subset.  ``mvd_budget_s`` bounds phase 1 per
+    threshold (the paper's timeout-then-enumerate mode, Section 4).
+    """
+    maimon = Maimon(relation)
+    rows: List[Dict[str, object]] = []
+    seen = set()
+    for eps in thresholds:
+        budget = SearchBudget(max_seconds=schema_budget_s)  # lazy start: clock begins after phase 1
+        mvd_budget = (
+            SearchBudget(max_seconds=mvd_budget_s).start()
+            if mvd_budget_s is not None
+            else None
+        )
+        for ds in maimon.discover_schemas(
+            eps,
+            limit=schema_limit,
+            schema_budget=budget,
+            mvd_budget=mvd_budget,
+            with_spurious=True,
+        ):
+            if ds.schema in seen:
+                continue
+            seen.add(ds.schema)
+            q = ds.quality
+            rows.append(
+                {
+                    "eps": eps,
+                    "J": round(ds.j_measure, 4),
+                    "S%": round(q.savings_pct, 2),
+                    "E%": round(q.spurious_pct or 0.0, 2),
+                    "m": q.n_relations,
+                    "width": q.width,
+                    "schema": ds.schema.format(relation.columns),
+                }
+            )
+    points = [(r["S%"], r["E%"]) for r in rows]
+    return rows, pareto_front(points)
+
+
+# --------------------------------------------------------------------- #
+# Fig 12 — spurious tuples vs J-measure buckets
+# --------------------------------------------------------------------- #
+
+def spurious_vs_j_buckets(
+    relation: Relation,
+    thresholds: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.3, 0.5),
+    schema_limit: int = 30,
+    schema_budget_s: float = 8.0,
+    n_buckets: int = 8,
+    mvd_budget_s: Optional[float] = 20.0,
+) -> List[Dict[str, object]]:
+    """Quantiles of spurious-tuple %% per J-measure bucket (one box each)."""
+    maimon = Maimon(relation)
+    samples: List[Tuple[float, float]] = []
+    seen = set()
+    for eps in thresholds:
+        budget = SearchBudget(max_seconds=schema_budget_s)  # lazy start: clock begins after phase 1
+        mvd_budget = (
+            SearchBudget(max_seconds=mvd_budget_s).start()
+            if mvd_budget_s is not None
+            else None
+        )
+        for ds in maimon.discover_schemas(
+            eps,
+            limit=schema_limit,
+            schema_budget=budget,
+            mvd_budget=mvd_budget,
+            with_spurious=True,
+        ):
+            if ds.schema in seen:
+                continue
+            seen.add(ds.schema)
+            samples.append((ds.j_measure, ds.quality.spurious_pct or 0.0))
+    if not samples:
+        return []
+    # Like the paper's Fig. 12 axes: J clipped to [0, max threshold], with a
+    # dedicated near-zero bucket so Lee's J=0 <=> E=0 shows up cleanly.
+    j_max = max(max(thresholds), 1e-9)
+    samples = [(j, e) for j, e in samples if j <= j_max + 1e-9]
+    if not samples:
+        return []
+    js = np.array([s[0] for s in samples])
+    es = np.array([s[1] for s in samples])
+    zero_cut = 0.01
+    edges = np.concatenate(
+        ([0.0, zero_cut], np.linspace(zero_cut, j_max, n_buckets)[1:])
+    )
+    rows = []
+    for k in range(len(edges) - 1):
+        lo, hi = edges[k], edges[k + 1]
+        mask = (js >= lo) & (js <= hi if k == len(edges) - 2 else js < hi)
+        if not mask.any():
+            continue
+        sub = es[mask]
+        rows.append(
+            {
+                "J_bucket": f"[{lo:.3f},{hi:.3f})",
+                "n_schemas": int(mask.sum()),
+                "E%_q25": round(float(np.percentile(sub, 25)), 2),
+                "E%_median": round(float(np.percentile(sub, 50)), 2),
+                "E%_q75": round(float(np.percentile(sub, 75)), 2),
+                "E%_max": round(float(sub.max()), 2),
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Fig 13 — row scalability of minimal-separator mining
+# --------------------------------------------------------------------- #
+
+def row_scalability(
+    name: str,
+    fractions: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 1.0),
+    eps_values: Sequence[float] = (0.0, 0.01, 0.1),
+    base_rows: int = 4000,
+    max_cols: Optional[int] = 12,
+    time_limit_s: float = 30.0,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Minimal-separator mining time vs #rows (10%..100% subsets)."""
+    full = datasets.load(name, scale=1.0, max_rows=base_rows, max_cols=max_cols)
+    rows_out: List[Dict[str, object]] = []
+    for frac in fractions:
+        k = max(32, int(round(full.n_rows * frac)))
+        sub = full.sample_rows(k, seed=seed)
+        for eps in eps_values:
+            oracle = make_oracle(sub)
+            budget = SearchBudget(max_seconds=time_limit_s).start()
+            t0 = time.perf_counter()
+            seps = mine_all_min_seps(oracle, eps, budget=budget)
+            elapsed = time.perf_counter() - t0
+            n_seps = len({s for lst in seps.values() for s in lst})
+            rows_out.append(
+                {
+                    "dataset": name,
+                    "rows": sub.n_rows,
+                    "frac": frac,
+                    "eps": eps,
+                    "runtime_s": round(elapsed, 3),
+                    "min_seps": n_seps,
+                    "timed_out": budget.exhausted,
+                }
+            )
+    return rows_out
+
+
+# --------------------------------------------------------------------- #
+# Fig 14 — column scalability of minimal-separator mining
+# --------------------------------------------------------------------- #
+
+def column_scalability(
+    name: str,
+    col_counts: Sequence[int] = (5, 8, 11, 14),
+    eps_values: Sequence[float] = (0.0, 0.01, 0.1),
+    max_rows: int = 2000,
+    time_limit_s: float = 30.0,
+) -> List[Dict[str, object]]:
+    """Runtime and #minimal separators vs #columns (prefix subsets)."""
+    spec = datasets.spec(name)
+    rows_out: List[Dict[str, object]] = []
+    for n_cols in col_counts:
+        cols = min(n_cols, spec.n_cols)
+        relation = datasets.load(name, scale=1.0, max_rows=max_rows, max_cols=cols)
+        for eps in eps_values:
+            oracle = make_oracle(relation)
+            budget = SearchBudget(max_seconds=time_limit_s).start()
+            t0 = time.perf_counter()
+            seps = mine_all_min_seps(oracle, eps, budget=budget)
+            elapsed = time.perf_counter() - t0
+            n_seps = len({s for lst in seps.values() for s in lst})
+            rows_out.append(
+                {
+                    "dataset": name,
+                    "cols": cols,
+                    "eps": eps,
+                    "runtime_s": round(elapsed, 3),
+                    "min_seps": n_seps,
+                    "timed_out": budget.exhausted,
+                }
+            )
+    return rows_out
+
+
+# --------------------------------------------------------------------- #
+# Fig 15 — schema quality vs threshold
+# --------------------------------------------------------------------- #
+
+def quality_sweep(
+    relation: Relation,
+    thresholds: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.3),
+    schema_limit: int = 50,
+    schema_budget_s: float = 8.0,
+    mvd_budget_s: Optional[float] = 20.0,
+) -> List[Dict[str, object]]:
+    """Per threshold: #schemes, max #relations, min width, min intWidth."""
+    maimon = Maimon(relation)
+    rows = []
+    for eps in thresholds:
+        budget = SearchBudget(max_seconds=schema_budget_s)  # lazy start: clock begins after phase 1
+        mvd_budget = (
+            SearchBudget(max_seconds=mvd_budget_s).start()
+            if mvd_budget_s is not None
+            else None
+        )
+        n_schemes = 0
+        max_m = 0
+        min_width: Optional[int] = None
+        min_intw: Optional[int] = None
+        for ds in maimon.discover_schemas(
+            eps,
+            limit=schema_limit,
+            schema_budget=budget,
+            mvd_budget=mvd_budget,
+            with_spurious=False,
+        ):
+            n_schemes += 1
+            q = ds.quality
+            max_m = max(max_m, q.n_relations)
+            min_width = q.width if min_width is None else min(min_width, q.width)
+            min_intw = (
+                q.intersection_width
+                if min_intw is None
+                else min(min_intw, q.intersection_width)
+            )
+        rows.append(
+            {
+                "dataset": relation.name,
+                "eps": eps,
+                "n_schemes": n_schemes,
+                "max_relations": max_m,
+                "min_width": min_width,
+                "min_intWidth": min_intw,
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Fig 18 — minimal separators to full MVDs
+# --------------------------------------------------------------------- #
+
+def full_mvd_rates(
+    relation: Relation,
+    thresholds: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.3, 0.5),
+    time_limit_s: float = 10.0,
+) -> List[Dict[str, object]]:
+    """Per threshold: #minimal separators vs #full MVDs and the output rate.
+
+    Mirrors Appendix 14: the separator sets are mined first; the reported
+    runtime covers only the transition from separators to full MVDs.
+    """
+    rows = []
+    for eps in thresholds:
+        oracle = make_oracle(relation)
+        seps_budget = SearchBudget(max_seconds=time_limit_s * 3).start()
+        seps_by_pair = mine_all_min_seps(oracle, eps, budget=seps_budget)
+        budget = SearchBudget(max_seconds=time_limit_s).start()
+        t0 = time.perf_counter()
+        full = set()
+        for pair, seps in seps_by_pair.items():
+            for x in seps:
+                if budget.exhausted:
+                    break
+                for phi in get_full_mvds(oracle, x, eps, pair=pair, budget=budget):
+                    full.add(phi)
+        elapsed = time.perf_counter() - t0
+        n_seps = len({s for lst in seps_by_pair.values() for s in lst})
+        rows.append(
+            {
+                "dataset": relation.name,
+                "eps": eps,
+                "min_seps": n_seps,
+                "full_mvds": len(full),
+                "runtime_s": round(elapsed, 3),
+                "mvds_per_s": round(len(full) / elapsed, 1) if elapsed > 0 else None,
+                "timed_out": budget.exhausted,
+            }
+        )
+    return rows

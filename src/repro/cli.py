@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``mine``      mine full ε-MVDs from a CSV file (phase 1);
+``schemas``   discover approximate acyclic schemas from a CSV (both phases);
+``profile``   quick information profile of a CSV (entropies, near-FDs);
+``datasets``  list the built-in dataset surrogates (Table 2 registry).
+
+Examples
+--------
+    python -m repro mine data.csv --eps 0.05 --json out.json
+    python -m repro schemas data.csv --eps 0.1 --top 5 --objective savings
+    python -m repro profile data.csv
+    python -m repro datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import io as repro_io
+from repro.bench.harness import Table
+from repro.core.budget import SearchBudget
+from repro.core.maimon import Maimon
+from repro.core.ranking import OBJECTIVES, rank_schemas
+from repro.data import datasets
+from repro.data.loaders import from_csv
+from repro.fd.tane import mine_fds
+
+
+def _load(args) -> "Relation":
+    if args.dataset:
+        return datasets.load(args.dataset, scale=args.scale, max_rows=args.max_rows)
+    if not args.csv:
+        raise SystemExit("either a CSV path or --dataset is required")
+    return from_csv(args.csv, max_rows=args.max_rows)
+
+
+def cmd_mine(args) -> int:
+    relation = _load(args)
+    print(f"{relation.name or 'input'}: {relation.n_rows} rows x {relation.n_cols} cols")
+    maimon = Maimon(relation, engine=args.engine)
+    budget = SearchBudget(max_seconds=args.budget) if args.budget else None
+    result = maimon.mine_mvds(args.eps, budget=budget)
+    print(result.summary())
+    for phi in result.mvds[: args.top]:
+        print(f"  {phi.format(relation.columns)}")
+    if len(result.mvds) > args.top:
+        print(f"  ... ({len(result.mvds) - args.top} more)")
+    if args.json:
+        repro_io.save_json(
+            repro_io.miner_result_to_dict(result, relation.columns), args.json
+        )
+        print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_schemas(args) -> int:
+    relation = _load(args)
+    print(f"{relation.name or 'input'}: {relation.n_rows} rows x {relation.n_cols} cols")
+    maimon = Maimon(relation, engine=args.engine)
+    budget = SearchBudget(max_seconds=args.budget) if args.budget else None
+    ranked = rank_schemas(
+        maimon,
+        args.eps,
+        k=args.top,
+        objective=args.objective,
+        schema_budget=budget,
+        with_spurious=not args.no_spurious,
+    )
+    if not ranked:
+        print("no schemas found at this threshold")
+        return 1
+    table = Table(
+        f"Top {len(ranked)} schemas (eps={args.eps}, objective={args.objective})",
+        ["rank", "score", "J", "m", "width", "S%", "E%", "schema"],
+    )
+    out = []
+    for rs in ranked:
+        ds = rs.discovered
+        q = ds.quality
+        table.add(
+            {
+                "rank": rs.rank,
+                "score": round(rs.score, 2),
+                "J": round(ds.j_measure, 4),
+                "m": q.n_relations,
+                "width": q.width,
+                "S%": round(q.savings_pct, 2),
+                "E%": None if q.spurious_pct is None else round(q.spurious_pct, 2),
+                "schema": ds.schema.format(relation.columns),
+            }
+        )
+        out.append(repro_io.discovered_schema_to_dict(ds, relation.columns))
+    table.show()
+    if args.json:
+        repro_io.save_json({"eps": args.eps, "schemas": out}, args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    relation = _load(args)
+    from repro.entropy.oracle import make_oracle
+
+    oracle = make_oracle(relation)
+    print(f"{relation.name or 'input'}: {relation.n_rows} rows x {relation.n_cols} cols")
+    table = Table("Column profile", ["column", "distinct", "H_bits", "H_norm"])
+    import math
+
+    n = relation.n_rows
+    for j, c in enumerate(relation.columns):
+        h = oracle.entropy({j})
+        hmax = math.log2(max(relation.cardinality(j), 2))
+        table.add(
+            {
+                "column": c,
+                "distinct": relation.cardinality(j),
+                "H_bits": round(h, 3),
+                "H_norm": round(h / hmax, 3) if hmax else 0.0,
+            }
+        )
+    table.show()
+    fds = [fd for fd in mine_fds(relation, max_lhs=args.fd_lhs) if fd.lhs]
+    table = Table(f"Minimal exact FDs (lhs <= {args.fd_lhs})", ["fd"])
+    for fd in fds[:20]:
+        table.add({"fd": fd.format(relation.columns)})
+    table.show()
+    if len(fds) > 20:
+        print(f"... ({len(fds) - 20} more FDs)")
+    return 0
+
+
+def cmd_datasets(args) -> int:
+    table = Table(
+        "Built-in dataset surrogates (Table 2 registry)",
+        ["name", "cols", "rows", "profile"],
+    )
+    for spec in datasets.TABLE2:
+        table.add(
+            {
+                "name": spec.name,
+                "cols": spec.n_cols,
+                "rows": spec.n_rows,
+                "profile": spec.profile,
+            }
+        )
+    table.add({"name": "nursery", "cols": 9, "rows": 12960, "profile": "reconstruction"})
+    table.show()
+    return 0
+
+
+def _common_input_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("csv", nargs="?", help="input CSV file")
+    p.add_argument("--dataset", help="built-in surrogate name instead of a CSV")
+    p.add_argument("--scale", type=float, default=0.01,
+                   help="row scale for --dataset (default 0.01)")
+    p.add_argument("--max-rows", type=int, default=None)
+    p.add_argument("--engine", choices=["pli", "naive"], default="pli")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Maimon: mine approximate MVDs and acyclic schemas",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("mine", help="mine full eps-MVDs (phase 1)")
+    _common_input_args(p)
+    p.add_argument("--eps", type=float, default=0.0)
+    p.add_argument("--budget", type=float, default=None, help="seconds limit")
+    p.add_argument("--top", type=int, default=20, help="MVDs to print")
+    p.add_argument("--json", help="write the full result to a JSON file")
+    p.set_defaults(func=cmd_mine)
+
+    p = sub.add_parser("schemas", help="discover acyclic schemas (both phases)")
+    _common_input_args(p)
+    p.add_argument("--eps", type=float, default=0.05)
+    p.add_argument("--budget", type=float, default=20.0, help="seconds limit")
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--objective", choices=sorted(OBJECTIVES), default="balanced")
+    p.add_argument("--no-spurious", action="store_true",
+                   help="skip spurious-tuple counting (faster)")
+    p.add_argument("--json", help="write the schemas to a JSON file")
+    p.set_defaults(func=cmd_schemas)
+
+    p = sub.add_parser("profile", help="entropy / FD profile of the input")
+    _common_input_args(p)
+    p.add_argument("--fd-lhs", type=int, default=2, help="max FD lhs size")
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("datasets", help="list built-in dataset surrogates")
+    p.set_defaults(func=cmd_datasets)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

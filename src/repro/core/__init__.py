@@ -1,0 +1,84 @@
+"""The paper's primary contribution: approximate MVD and acyclic-schema mining.
+
+Layout mirrors the paper:
+
+* :mod:`repro.core.mvd` — MVDs and their algebra (refinement, join, merge;
+  Section 5.2);
+* :mod:`repro.core.measures` — the information-theoretic J-measure
+  (Sections 3.2–5.1, Lee's theorem);
+* :mod:`repro.core.jointree`, :mod:`repro.core.schema` — join trees and
+  acyclic schemas (Section 3.1);
+* :mod:`repro.core.minsep` — ``MineMinSeps`` / ``ReduceMinSep`` (Section 6.1);
+* :mod:`repro.core.fullmvd` — ``getFullMVDs`` and its pairwise-consistency
+  optimisation (Section 6.2, Appendix 12.3);
+* :mod:`repro.core.miner` — ``MVDMiner``, phase 1 of Maimon (Fig. 3);
+* :mod:`repro.core.compat` — MVD compatibility (Definition 7.1);
+* :mod:`repro.core.asminer` — ``ASMiner`` / ``BuildAcyclicSchema``, phase 2
+  (Figs. 8–9);
+* :mod:`repro.core.maimon` — the end-to-end system facade;
+* :mod:`repro.core.budget` — wall-clock/node budgets standing in for the
+  paper's 5-hour / 30-minute time limits.
+"""
+
+from repro.core.mvd import MVD
+from repro.core.measures import (
+    j_measure,
+    j_of_join_tree,
+    j_of_schema,
+    satisfies,
+)
+from repro.core.jointree import JoinTree
+from repro.core.schema import Schema
+from repro.core.budget import SearchBudget
+from repro.core.minsep import iter_min_seps, mine_min_seps, reduce_min_sep
+from repro.core.fullmvd import get_full_mvds, key_separates
+from repro.core.miner import MVDMiner, mine_mvds
+from repro.core.compat import compatible, incompatible
+from repro.core.asminer import (
+    ASMiner,
+    build_acyclic_schema,
+    build_acyclic_schema_with_tree,
+    enumerate_schemas,
+)
+from repro.core.maimon import Maimon, DiscoveredSchema
+from repro.core.inference import Derivation, derive, implied_eps, is_implied
+from repro.core.ranking import OBJECTIVES, RankedSchema, rank_schemas
+from repro.core.normalize import fourNF_decompose
+from repro.core.cimap import chow_liu_tree, independence_graph, tree_fit, tree_schema
+
+__all__ = [
+    "MVD",
+    "j_measure",
+    "j_of_join_tree",
+    "j_of_schema",
+    "satisfies",
+    "JoinTree",
+    "Schema",
+    "SearchBudget",
+    "mine_min_seps",
+    "reduce_min_sep",
+    "get_full_mvds",
+    "key_separates",
+    "MVDMiner",
+    "mine_mvds",
+    "compatible",
+    "incompatible",
+    "ASMiner",
+    "build_acyclic_schema",
+    "build_acyclic_schema_with_tree",
+    "enumerate_schemas",
+    "Maimon",
+    "DiscoveredSchema",
+    "Derivation",
+    "derive",
+    "implied_eps",
+    "is_implied",
+    "OBJECTIVES",
+    "RankedSchema",
+    "rank_schemas",
+    "fourNF_decompose",
+    "chow_liu_tree",
+    "independence_graph",
+    "tree_fit",
+    "tree_schema",
+]

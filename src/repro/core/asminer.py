@@ -1,0 +1,241 @@
+"""``ASMiner`` and ``BuildAcyclicSchema``: phase 2 of Maimon (Section 7).
+
+Given the mined set ``M_ε`` of full ε-MVDs, acyclic ε-schemas are synthesised
+from *maximal pairwise-compatible* subsets ``Q ⊆ M_ε`` — i.e. the maximal
+independent sets of the incompatibility graph (Fig. 8) — each converted into
+a schema by repeated decomposition (Fig. 9).
+
+``BuildAcyclicSchema`` starts from the universal schema ``{Omega}`` and
+processes the MVDs of ``Q`` in ascending key-cardinality order; each MVD
+``X ->> C1|...|Cm`` splits the (unique, under the paper's assumptions)
+relation containing its key into ``{X ∪ (Cj ∩ Omega_i)}``.  *Redundant* MVDs
+— those that do not split the relation containing them — are skipped
+(Goodman–Tay).  The result is an acyclic schema whose join-tree support is
+contained in ``Q`` (Theorem 7.4); since a schema with ``m`` relations stacks
+``m - 1`` support MVDs, its J-measure obeys ``J(S) <= (m-1) ε``
+(Corollary 5.2), which is the guarantee the paper reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.common import attrset
+from repro.core.budget import SearchBudget, ensure_budget
+from repro.core.compat import incompatibility_graph
+from repro.core.jointree import JoinTree
+from repro.core.mvd import MVD
+from repro.core.schema import Schema
+from repro.entropy.oracle import EntropyOracle
+from repro.hypergraph.mis import maximal_independent_sets
+
+
+def _subtree_attrs(
+    bags: Sequence[Optional[FrozenSet[int]]],
+    adj: Dict[int, List[int]],
+    start: int,
+    avoid: int,
+) -> FrozenSet[int]:
+    """Attributes of the tree component reachable from ``start`` without
+    passing through node ``avoid``."""
+    seen = {start, avoid}
+    stack = [start]
+    attrs: set = set()
+    while stack:
+        u = stack.pop()
+        if bags[u] is not None:
+            attrs |= bags[u]
+        for v in adj.get(u, ()):
+            if v not in seen:
+                seen.add(v)
+                stack.append(v)
+    return frozenset(attrs)
+
+
+def build_acyclic_schema_with_tree(
+    omega: Iterable[int], mvds: Sequence[MVD]
+) -> Tuple[Schema, JoinTree]:
+    """``BuildAcyclicSchema`` (Fig. 9), tracking the join tree it constructs.
+
+    Starting from the single-bag tree ``{Omega}``, each MVD
+    ``X ->> C1|...|Cm`` (processed in ascending key cardinality) splits the
+    bag containing its key into the pieces ``X ∪ (Cj ∩ bag)``, wired as a
+    star whose internal separators are exactly ``X``; edges that previously
+    touched the split bag are re-attached to a piece containing their
+    separator (which exists when the MVD set is pairwise compatible —
+    split-freeness).  The returned tree is therefore a witness for
+    Theorem 7.4: every support MVD of it is a coarsening of some MVD in
+    ``mvds``.  *Redundant* MVDs (that split nothing) are skipped.
+
+    For arbitrary (incompatible) inputs the star wiring can violate the
+    running intersection property; in that case we fall back to a
+    maximum-spanning-tree join tree of the final bags, which always exists
+    because the construction only ever splits bags (the result is acyclic).
+    """
+    omega = attrset(omega)
+    bags: List[Optional[FrozenSet[int]]] = [omega]
+    edges: List[Tuple[int, int]] = []
+    ordered = sorted(mvds, key=lambda p: (len(p.key), p.sort_key()))
+    for phi in ordered:
+        x = phi.key
+        # Find the live bag(s) containing the key; split the first that the
+        # MVD actually decomposes (|D_phi| >= 2), skipping redundant MVDs.
+        for i, bag in enumerate(bags):
+            if bag is None or not (x <= bag):
+                continue
+            piece_deps: Dict[FrozenSet[int], set] = {}
+            for c in phi.dependents:
+                piece = frozenset((c | x) & bag)
+                if piece and piece != x:
+                    piece_deps.setdefault(piece, set()).update(c)
+            if len(piece_deps) < 2:
+                continue
+            ordered_pieces = sorted(piece_deps, key=lambda b: (min(b), sorted(b)))
+            ids = []
+            for p in ordered_pieces:
+                bags.append(p)
+                ids.append(len(bags) - 1)
+            # Adjacency of the current tree, for subtree-attribute lookups.
+            adj: Dict[int, List[int]] = {}
+            for u, v in edges:
+                adj.setdefault(u, []).append(v)
+                adj.setdefault(v, []).append(u)
+            # Re-attach edges that touched the split bag.  Among the pieces
+            # containing the old separator, pick the one whose *source
+            # dependent* of phi covers the neighbour subtree's attributes —
+            # that is where phi says those attributes live, and it is what
+            # keeps the constructed tree's support inside Q (split-freeness
+            # of compatible MVDs guarantees a coherent choice exists).
+            rewired: List[Tuple[int, int]] = []
+            for u, v in edges:
+                if u != i and v != i:
+                    rewired.append((u, v))
+                    continue
+                w = v if u == i else u
+                sep = bag & bags[w]
+                subtree = _subtree_attrs(bags, adj, start=w, avoid=i)
+                candidates = [k for k in ids if sep <= bags[k]] or ids
+                target = max(
+                    candidates,
+                    key=lambda k: (
+                        len((subtree - x) & piece_deps[bags[k]]),
+                        len(sep & bags[k]),
+                        -k,
+                    ),
+                )
+                rewired.append((target, w))
+            # Star over the new pieces: all pairwise separators equal X.
+            rewired.extend((ids[0], k) for k in ids[1:])
+            edges = rewired
+            bags[i] = None
+            break
+    # Compact away dead bags.
+    remap: Dict[int, int] = {}
+    final_bags: List[FrozenSet[int]] = []
+    for i, bag in enumerate(bags):
+        if bag is not None:
+            remap[i] = len(final_bags)
+            final_bags.append(bag)
+    final_edges = [(remap[u], remap[v]) for u, v in edges]
+    schema = Schema(final_bags)
+    try:
+        tree = JoinTree(final_bags, final_edges, validate=True)
+    except ValueError:
+        tree = schema.join_tree()
+    return schema, tree
+
+
+def build_acyclic_schema(omega: Iterable[int], mvds: Sequence[MVD]) -> Schema:
+    """``BuildAcyclicSchema`` (Fig. 9); see the tree-tracking variant."""
+    schema, __ = build_acyclic_schema_with_tree(omega, mvds)
+    return schema
+
+
+@dataclass
+class SchemaCandidate:
+    """One schema produced by ``ASMiner``, with its provenance."""
+
+    schema: Schema
+    support_set: Tuple[MVD, ...]  # the maximal compatible set Q it came from
+    join_tree: JoinTree
+    j_measure: Optional[float] = None
+
+    @property
+    def m(self) -> int:
+        return self.schema.m
+
+
+class ASMiner:
+    """Phase-2 enumerator (Fig. 8).
+
+    Parameters
+    ----------
+    mvds:
+        The set ``M_ε`` from phase 1.
+    omega:
+        The full attribute set of the relation.
+    """
+
+    def __init__(self, mvds: Sequence[MVD], omega: Iterable[int]):
+        self.mvds: List[MVD] = sorted(set(mvds))
+        self.omega = attrset(omega)
+        self._adjacency = incompatibility_graph(self.mvds)
+
+    @property
+    def n_incompatible_pairs(self) -> int:
+        return sum(len(a) for a in self._adjacency) // 2
+
+    def enumerate(
+        self,
+        oracle: Optional[EntropyOracle] = None,
+        limit: Optional[int] = None,
+        budget: Optional[SearchBudget] = None,
+        dedupe: bool = True,
+    ) -> Iterator[SchemaCandidate]:
+        """Yield schemas built from maximal compatible MVD subsets.
+
+        When ``oracle`` is given, each candidate carries its exact ``J(S)``.
+        Distinct maximal sets Q can build the same schema; ``dedupe`` keeps
+        the first occurrence only.
+        """
+        budget = ensure_budget(budget)
+        if not self.mvds:
+            schema = Schema([self.omega])
+            yield SchemaCandidate(
+                schema,
+                (),
+                schema.join_tree(),
+                0.0 if oracle is not None else None,
+            )
+            return
+        seen: set = set()
+        produced = 0
+        for mis in maximal_independent_sets(len(self.mvds), self._adjacency):
+            if budget.exhausted:
+                return
+            q = tuple(self.mvds[v] for v in sorted(mis))
+            schema, tree = build_acyclic_schema_with_tree(self.omega, q)
+            if dedupe:
+                if schema in seen:
+                    continue
+                seen.add(schema)
+            j = schema.j_measure(oracle) if oracle is not None else None
+            yield SchemaCandidate(schema, q, tree, j)
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+
+
+def enumerate_schemas(
+    mvds: Sequence[MVD],
+    omega: Iterable[int],
+    oracle: Optional[EntropyOracle] = None,
+    limit: Optional[int] = None,
+    budget: Optional[SearchBudget] = None,
+) -> List[SchemaCandidate]:
+    """One-shot convenience wrapper around :class:`ASMiner`."""
+    return list(
+        ASMiner(mvds, omega).enumerate(oracle=oracle, limit=limit, budget=budget)
+    )

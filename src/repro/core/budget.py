@@ -1,0 +1,83 @@
+"""Search budgets: the reproduction's version of the paper's time limits.
+
+The paper runs full-MVD mining with a 5-hour limit (Table 2), schema
+enumeration for 30 minutes per threshold (Section 8.4), and the full-MVD
+experiments of Appendix 14 for 30 minutes.  All long-running loops in this
+package accept an optional :class:`SearchBudget` combining a wall-clock
+deadline with a node/step counter, so benches can scale those limits down to
+laptop-friendly values while keeping the same semantics (partial results are
+returned, flagged as truncated).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class SearchBudget:
+    """Wall-clock and step budget shared across nested search loops.
+
+    Parameters
+    ----------
+    max_seconds:
+        Wall-clock limit; ``None`` means unlimited.
+    max_steps:
+        Limit on :meth:`tick` calls (search nodes expanded, entropy queries —
+        whatever the caller counts); ``None`` means unlimited.
+    """
+
+    def __init__(
+        self,
+        max_seconds: Optional[float] = None,
+        max_steps: Optional[int] = None,
+    ):
+        self.max_seconds = max_seconds
+        self.max_steps = max_steps
+        self.steps = 0
+        self._start: Optional[float] = None
+
+    def start(self) -> "SearchBudget":
+        """(Re)start the clock; returns self for chaining."""
+        self._start = time.perf_counter()
+        self.steps = 0
+        return self
+
+    @property
+    def elapsed(self) -> float:
+        if self._start is None:
+            return 0.0
+        return time.perf_counter() - self._start
+
+    def tick(self, n: int = 1) -> None:
+        """Record ``n`` units of work."""
+        self.steps += n
+
+    @property
+    def exhausted(self) -> bool:
+        """Has either limit been hit?  Starts the clock lazily."""
+        if self._start is None and self.max_seconds is not None:
+            self.start()
+        if self.max_steps is not None and self.steps >= self.max_steps:
+            return True
+        if self.max_seconds is not None and self.elapsed >= self.max_seconds:
+            return True
+        return False
+
+    @staticmethod
+    def unlimited() -> "SearchBudget":
+        return SearchBudget()
+
+    def __repr__(self) -> str:
+        limits = []
+        if self.max_seconds is not None:
+            limits.append(f"{self.max_seconds}s")
+        if self.max_steps is not None:
+            limits.append(f"{self.max_steps} steps")
+        label = ", ".join(limits) if limits else "unlimited"
+        return f"<SearchBudget {label}; elapsed={self.elapsed:.2f}s steps={self.steps}>"
+
+
+def ensure_budget(budget: Optional[SearchBudget]) -> SearchBudget:
+    """Normalise ``None`` into an unlimited budget."""
+    return budget if budget is not None else SearchBudget.unlimited()

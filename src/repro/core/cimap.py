@@ -1,0 +1,97 @@
+"""MVDs as conditional independencies: graphical-model views of a relation.
+
+The paper notes (Section 1) that MVDs are equivalent to *saturated
+conditional independence* statements in graphical models (Geiger & Pearl):
+``X ->> Y | Z`` holds iff ``Y ⊥ Z | X`` under the empirical distribution.
+This module exploits that reading in two directions:
+
+* :func:`independence_graph` — the Markov-network skeleton implied by the
+  mined separators: attributes ``a`` and ``b`` are non-adjacent iff *some*
+  ε-separator for them exists.  On data sampled from a Markov tree this
+  recovers the tree's non-edges (tested against the planted generator).
+* :func:`chow_liu_tree` — the classic maximum-likelihood Markov *tree*
+  (Chow–Liu): the maximum-weight spanning tree under pairwise mutual
+  information.  A tree-structured relation decomposes along this tree, so
+  it doubles as a cheap schema *proposal* whose J-measure can be checked
+  with the exact machinery (:func:`tree_schema`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.budget import SearchBudget
+from repro.core.minsep import mine_min_seps
+from repro.core.schema import Schema
+from repro.entropy.oracle import EntropyOracle
+from repro.hypergraph.gyo import _UnionFind
+
+
+def independence_graph(
+    oracle: EntropyOracle,
+    eps: float,
+    budget: Optional[SearchBudget] = None,
+) -> List[Set[int]]:
+    """Adjacency of the ε-independence skeleton.
+
+    ``a`` and ``b`` are adjacent iff *no* ε-separator exists for them
+    (``MinSep_ε(R, a, b) = ∅``) — i.e. no approximate MVD can put them on
+    opposite sides.  This is the saturated-CI skeleton of the empirical
+    distribution at tolerance ε.
+    """
+    n = oracle.n_attrs
+    adj: List[Set[int]] = [set() for _ in range(n)]
+    for a in range(n):
+        for b in range(a + 1, n):
+            seps = mine_min_seps(oracle, eps, (a, b), budget=budget)
+            if not seps:
+                adj[a].add(b)
+                adj[b].add(a)
+    return adj
+
+
+def chow_liu_tree(oracle: EntropyOracle) -> List[Tuple[int, int]]:
+    """Maximum-spanning tree under pairwise mutual information.
+
+    Returns ``n - 1`` edges (Kruskal, deterministic tie-break by index).
+    This is the maximum-likelihood Markov tree for the empirical
+    distribution (Chow & Liu 1968).
+    """
+    n = oracle.n_attrs
+    if n <= 1:
+        return []
+    weighted = []
+    for a in range(n):
+        for b in range(a + 1, n):
+            weighted.append((-oracle.mutual_information({a}, {b}), a, b))
+    weighted.sort()
+    uf = _UnionFind(n)
+    edges: List[Tuple[int, int]] = []
+    for __, a, b in weighted:
+        if uf.union(a, b):
+            edges.append((a, b))
+            if len(edges) == n - 1:
+                break
+    return edges
+
+
+def tree_schema(edges: List[Tuple[int, int]], n: int) -> Schema:
+    """The acyclic schema induced by a Markov tree: one bag per edge.
+
+    Isolated attributes (n == 1, or nodes without edges when the tree is a
+    forest) become singleton bags so the schema covers everything.
+    """
+    bags = [frozenset(e) for e in edges]
+    covered = {a for e in edges for a in e}
+    bags.extend(frozenset((a,)) for a in range(n) if a not in covered)
+    return Schema(bags)
+
+
+def tree_fit(oracle: EntropyOracle, edges: List[Tuple[int, int]]) -> float:
+    """J-measure of the Chow–Liu tree schema: how tree-like is the data?
+
+    Zero iff the empirical distribution factorises exactly over the tree
+    (Lee's theorem applied to the edge schema).
+    """
+    schema = tree_schema(edges, oracle.n_attrs)
+    return schema.j_measure(oracle)

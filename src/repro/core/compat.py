@@ -1,0 +1,86 @@
+"""MVD compatibility (Definition 7.1) — the novel insight behind ``ASMiner``.
+
+Two ε-MVDs ``phi1 = X ->> A1|...|Am`` and ``phi2 = Y ->> B1|...|Bk`` are
+*compatible* when there exist dependents ``Ai`` of ``phi1`` and ``Bj`` of
+``phi2`` such that:
+
+1. ``Y ⊆ X ∪ Ai`` and ``X ⊆ Y ∪ Bj`` (the classic *split-free* condition:
+   neither key is split by the other MVD), and
+2. ``phi2`` *splits* ``X ∪ Ai`` (intersects at least two of its dependents)
+   and ``phi1`` splits ``Y ∪ Bj``.
+
+We read the indexes of condition (2) as the witnesses of condition (1),
+matching the proof of Theorem 7.2 where ``X ∪ Ai = chi(T2) ∪ chi(T3)`` is the
+side of ``phi1`` containing ``phi2``'s edge, and ``phi2`` must cut through
+it (see DESIGN.md).
+
+The point of the definition is that it is *pairwise*: the support of any join
+tree is pairwise compatible (Theorem 7.2), so maximal candidate supports are
+exactly the maximal independent sets of the incompatibility graph — unlocking
+polynomial-delay enumeration (Theorem 7.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, FrozenSet
+
+from repro.core.mvd import MVD
+
+
+def _splits(mvd: MVD, attrs: FrozenSet[int]) -> bool:
+    """Does ``mvd`` split ``attrs`` across >= 2 of its dependents?"""
+    hit = 0
+    for d in mvd.dependents:
+        if d & attrs:
+            hit += 1
+            if hit >= 2:
+                return True
+    return False
+
+
+def compatible(phi1: MVD, phi2: MVD) -> bool:
+    """Definition 7.1 (symmetric by construction)."""
+    x, y = phi1.key, phi2.key
+    for ai in phi1.dependents:
+        xai = x | ai
+        if not (y <= xai):
+            continue
+        if not _splits(phi2, xai):
+            continue
+        for bj in phi2.dependents:
+            ybj = y | bj
+            if not (x <= ybj):
+                continue
+            if _splits(phi1, ybj):
+                return True
+    return False
+
+
+def incompatible(phi1: MVD, phi2: MVD) -> bool:
+    """``phi1 # phi2`` in the paper's notation."""
+    return not compatible(phi1, phi2)
+
+
+def pairwise_compatible(mvds: Sequence[MVD]) -> bool:
+    """Is every pair in the collection compatible?"""
+    for i in range(len(mvds)):
+        for j in range(i + 1, len(mvds)):
+            if incompatible(mvds[i], mvds[j]):
+                return False
+    return True
+
+
+def incompatibility_graph(mvds: Sequence[MVD]) -> List[Set[int]]:
+    """Adjacency lists of the graph ``G(M_ε, E)`` of Eq. (15).
+
+    Vertex ``v`` is ``mvds[v]``; an edge joins two *incompatible* MVDs, so
+    independent sets are pairwise-compatible subsets.
+    """
+    n = len(mvds)
+    adj: List[Set[int]] = [set() for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            if incompatible(mvds[i], mvds[j]):
+                adj[i].add(j)
+                adj[j].add(i)
+    return adj

@@ -1,0 +1,126 @@
+"""MVD implication from the mined set M_ε (Theorem 5.7, made constructive).
+
+Theorem 5.7 is the paper's completeness guarantee: every ε-MVD ``X ->> Y|Z``
+is derivable from the full MVDs with minimal separators by Shannon
+inequalities — concretely, there exist ``phi_1..phi_m`` in ``M_ε`` (one per
+attribute pair ``(Ai, Bj)`` in ``Y x Z``) with
+
+``I(Y; Z | X)  <=  sum_i J(phi_i)``.
+
+The proof is constructive: decompose ``I(Y; Z | X)`` by the chain rule into
+``|Y| * |Z|`` terms ``I(Ai; Bj | X A_<i B_<j)``; each term is bounded by
+``J(phi)`` for any full MVD ``phi`` whose key is a subset of ``X`` and which
+separates ``Ai`` from ``Bj``.
+
+This module implements exactly that derivation, returning the certificate
+(which mined MVD bounds which term), so downstream users can *check* whether
+a candidate MVD is implied by the mining result without touching the data —
+and, given an oracle, can verify the numeric inequality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.common import TOL, attrset
+from repro.core.measures import j_measure
+from repro.core.mvd import MVD
+from repro.entropy.oracle import EntropyOracle
+
+
+@dataclass(frozen=True)
+class DerivationStep:
+    """One chain-rule term and the mined MVD that bounds it."""
+
+    a: int  # attribute from Y
+    b: int  # attribute from Z
+    witness: MVD  # phi in M_eps with key ⊆ X separating a from b
+
+    def format(self, columns: Sequence[str] = ()) -> str:
+        cols = tuple(columns)
+        fa = cols[self.a] if cols else str(self.a)
+        fb = cols[self.b] if cols else str(self.b)
+        return f"I(..{fa}..;..{fb}..|..) <= J({self.witness.format(cols)})"
+
+
+@dataclass
+class Derivation:
+    """A Theorem 5.7 certificate for a target standard MVD."""
+
+    target: MVD
+    steps: List[DerivationStep]
+
+    @property
+    def witnesses(self) -> List[MVD]:
+        return [s.witness for s in self.steps]
+
+    def bound(self, oracle: EntropyOracle) -> float:
+        """``sum_i J(phi_i)`` — an upper bound on ``J(target)``."""
+        return sum(j_measure(oracle, s.witness) for s in self.steps)
+
+    def verify(self, oracle: EntropyOracle) -> bool:
+        """Check the Shannon inequality numerically on the data."""
+        return j_measure(oracle, self.target) <= self.bound(oracle) + TOL
+
+
+def derive(mvds: Iterable[MVD], target: MVD) -> Optional[Derivation]:
+    """Build a Theorem 5.7 derivation of ``target`` from ``mvds``.
+
+    ``target`` must be a standard MVD ``X ->> Y | Z``.  Returns ``None``
+    when some pair ``(Ai, Bj)`` has no witness — i.e. no mined MVD with key
+    inside ``X`` separates it, in which case the target is *not* implied by
+    the set (at that key).
+
+    Witness choice: among the candidates for a pair we prefer the one with
+    the smallest key, then the most dependents (the most refined —
+    heuristically the tightest J bound is not guaranteed, but ties must be
+    broken deterministically).
+    """
+    if not target.is_standard:
+        raise ValueError("derive() expects a standard (two-dependent) MVD")
+    x = target.key
+    ys, zs = target.dependents
+    pool = sorted(set(mvds))
+    steps: List[DerivationStep] = []
+    for a in sorted(ys):
+        for b in sorted(zs):
+            candidates = [
+                phi for phi in pool if phi.key <= x and phi.separates(a, b)
+            ]
+            if not candidates:
+                return None
+            witness = min(candidates, key=lambda p: (len(p.key), -p.m, p.sort_key()))
+            steps.append(DerivationStep(a, b, witness))
+    return Derivation(target=target, steps=steps)
+
+
+def implied_eps(mvds: Iterable[MVD], target: MVD, eps: float) -> Optional[float]:
+    """If derivable, the guaranteed threshold for the target.
+
+    When every mined MVD is an ε-MVD, the derivation certifies
+    ``J(target) <= (#steps) * eps`` (each step's witness has ``J <= eps``).
+    Returns that bound, or ``None`` when no derivation exists.
+    """
+    d = derive(mvds, target)
+    if d is None:
+        return None
+    return len(d.steps) * eps
+
+
+def is_implied(
+    oracle: EntropyOracle,
+    mvds: Iterable[MVD],
+    target: MVD,
+    eps: float,
+) -> bool:
+    """Data-free sufficient check + numeric confirmation.
+
+    True when a derivation exists and the numeric bound (evaluated on the
+    data) confirms ``J(target) <= sum J(witness)``.  A ``True`` answer is
+    sound; ``False`` only means *this* derivation route failed.
+    """
+    d = derive(mvds, target)
+    if d is None:
+        return False
+    return d.verify(oracle)

@@ -1,0 +1,152 @@
+"""Join trees (Definition 3.1) and their supports (Section 3.1).
+
+A join tree is a tree whose nodes carry *bags* of attributes satisfying the
+running intersection property.  Every edge ``(u, v)`` induces the MVD
+
+``chi(u) ∩ chi(v)  ->>  chi(T_u) | chi(T_v)``
+
+where ``T_u, T_v`` are the two subtrees hanging off the edge; the ``m - 1``
+MVDs of all edges form the tree's *support* ``MVD(T)``, and
+``R |= AJD(S)`` iff all support MVDs hold (Beeri et al.; generalised to the
+approximate setting by Theorem 5.1 / Corollary 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common import attrset, fmt_attrs
+from repro.core.measures import j_of_join_tree
+from repro.core.mvd import MVD
+from repro.entropy.oracle import EntropyOracle
+from repro.hypergraph.gyo import (
+    build_join_tree_edges,
+    check_running_intersection,
+    tree_components,
+)
+
+
+class JoinTree:
+    """An immutable join tree: bags plus tree edges over bag indices."""
+
+    __slots__ = ("bags", "edges")
+
+    def __init__(
+        self,
+        bags: Sequence[Iterable[int]],
+        edges: Iterable[Tuple[int, int]],
+        validate: bool = True,
+    ):
+        self.bags: Tuple[FrozenSet[int], ...] = tuple(attrset(b) for b in bags)
+        self.edges: Tuple[Tuple[int, int], ...] = tuple(
+            (min(u, v), max(u, v)) for u, v in edges
+        )
+        if validate and not check_running_intersection(self.bags, self.edges):
+            raise ValueError("not a join tree: running intersection violated")
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_bags(cls, bags: Sequence[Iterable[int]]) -> "JoinTree":
+        """Build a join tree for an acyclic bag set (raises if cyclic)."""
+        bag_sets = [attrset(b) for b in bags]
+        edges = build_join_tree_edges(bag_sets)
+        if edges is None:
+            raise ValueError("bags do not form an acyclic schema")
+        return cls(bag_sets, edges, validate=False)
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+
+    @property
+    def m(self) -> int:
+        """Number of bags (relations in the schema)."""
+        return len(self.bags)
+
+    @property
+    def attributes(self) -> FrozenSet[int]:
+        """``chi(T)``: all attributes of the tree."""
+        out: set = set()
+        for b in self.bags:
+            out |= b
+        return frozenset(out)
+
+    def separator(self, edge: Tuple[int, int]) -> FrozenSet[int]:
+        """``chi(u) ∩ chi(v)`` for an edge."""
+        u, v = edge
+        return self.bags[u] & self.bags[v]
+
+    def separators(self) -> List[FrozenSet[int]]:
+        return [self.separator(e) for e in self.edges]
+
+    @property
+    def width(self) -> int:
+        """Largest bag size (treewidth + 1; Section 8.4)."""
+        return max((len(b) for b in self.bags), default=0)
+
+    @property
+    def intersection_width(self) -> int:
+        """Largest pairwise bag intersection (Section 8.4)."""
+        m = self.m
+        best = 0
+        for i in range(m):
+            for j in range(i + 1, m):
+                best = max(best, len(self.bags[i] & self.bags[j]))
+        return best
+
+    # ------------------------------------------------------------------ #
+    # Semantics
+    # ------------------------------------------------------------------ #
+
+    def edge_mvd(self, edge: Tuple[int, int]) -> MVD:
+        """The support MVD ``phi_{u,v}`` of one edge."""
+        u, v = edge
+        side_u_nodes, side_v_nodes = tree_components(self.m, list(self.edges), edge)
+        sep = self.separator(edge)
+        attrs_u: set = set()
+        for w in side_u_nodes:
+            attrs_u |= self.bags[w]
+        attrs_v: set = set()
+        for w in side_v_nodes:
+            attrs_v |= self.bags[w]
+        return MVD(sep, [frozenset(attrs_u) - sep, frozenset(attrs_v) - sep])
+
+    def support(self) -> List[MVD]:
+        """``MVD(T)``: the ``m - 1`` MVDs of the edges."""
+        return [self.edge_mvd(e) for e in self.edges]
+
+    def j_measure(self, oracle: EntropyOracle) -> float:
+        """Eq. (6) evaluated on this tree."""
+        return j_of_join_tree(oracle, self.bags, self.edges)
+
+    # ------------------------------------------------------------------ #
+    # Dunder / display
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, JoinTree):
+            return NotImplemented
+        return set(self.bags) == set(other.bags) and self._edge_bags() == other._edge_bags()
+
+    def _edge_bags(self) -> set:
+        return {frozenset((self.bags[u], self.bags[v])) for u, v in self.edges}
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self.bags), frozenset(self._edge_bags())))
+
+    def format(self, columns: Sequence[str] = ()) -> str:
+        cols = tuple(columns)
+        parts = [
+            f"{fmt_attrs(self.bags[u], cols)} -[{fmt_attrs(self.separator((u, v)), cols)}]- "
+            f"{fmt_attrs(self.bags[v], cols)}"
+            for u, v in self.edges
+        ]
+        if not parts:
+            parts = [fmt_attrs(b, cols) for b in self.bags]
+        return "; ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"JoinTree({self.format()})"

@@ -1,0 +1,168 @@
+"""The Maimon system facade: ε in, ranked approximate acyclic schemas out.
+
+Ties the two phases together exactly as Section 4 describes: the user
+provides ε >= 0; phase 1 (``MVDMiner``) enumerates the full ε-MVDs with
+minimal separators; phase 2 (``ASMiner``) enumerates acyclic schemas whose
+support comes from that set.  Because a schema with ``m`` relations stacks
+``m - 1`` support MVDs, phase 2 reports schemas with ``J(S) <= (m-1) ε``
+(Corollary 5.2); callers can post-filter on the exact ``J`` which every
+:class:`DiscoveredSchema` carries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.asminer import ASMiner
+from repro.core.budget import SearchBudget
+from repro.core.jointree import JoinTree
+from repro.core.miner import MinerResult, MVDMiner
+from repro.core.mvd import MVD
+from repro.core.schema import Schema
+from repro.data.relation import Relation
+from repro.entropy.oracle import EntropyOracle, make_oracle
+from repro.quality.metrics import SchemaQuality, evaluate_schema
+
+
+@dataclass
+class DiscoveredSchema:
+    """A schema discovered by Maimon, with provenance and quality numbers."""
+
+    schema: Schema
+    join_tree: JoinTree
+    support_set: Tuple[MVD, ...]
+    j_measure: float
+    quality: SchemaQuality
+
+    def format(self, columns: Sequence[str] = ()) -> str:
+        q = self.quality
+        e = "n/a" if q.spurious_pct is None else f"{q.spurious_pct:.2f}%"
+        return (
+            f"{self.schema.format(columns)}  "
+            f"J={self.j_measure:.4f} m={q.n_relations} width={q.width} "
+            f"S={q.savings_pct:.2f}% E={e}"
+        )
+
+
+class Maimon:
+    """End-to-end discovery of approximate acyclic schemas.
+
+    Parameters
+    ----------
+    relation:
+        The input relation R.
+    engine:
+        Entropy engine name (``"pli"`` default, ``"naive"`` for the
+        ablation baseline).
+    optimized:
+        Use the pairwise-consistency pruning in the full-MVD search.
+
+    Example
+    -------
+    >>> maimon = Maimon(relation)
+    >>> result = maimon.mine_mvds(eps=0.01)
+    >>> for ds in maimon.discover_schemas(eps=0.01, limit=10):
+    ...     print(ds.format(relation.columns))
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        engine: str = "pli",
+        optimized: bool = True,
+        block_size: int = 10,
+    ):
+        self.relation = relation
+        self.oracle: EntropyOracle = make_oracle(
+            relation, engine=engine, block_size=block_size
+        )
+        self.optimized = optimized
+        self._miner = MVDMiner(self.oracle, optimized=optimized)
+        self._mvd_cache: dict = {}
+
+    # ------------------------------------------------------------------ #
+    # Phase 1
+    # ------------------------------------------------------------------ #
+
+    def mine_mvds(
+        self, eps: float, budget: Optional[SearchBudget] = None
+    ) -> MinerResult:
+        """Run (or reuse) phase 1 for a threshold.
+
+        Results are cached per ε; pass a budget to re-run with a time limit
+        (budget-limited runs are not cached, as they may be partial).
+        """
+        if budget is None and eps in self._mvd_cache:
+            return self._mvd_cache[eps]
+        result = self._miner.mine(eps, budget=budget)
+        if budget is None or not result.timed_out:
+            self._mvd_cache[eps] = result
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Phase 2
+    # ------------------------------------------------------------------ #
+
+    def discover_schemas(
+        self,
+        eps: float,
+        limit: Optional[int] = None,
+        mvd_budget: Optional[SearchBudget] = None,
+        schema_budget: Optional[SearchBudget] = None,
+        with_spurious: bool = True,
+        max_j: Optional[float] = None,
+    ) -> Iterator[DiscoveredSchema]:
+        """Stream discovered schemas for a threshold.
+
+        Parameters
+        ----------
+        eps:
+            Approximation threshold handed to both phases.
+        limit:
+            Stop after this many schemas.
+        mvd_budget, schema_budget:
+            Wall-clock/step budgets for the two phases (the paper's
+            timeout-then-enumerate mode).
+        with_spurious:
+            Compute the spurious-tuple percentage per schema (may be costly
+            for very fragmented schemas).
+        max_j:
+            Optional exact-J filter, e.g. ``max_j=eps`` keeps only schemas
+            that are ε-schemas in the strict sense of Definition 4.1.
+        """
+        mined = self.mine_mvds(eps, budget=mvd_budget)
+        asminer = ASMiner(mined.mvds, self.oracle.omega)
+        produced = 0
+        for cand in asminer.enumerate(
+            oracle=self.oracle, budget=schema_budget, dedupe=True
+        ):
+            j = cand.j_measure if cand.j_measure is not None else 0.0
+            if max_j is not None and j > max_j + 1e-9:
+                continue
+            quality = evaluate_schema(
+                self.relation,
+                cand.schema,
+                oracle=None,
+                with_spurious=with_spurious,
+            )
+            quality.j_measure = j
+            yield DiscoveredSchema(
+                schema=cand.schema,
+                join_tree=cand.join_tree,
+                support_set=cand.support_set,
+                j_measure=j,
+                quality=quality,
+            )
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+
+    def discover(
+        self,
+        eps: float,
+        limit: Optional[int] = None,
+        **kwargs,
+    ) -> List[DiscoveredSchema]:
+        """Eager version of :meth:`discover_schemas`."""
+        return list(self.discover_schemas(eps, limit=limit, **kwargs))

@@ -1,0 +1,88 @@
+"""The J-measure: information-theoretic degree of approximation.
+
+Lee's theorem (Theorem 3.3) ties database dependencies to entropic
+expressions: a relation satisfies an acyclic join dependency ``AJD(S)`` iff
+``J(S) = 0``, where for a join tree ``(T, chi)``
+
+``J(T) = sum_v H(chi(v)) - sum_(u,v) H(chi(u) ∩ chi(v)) - H(chi(T))``  (Eq. 6)
+
+and ``J`` depends only on the schema, not the particular join tree.  For an
+MVD ``X ->> Y1 | ... | Ym`` (the schema ``{XY1, ..., XYm}`` with a star join
+tree)
+
+``J = sum_i H(XYi) - (m-1) H(X) - H(X Y1..Ym)``,
+
+which for ``m = 2`` is exactly the conditional mutual information
+``I(Y; Z | X)``.  Definition 4.1: ``S`` is an ε-schema iff ``J(S) <= ε``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Sequence, Tuple
+
+from repro.common import TOL, attrset
+from repro.core.mvd import MVD
+from repro.entropy.oracle import EntropyOracle
+
+
+def j_measure(oracle: EntropyOracle, mvd: MVD) -> float:
+    """``J(X ->> Y1 | ... | Ym)`` under the empirical distribution.
+
+    Defined for any pairwise-disjoint dependents, whether or not they cover
+    ``Omega`` (Section 3.2).  Always >= 0 up to float noise (it is a sum of
+    conditional mutual informations, Theorem 5.1).
+    """
+    key = mvd.key
+    total = 0.0
+    everything = set(key)
+    for d in mvd.dependents:
+        total += oracle.entropy(key | d)
+        everything |= d
+    total -= (mvd.m - 1) * oracle.entropy(key)
+    total -= oracle.entropy(frozenset(everything))
+    return total
+
+
+def satisfies(oracle: EntropyOracle, mvd: MVD, eps: float) -> bool:
+    """``R |=ε phi``: the J-measure is within the threshold (plus tolerance)."""
+    return j_measure(oracle, mvd) <= eps + TOL
+
+
+def j_of_join_tree(
+    oracle: EntropyOracle,
+    bags: Sequence[FrozenSet[int]],
+    edges: Iterable[Tuple[int, int]],
+) -> float:
+    """Eq. (6): ``sum H(bag) - sum H(separator) - H(all attributes)``."""
+    bags = [attrset(b) for b in bags]
+    total = 0.0
+    everything: set = set()
+    for b in bags:
+        total += oracle.entropy(b)
+        everything |= b
+    for u, v in edges:
+        total -= oracle.entropy(bags[u] & bags[v])
+    total -= oracle.entropy(frozenset(everything))
+    return total
+
+
+def j_of_schema(oracle: EntropyOracle, bags: Sequence[FrozenSet[int]]) -> float:
+    """``J(S)`` for an acyclic schema given by its bags.
+
+    Builds a join tree first (Lee: the value does not depend on which one).
+    Raises ``ValueError`` for cyclic schemas, for which J is undefined.
+    """
+    from repro.hypergraph.gyo import build_join_tree_edges
+
+    bags = [attrset(b) for b in bags]
+    if len(bags) == 1:
+        return 0.0
+    edges = build_join_tree_edges(bags)
+    if edges is None:
+        raise ValueError("J(S) is only defined for acyclic schemas")
+    return j_of_join_tree(oracle, bags, edges)
+
+
+def mvd_from_schema_bags(key: FrozenSet[int], bags: Sequence[FrozenSet[int]]) -> MVD:
+    """The MVD ``X ->> (bag1 - X) | ... | (bagm - X)`` of a star schema."""
+    return MVD(key, [attrset(b) - key for b in bags])

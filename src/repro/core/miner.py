@@ -1,0 +1,164 @@
+"""``MVDMiner``: phase 1 of Maimon (Fig. 3).
+
+Iterates over attribute pairs (A, B); for each pair mines the minimal
+A,B-separators, and for each minimal separator X collects the full ε-MVDs
+with key X that separate A and B.  The union over all pairs is the set
+
+``M_ε = ⋃_{A,B} ⋃_{X ∈ MinSep(R,A,B)} FullMVD(R, X, A, B)``      (Eq. 11)
+
+from which every ε-MVD of R can be derived by Shannon inequalities
+(Theorem 5.7), and which feeds phase 2 (``ASMiner``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.core.budget import SearchBudget, ensure_budget
+from repro.core.fullmvd import get_full_mvds
+from repro.core.minsep import mine_min_seps
+from repro.core.mvd import MVD
+from repro.data.relation import Relation
+from repro.entropy.oracle import EntropyOracle, make_oracle
+
+Pair = Tuple[int, int]
+
+
+@dataclass
+class MinerResult:
+    """Outcome of one ``MVDMiner`` run."""
+
+    eps: float
+    mvds: List[MVD]
+    min_seps: Dict[Pair, List[FrozenSet[int]]]
+    elapsed: float
+    timed_out: bool
+    pairs_done: int
+    pairs_total: int
+    entropy_queries: int
+
+    @property
+    def n_mvds(self) -> int:
+        return len(self.mvds)
+
+    @property
+    def n_min_seps(self) -> int:
+        """Distinct minimal separators across all pairs."""
+        return len({s for seps in self.min_seps.values() for s in seps})
+
+    def summary(self) -> str:
+        status = "TIMEOUT" if self.timed_out else "done"
+        return (
+            f"eps={self.eps:g}: {self.n_mvds} full MVDs, "
+            f"{self.n_min_seps} minimal separators, "
+            f"{self.pairs_done}/{self.pairs_total} pairs, "
+            f"{self.elapsed:.2f}s [{status}]"
+        )
+
+
+class MVDMiner:
+    """Phase-1 miner bound to one relation/oracle.
+
+    Parameters
+    ----------
+    source:
+        A :class:`Relation` (an oracle is constructed with the default PLI
+        engine) or a prebuilt :class:`EntropyOracle`.
+    optimized:
+        Use pairwise-consistency pruning inside ``getFullMVDs`` (Fig. 17).
+    """
+
+    def __init__(self, source, optimized: bool = True):
+        if isinstance(source, Relation):
+            self.oracle = make_oracle(source)
+        elif isinstance(source, EntropyOracle):
+            self.oracle = source
+        else:
+            raise TypeError(f"expected Relation or EntropyOracle, got {type(source)!r}")
+        self.optimized = optimized
+
+    def mine(
+        self,
+        eps: float,
+        pairs: Optional[Iterable[Pair]] = None,
+        budget: Optional[SearchBudget] = None,
+        full_mvd_limit: Optional[int] = None,
+    ) -> MinerResult:
+        """Run ``MVDMiner`` (Fig. 3) and return ``M_ε`` with statistics.
+
+        Parameters
+        ----------
+        eps:
+            Approximation threshold ε >= 0.
+        pairs:
+            Attribute pairs to process (defaults to all unordered pairs).
+        budget:
+            Shared wall-clock/step budget (the paper's 5 h limit, scaled).
+        full_mvd_limit:
+            Optional cap K on full MVDs collected per (separator, pair) —
+            the paper uses K = ∞ here and K = 1 inside separator checks.
+        """
+        if eps < 0:
+            raise ValueError("eps must be >= 0")
+        oracle = self.oracle
+        budget = ensure_budget(budget)
+        n = oracle.n_attrs
+        if pairs is None:
+            pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        pairs = list(pairs)
+        start = time.perf_counter()
+        queries_before = oracle.queries
+        collected: Dict[MVD, None] = {}  # insertion-ordered set
+        min_seps: Dict[Pair, List[FrozenSet[int]]] = {}
+        pairs_done = 0
+        timed_out = False
+        for pair in pairs:
+            if budget.exhausted:
+                timed_out = True
+                break
+            seps = mine_min_seps(
+                oracle, eps, pair, optimized=self.optimized, budget=budget
+            )
+            min_seps[pair] = seps
+            for x in seps:
+                if budget.exhausted:
+                    timed_out = True
+                    break
+                for phi in get_full_mvds(
+                    oracle,
+                    x,
+                    eps,
+                    pair=pair,
+                    limit=full_mvd_limit,
+                    optimized=self.optimized,
+                    budget=budget,
+                ):
+                    collected[phi] = None
+            else:
+                pairs_done += 1
+                continue
+            break
+        return MinerResult(
+            eps=eps,
+            mvds=sorted(collected),
+            min_seps=min_seps,
+            elapsed=time.perf_counter() - start,
+            timed_out=timed_out or budget.exhausted,
+            pairs_done=pairs_done,
+            pairs_total=len(pairs),
+            entropy_queries=oracle.queries - queries_before,
+        )
+
+
+def mine_mvds(
+    relation: Relation,
+    eps: float,
+    optimized: bool = True,
+    budget: Optional[SearchBudget] = None,
+    engine: str = "pli",
+) -> MinerResult:
+    """One-shot convenience wrapper around :class:`MVDMiner`."""
+    miner = MVDMiner(make_oracle(relation, engine=engine), optimized=optimized)
+    return miner.mine(eps, budget=budget)

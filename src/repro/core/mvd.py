@@ -1,0 +1,204 @@
+"""Multivalued dependencies and their algebra (Section 5.2).
+
+An MVD ``phi = X ->> Y1 | Y2 | ... | Ym`` (``m >= 2``) has a *key* ``X`` and
+pairwise-disjoint, non-empty *dependents* ``Y1..Ym`` disjoint from the key.
+The paper works with *generalised* MVDs (any ``m``), since one generalised
+MVD encodes a family of standard (``m = 2``) ones.
+
+The operations implemented here drive the miner:
+
+* ``refines`` (``phi >= psi``): same key, every dependent of ``phi``
+  contained in a dependent of ``psi``.  Refinement can only increase the
+  J-measure (Proposition 5.2).
+* ``join`` (``phi ∨ psi``): dependents are the pairwise intersections;
+  the coarsest common refinement (used by Lemma 5.4 / Beeri's theorem).
+* ``merge(i, j)``: coarsen by uniting two dependents — one step of the
+  ``getFullMVDs`` graph traversal (Eq. 13).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from repro.common import attrset, fmt_attrs
+
+
+def _canonical_dependents(
+    dependents: Iterable[Iterable[int]],
+) -> Tuple[FrozenSet[int], ...]:
+    deps = [attrset(d) for d in dependents]
+    if any(not d for d in deps):
+        raise ValueError("dependents must be non-empty")
+    deps.sort(key=lambda d: (min(d), sorted(d)))
+    return tuple(deps)
+
+
+class MVD:
+    """An immutable generalised multivalued dependency.
+
+    Dependents are kept in a canonical order (by minimum element), so two
+    MVDs describing the same dependency compare and hash equal.
+    """
+
+    __slots__ = ("key", "dependents", "_hash")
+
+    def __init__(self, key: Iterable[int], dependents: Iterable[Iterable[int]]):
+        self.key: FrozenSet[int] = attrset(key)
+        self.dependents: Tuple[FrozenSet[int], ...] = _canonical_dependents(dependents)
+        if len(self.dependents) < 2:
+            raise ValueError(f"an MVD needs >= 2 dependents, got {self.dependents}")
+        seen: set = set()
+        for d in self.dependents:
+            if not d:
+                raise ValueError("dependents must be non-empty")
+            if d & self.key:
+                raise ValueError(f"dependent {sorted(d)} overlaps key {sorted(self.key)}")
+            if d & seen:
+                raise ValueError("dependents must be pairwise disjoint")
+            seen |= d
+        self._hash = hash((self.key, self.dependents))
+
+    # ------------------------------------------------------------------ #
+    # Basic structure
+    # ------------------------------------------------------------------ #
+
+    @property
+    def m(self) -> int:
+        """Number of dependents."""
+        return len(self.dependents)
+
+    @property
+    def is_standard(self) -> bool:
+        """Standard MVD: exactly two dependents."""
+        return self.m == 2
+
+    @property
+    def attributes(self) -> FrozenSet[int]:
+        """All attributes mentioned: key union dependents."""
+        out = set(self.key)
+        for d in self.dependents:
+            out |= d
+        return frozenset(out)
+
+    def dependent_of(self, attr: int) -> Optional[int]:
+        """Index of the dependent containing ``attr``, or None."""
+        for i, d in enumerate(self.dependents):
+            if attr in d:
+                return i
+        return None
+
+    def separates(self, a: int, b: int) -> bool:
+        """Do ``a`` and ``b`` occur in two distinct dependents?"""
+        ia, ib = self.dependent_of(a), self.dependent_of(b)
+        return ia is not None and ib is not None and ia != ib
+
+    # ------------------------------------------------------------------ #
+    # Algebra
+    # ------------------------------------------------------------------ #
+
+    def refines(self, other: "MVD") -> bool:
+        """``self >= other`` in the refinement order (Section 5.2).
+
+        Requires equal keys; every dependent of ``self`` must be contained in
+        some dependent of ``other``.  Reflexive.
+        """
+        if self.key != other.key:
+            return False
+        return all(
+            any(d <= od for od in other.dependents) for d in self.dependents
+        )
+
+    def strictly_refines(self, other: "MVD") -> bool:
+        """``self > other``: refines and differs."""
+        return self != other and self.refines(other)
+
+    def join(self, other: "MVD") -> "MVD":
+        """``self ∨ other``: dependents are pairwise intersections.
+
+        Defined for MVDs with the same key covering the same attributes; the
+        result refines both operands (Lemma 5.4).
+        """
+        if self.key != other.key:
+            raise ValueError("join requires equal keys")
+        if self.attributes != other.attributes:
+            raise ValueError("join requires the same attribute cover")
+        pieces = []
+        for a in self.dependents:
+            for b in other.dependents:
+                c = a & b
+                if c:
+                    pieces.append(c)
+        return MVD(self.key, pieces)
+
+    def merge(self, i: int, j: int) -> "MVD":
+        """Coarsen by uniting dependents ``i`` and ``j`` (``merge_ij``)."""
+        if i == j:
+            raise ValueError("merge needs two distinct dependents")
+        deps = list(self.dependents)
+        lo, hi = min(i, j), max(i, j)
+        united = deps[lo] | deps[hi]
+        del deps[hi]
+        deps[lo] = united
+        return MVD(self.key, deps)
+
+    def as_standard(self, i: int) -> "MVD":
+        """The standard MVD ``X ->> Yi | (rest)`` implied by ``self``."""
+        if self.m == 2:
+            return self
+        rest = set()
+        for j, d in enumerate(self.dependents):
+            if j != i:
+                rest |= d
+        return MVD(self.key, [self.dependents[i], rest])
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def finest(key: Iterable[int], universe: Iterable[int]) -> "MVD":
+        """The most refined MVD with this key: all-singleton dependents.
+
+        ``universe`` is the full attribute set; dependents are the singletons
+        of ``universe - key``.  This is the DFS start node of
+        ``getFullMVDs`` (Fig. 6, line 3).
+        """
+        key = attrset(key)
+        singles = [frozenset((a,)) for a in attrset(universe) - key]
+        if len(singles) < 2:
+            raise ValueError("need at least two non-key attributes")
+        return MVD(key, singles)
+
+    # ------------------------------------------------------------------ #
+    # Dunder / display
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MVD):
+            return NotImplemented
+        return self.key == other.key and self.dependents == other.dependents
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "MVD") -> bool:
+        """Deterministic total order for stable iteration (not refinement)."""
+        return self.sort_key() < other.sort_key()
+
+    def sort_key(self) -> tuple:
+        return (
+            len(self.key),
+            sorted(self.key),
+            len(self.dependents),
+            [sorted(d) for d in self.dependents],
+        )
+
+    def format(self, columns: Sequence[str] = ()) -> str:
+        """Human-readable rendering, e.g. ``{A,D} ->> {C,F}|{B,E}``."""
+        cols = tuple(columns)
+        key = fmt_attrs(self.key, cols) if self.key else "{}"
+        deps = "|".join(fmt_attrs(d, cols) for d in self.dependents)
+        return f"{key} ->> {deps}"
+
+    def __repr__(self) -> str:
+        return f"MVD({self.format()})"

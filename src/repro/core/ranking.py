@@ -1,0 +1,134 @@
+"""Ranked schema enumeration — the paper's stated future work.
+
+Section 9: "As part of future work we intend to investigate acyclic schema
+generation in ranked order.  The categories to rank on may be the extent of
+decomposition (e.g., width of the schema), or other measures indicative of
+how well the schema meets the requirements of the application."
+
+This module implements that layer on top of ``ASMiner``: enumerate schema
+candidates within a budget, score them with a pluggable objective, and
+return the top-k.  Built-in objectives cover the quality measures of the
+evaluation section (width, #relations, storage savings, spurious tuples,
+J-measure) plus a balanced default; custom callables are accepted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.core.budget import SearchBudget
+from repro.core.maimon import DiscoveredSchema, Maimon
+
+#: An objective maps a DiscoveredSchema to a score; higher is better.
+Objective = Callable[[DiscoveredSchema], float]
+
+
+def by_relations(ds: DiscoveredSchema) -> float:
+    """Maximise the extent of decomposition."""
+    return float(ds.quality.n_relations)
+
+
+def by_width(ds: DiscoveredSchema) -> float:
+    """Minimise the widest relation (treewidth + 1)."""
+    return -float(ds.quality.width)
+
+
+def by_savings(ds: DiscoveredSchema) -> float:
+    """Maximise percentage cell savings S."""
+    return ds.quality.savings_pct
+
+
+def by_accuracy(ds: DiscoveredSchema) -> float:
+    """Minimise spurious tuples E (requires with_spurious)."""
+    e = ds.quality.spurious_pct
+    return 0.0 if e is None else -e
+
+
+def by_j(ds: DiscoveredSchema) -> float:
+    """Minimise the J-measure (information-theoretic accuracy)."""
+    return -ds.j_measure
+
+
+def balanced(ds: DiscoveredSchema) -> float:
+    """Default trade-off: decomposition + savings - spurious penalty.
+
+    Mirrors how the paper reads Fig. 10: users want more relations and
+    higher savings while keeping the spurious rate tolerable.
+    """
+    q = ds.quality
+    spurious = q.spurious_pct if q.spurious_pct is not None else 0.0
+    return q.n_relations * 10.0 + q.savings_pct - 0.5 * spurious
+
+
+OBJECTIVES: Dict[str, Objective] = {
+    "relations": by_relations,
+    "width": by_width,
+    "savings": by_savings,
+    "accuracy": by_accuracy,
+    "j": by_j,
+    "balanced": balanced,
+}
+
+
+@dataclass
+class RankedSchema:
+    """A schema with its rank and score under the chosen objective."""
+
+    rank: int
+    score: float
+    discovered: DiscoveredSchema
+
+
+def rank_schemas(
+    maimon: Maimon,
+    eps: float,
+    k: int = 10,
+    objective: Union[str, Objective] = "balanced",
+    enumeration_limit: Optional[int] = 200,
+    schema_budget: Optional[SearchBudget] = None,
+    with_spurious: bool = True,
+) -> List[RankedSchema]:
+    """Top-k schemas at a threshold under an objective.
+
+    Parameters
+    ----------
+    maimon:
+        A configured :class:`Maimon` instance (reuses its MVD cache).
+    eps:
+        Approximation threshold for both phases.
+    k:
+        How many schemas to return.
+    objective:
+        Objective name (see :data:`OBJECTIVES`) or a callable; higher
+        scores rank first.
+    enumeration_limit, schema_budget:
+        Bounds on the underlying enumeration (ranking is exact only with
+        respect to the candidates enumerated within these bounds).
+    with_spurious:
+        Compute spurious percentages (needed by the accuracy/balanced
+        objectives; disable for speed with width/relations objectives).
+    """
+    if isinstance(objective, str):
+        try:
+            fn = OBJECTIVES[objective]
+        except KeyError:
+            known = ", ".join(sorted(OBJECTIVES))
+            raise ValueError(f"unknown objective {objective!r}; known: {known}") from None
+    else:
+        fn = objective
+    candidates = list(
+        maimon.discover_schemas(
+            eps,
+            limit=enumeration_limit,
+            schema_budget=schema_budget,
+            with_spurious=with_spurious,
+        )
+    )
+    scored = sorted(
+        ((fn(ds), ds) for ds in candidates), key=lambda t: t[0], reverse=True
+    )
+    return [
+        RankedSchema(rank=i + 1, score=score, discovered=ds)
+        for i, (score, ds) in enumerate(scored[:k])
+    ]

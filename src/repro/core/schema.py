@@ -1,0 +1,136 @@
+"""Acyclic schemas (Section 3.1).
+
+A *schema* is an antichain of bags covering the attribute set; it is
+*acyclic* when it admits a join tree.  ``R`` ε-satisfies the acyclic join
+dependency ``AJD(S)`` when ``J(S) <= ε`` (Definition 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common import attrset, fmt_attrs
+from repro.core.jointree import JoinTree
+from repro.core.measures import j_of_schema
+from repro.entropy.oracle import EntropyOracle
+from repro.hypergraph.gyo import is_acyclic
+
+
+def normalize_bags(bags: Iterable[Iterable[int]]) -> Tuple[FrozenSet[int], ...]:
+    """Drop empty and subsumed bags, deduplicate, order canonically."""
+    sets = sorted({attrset(b) for b in bags if b}, key=len, reverse=True)
+    kept: List[FrozenSet[int]] = []
+    for b in sets:
+        if not any(b <= other for other in kept):
+            kept.append(b)
+    kept.sort(key=lambda b: (min(b), sorted(b)))
+    return tuple(kept)
+
+
+class Schema:
+    """An immutable schema (antichain of attribute bags)."""
+
+    __slots__ = ("bags", "_jt_cache")
+
+    def __init__(self, bags: Iterable[Iterable[int]], normalize: bool = True):
+        if normalize:
+            self.bags = normalize_bags(bags)
+        else:
+            self.bags = tuple(attrset(b) for b in bags)
+            for i, b in enumerate(self.bags):
+                for j, other in enumerate(self.bags):
+                    if i != j and b <= other:
+                        raise ValueError(
+                            f"bag {sorted(b)} subsumed by {sorted(other)}; "
+                            "schemas must be antichains"
+                        )
+        if not self.bags:
+            raise ValueError("a schema needs at least one bag")
+        self._jt_cache: Optional[JoinTree] = None
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+
+    @property
+    def m(self) -> int:
+        """Number of relations ``|S|``."""
+        return len(self.bags)
+
+    @property
+    def attributes(self) -> FrozenSet[int]:
+        out: set = set()
+        for b in self.bags:
+            out |= b
+        return frozenset(out)
+
+    @property
+    def width(self) -> int:
+        """``width(S)``: size of the largest bag (Section 8.4)."""
+        return max(len(b) for b in self.bags)
+
+    @property
+    def intersection_width(self) -> int:
+        """``intWidth(S)``: largest pairwise bag intersection (Section 8.4)."""
+        best = 0
+        for i in range(self.m):
+            for j in range(i + 1, self.m):
+                best = max(best, len(self.bags[i] & self.bags[j]))
+        return best
+
+    def covers(self, omega: Iterable[int]) -> bool:
+        """Do the bags cover the full attribute set?"""
+        return attrset(omega) <= self.attributes
+
+    # ------------------------------------------------------------------ #
+    # Acyclicity / semantics
+    # ------------------------------------------------------------------ #
+
+    def is_acyclic(self) -> bool:
+        return is_acyclic(self.bags)
+
+    def join_tree(self) -> JoinTree:
+        """A join tree for this schema (raises for cyclic schemas)."""
+        if self._jt_cache is None:
+            self._jt_cache = JoinTree.from_bags(self.bags)
+        return self._jt_cache
+
+    def j_measure(self, oracle: EntropyOracle) -> float:
+        """``J(S)`` (Definition 4.1; independent of the join tree chosen)."""
+        return j_of_schema(oracle, self.bags)
+
+    def support(self):
+        """The support MVDs of (a join tree of) this schema."""
+        return self.join_tree().support()
+
+    def decompose(self, relation) -> List:
+        """Project ``relation`` onto every bag (set semantics).
+
+        Returns the list of decomposed relations ``R[Omega_i]``.
+        """
+        return [relation.project(sorted(b)) for b in self.bags]
+
+    # ------------------------------------------------------------------ #
+    # Dunder / display
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return set(self.bags) == set(other.bags)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.bags))
+
+    def __len__(self) -> int:
+        return self.m
+
+    def __iter__(self):
+        return iter(self.bags)
+
+    def format(self, columns: Sequence[str] = ()) -> str:
+        cols = tuple(columns)
+        return "{" + ", ".join(fmt_attrs(b, cols) for b in self.bags) + "}"
+
+    def __repr__(self) -> str:
+        return f"Schema({self.format()})"

@@ -1,0 +1,14 @@
+"""Data layer: relations, loaders, and synthetic dataset generators."""
+
+from repro.data.relation import Relation
+from repro.data.loaders import from_csv, from_rows, from_columns
+from repro.data import generators, datasets
+
+__all__ = [
+    "Relation",
+    "from_csv",
+    "from_rows",
+    "from_columns",
+    "generators",
+    "datasets",
+]

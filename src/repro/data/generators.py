@@ -1,0 +1,299 @@
+"""Synthetic dataset generators.
+
+The paper evaluates on 20 real datasets from the Metanome repository plus
+UCI Nursery; none are downloadable in this offline environment, so every
+experiment runs on generated data (the substitution is documented in
+DESIGN.md §3).  Three families:
+
+* :func:`paper_running_example` — the exact 4/5-row relation of Fig. 1,
+  used by the unit tests to pin the paper's worked numbers;
+* :func:`nursery` — a faithful structural reconstruction of UCI Nursery:
+  the full Cartesian product of 8 categorical attributes with domain sizes
+  (3, 5, 4, 4, 3, 2, 3, 3) = 12 960 rows, plus a deterministic rule-based
+  class attribute with 5 values.  This preserves what the Section 8.1 use
+  case depends on: density (huge storage savings) and the absence of an
+  exact decomposition alongside good approximate ones;
+* :func:`markov_tree` / :func:`surrogate` — relations sampled from a random
+  Markov tree over the attributes (so conditional-independence structure —
+  i.e. approximate MVDs — is *planted*), with tunable deterministic (FD)
+  edges, independent columns, and cell noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.relation import Relation
+
+
+# --------------------------------------------------------------------- #
+# Paper running example (Fig. 1)
+# --------------------------------------------------------------------- #
+
+def paper_running_example(with_red_tuple: bool = False) -> Relation:
+    """The relation R of Fig. 1 over Omega = {A, B, C, D, E, F}.
+
+    Without the red tuple the acyclic schema
+    ``{ABD, ACD, BDE, AF}`` holds exactly (J = 0); adding the 5th (red)
+    tuple breaks all support MVDs except ``A ->> F | BCDE``.
+    """
+    rows = [
+        ("a1", "b1", "c1", "d1", "e1", "f1"),
+        ("a2", "b2", "c1", "d1", "e2", "f2"),
+        ("a2", "b2", "c2", "d2", "e3", "f2"),
+        ("a1", "b2", "c1", "d2", "e3", "f1"),
+    ]
+    if with_red_tuple:
+        rows.append(("a1", "b2", "c1", "d2", "e2", "f1"))
+    return Relation.from_rows(rows, list("ABCDEF"), name="fig1")
+
+
+def lemma54_example() -> Relation:
+    """The 2-tuple relation of Section 5.2 (X A B C).
+
+    With ε = 1: ``X ->> AB|C``, ``X ->> AC|B``, ``X ->> BC|A`` all ε-hold
+    (J = 1 each) but ``X ->> A|B|C`` does not (J = 2) — the witness that
+    ``FullMVD_ε`` can contain several elements.
+    """
+    rows = [(0, 0, 0, 0), (0, 1, 1, 1)]
+    return Relation.from_rows(rows, list("XABC"), name="lemma54")
+
+
+# --------------------------------------------------------------------- #
+# Nursery reconstruction
+# --------------------------------------------------------------------- #
+
+NURSERY_ATTRS: List[Tuple[str, List[str]]] = [
+    ("parents", ["usual", "pretentious", "great_pret"]),
+    ("has_nurs", ["proper", "less_proper", "improper", "critical", "very_crit"]),
+    ("form", ["complete", "completed", "incomplete", "foster"]),
+    ("children", ["1", "2", "3", "more"]),
+    ("housing", ["convenient", "less_conv", "critical"]),
+    ("finance", ["convenient", "inconv"]),
+    ("social", ["nonprob", "slightly_prob", "problematic"]),
+    ("health", ["recommended", "priority", "not_recom"]),
+]
+
+NURSERY_CLASSES = ["not_recom", "recommend", "very_recom", "priority", "spec_prior"]
+
+
+def _nursery_class(codes: Sequence[int]) -> str:
+    """Deterministic class rule in the style of the Nursery expert system.
+
+    The real dataset derives the class from a hierarchical decision model
+    (EMPLOY/STRUCTURE/SOC_HEALTH); we use a transparent scoring rule with
+    the same inputs, the same 5 labels, and a similarly skewed distribution
+    (health == not_recom forces 1/3 of rows into one class; "recommend" is
+    vanishingly rare).
+    """
+    parents, has_nurs, form, children, housing, finance, social, health = codes
+    if health == 2:  # not_recom
+        return "not_recom"
+    score = (
+        2 * parents
+        + 2 * has_nurs
+        + form
+        + (1 if children >= 2 else 0)
+        + housing
+        + finance
+        + social
+        + (0 if health == 0 else 2)
+    )
+    if score <= 1:
+        return "recommend"
+    if score <= 3:
+        return "very_recom"
+    if score <= 8:
+        return "priority"
+    return "spec_prior"
+
+
+def nursery() -> Relation:
+    """Reconstructed Nursery: 12 960 rows x 9 columns (see module docstring)."""
+    sizes = [len(dom) for __, dom in NURSERY_ATTRS]
+    grids = np.indices(sizes).reshape(len(sizes), -1).T  # (12960, 8)
+    columns = [name for name, __ in NURSERY_ATTRS] + ["class"]
+    rows = []
+    for combo in grids:
+        decoded = [NURSERY_ATTRS[j][1][combo[j]] for j in range(len(sizes))]
+        decoded.append(_nursery_class([int(c) for c in combo]))
+        rows.append(decoded)
+    return Relation.from_rows(rows, columns, name="nursery")
+
+
+# --------------------------------------------------------------------- #
+# Markov-tree relations (planted conditional independence)
+# --------------------------------------------------------------------- #
+
+def markov_tree(
+    n_cols: int,
+    n_rows: int,
+    seed: int = 0,
+    domain_size: int = 4,
+    determinism: float = 0.85,
+    fd_fraction: float = 0.25,
+    independent_fraction: float = 0.0,
+    noise: float = 0.0,
+    name: str = "",
+) -> Relation:
+    """Sample a relation from a random Markov tree over the attributes.
+
+    Attribute 0 is the root; attribute ``i > 0`` gets a uniformly random
+    parent among ``0..i-1`` and is drawn from a conditional distribution
+    given the parent:
+
+    * with probability ``fd_fraction`` the edge is *deterministic* — the
+      child is a function of the parent (an exact FD, hence exact MVDs);
+    * otherwise the child copies a per-parent-value target with probability
+      ``determinism`` and is uniform otherwise.
+
+    Because sampling is conditionally independent given the parent, every
+    tree cut is a *planted* conditional independence: the distribution
+    satisfies the corresponding MVDs exactly and the empirical sample
+    satisfies them approximately (sampling noise shrinks as rows grow).
+
+    ``independent_fraction`` appends unconditionally uniform columns, and
+    ``noise`` resamples that fraction of all cells uniformly (destroying
+    exactness — the knob that creates the exact/approximate gap).
+    """
+    if n_cols < 1:
+        raise ValueError("n_cols must be >= 1")
+    rng = np.random.default_rng(seed)
+    n_indep = int(round(independent_fraction * n_cols))
+    n_tree = max(1, n_cols - n_indep)
+    domains = rng.integers(2, max(3, domain_size + 1), size=n_cols)
+    codes = np.empty((n_rows, n_cols), dtype=np.int64)
+    codes[:, 0] = rng.integers(0, domains[0], size=n_rows)
+    parents = np.zeros(n_cols, dtype=np.int64)
+    deterministic = np.zeros(n_cols, dtype=bool)
+    for j in range(1, n_tree):
+        p = int(rng.integers(0, j))
+        parents[j] = p
+        dp, dj = int(domains[p]), int(domains[j])
+        target = rng.integers(0, dj, size=dp)
+        is_fd = rng.random() < fd_fraction
+        deterministic[j] = is_fd
+        mapped = target[codes[:, p]]
+        if is_fd:
+            codes[:, j] = mapped
+        else:
+            keep = rng.random(n_rows) < determinism
+            codes[:, j] = np.where(keep, mapped, rng.integers(0, dj, size=n_rows))
+    for j in range(n_tree, n_cols):
+        codes[:, j] = rng.integers(0, domains[j], size=n_rows)
+    if noise > 0:
+        mask = rng.random(codes.shape) < noise
+        random_cells = rng.integers(
+            0, np.broadcast_to(domains, codes.shape), size=codes.shape
+        )
+        codes = np.where(mask, random_cells, codes)
+    columns = [f"A{j}" for j in range(n_cols)]
+    return Relation.from_codes(codes, columns, name=name or f"markov{n_cols}x{n_rows}")
+
+
+def decomposable(
+    bag_specs: Sequence[Sequence[str]],
+    n_rows: int,
+    seed: int = 0,
+    domain_size: int = 6,
+    noise_rows: int = 0,
+    name: str = "",
+) -> Relation:
+    """Sample data that ε-satisfies a *given* acyclic schema.
+
+    ``bag_specs`` lists the bags by attribute name; the function builds a
+    join tree for them, samples the root bag independently, then extends
+    bag by bag conditioned on the separator values (one consistent
+    extension per separator value, so the join dependency holds *exactly*).
+    ``noise_rows`` appends uniformly random rows, turning the exact AJD
+    into an approximate one.
+    """
+    from repro.core.schema import Schema
+
+    columns: List[str] = []
+    for bag in bag_specs:
+        for a in bag:
+            if a not in columns:
+                columns.append(a)
+    col_idx = {a: j for j, a in enumerate(columns)}
+    schema = Schema([frozenset(col_idx[a] for a in bag) for bag in bag_specs])
+    tree = schema.join_tree()
+    rng = np.random.default_rng(seed)
+    n = len(columns)
+    codes = np.zeros((n_rows, n), dtype=np.int64)
+    # BFS the join tree from bag 0, assigning new attributes as functions of
+    # the separator (plus per-row randomness kept consistent per separator
+    # value so the extension is a true function of the separator).
+    from repro.quality.spurious import _rooted_children
+
+    children, order = _rooted_children(len(tree.bags), tree.edges)
+    order = list(reversed(order))  # pre-order: parents before children
+    assigned: set = set()
+    first = order[0]
+    for a in sorted(tree.bags[first]):
+        codes[:, a] = rng.integers(0, domain_size, size=n_rows)
+        assigned.add(a)
+    for u in order:
+        for c in children[u]:
+            sep = sorted(tree.bags[u] & tree.bags[c])
+            new_attrs = sorted(set(tree.bags[c]) - assigned)
+            if not new_attrs:
+                continue
+            # Group rows by separator value; each group gets one consistent
+            # random extension (a deterministic function of the separator).
+            if sep:
+                keys = codes[:, sep]
+                uniq, inv = np.unique(keys, axis=0, return_inverse=True)
+                n_groups = len(uniq)
+            else:
+                inv = np.zeros(n_rows, dtype=np.int64)
+                n_groups = 1
+            for a in new_attrs:
+                table = rng.integers(0, domain_size, size=n_groups)
+                codes[:, a] = table[inv]
+                assigned.add(a)
+    if noise_rows:
+        extra = rng.integers(0, domain_size, size=(noise_rows, n))
+        codes = np.vstack([codes, extra])
+    return Relation.from_codes(codes, columns, name=name or "decomposable")
+
+
+# --------------------------------------------------------------------- #
+# Dataset surrogates
+# --------------------------------------------------------------------- #
+
+@dataclass
+class SurrogateProfile:
+    """Knobs describing the structural character of a surrogate dataset."""
+
+    domain_size: int = 5
+    determinism: float = 0.85
+    fd_fraction: float = 0.3
+    independent_fraction: float = 0.15
+    noise: float = 0.01
+
+
+def surrogate(
+    name: str,
+    n_cols: int,
+    n_rows: int,
+    seed: int = 0,
+    profile: Optional[SurrogateProfile] = None,
+) -> Relation:
+    """A named structural surrogate for one of the paper's datasets."""
+    p = profile or SurrogateProfile()
+    return markov_tree(
+        n_cols,
+        n_rows,
+        seed=seed,
+        domain_size=p.domain_size,
+        determinism=p.determinism,
+        fd_fraction=p.fd_fraction,
+        independent_fraction=p.independent_fraction,
+        noise=p.noise,
+        name=name,
+    )

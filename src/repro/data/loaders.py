@@ -1,0 +1,107 @@
+"""Dataset ingestion without pandas.
+
+The evaluation datasets of the paper are CSV files from the Metanome data
+profiling repository.  This module provides a small, dependency-free loader
+(stdlib :mod:`csv` plus the factorisation done by :class:`Relation`) together
+with convenience constructors re-exported at package level.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Optional, Sequence, Union
+
+from repro.data.relation import Relation
+
+
+def from_rows(rows: Sequence[Sequence], columns: Sequence[str], name: str = "") -> Relation:
+    """Build a :class:`Relation` from an iterable of rows."""
+    return Relation.from_rows(rows, columns, name=name)
+
+
+def from_columns(data: Dict[str, Sequence], name: str = "") -> Relation:
+    """Build a :class:`Relation` from a mapping of column name to values."""
+    return Relation.from_columns(data, name=name)
+
+
+def from_csv(
+    source: Union[str, io.TextIOBase],
+    has_header: bool = True,
+    delimiter: str = ",",
+    name: Optional[str] = None,
+    null_token: str = "",
+    max_rows: Optional[int] = None,
+) -> Relation:
+    """Load a CSV file (or open text stream) into a :class:`Relation`.
+
+    Parameters
+    ----------
+    source:
+        File path or an open text stream.
+    has_header:
+        If True the first row provides column names; otherwise columns are
+        named ``A0..A{n-1}``.
+    delimiter:
+        Field separator.
+    null_token:
+        Cell value to treat as NULL.  NULLs are kept as a distinguished
+        value (the string ``"<null>"``), matching how the dependency-
+        discovery literature treats missing data (NULL equals NULL).
+    max_rows:
+        Optional row cap, useful for scalability experiments.
+    """
+    close = False
+    if isinstance(source, str):
+        stream = open(source, "r", newline="", encoding="utf-8")
+        close = True
+        if name is None:
+            name = source.rsplit("/", 1)[-1]
+    else:
+        stream = source
+        if name is None:
+            name = getattr(source, "name", "")
+    try:
+        reader = csv.reader(stream, delimiter=delimiter)
+        rows = []
+        columns = None
+        for i, row in enumerate(reader):
+            if i == 0 and has_header:
+                columns = [c.strip() for c in row]
+                continue
+            rows.append([null_token_sub(cell, null_token) for cell in row])
+            if max_rows is not None and len(rows) >= max_rows:
+                break
+        if columns is None:
+            width = len(rows[0]) if rows else 0
+            columns = [f"A{j}" for j in range(width)]
+        # Ragged rows are padded/truncated to the header width: real
+        # profiling datasets occasionally contain short lines.
+        width = len(columns)
+        fixed = []
+        for r in rows:
+            if len(r) < width:
+                r = r + ["<null>"] * (width - len(r))
+            elif len(r) > width:
+                r = r[:width]
+            fixed.append(r)
+        return Relation.from_rows(fixed, columns, name=name or "")
+    finally:
+        if close:
+            stream.close()
+
+
+def null_token_sub(cell: str, null_token: str) -> str:
+    """Normalise a CSV cell, mapping the null token to ``"<null>"``."""
+    cell = cell.strip()
+    if cell == null_token:
+        return "<null>"
+    return cell
+
+
+def to_csv(relation: Relation, path: str, delimiter: str = ",") -> None:
+    """Write a relation back to CSV (header + decoded rows)."""
+    with open(path, "w", newline="", encoding="utf-8") as f:
+        writer = csv.writer(f, delimiter=delimiter)
+        writer.writerow(relation.columns)
+        writer.writerows(relation.rows())

@@ -1,0 +1,37 @@
+"""Entropy substrate.
+
+The single most expensive operation in Maimon is computing the entropy
+``H(X)`` of a set of attributes under the empirical distribution of the input
+relation (Section 6.3 of the paper).  This package provides:
+
+* :class:`~repro.entropy.partitions.StrippedPartition` — the in-memory
+  analogue of the paper's CNT/TID tables (singleton-pruned position list
+  indices) together with the partition product that corresponds to the
+  paper's main-memory SQL join;
+* :class:`~repro.entropy.naive.NaiveEntropyEngine` — a direct group-by
+  evaluation of Eq. (5), used as ground truth and as an ablation baseline;
+* :class:`~repro.entropy.plicache.PLICacheEngine` — the paper's engine:
+  stripped partitions combined pairwise, with the block-of-size-L caching
+  scheme of Section 6.3;
+* :class:`~repro.entropy.oracle.EntropyOracle` — the ``getEntropyR`` facade
+  that the mining algorithms call, adding result caching, derived measures
+  (conditional mutual information, J-measures) and instrumentation.
+"""
+
+from repro.entropy.partitions import StrippedPartition
+from repro.entropy.naive import NaiveEntropyEngine
+from repro.entropy.plicache import PLICacheEngine
+from repro.entropy.sqlengine import SQLEntropyEngine
+from repro.entropy.estimators import ESTIMATORS, EstimatedEntropyEngine
+from repro.entropy.oracle import EntropyOracle, make_oracle
+
+__all__ = [
+    "StrippedPartition",
+    "NaiveEntropyEngine",
+    "PLICacheEngine",
+    "SQLEntropyEngine",
+    "ESTIMATORS",
+    "EstimatedEntropyEngine",
+    "EntropyOracle",
+    "make_oracle",
+]

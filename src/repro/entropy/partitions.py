@@ -1,0 +1,242 @@
+"""Stripped partitions: the in-memory analogue of the paper's CNT/TID tables.
+
+Section 6.3 of the paper computes entropies by maintaining, for each attribute
+set ``alpha``, two SQL tables:
+
+* ``CNT_alpha(val, cnt)`` — one row per *non-singleton* value of ``alpha``
+  with its frequency, and
+* ``TID_alpha(val, tid)`` — the tuple ids carrying each such value,
+
+and combines ``alpha`` with ``beta`` through a main-memory join on ``tid``
+followed by a ``GROUP BY`` with ``HAVING count(*) > 1``.
+
+That pair of tables is precisely a *stripped partition* (also called a
+stripped Position List Index, PLI) as used by TANE and Pyro: the partition of
+tuple ids induced by "agree on alpha", with all singleton equivalence classes
+removed.  The SQL join is the classic partition product.  We implement both
+directly on numpy arrays:
+
+* a partition is stored as a flat ``tids`` array plus cluster ``offsets``
+  (CSR-style), keeping only clusters of size >= 2;
+* the product uses a probe array of length ``N`` (exactly the role of the
+  hash join in the paper, without the SQL engine).
+
+Entropy falls out of the counts alone (Eq. 5): singleton clusters contribute
+``0`` because ``1 * log(1) = 0``, which is why stripping is lossless for
+entropy computation — the observation the paper's technique rests on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.relation import Relation
+
+
+class StrippedPartition:
+    """A singleton-stripped partition of tuple ids.
+
+    Attributes
+    ----------
+    tids:
+        int64 array of tuple ids, cluster by cluster.
+    offsets:
+        int64 array of cluster boundaries; cluster ``i`` is
+        ``tids[offsets[i]:offsets[i+1]]``.  Every cluster has size >= 2.
+    n_rows:
+        Total number of tuples ``N`` in the underlying relation (needed to
+        turn counts into probabilities).
+    """
+
+    __slots__ = ("tids", "offsets", "n_rows", "_entropy")
+
+    def __init__(self, tids: np.ndarray, offsets: np.ndarray, n_rows: int):
+        self.tids = np.ascontiguousarray(tids, dtype=np.int64)
+        self.offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        self.n_rows = int(n_rows)
+        self._entropy: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_group_ids(cls, ids: np.ndarray, n_groups: int, n_rows: int) -> "StrippedPartition":
+        """Build from dense group ids (``ids[t]`` in ``0..n_groups-1``)."""
+        if len(ids) == 0:
+            return cls(np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64), n_rows)
+        counts = np.bincount(ids, minlength=n_groups)
+        order = np.argsort(ids, kind="stable")
+        sorted_ids = ids[order]
+        # Sorting groups tuple ids by cluster (ascending cluster id), so the
+        # kept clusters stay contiguous after masking out singletons.
+        keep_positions = counts[sorted_ids] >= 2
+        tids = order[keep_positions]
+        sizes = counts[counts >= 2]
+        offsets = np.concatenate(([0], np.cumsum(sizes, dtype=np.int64)))
+        return cls(tids, offsets, n_rows)
+
+    @classmethod
+    def from_relation(cls, relation: Relation, attrs: Iterable[int]) -> "StrippedPartition":
+        """Partition of ``relation`` induced by the attribute set ``attrs``."""
+        ids, n_groups = relation.group_ids(attrs)
+        return cls.from_group_ids(ids, n_groups, relation.n_rows)
+
+    @classmethod
+    def single_cluster(cls, n_rows: int) -> "StrippedPartition":
+        """The partition of the empty attribute set: one cluster of all rows."""
+        if n_rows < 2:
+            return cls(np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64), n_rows)
+        return cls(
+            np.arange(n_rows, dtype=np.int64),
+            np.array([0, n_rows], dtype=np.int64),
+            n_rows,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of non-singleton clusters (rows of ``CNT_alpha``)."""
+        return len(self.offsets) - 1
+
+    @property
+    def size(self) -> int:
+        """Total tuple ids stored (rows of ``TID_alpha``)."""
+        return int(self.offsets[-1])
+
+    def cluster(self, i: int) -> np.ndarray:
+        """Tuple ids of cluster ``i``."""
+        return self.tids[self.offsets[i] : self.offsets[i + 1]]
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Sizes of all stored clusters (the ``cnt`` column)."""
+        return np.diff(self.offsets)
+
+    def clusters(self) -> List[np.ndarray]:
+        """All clusters as arrays (convenience, mostly for tests)."""
+        return [self.cluster(i) for i in range(self.n_clusters)]
+
+    def n_singletons(self) -> int:
+        """Number of rows living in stripped (singleton) clusters."""
+        return self.n_rows - self.size
+
+    # ------------------------------------------------------------------ #
+    # Entropy and FD error
+    # ------------------------------------------------------------------ #
+
+    def entropy(self) -> float:
+        """Empirical entropy ``H`` of the grouping, in bits (Eq. 5).
+
+        ``H(X) = log N - (1/N) * sum_c |c| log |c|`` where the sum runs over
+        non-singleton clusters only (singletons contribute 0).
+        """
+        if self._entropy is None:
+            n = self.n_rows
+            if n == 0:
+                self._entropy = 0.0
+            else:
+                sizes = self.cluster_sizes().astype(np.float64)
+                s = float(np.dot(sizes, np.log2(sizes))) if len(sizes) else 0.0
+                # Clamp tiny negative float residue (H is mathematically >= 0).
+                self._entropy = max(0.0, math.log2(n) - s / n)
+        return self._entropy
+
+    def g1_error(self) -> float:
+        """Kivinen–Mannila style ``g1``-flavoured error of "X is a key".
+
+        Fraction of *pairs* of tuples that agree on X:
+        ``sum_c |c|*(|c|-1) / (N*(N-1))``.  Used by the approximate-UCC/FD
+        baseline measures (Section 1 related work)."""
+        n = self.n_rows
+        if n < 2:
+            return 0.0
+        sizes = self.cluster_sizes().astype(np.float64)
+        return float(np.dot(sizes, sizes - 1.0)) / (n * (n - 1.0))
+
+    def g3_key_error(self) -> float:
+        """``g3`` error of "X is a key": min fraction of tuples to remove."""
+        n = self.n_rows
+        if n == 0:
+            return 0.0
+        sizes = self.cluster_sizes()
+        # Keep one representative per cluster; remove the rest.
+        return float(sizes.sum() - len(sizes)) / n
+
+    # ------------------------------------------------------------------ #
+    # Partition product (the paper's main-memory SQL join)
+    # ------------------------------------------------------------------ #
+
+    def intersect(self, other: "StrippedPartition") -> "StrippedPartition":
+        """Product partition ``self * other`` (agree on alpha AND beta).
+
+        Implements exactly the paper's two queries of Section 6.3: join the
+        TID tables on tuple id, group by the combined value, keep groups with
+        count > 1.  Cost is ``O(N + |self| + |other|)``.
+        """
+        if self.n_rows != other.n_rows:
+            raise ValueError("partitions over different relations")
+        n = self.n_rows
+        if self.n_clusters == 0 or other.n_clusters == 0:
+            return StrippedPartition(
+                np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64), n
+            )
+        # probe[t] = cluster index of t in self, or -1 if t is a singleton.
+        probe = np.full(n, -1, dtype=np.int64)
+        sizes = np.diff(self.offsets)
+        probe[self.tids] = np.repeat(np.arange(self.n_clusters, dtype=np.int64), sizes)
+        # For every tid in other, the pair (self cluster, other cluster).
+        other_sizes = np.diff(other.offsets)
+        other_cids = np.repeat(np.arange(other.n_clusters, dtype=np.int64), other_sizes)
+        self_cids = probe[other.tids]
+        mask = self_cids >= 0
+        tids = other.tids[mask]
+        keys = self_cids[mask] * other.n_clusters + other_cids[mask]
+        if len(tids) == 0:
+            return StrippedPartition(
+                np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64), n
+            )
+        uniq, dense = np.unique(keys, return_inverse=True)
+        part = StrippedPartition.from_group_ids(dense, len(uniq), n)
+        # from_group_ids indexes into the *positions* of `tids`; remap.
+        part.tids = tids[part.tids]
+        return part
+
+    def refines_group_ids(self, target_ids: np.ndarray) -> bool:
+        """Does every cluster map into a single group of ``target_ids``?
+
+        This is the standard PLI test for an exact FD ``X -> A`` where
+        ``self`` is the partition of X and ``target_ids`` groups by X∪{A}
+        representatives; used by the TANE substrate."""
+        for i in range(self.n_clusters):
+            c = self.cluster(i)
+            if len(np.unique(target_ids[c])) > 1:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"<StrippedPartition clusters={self.n_clusters} size={self.size} "
+            f"N={self.n_rows} H={self.entropy():.4f}>"
+        )
+
+
+def partition_product(parts: Iterable[StrippedPartition]) -> StrippedPartition:
+    """Fold :meth:`StrippedPartition.intersect` over several partitions.
+
+    Combines smallest-first (by stored size), which keeps intermediate
+    results small — the same heuristic the paper gets for free from the
+    HAVING clause pruning.
+    """
+    items = sorted(parts, key=lambda p: p.size)
+    if not items:
+        raise ValueError("need at least one partition")
+    acc = items[0]
+    for p in items[1:]:
+        acc = acc.intersect(p)
+    return acc

@@ -1,0 +1,199 @@
+"""The paper's Section 6.3 entropy machinery, executed as SQL-style queries.
+
+This engine is the most literal rendering of ``getEntropyR``: it maintains
+``CNT_alpha(val, cnt)`` and ``TID_alpha(val, tid)`` tables inside the
+in-memory relational engine of :mod:`repro.sqlsim` and combines attribute
+sets with the paper's two queries —
+
+    -- CNT_{a∪b}
+    SELECT Hash(A.val, B.val) AS val, count(*) AS cnt
+    FROM TID_a A, TID_b B WHERE A.tid = B.tid
+    GROUP BY Hash(A.val, B.val) HAVING count(*) > 1
+
+    -- TID_{a∪b}
+    SELECT Hash(A.val, B.val) AS val, A.tid AS tid
+    FROM TID_a A, TID_b B, CNT_{a∪b} Z
+    WHERE A.tid = B.tid AND Hash(A.val, B.val) = Z.val
+
+including the block-of-size-L caching scheme.  It produces bit-identical
+entropies to the numpy engines (tested), at row-store speeds — it exists
+for fidelity and as the third arm of the entropy ablation, mirroring the
+role H2 plays in the authors' implementation.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.common import attrset
+from repro.data.relation import Relation
+from repro.sqlsim.engine import Database, Table, hash_combine
+
+
+def _table_suffix(attrs: FrozenSet[int]) -> str:
+    return "_".join(str(a) for a in sorted(attrs))
+
+
+class SQLEntropyEngine:
+    """CNT/TID-table entropy engine over the mini SQL substrate.
+
+    Parameters mirror :class:`repro.entropy.plicache.PLICacheEngine`:
+    ``block_size`` is the paper's L, ``cross_cache_size`` bounds how many
+    cross-block TID/CNT table pairs stay materialised.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        block_size: int = 10,
+        cross_cache_size: int = 256,
+    ):
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        self.relation = relation
+        self.block_size = block_size
+        self.db = Database()
+        n = relation.n_cols
+        self.blocks: List[Tuple[int, ...]] = [
+            tuple(range(start, min(start + block_size, n)))
+            for start in range(0, n, block_size)
+        ]
+        self._block_of: Dict[int, int] = {
+            j: b for b, cols in enumerate(self.blocks) for j in cols
+        }
+        self._block_tables: Dict[FrozenSet[int], str] = {}
+        self._cross_tables: "OrderedDict[FrozenSet[int], str]" = OrderedDict()
+        self._cross_cache_size = cross_cache_size
+        self._entropy_memo: Dict[FrozenSet[int], float] = {}
+        self.queries_run = 0  # combine operations executed
+        for j in range(n):
+            self._materialise_single(j)
+
+    # ------------------------------------------------------------------ #
+    # Public API (same contract as the other engines)
+    # ------------------------------------------------------------------ #
+
+    def entropy_of(self, attrs: FrozenSet[int]) -> float:
+        """Entropy in bits via a scan of ``CNT_attrs`` (Eq. 5)."""
+        attrs = attrset(attrs)
+        cached = self._entropy_memo.get(attrs)
+        if cached is not None:
+            return cached
+        n = self.relation.n_rows
+        if n == 0 or not attrs:
+            value = 0.0
+        else:
+            cnt = self.db.get(self._cnt_name(attrs))
+            s = sum(c * math.log2(c) for c in cnt.column_values("cnt"))
+            value = max(0.0, math.log2(n) - s / n)
+        self._entropy_memo[attrs] = value
+        return value
+
+    def reset_stats(self) -> None:
+        self.queries_run = 0
+
+    # ------------------------------------------------------------------ #
+    # Table materialisation
+    # ------------------------------------------------------------------ #
+
+    def _materialise_single(self, j: int) -> None:
+        """Base CNT/TID tables for one attribute (singleton values pruned)."""
+        codes = self.relation.codes[:, j]
+        counts: Dict[int, int] = {}
+        for v in codes:
+            counts[int(v)] = counts.get(int(v), 0) + 1
+        kept = {v for v, c in counts.items() if c >= 2}
+        suffix = _table_suffix(frozenset((j,)))
+        self.db.create(
+            Table(f"CNT_{suffix}", ["val", "cnt"],
+                  [(v, counts[v]) for v in sorted(kept)])
+        )
+        self.db.create(
+            Table(
+                f"TID_{suffix}",
+                ["val", "tid"],
+                [(int(v), t) for t, v in enumerate(codes) if int(v) in kept],
+            )
+        )
+        self._block_tables[frozenset((j,))] = suffix
+
+    def _cnt_name(self, attrs: FrozenSet[int]) -> str:
+        return f"CNT_{self._ensure_tables(attrs)}"
+
+    def _tid_name(self, attrs: FrozenSet[int]) -> str:
+        return f"TID_{self._ensure_tables(attrs)}"
+
+    def _ensure_tables(self, attrs: FrozenSet[int]) -> str:
+        """Materialise (or look up) the CNT/TID pair for an attribute set."""
+        pieces = self._split_by_block(attrs)
+        if len(pieces) == 1:
+            return self._block_suffix(pieces[0])
+        acc_attrs = pieces[0]
+        suffix = self._block_suffix(acc_attrs)
+        for piece in pieces[1:]:
+            acc_attrs = acc_attrs | piece
+            hit = self._cross_tables.get(acc_attrs)
+            if hit is not None:
+                self._cross_tables.move_to_end(acc_attrs)
+                suffix = hit
+                continue
+            suffix = self._combine(suffix, self._block_suffix(piece), acc_attrs)
+            self._cross_store(acc_attrs, suffix)
+        return suffix
+
+    def _block_suffix(self, attrs: FrozenSet[int]) -> str:
+        """Within-block tables are cached permanently (<= 2^L per block)."""
+        hit = self._block_tables.get(attrs)
+        if hit is not None:
+            return hit
+        top = max(attrs)
+        rest = attrs - {top}
+        suffix = self._combine(
+            self._block_suffix(rest),
+            self._block_suffix(frozenset((top,))),
+            attrs,
+        )
+        self._block_tables[attrs] = suffix
+        return suffix
+
+    def _combine(self, sfx_a: str, sfx_b: str, attrs: FrozenSet[int]) -> str:
+        """Run the paper's two queries to build CNT/TID for a union."""
+        self.queries_run += 1
+        tid_a = self.db.get(f"TID_{sfx_a}")
+        tid_b = self.db.get(f"TID_{sfx_b}")
+        suffix = _table_suffix(attrs)
+        # Query 1: join TIDs on tid, group the hashed value pair, HAVING > 1.
+        joined = tid_a.join(tid_b, on="tid", suffixes=("_a", "_b"))
+        hashed = joined.project(
+            {
+                "val": lambda r: hash_combine(r["val_a"], r["val_b"]),
+                "tid": lambda r: r["tid_a"],
+            },
+            name=f"H_{suffix}",
+        )
+        cnt = hashed.group_count("val", having_min=2, name=f"CNT_{suffix}")
+        # Query 2: keep only tids whose hashed value survived the HAVING.
+        tid = hashed.semijoin(cnt, on="val", name=f"TID_{suffix}")
+        self.db.create_or_replace(cnt)
+        self.db.create_or_replace(tid)
+        return suffix
+
+    # ------------------------------------------------------------------ #
+    # Caching plumbing
+    # ------------------------------------------------------------------ #
+
+    def _split_by_block(self, attrs: FrozenSet[int]) -> List[FrozenSet[int]]:
+        by_block: Dict[int, set] = {}
+        for j in attrs:
+            by_block.setdefault(self._block_of[j], set()).add(j)
+        return [frozenset(by_block[b]) for b in sorted(by_block)]
+
+    def _cross_store(self, attrs: FrozenSet[int], suffix: str) -> None:
+        self._cross_tables[attrs] = suffix
+        self._cross_tables.move_to_end(attrs)
+        while len(self._cross_tables) > self._cross_cache_size:
+            __, old = self._cross_tables.popitem(last=False)
+            self.db.drop(f"CNT_{old}")
+            self.db.drop(f"TID_{old}")

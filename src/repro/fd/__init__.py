@@ -1,0 +1,35 @@
+"""Functional-dependency substrate: the baseline family of the paper.
+
+The related work the paper positions against (TANE, FastFD, HyFD, Pyro,
+Kivinen–Mannila) discovers FDs and UCCs — special cases of MVDs that are
+*insufficient* for acyclic-schema discovery.  This package implements:
+
+* :mod:`repro.fd.tane` — a TANE-style levelwise miner over stripped
+  partitions, exact and g3-approximate;
+* :mod:`repro.fd.measures` — the Kivinen–Mannila error measures (g1, g2,
+  g3) and their information-theoretic counterpart ``H(A | X)``.
+
+It serves two purposes: a baseline for the `fd_vs_mvd` example (BCNF-style
+decomposition from FDs vs Maimon schemes), and a second, independent
+consumer of the stripped-partition substrate (good test pressure).
+"""
+
+from repro.fd.tane import FD, mine_fds, fd_holds
+from repro.fd.measures import g1_error, g2_error, g3_error, fd_conditional_entropy
+from repro.fd.ucc import UCC, is_ucc, mine_uccs, ucc_error
+from repro.fd.normalize import bcnf_decompose
+
+__all__ = [
+    "FD",
+    "mine_fds",
+    "fd_holds",
+    "g1_error",
+    "g2_error",
+    "g3_error",
+    "fd_conditional_entropy",
+    "UCC",
+    "is_ucc",
+    "mine_uccs",
+    "ucc_error",
+    "bcnf_decompose",
+]

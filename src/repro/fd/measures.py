@@ -1,0 +1,90 @@
+"""Error measures for approximate functional dependencies.
+
+Kivinen and Mannila (cited as [26] in the paper) define three measures for
+how badly an FD ``X -> A`` fails on a relation:
+
+* ``g1`` — fraction of *tuple pairs* violating the FD;
+* ``g2`` — fraction of *tuples* involved in some violation;
+* ``g3`` — minimum fraction of tuples whose removal makes the FD exact
+  (the measure used by TANE and by Kruse & Naumann's Pyro).
+
+The paper's J-measure is the information-theoretic alternative; for an FD
+the analogous quantity is the conditional entropy ``H(A | X)``, which is 0
+iff the FD holds exactly.  These implementations are vectorised over the
+relation's dense group ids.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.data.relation import Relation
+from repro.entropy.oracle import EntropyOracle
+
+
+def _group_pair(relation: Relation, lhs: Iterable[int], rhs: int):
+    """Dense ids for X-groups and XA-groups plus per-pair counts."""
+    lhs = sorted(set(int(a) for a in lhs))
+    x_ids, nx = relation.group_ids(lhs)
+    xa_ids, nxa = relation.group_ids(lhs + [int(rhs)])
+    keys = x_ids.astype(np.int64) * nxa + xa_ids
+    uniq, counts = np.unique(keys, return_counts=True)
+    pair_x = (uniq // nxa).astype(np.int64)
+    return x_ids, nx, pair_x, counts
+
+
+def g3_error(relation: Relation, lhs: Iterable[int], rhs: int) -> float:
+    """``g3``: min fraction of tuples to delete so that ``X -> A`` holds.
+
+    Per X-group, keep the largest A-subgroup and delete the rest:
+    ``g3 = (N - sum_g max_a |group(g, a)|) / N``.
+    """
+    n = relation.n_rows
+    if n == 0:
+        return 0.0
+    __, nx, pair_x, counts = _group_pair(relation, lhs, rhs)
+    keep = np.zeros(nx, dtype=np.int64)
+    np.maximum.at(keep, pair_x, counts)
+    return float(n - keep.sum()) / n
+
+
+def g1_error(relation: Relation, lhs: Iterable[int], rhs: int) -> float:
+    """``g1``: fraction of ordered tuple pairs agreeing on X, differing on A."""
+    n = relation.n_rows
+    if n < 2:
+        return 0.0
+    x_ids, nx, pair_x, counts = _group_pair(relation, lhs, rhs)
+    x_sizes = np.bincount(x_ids, minlength=nx).astype(np.float64)
+    # Violating ordered pairs in group g: |g|^2 - sum_a |g,a|^2.
+    same_x = float(np.dot(x_sizes, x_sizes))
+    same_xa = float(np.dot(counts.astype(np.float64), counts.astype(np.float64)))
+    return (same_x - same_xa) / (n * n)
+
+
+def g2_error(relation: Relation, lhs: Iterable[int], rhs: int) -> float:
+    """``g2``: fraction of tuples participating in at least one violation.
+
+    A tuple violates when its X-group contains another tuple with a
+    different A value — i.e. its (X, A)-subgroup is a strict subset of its
+    X-group.
+    """
+    n = relation.n_rows
+    if n == 0:
+        return 0.0
+    x_ids, nx, pair_x, counts = _group_pair(relation, lhs, rhs)
+    x_sizes = np.bincount(x_ids, minlength=nx).astype(np.int64)
+    # Per X-group: if it has >= 2 distinct A values, *all* its tuples violate.
+    distinct_a = np.zeros(nx, dtype=np.int64)
+    np.add.at(distinct_a, pair_x, 1)
+    violating = x_sizes[distinct_a >= 2].sum()
+    return float(violating) / n
+
+
+def fd_conditional_entropy(oracle: EntropyOracle, lhs: Iterable[int], rhs: int) -> float:
+    """``H(A | X)`` — the J-style measure of the FD ``X -> A``.
+
+    Zero iff the FD holds exactly (the FD analogue of Lee's theorem).
+    """
+    return oracle.cond_entropy({int(rhs)}, lhs)

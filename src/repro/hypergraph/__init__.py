@@ -1,0 +1,41 @@
+"""Hypergraph substrate.
+
+Three classic combinatorial engines the mining algorithms sit on:
+
+* :mod:`repro.hypergraph.transversal` — minimal hypergraph transversals
+  (hitting sets), maintained incrementally as the hypergraph grows; this is
+  the engine behind ``MineMinSeps`` (Theorem 6.1 / Gunopulos et al.).
+* :mod:`repro.hypergraph.mis` — enumeration of all maximal independent sets
+  of a graph (Johnson–Papadimitriou–Yannakakis style), the engine behind
+  ``ASMiner`` (Theorem 7.3).
+* :mod:`repro.hypergraph.gyo` — GYO reduction for hypergraph acyclicity and
+  join-tree construction (maximum-weight spanning tree of the intersection
+  graph), used to validate and manipulate acyclic schemas.
+"""
+
+from repro.hypergraph.transversal import (
+    TransversalEnumerator,
+    minimal_transversals,
+    minimize_sets,
+    is_transversal,
+)
+from repro.hypergraph.mis import maximal_independent_sets, greedy_complete
+from repro.hypergraph.gyo import (
+    gyo_reduction,
+    is_acyclic,
+    build_join_tree_edges,
+    check_running_intersection,
+)
+
+__all__ = [
+    "TransversalEnumerator",
+    "minimal_transversals",
+    "minimize_sets",
+    "is_transversal",
+    "maximal_independent_sets",
+    "greedy_complete",
+    "gyo_reduction",
+    "is_acyclic",
+    "build_join_tree_edges",
+    "check_running_intersection",
+]

@@ -1,0 +1,217 @@
+"""GYO reduction, hypergraph acyclicity, and join-tree construction.
+
+An acyclic schema (Definition 3.1) is a set of bags admitting a *join tree*:
+a tree over the bags in which, for every attribute, the bags containing it
+form a connected subtree (the running intersection property).
+
+Two classic facts power this module:
+
+* **GYO reduction** (Graham / Yu–Ozsoyoglu): repeatedly (a) delete a bag
+  contained in another bag, and (b) delete an *ear* attribute that occurs in
+  exactly one bag.  The hypergraph is α-acyclic iff this reduces everything
+  away.
+* **Maximum-weight spanning tree** (Bernstein–Goodman): weight every pair of
+  bags by ``|intersection|``; the hypergraph is acyclic iff some (equivalently
+  every) maximum-weight spanning tree of this graph is a join tree.  We build
+  the MST with Kruskal + union-find and validate the running intersection
+  property explicitly, so the function is safe to call on arbitrary input.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+
+# --------------------------------------------------------------------- #
+# GYO reduction
+# --------------------------------------------------------------------- #
+
+def gyo_reduction(bags: Iterable[FrozenSet[int]]) -> List[FrozenSet[int]]:
+    """Run GYO to a fixpoint; returns the irreducible residue.
+
+    An empty residue certifies α-acyclicity; a non-empty residue is the
+    "cyclic core" of the hypergraph.
+    """
+    work: List[FrozenSet[int]] = [frozenset(b) for b in bags if b]
+    changed = True
+    while changed and work:
+        changed = False
+        # (a) remove bags contained in other bags.
+        kept: List[FrozenSet[int]] = []
+        for i, b in enumerate(work):
+            absorbed = any(
+                (b < other) or (b == other and j < i)
+                for j, other in enumerate(work)
+                if j != i
+            )
+            if absorbed:
+                changed = True
+            else:
+                kept.append(b)
+        work = kept
+        # (b) remove ear attributes occurring in exactly one bag.
+        occurrences: Dict[int, int] = {}
+        for b in work:
+            for a in b:
+                occurrences[a] = occurrences.get(a, 0) + 1
+        ears = {a for a, cnt in occurrences.items() if cnt == 1}
+        if ears:
+            new_work = []
+            for b in work:
+                nb = b - ears
+                if nb != b:
+                    changed = True
+                if nb:
+                    new_work.append(nb)
+                else:
+                    changed = True
+            work = new_work
+    return work
+
+
+def is_acyclic(bags: Iterable[FrozenSet[int]]) -> bool:
+    """α-acyclicity test via GYO reduction."""
+    return not gyo_reduction(bags)
+
+
+# --------------------------------------------------------------------- #
+# Join-tree construction
+# --------------------------------------------------------------------- #
+
+class _UnionFind:
+    """Standard union-find with path compression for Kruskal."""
+
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self.parent[rb] = ra
+        return True
+
+
+def check_running_intersection(
+    bags: Sequence[FrozenSet[int]], edges: Iterable[Tuple[int, int]]
+) -> bool:
+    """Verify that ``(bags, edges)`` is a join tree.
+
+    Checks (1) the edges form a tree over all bags, and (2) for every edge
+    ``(u, v)`` on the path between two bags both containing attribute ``a``,
+    ``a`` is in every bag along the path — equivalently, for every edge the
+    separator ``bags[u] ∩ bags[v]`` contains every attribute shared by the
+    two sides of the tree.
+    """
+    m = len(bags)
+    edges = list(edges)
+    if m == 0:
+        return not edges
+    if len(edges) != m - 1:
+        return False
+    adj: List[List[int]] = [[] for _ in range(m)]
+    uf = _UnionFind(m)
+    for u, v in edges:
+        if not (0 <= u < m and 0 <= v < m) or u == v:
+            return False
+        if not uf.union(u, v):
+            return False  # cycle
+        adj[u].append(v)
+        adj[v].append(u)
+    # For each edge, attributes shared across the cut must lie in the
+    # separator.
+    for u, v in edges:
+        side_u = _component_attrs(bags, adj, start=u, blocked_edge=(u, v))
+        side_v = _component_attrs(bags, adj, start=v, blocked_edge=(u, v))
+        if (side_u & side_v) - (bags[u] & bags[v]):
+            return False
+    return True
+
+
+def _component_attrs(
+    bags: Sequence[FrozenSet[int]],
+    adj: Sequence[Sequence[int]],
+    start: int,
+    blocked_edge: Tuple[int, int],
+) -> FrozenSet[int]:
+    """Attributes of the subtree reachable from ``start`` avoiding one edge."""
+    bu, bv = blocked_edge
+    seen = {start}
+    stack = [start]
+    attrs = set()
+    while stack:
+        u = stack.pop()
+        attrs |= bags[u]
+        for w in adj[u]:
+            if {u, w} == {bu, bv}:
+                continue
+            if w not in seen:
+                seen.add(w)
+                stack.append(w)
+    return frozenset(attrs)
+
+
+def tree_components(
+    m: int, edges: Sequence[Tuple[int, int]], removed: Tuple[int, int]
+) -> Tuple[List[int], List[int]]:
+    """Node sets of the two subtrees obtained by deleting ``removed``."""
+    adj: List[List[int]] = [[] for _ in range(m)]
+    for u, v in edges:
+        if {u, v} == set(removed):
+            continue
+        adj[u].append(v)
+        adj[v].append(u)
+    a, b = removed
+    seen = {a}
+    stack = [a]
+    while stack:
+        u = stack.pop()
+        for w in adj[u]:
+            if w not in seen:
+                seen.add(w)
+                stack.append(w)
+    side_a = sorted(seen)
+    side_b = sorted(set(range(m)) - seen)
+    return side_a, side_b
+
+
+def build_join_tree_edges(
+    bags: Sequence[FrozenSet[int]],
+) -> Optional[List[Tuple[int, int]]]:
+    """Join-tree edges for ``bags``, or ``None`` if the schema is cyclic.
+
+    Builds a maximum-weight spanning tree on intersection sizes (Kruskal,
+    deterministic tie-break by index) and validates the running intersection
+    property.  For an acyclic schema the MST is guaranteed to be a join tree;
+    validation makes the ``None`` contract hold for arbitrary bags.
+    """
+    m = len(bags)
+    if m == 0:
+        return []
+    if m == 1:
+        return []
+    weighted = []
+    for i in range(m):
+        for j in range(i + 1, m):
+            weighted.append((-len(bags[i] & bags[j]), i, j))
+    weighted.sort()
+    uf = _UnionFind(m)
+    edges: List[Tuple[int, int]] = []
+    for __, i, j in weighted:
+        if uf.union(i, j):
+            edges.append((i, j))
+            if len(edges) == m - 1:
+                break
+    if len(edges) != m - 1:  # pragma: no cover - complete graph always spans
+        return None
+    if not check_running_intersection(bags, edges):
+        return None
+    return edges

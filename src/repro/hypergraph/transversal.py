@@ -1,0 +1,122 @@
+"""Minimal hypergraph transversal (hitting set) enumeration.
+
+``MineMinSeps`` (Fig. 5 of the paper) discovers minimal A,B-separators by
+repeatedly asking for a minimal transversal of the hypergraph whose edges are
+the *complements* of the separators found so far (Theorem 6.1, following
+Gunopulos et al.).  The hypergraph grows by one edge per discovered
+separator, so the natural engine is an *incremental* transversal maintainer.
+
+We implement Berge's algorithm: if ``Tr(H)`` is the set of minimal
+transversals of ``H`` and a new edge ``e`` arrives, then
+
+``Tr(H + e) = minimize({T : T in Tr(H), T ∩ e != ∅}
+              ∪ {T ∪ {v} : T in Tr(H), T ∩ e = ∅, v in e})``.
+
+The theoretical state of the art is the quasi-polynomial algorithm of
+Fredman–Khachiyan (cited by the paper for the delay bound); Berge's algorithm
+is what practical implementations use at the scale of separator hypergraphs
+(tens of edges over tens of vertices) and is simple to validate exhaustively.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence, Set
+
+
+def minimize_sets(sets: Iterable[FrozenSet[int]]) -> List[FrozenSet[int]]:
+    """Keep only the inclusion-minimal sets.
+
+    Sorting by size lets each candidate be tested only against already
+    accepted (smaller or equal) sets.
+    """
+    out: List[FrozenSet[int]] = []
+    for s in sorted(set(sets), key=len):
+        if not any(t <= s for t in out):
+            out.append(s)
+    return out
+
+
+def is_transversal(candidate: FrozenSet[int], edges: Iterable[FrozenSet[int]]) -> bool:
+    """Does ``candidate`` intersect every edge?"""
+    return all(candidate & e for e in edges)
+
+
+def is_minimal_transversal(candidate: FrozenSet[int], edges: Sequence[FrozenSet[int]]) -> bool:
+    """Transversal such that no proper subset is one."""
+    if not is_transversal(candidate, edges):
+        return False
+    return all(not is_transversal(candidate - {v}, edges) for v in candidate)
+
+
+class TransversalEnumerator:
+    """Maintains the minimal transversals of a growing hypergraph.
+
+    Usage pattern (mirroring ``MineMinSeps``)::
+
+        enum = TransversalEnumerator()
+        enum.add_edge(e1)
+        while (D := enum.pop_unprocessed()) is not None:
+            ...possibly enum.add_edge(new_edge)...
+
+    ``pop_unprocessed`` hands out each *currently minimal* transversal at most
+    once; when an ``add_edge`` invalidates pending transversals they are
+    dropped, and brand-new minimal transversals are queued.  Transversals that
+    were already processed are remembered so they are never handed out twice
+    even if they remain minimal after an update.
+    """
+
+    def __init__(self):
+        self.edges: List[FrozenSet[int]] = []
+        # Minimal transversals of the current hypergraph.  With no edges the
+        # unique minimal transversal is the empty set.
+        self._transversals: Set[FrozenSet[int]] = {frozenset()}
+        self._processed: Set[FrozenSet[int]] = set()
+        self._pending: List[FrozenSet[int]] = [frozenset()]
+
+    # ------------------------------------------------------------------ #
+
+    def add_edge(self, edge: Iterable[int]) -> None:
+        """Berge update with a new edge."""
+        e = frozenset(edge)
+        if not e:
+            # An empty edge can never be hit: no transversals exist.
+            self.edges.append(e)
+            self._transversals = set()
+            self._pending = []
+            return
+        self.edges.append(e)
+        candidates: Set[FrozenSet[int]] = set()
+        for t in self._transversals:
+            if t & e:
+                candidates.add(t)
+            else:
+                for v in e:
+                    candidates.add(t | {v})
+        new = set(minimize_sets(candidates))
+        self._transversals = new
+        self._pending = sorted(
+            (t for t in new if t not in self._processed),
+            key=lambda s: (len(s), sorted(s)),
+        )
+
+    def pop_unprocessed(self):
+        """Next minimal transversal not yet handed out, or ``None``."""
+        while self._pending:
+            t = self._pending.pop(0)
+            if t in self._transversals and t not in self._processed:
+                self._processed.add(t)
+                return t
+        return None
+
+    @property
+    def transversals(self) -> Set[FrozenSet[int]]:
+        """Current set of minimal transversals (read-only view)."""
+        return set(self._transversals)
+
+
+def minimal_transversals(edges: Iterable[Iterable[int]]) -> List[FrozenSet[int]]:
+    """All minimal transversals of a static hypergraph (Berge fold)."""
+    enum = TransversalEnumerator()
+    for e in edges:
+        enum.add_edge(e)
+    return sorted(enum.transversals, key=lambda s: (len(s), sorted(s)))

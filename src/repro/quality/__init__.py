@@ -1,0 +1,25 @@
+"""Schema quality measures used throughout the evaluation (Section 8)."""
+
+from repro.quality.spurious import (
+    join_row_count,
+    spurious_tuple_count,
+    spurious_tuple_pct,
+    materialized_join_rows,
+)
+from repro.quality.metrics import (
+    schema_cells,
+    storage_savings_pct,
+    SchemaQuality,
+    evaluate_schema,
+)
+
+__all__ = [
+    "join_row_count",
+    "spurious_tuple_count",
+    "spurious_tuple_pct",
+    "materialized_join_rows",
+    "schema_cells",
+    "storage_savings_pct",
+    "SchemaQuality",
+    "evaluate_schema",
+]

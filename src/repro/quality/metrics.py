@@ -1,0 +1,103 @@
+"""Storage and shape metrics for discovered schemas (Sections 8.1 and 8.4).
+
+* ``S`` — percentage cell savings of storing the decomposed projections
+  instead of R: ``100 * (cells(R) - sum_i |R[Omega_i]| * |Omega_i|) / cells(R)``;
+* ``#relations`` — number of bags;
+* ``width`` — attributes in the widest bag (treewidth + 1);
+* ``intWidth`` — largest pairwise bag intersection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.schema import Schema
+from repro.data.relation import Relation
+from repro.quality.spurious import spurious_tuple_pct
+
+
+def schema_cells(relation: Relation, schema: Schema) -> int:
+    """Total cells needed to store all deduplicated bag projections."""
+    total = 0
+    for bag in schema.bags:
+        attrs = sorted(bag)
+        total += relation.distinct_count(attrs) * len(attrs)
+    return total
+
+
+def storage_savings_pct(relation: Relation, schema: Schema) -> float:
+    """The paper's ``S`` (percentage of cells saved; can be negative)."""
+    base = relation.n_cells
+    if base == 0:
+        return 0.0
+    return 100.0 * (base - schema_cells(relation, schema)) / base
+
+
+@dataclass
+class SchemaQuality:
+    """All per-schema numbers the evaluation section reports."""
+
+    n_relations: int
+    width: int
+    intersection_width: int
+    savings_pct: float
+    spurious_pct: Optional[float]
+    j_measure: Optional[float]
+
+    def row(self) -> dict:
+        """Flat dict for bench tables."""
+        return {
+            "m": self.n_relations,
+            "width": self.width,
+            "intWidth": self.intersection_width,
+            "S%": round(self.savings_pct, 2),
+            "E%": None if self.spurious_pct is None else round(self.spurious_pct, 2),
+            "J": None if self.j_measure is None else round(self.j_measure, 4),
+        }
+
+
+def evaluate_schema(
+    relation: Relation,
+    schema: Schema,
+    oracle=None,
+    with_spurious: bool = True,
+) -> SchemaQuality:
+    """Compute the full quality profile of one schema.
+
+    ``with_spurious`` may be disabled for very wide schemas where even the
+    message-passing count is unnecessary for the experiment at hand.
+    """
+    return SchemaQuality(
+        n_relations=schema.m,
+        width=schema.width,
+        intersection_width=schema.intersection_width,
+        savings_pct=storage_savings_pct(relation, schema),
+        spurious_pct=spurious_tuple_pct(relation, schema) if with_spurious else None,
+        j_measure=schema.j_measure(oracle) if oracle is not None else None,
+    )
+
+
+def pareto_front(points) -> list:
+    """Indices of pareto-optimal (max S, min E) points.
+
+    ``points`` is a sequence of ``(savings, spurious)`` pairs; a point is
+    dominated when another has >= savings and <= spurious with at least one
+    strict.  Used to pick the Fig. 10 schemas out of the Fig. 11 cloud.
+    """
+    out = []
+    seen = set()
+    for i, (s_i, e_i) in enumerate(points):
+        if (s_i, e_i) in seen:
+            continue  # keep one representative per coincident point
+        dominated = False
+        for j, (s_j, e_j) in enumerate(points):
+            if j == i:
+                continue
+            if s_j >= s_i and e_j <= e_i and (s_j > s_i or e_j < e_i):
+                dominated = True
+                break
+        if not dominated:
+            seen.add((s_i, e_i))
+            out.append(i)
+    return out

@@ -1,0 +1,166 @@
+"""Spurious tuples: the data-quality cost of an approximate decomposition.
+
+Decomposing R into ``S = {Omega_1, ..., Omega_m}`` and joining back yields
+``R' = R[Omega_1] ⋈ ... ⋈ R[Omega_m] ⊇ R``; the extra rows are *spurious*.
+The paper reports ``E = (|R'| - |R|) / |R|`` as a percentage (Section 8.1)
+and studies its empirical relationship to ``J(S)`` (Section 8.2; the exact
+connection is Lee's theorem: ``J(S) = 0`` iff ``E = 0``).
+
+For acyclic schemas the join size can be computed *without materialising the
+join* via Yannakakis-style message passing over a join tree: every bag
+relation sends to its parent, per separator value, the number of its tuples
+joinable with the subtree below.  Cost is linear in the sizes of the
+projections, which is what makes E computable even for schemas whose join
+would have billions of rows (the paper's "each attribute its own relation"
+schema on Nursery joins to 64 800 rows from 12 960 — but wider examples
+explode combinatorially).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.schema import Schema
+from repro.data.relation import Relation
+
+
+def _rooted_children(m: int, edges: Sequence[Tuple[int, int]], root: int = 0):
+    """Orient a tree: returns (children lists, post-order traversal)."""
+    adj: List[List[int]] = [[] for _ in range(m)]
+    for u, v in edges:
+        adj[u].append(v)
+        adj[v].append(u)
+    children: List[List[int]] = [[] for _ in range(m)]
+    order: List[int] = []
+    seen = {root}
+    stack = [root]
+    while stack:
+        u = stack.pop()
+        order.append(u)
+        for w in adj[u]:
+            if w not in seen:
+                seen.add(w)
+                children[u].append(w)
+                stack.append(w)
+    order.reverse()  # post-order: children before parents
+    return children, order
+
+
+def join_row_count(relation: Relation, schema: Schema) -> int:
+    """Exact ``|R[Omega_1] ⋈ ... ⋈ R[Omega_m]|`` for an acyclic schema.
+
+    Counts by message passing over a join tree; never materialises the join.
+    Python ints are unbounded, so combinatorial explosions are returned
+    exactly rather than overflowing.
+    """
+    tree = schema.join_tree()
+    bags = tree.bags
+    m = len(bags)
+    # Distinct tuples per bag over sorted attribute indices.
+    bag_attrs: List[Tuple[int, ...]] = [tuple(sorted(b)) for b in bags]
+    bag_rows: List[np.ndarray] = []
+    for attrs in bag_attrs:
+        sub = relation.codes[:, attrs]
+        bag_rows.append(np.unique(sub, axis=0) if sub.size else sub[:0])
+    if m == 1:
+        return len(bag_rows[0]) if bag_attrs[0] else min(1, relation.n_rows)
+    children, order = _rooted_children(m, tree.edges)
+    # messages[child] maps a separator-value tuple -> count of joinable
+    # subtree combinations below (and including) the child.
+    messages: Dict[int, Dict[tuple, int]] = {}
+    parent_sep: Dict[int, Tuple[int, ...]] = {}
+    # Record each child's separator with its parent.
+    for u in range(m):
+        for c in children[u]:
+            parent_sep[c] = tuple(sorted(bags[u] & bags[c]))
+    total = 0
+    for u in order:
+        attrs = bag_attrs[u]
+        pos = {a: k for k, a in enumerate(attrs)}
+        rows = bag_rows[u]
+        child_info = []
+        for c in children[u]:
+            sep = parent_sep[c]
+            child_info.append(([pos[a] for a in sep], messages[c]))
+        if u == 0:
+            # Root: sum the weights of its tuples.
+            acc = 0
+            for row in rows:
+                w = 1
+                for sep_pos, msg in child_info:
+                    w *= msg.get(tuple(int(row[k]) for k in sep_pos), 0)
+                    if w == 0:
+                        break
+                acc += w
+            total = acc
+        else:
+            sep = parent_sep[u]
+            sep_pos_up = [pos[a] for a in sep]
+            msg_up: Dict[tuple, int] = defaultdict(int)
+            for row in rows:
+                w = 1
+                for sep_pos, msg in child_info:
+                    w *= msg.get(tuple(int(row[k]) for k in sep_pos), 0)
+                    if w == 0:
+                        break
+                if w:
+                    msg_up[tuple(int(row[k]) for k in sep_pos_up)] += w
+            messages[u] = dict(msg_up)
+    return int(total)
+
+
+def spurious_tuple_count(relation: Relation, schema: Schema) -> int:
+    """``|join| - |distinct(R)|`` — always >= 0 for lossless-by-containment."""
+    base = relation.distinct_count(range(relation.n_cols))
+    return join_row_count(relation, schema) - base
+
+
+def spurious_tuple_pct(relation: Relation, schema: Schema) -> float:
+    """The paper's ``E``: spurious tuples as a percentage of ``|R|``."""
+    base = relation.distinct_count(range(relation.n_cols))
+    if base == 0:
+        return 0.0
+    return 100.0 * spurious_tuple_count(relation, schema) / base
+
+
+def materialized_join_rows(relation: Relation, schema: Schema) -> set:
+    """Brute-force join of the bag projections (testing aid; small inputs).
+
+    Returns the set of full-width code tuples.  Works for any schema order;
+    joins bags with maximum overlap first to keep intermediates small.
+    """
+    bags = [tuple(sorted(b)) for b in schema.bags]
+    tables: List[Tuple[Tuple[int, ...], set]] = []
+    for attrs in bags:
+        rows = {tuple(int(v) for v in row) for row in relation.codes[:, attrs]}
+        tables.append((attrs, rows))
+    attrs0, acc = tables[0]
+    remaining = tables[1:]
+    acc_attrs = list(attrs0)
+    acc_rows = {tuple(r) for r in acc}
+    while remaining:
+        # Pick the table with the largest attribute overlap with acc.
+        remaining.sort(key=lambda t: -len(set(t[0]) & set(acc_attrs)))
+        attrs, rows = remaining.pop(0)
+        shared = [a for a in attrs if a in acc_attrs]
+        new_attrs = [a for a in attrs if a not in acc_attrs]
+        # Index the new table by shared attribute values.
+        idx = defaultdict(list)
+        a_pos = {a: k for k, a in enumerate(attrs)}
+        for r in rows:
+            key = tuple(r[a_pos[a]] for a in shared)
+            idx[key].append(tuple(r[a_pos[a]] for a in new_attrs))
+        out = set()
+        acc_pos = {a: k for k, a in enumerate(acc_attrs)}
+        for r in acc_rows:
+            key = tuple(r[acc_pos[a]] for a in shared)
+            for ext in idx.get(key, ()):
+                out.add(r + ext)
+        acc_attrs = acc_attrs + new_attrs
+        acc_rows = out
+    # Normalise column order to ascending attribute index.
+    order = sorted(range(len(acc_attrs)), key=lambda k: acc_attrs[k])
+    return {tuple(r[k] for k in order) for r in acc_rows}

@@ -1,0 +1,267 @@
+"""Yannakakis-style evaluation over a decomposed acyclic schema.
+
+The paper's opening motivation for acyclic schemas is Yannakakis' linear
+time query evaluation: once a relation is decomposed into an acyclic join
+``R[Omega_1] ⋈ ... ⋈ R[Omega_m]``, queries run over the small projections
+instead of the wide table.  This module implements the classic pipeline on
+our join trees:
+
+* :func:`full_reducer` — the semijoin program (leaf-to-root then
+  root-to-leaf passes) that makes every bag globally consistent;
+* :func:`iter_join_rows` — stream the join without materialising it
+  (backtracking over the reduced bags, output-linear after reduction);
+* :func:`count_query` / :func:`sum_query` — aggregate evaluation by message
+  passing (no tuple enumeration at all), generalising the join-size count
+  used for spurious tuples.
+
+These run on plain decomposed bag tables (dicts of tuples), so they also
+serve as an executable demonstration that a Maimon schema is a usable
+storage/query layout, not just a structural artefact.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.jointree import JoinTree
+from repro.core.schema import Schema
+from repro.data.relation import Relation
+from repro.quality.spurious import _rooted_children
+
+
+class DecomposedBags:
+    """The bag projections of a relation under an acyclic schema.
+
+    Each bag holds distinct tuples over its (sorted) attribute indices.
+    This is the materialised decomposition that the storage-savings metric
+    S prices, and the input to the Yannakakis operators below.
+    """
+
+    def __init__(self, relation: Relation, schema: Schema):
+        self.schema = schema
+        self.tree: JoinTree = schema.join_tree()
+        self.attrs: List[Tuple[int, ...]] = [tuple(sorted(b)) for b in self.tree.bags]
+        self.rows: List[np.ndarray] = []
+        for attrs in self.attrs:
+            sub = relation.codes[:, attrs]
+            self.rows.append(np.unique(sub, axis=0) if sub.size else sub[:0])
+        self.columns = relation.columns
+
+    @property
+    def m(self) -> int:
+        return len(self.attrs)
+
+    def total_cells(self) -> int:
+        return sum(r.shape[0] * r.shape[1] for r in self.rows)
+
+    def bag_table(self, u: int) -> List[tuple]:
+        return [tuple(int(v) for v in row) for row in self.rows[u]]
+
+
+def full_reducer(bags: DecomposedBags) -> DecomposedBags:
+    """Run the two semijoin passes; returns ``bags`` with rows filtered.
+
+    After reduction, every remaining bag tuple participates in at least one
+    full join result — the precondition for output-linear enumeration.
+    """
+    tree = bags.tree
+    m = bags.m
+    children, order = _rooted_children(m, tree.edges)
+    parent: Dict[int, int] = {}
+    for u in range(m):
+        for c in children[u]:
+            parent[c] = u
+
+    def sep_positions(u: int, v: int) -> Tuple[List[int], List[int]]:
+        sep = tuple(sorted(tree.bags[u] & tree.bags[v]))
+        pos_u = {a: k for k, a in enumerate(bags.attrs[u])}
+        pos_v = {a: k for k, a in enumerate(bags.attrs[v])}
+        return [pos_u[a] for a in sep], [pos_v[a] for a in sep]
+
+    def semijoin(u: int, v: int) -> None:
+        """Filter bag u to tuples whose separator value appears in bag v."""
+        pu, pv = sep_positions(u, v)
+        if not pv:
+            keep_any = len(bags.rows[v]) > 0
+            if not keep_any:
+                bags.rows[u] = bags.rows[u][:0]
+            return
+        keys_v = {tuple(int(x) for x in row[pv]) for row in bags.rows[v]}
+        mask = np.array(
+            [tuple(int(x) for x in row[pu]) in keys_v for row in bags.rows[u]],
+            dtype=bool,
+        )
+        bags.rows[u] = bags.rows[u][mask] if len(mask) else bags.rows[u]
+
+    # Pass 1 (leaf to root): parent ⋉ child.
+    for u in order:  # post-order: children first
+        for c in children[u]:
+            semijoin(u, c)
+    # Pass 2 (root to leaf): child ⋉ parent.
+    for u in reversed(order):  # pre-order
+        for c in children[u]:
+            semijoin(c, u)
+    return bags
+
+
+def iter_join_rows(bags: DecomposedBags, reduce_first: bool = True) -> Iterator[tuple]:
+    """Stream the distinct rows of the acyclic join, widest-schema order.
+
+    Output columns are the sorted attribute indices of the schema.  With
+    ``reduce_first`` (default) a full reducer runs first, so enumeration
+    does no dead-end backtracking.
+    """
+    if reduce_first:
+        full_reducer(bags)
+    tree = bags.tree
+    m = bags.m
+    children, order = _rooted_children(m, tree.edges)
+    visit = list(reversed(order))  # pre-order from the root
+    all_attrs = sorted(set(a for attrs in bags.attrs for a in attrs))
+
+    # Index each non-root bag by its parent separator for O(1) extension.
+    parent_sep_index: Dict[int, Dict[tuple, List[np.ndarray]]] = {}
+    parent_of: Dict[int, int] = {}
+    for u in range(m):
+        for c in children[u]:
+            parent_of[c] = u
+    for c, u in parent_of.items():
+        sep = tuple(sorted(tree.bags[u] & tree.bags[c]))
+        pos_c = {a: k for k, a in enumerate(bags.attrs[c])}
+        sep_pos = [pos_c[a] for a in sep]
+        index: Dict[tuple, List[np.ndarray]] = defaultdict(list)
+        for row in bags.rows[c]:
+            index[tuple(int(row[k]) for k in sep_pos)].append(row)
+        parent_sep_index[c] = index
+
+    def extend(assignment: Dict[int, int], i: int) -> Iterator[Dict[int, int]]:
+        if i == len(visit):
+            yield assignment
+            return
+        u = visit[i]
+        if u == visit[0]:
+            for row in bags.rows[u]:
+                new = dict(assignment)
+                for a, v in zip(bags.attrs[u], row):
+                    new[a] = int(v)
+                yield from extend(new, i + 1)
+        else:
+            p = parent_of[u]
+            sep = tuple(sorted(tree.bags[p] & tree.bags[u]))
+            key = tuple(assignment[a] for a in sep)
+            for row in parent_sep_index[u].get(key, ()):
+                new = dict(assignment)
+                consistent = True
+                for a, v in zip(bags.attrs[u], row):
+                    v = int(v)
+                    if a in new and new[a] != v:
+                        consistent = False
+                        break
+                    new[a] = v
+                if consistent:
+                    yield from extend(new, i + 1)
+
+    for assignment in extend({}, 0):
+        yield tuple(assignment[a] for a in all_attrs)
+
+
+def count_query(bags: DecomposedBags) -> int:
+    """``SELECT count(*)`` over the acyclic join by message passing."""
+    tree = bags.tree
+    m = bags.m
+    children, order = _rooted_children(m, tree.edges)
+    parent_sep: Dict[int, Tuple[int, ...]] = {}
+    for u in range(m):
+        for c in children[u]:
+            parent_sep[c] = tuple(sorted(tree.bags[u] & tree.bags[c]))
+    messages: Dict[int, Dict[tuple, int]] = {}
+    total = 0
+    for u in order:
+        pos = {a: k for k, a in enumerate(bags.attrs[u])}
+        child_info = [
+            ([pos[a] for a in parent_sep[c]], messages[c]) for c in children[u]
+        ]
+        if u == order[-1]:  # root is last in post-order
+            acc = 0
+            for row in bags.rows[u]:
+                w = 1
+                for sep_pos, msg in child_info:
+                    w *= msg.get(tuple(int(row[k]) for k in sep_pos), 0)
+                    if not w:
+                        break
+                acc += w
+            total = acc
+        else:
+            sep_pos_up = [pos[a] for a in parent_sep[u]]
+            up: Dict[tuple, int] = defaultdict(int)
+            for row in bags.rows[u]:
+                w = 1
+                for sep_pos, msg in child_info:
+                    w *= msg.get(tuple(int(row[k]) for k in sep_pos), 0)
+                    if not w:
+                        break
+                if w:
+                    up[tuple(int(row[k]) for k in sep_pos_up)] += w
+            messages[u] = dict(up)
+    return int(total)
+
+
+def sum_query(bags: DecomposedBags, attr: int) -> int:
+    """``SELECT sum(attr)`` over the join, evaluated by message passing.
+
+    Uses the standard (count, sum) semiring pair: each subtree reports,
+    per separator value, how many extensions it has and what those
+    extensions sum to on ``attr``; the attribute's value is picked up at
+    the (unique, by running intersection: the subtree where it lives)
+    bags containing it — we attribute it at the first bag on the
+    traversal that contains ``attr`` to avoid double counting.
+    """
+    tree = bags.tree
+    m = bags.m
+    children, order = _rooted_children(m, tree.edges)
+    parent_sep: Dict[int, Tuple[int, ...]] = {}
+    for u in range(m):
+        for c in children[u]:
+            parent_sep[c] = tuple(sorted(tree.bags[u] & tree.bags[c]))
+    # The bag that "owns" attr: closest to the root among those containing it.
+    owner = next(u for u in reversed(order) if attr in bags.attrs[u])
+    messages: Dict[int, Dict[tuple, Tuple[int, int]]] = {}
+    total_cnt, total_sum = 0, 0
+    for u in order:
+        pos = {a: k for k, a in enumerate(bags.attrs[u])}
+        child_info = [
+            ([pos[a] for a in parent_sep[c]], messages[c]) for c in children[u]
+        ]
+        is_root = u == order[-1]
+        up: Dict[tuple, Tuple[int, int]] = defaultdict(lambda: (0, 0))
+        acc_cnt, acc_sum = 0, 0
+        for row in bags.rows[u]:
+            cnt, ssum = 1, 0
+            dead = False
+            for sep_pos, msg in child_info:
+                c_cnt, c_sum = msg.get(tuple(int(row[k]) for k in sep_pos), (0, 0))
+                if c_cnt == 0:
+                    dead = True
+                    break
+                # Combine: counts multiply; sums distribute over the counts.
+                ssum = ssum * c_cnt + c_sum * cnt
+                cnt = cnt * c_cnt
+            if dead:
+                continue
+            if u == owner:
+                ssum += cnt * int(row[pos[attr]])
+            if is_root:
+                acc_cnt += cnt
+                acc_sum += ssum
+            else:
+                key = tuple(int(row[k]) for k in [pos[a] for a in parent_sep[u]])
+                old_cnt, old_sum = up[key]
+                up[key] = (old_cnt + cnt, old_sum + ssum)
+        if is_root:
+            total_cnt, total_sum = acc_cnt, acc_sum
+        else:
+            messages[u] = dict(up)
+    return int(total_sum)

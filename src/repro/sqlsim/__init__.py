@@ -1,0 +1,18 @@
+"""A miniature in-memory relational engine (the paper's H2 stand-in).
+
+Section 6.3 of the paper computes entropies through main-memory SQL over an
+embedded H2 database: CNT/TID tables, a hash function supplied by the
+database, an equi-join on tuple ids and a GROUP BY ... HAVING count(*) > 1.
+Since no SQL engine is available offline, this package implements the small
+relational core those queries need — typed tables, hash equi-joins,
+grouped aggregation with HAVING — and :mod:`repro.entropy.sqlengine` runs
+the paper's two queries verbatim on top of it.
+
+This is deliberately a *database engine substrate*, not a numpy shortcut:
+rows are materialised tuples, joins build hash tables on the join key, and
+aggregation hashes group keys — the same operational shape H2 executes.
+"""
+
+from repro.sqlsim.engine import Database, Table, hash_combine
+
+__all__ = ["Database", "Table", "hash_combine"]

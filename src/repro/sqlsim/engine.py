@@ -1,0 +1,239 @@
+"""Typed in-memory tables with the relational operations H2 provides.
+
+Implements exactly the operator repertoire the paper's Section 6.3 queries
+need, with the operational shape of a main-memory SQL engine:
+
+* :class:`Table` — a named, schema-checked bag of tuples;
+* hash **equi-join** (build a hash table on the smaller input, probe the
+  larger — the plan H2 picks for these queries);
+* **group-by aggregation** with ``count(*)`` and a ``HAVING`` filter;
+* **projection** with computed columns (the ``Hash(A.val, B.val)`` terms).
+
+No SQL parsing: queries are written with method chaining, e.g. the paper's
+first query
+
+    Select Hash(A.val, B.val) as val, count(*) as cnt
+    From TID_a A, TID_b B Where A.tid = B.tid
+    Group By Hash(A.val, B.val) Having count(*) > 1
+
+becomes::
+
+    tid_a.join(tid_b, on="tid", suffixes=("_a", "_b"))
+         .project({"val": lambda r: hash_combine(r["val_a"], r["val_b"]),
+                   "tid": lambda r: r["tid_a"]})
+         .group_count("val", having_min=2)
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def hash_combine(*values) -> int:
+    """Deterministic hash of a value combination (the paper's ``Hash``).
+
+    The paper uses the hash function provided by the database system; any
+    deterministic injective-in-practice combiner works because CNT/TID
+    values are only compared for equality.  We use Python's tuple hash,
+    which is stable within a process.
+    """
+    return hash(values)
+
+
+class Table:
+    """A named relation: a tuple of column names plus a list of row tuples.
+
+    Rows are plain tuples in column order — the materialised representation
+    an in-memory row store uses.  All operations return new tables.
+    """
+
+    __slots__ = ("name", "columns", "rows", "_col_index")
+
+    def __init__(self, name: str, columns: Sequence[str], rows: Optional[Iterable[tuple]] = None):
+        self.name = name
+        self.columns: Tuple[str, ...] = tuple(columns)
+        if len(set(self.columns)) != len(self.columns):
+            raise ValueError(f"duplicate columns in {self.columns}")
+        self._col_index = {c: i for i, c in enumerate(self.columns)}
+        self.rows: List[tuple] = []
+        width = len(self.columns)
+        for row in rows or ():
+            t = tuple(row)
+            if len(t) != width:
+                raise ValueError(
+                    f"row {t!r} has {len(t)} fields; table {name!r} has {width}"
+                )
+            self.rows.append(t)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def col(self, name: str) -> int:
+        try:
+            return self._col_index[name]
+        except KeyError:
+            raise KeyError(
+                f"no column {name!r} in table {self.name!r} ({self.columns})"
+            ) from None
+
+    def column_values(self, name: str) -> List:
+        j = self.col(name)
+        return [r[j] for r in self.rows]
+
+    def row_dicts(self) -> Iterable[Dict[str, object]]:
+        cols = self.columns
+        for r in self.rows:
+            yield dict(zip(cols, r))
+
+    def __repr__(self) -> str:
+        return f"<Table {self.name!r} cols={list(self.columns)} rows={len(self.rows)}>"
+
+    # ------------------------------------------------------------------ #
+    # Operators
+    # ------------------------------------------------------------------ #
+
+    def where(self, predicate: Callable[[Dict[str, object]], bool], name: str = "") -> "Table":
+        """Row filter (σ)."""
+        cols = self.columns
+        out = [r for r in self.rows if predicate(dict(zip(cols, r)))]
+        return Table(name or f"{self.name}_sel", cols, out)
+
+    def project(
+        self,
+        outputs: Dict[str, Callable[[Dict[str, object]], object]],
+        name: str = "",
+    ) -> "Table":
+        """Generalised projection (π) with computed columns.
+
+        ``outputs`` maps output column name to a function of the row dict.
+        """
+        cols = self.columns
+        out_cols = list(outputs)
+        fns = [outputs[c] for c in out_cols]
+        out_rows = []
+        for r in self.rows:
+            row = dict(zip(cols, r))
+            out_rows.append(tuple(fn(row) for fn in fns))
+        return Table(name or f"{self.name}_proj", out_cols, out_rows)
+
+    def select_columns(self, names: Sequence[str], name: str = "") -> "Table":
+        """Plain projection onto existing columns (keeps duplicates)."""
+        idx = [self.col(c) for c in names]
+        return Table(
+            name or f"{self.name}_cols",
+            names,
+            [tuple(r[i] for i in idx) for r in self.rows],
+        )
+
+    def join(
+        self,
+        other: "Table",
+        on: str,
+        suffixes: Tuple[str, str] = ("_a", "_b"),
+        name: str = "",
+    ) -> "Table":
+        """Hash equi-join on one column (the plan for ``WHERE A.tid = B.tid``).
+
+        Builds a hash table on the smaller input and probes with the larger.
+        Output columns are ``<col><suffix>`` for every input column
+        including the join key (so provenance stays explicit, as in the
+        paper's aliased queries).
+        """
+        build, probe, flipped = (self, other, False)
+        if len(other) < len(self):
+            build, probe, flipped = other, self, True
+        b_key = build.col(on)
+        index: Dict[object, List[tuple]] = defaultdict(list)
+        for r in build.rows:
+            index[r[b_key]].append(r)
+        p_key = probe.col(on)
+        out_rows = []
+        for pr in probe.rows:
+            for br in index.get(pr[p_key], ()):
+                left, right = (br, pr) if not flipped else (pr, br)
+                out_rows.append(left + right)
+        sa, sb = suffixes
+        # Rows were assembled as (self_row + other_row) in both cases: the
+        # flipped build/probe roles are swapped back per match above.
+        left_cols = [f"{c}{sa}" for c in self.columns]
+        right_cols = [f"{c}{sb}" for c in other.columns]
+        return Table(name or f"{self.name}_join_{other.name}", left_cols + right_cols, out_rows)
+
+    def group_count(
+        self,
+        key: str,
+        having_min: int = 0,
+        name: str = "",
+        count_col: str = "cnt",
+    ) -> "Table":
+        """``GROUP BY key`` with ``count(*)`` and ``HAVING count(*) >= having_min``."""
+        j = self.col(key)
+        counts: Dict[object, int] = defaultdict(int)
+        for r in self.rows:
+            counts[r[j]] += 1
+        out = [(k, c) for k, c in counts.items() if c >= having_min]
+        return Table(name or f"{self.name}_grp", [key, count_col], out)
+
+    def semijoin(self, other: "Table", on: str, other_on: Optional[str] = None,
+                 name: str = "") -> "Table":
+        """Rows of self whose ``on`` value appears in ``other.other_on``."""
+        other_on = other_on or on
+        keep = set(other.column_values(other_on))
+        j = self.col(on)
+        return Table(
+            name or f"{self.name}_semi",
+            self.columns,
+            [r for r in self.rows if r[j] in keep],
+        )
+
+    def distinct(self, name: str = "") -> "Table":
+        seen = set()
+        out = []
+        for r in self.rows:
+            if r not in seen:
+                seen.add(r)
+                out.append(r)
+        return Table(name or f"{self.name}_distinct", self.columns, out)
+
+
+class Database:
+    """A named collection of tables (the in-memory H2 catalogue)."""
+
+    def __init__(self):
+        self._tables: Dict[str, Table] = {}
+
+    def create(self, table: Table) -> Table:
+        if table.name in self._tables:
+            raise ValueError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+        return table
+
+    def create_or_replace(self, table: Table) -> Table:
+        self._tables[table.name] = table
+        return table
+
+    def get(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(
+                f"no table {name!r}; have {sorted(self._tables)}"
+            ) from None
+
+    def drop(self, name: str) -> None:
+        self._tables.pop(name, None)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    def total_rows(self) -> int:
+        """Total materialised rows (the memory-footprint proxy)."""
+        return sum(len(t) for t in self._tables.values())

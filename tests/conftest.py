@@ -1,0 +1,67 @@
+"""Shared fixtures: the paper's worked examples and small random relations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generators import (
+    lemma54_example,
+    markov_tree,
+    nursery,
+    paper_running_example,
+)
+from repro.data.relation import Relation
+from repro.entropy.oracle import make_oracle
+
+
+@pytest.fixture(scope="session")
+def fig1():
+    """The 4-row relation of Fig. 1 (exact acyclic schema holds)."""
+    return paper_running_example()
+
+
+@pytest.fixture(scope="session")
+def fig1_red():
+    """Fig. 1 with the red 5th tuple (schema only approximate)."""
+    return paper_running_example(with_red_tuple=True)
+
+
+@pytest.fixture(scope="session")
+def lemma54():
+    """The 2-tuple X A B C relation of Section 5.2."""
+    return lemma54_example()
+
+
+@pytest.fixture(scope="session")
+def fig1_oracle(fig1):
+    return make_oracle(fig1)
+
+
+@pytest.fixture(scope="session")
+def fig1_red_oracle(fig1_red):
+    return make_oracle(fig1_red)
+
+
+@pytest.fixture(scope="session")
+def lemma54_oracle(lemma54):
+    return make_oracle(lemma54)
+
+
+@pytest.fixture(scope="session")
+def nursery_small():
+    """A 1500-row sample of the reconstructed Nursery (kept small for CI)."""
+    return nursery().sample_rows(1500, seed=7)
+
+
+def random_relation(n_cols: int, n_rows: int, seed: int, max_domain: int = 3) -> Relation:
+    """Small dense random relation for property tests."""
+    rng = np.random.default_rng(seed)
+    domains = rng.integers(1, max_domain + 1, size=n_cols)
+    codes = rng.integers(0, domains, size=(n_rows, n_cols))
+    return Relation.from_codes(codes, [f"A{j}" for j in range(n_cols)])
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,152 @@
+"""Algebraic laws of the core structures, property-tested.
+
+These pin down the lattice/order theory the mining algorithms silently rely
+on: the refinement partial order on MVDs, the join as greatest lower bound
+in that order, and the relational-algebra laws of the mini SQL engine.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mvd import MVD
+from repro.sqlsim.engine import Table
+
+
+# --------------------------------------------------------------------- #
+# Random MVD strategy: partitions of {1..5} with key {0}
+# --------------------------------------------------------------------- #
+
+def mvd_from_labels(labels):
+    """Build an MVD over attrs 1..len(labels) from restricted-growth labels."""
+    blocks = {}
+    for attr, lab in enumerate(labels, start=1):
+        blocks.setdefault(lab, set()).add(attr)
+    if len(blocks) < 2:
+        return None
+    return MVD({0}, list(blocks.values()))
+
+
+labels_strategy = st.lists(st.integers(0, 3), min_size=4, max_size=6)
+
+
+class TestRefinementOrder:
+    @settings(max_examples=60, deadline=None)
+    @given(labels_strategy)
+    def test_reflexive(self, labels):
+        m = mvd_from_labels(labels)
+        if m is None:
+            return
+        assert m.refines(m)
+
+    @settings(max_examples=60, deadline=None)
+    @given(labels_strategy, labels_strategy)
+    def test_antisymmetric(self, la, lb):
+        a, b = mvd_from_labels(la), mvd_from_labels(lb)
+        if a is None or b is None or len(la) != len(lb):
+            return
+        if a.refines(b) and b.refines(a):
+            assert a == b
+
+    @settings(max_examples=60, deadline=None)
+    @given(labels_strategy, labels_strategy, labels_strategy)
+    def test_transitive(self, la, lb, lc):
+        if not (len(la) == len(lb) == len(lc)):
+            return
+        a, b, c = (mvd_from_labels(x) for x in (la, lb, lc))
+        if a is None or b is None or c is None:
+            return
+        if a.refines(b) and b.refines(c):
+            assert a.refines(c)
+
+
+class TestJoinIsMeet:
+    @settings(max_examples=60, deadline=None)
+    @given(labels_strategy, labels_strategy)
+    def test_join_commutative(self, la, lb):
+        if len(la) != len(lb):
+            return
+        a, b = mvd_from_labels(la), mvd_from_labels(lb)
+        if a is None or b is None:
+            return
+        assert a.join(b) == b.join(a)
+
+    @settings(max_examples=40, deadline=None)
+    @given(labels_strategy, labels_strategy, labels_strategy)
+    def test_join_associative(self, la, lb, lc):
+        if not (len(la) == len(lb) == len(lc)):
+            return
+        a, b, c = (mvd_from_labels(x) for x in (la, lb, lc))
+        if a is None or b is None or c is None:
+            return
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @settings(max_examples=60, deadline=None)
+    @given(labels_strategy, labels_strategy)
+    def test_join_is_greatest_common_refinement(self, la, lb):
+        if len(la) != len(lb):
+            return
+        a, b = mvd_from_labels(la), mvd_from_labels(lb)
+        if a is None or b is None:
+            return
+        j = a.join(b)
+        assert j.refines(a) and j.refines(b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(labels_strategy)
+    def test_join_idempotent(self, labels):
+        m = mvd_from_labels(labels)
+        if m is None:
+            return
+        assert m.join(m) == m
+
+
+# --------------------------------------------------------------------- #
+# Relational-algebra laws of the mini SQL engine
+# --------------------------------------------------------------------- #
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 3)), min_size=0, max_size=12
+)
+
+
+def nested_loop_join(ra, rb, key_a=0, key_b=0):
+    return sorted(
+        a + b for a, b in itertools.product(ra, rb) if a[key_a] == b[key_b]
+    )
+
+
+class TestSqlJoinLaws:
+    @settings(max_examples=60, deadline=None)
+    @given(rows_strategy, rows_strategy)
+    def test_join_matches_nested_loops(self, ra, rb):
+        ta = Table("a", ["k", "x"], ra)
+        tb = Table("b", ["k", "y"], rb)
+        out = ta.join(tb, on="k")
+        assert sorted(out.rows) == nested_loop_join(ra, rb)
+
+    @settings(max_examples=60, deadline=None)
+    @given(rows_strategy, rows_strategy)
+    def test_join_commutative_up_to_column_swap(self, ra, rb):
+        ta = Table("a", ["k", "x"], ra)
+        tb = Table("b", ["k", "y"], rb)
+        ab = {r for r in ta.join(tb, on="k").rows}
+        ba = {(r[2], r[3], r[0], r[1]) for r in tb.join(ta, on="k").rows}
+        assert ab == ba
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows_strategy)
+    def test_group_count_partitions_rows(self, ra):
+        t = Table("a", ["k", "x"], ra)
+        grp = t.group_count("k")
+        assert sum(c for __, c in grp.rows) == len(ra)
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows_strategy)
+    def test_semijoin_subset_of_input(self, ra):
+        t = Table("a", ["k", "x"], ra)
+        other = Table("b", ["k"], [(0,), (2,)])
+        semi = t.semijoin(other, on="k")
+        assert set(semi.rows) <= set(ra)
+        assert all(r[0] in (0, 2) for r in semi.rows)

@@ -1,0 +1,153 @@
+"""Tests for ASMiner and BuildAcyclicSchema (Theorems 7.3 / 7.4)."""
+
+import pytest
+
+from repro.common import TOL
+from repro.core.asminer import ASMiner, build_acyclic_schema, enumerate_schemas
+from repro.core.budget import SearchBudget
+from repro.core.compat import pairwise_compatible
+from repro.core.miner import mine_mvds
+from repro.core.mvd import MVD
+from repro.core.schema import Schema
+
+A, B, C, D, E, F = range(6)
+OMEGA6 = frozenset(range(6))
+
+FIG1_SUPPORT = [
+    MVD({B, D}, [{E}, {A, C, F}]),
+    MVD({A, D}, [{C, F}, {B, E}]),
+    MVD({A}, [{F}, {B, C, D, E}]),
+]
+
+
+class TestBuildAcyclicSchema:
+    def test_fig1_support_rebuilds_fig1_schema(self):
+        schema = build_acyclic_schema(OMEGA6, FIG1_SUPPORT)
+        assert schema == Schema(
+            [
+                frozenset({A, F}),
+                frozenset({A, C, D}),
+                frozenset({A, B, D}),
+                frozenset({B, D, E}),
+            ]
+        )
+
+    def test_empty_mvd_set(self):
+        schema = build_acyclic_schema(OMEGA6, [])
+        assert schema == Schema([OMEGA6])
+
+    def test_single_mvd(self):
+        schema = build_acyclic_schema(OMEGA6, [MVD({A}, [{F}, {B, C, D, E}])])
+        assert schema == Schema([frozenset({A, F}), frozenset({A, B, C, D, E})])
+
+    def test_generalized_mvd_splits_into_m_parts(self):
+        schema = build_acyclic_schema(
+            frozenset(range(4)), [MVD({0}, [{1}, {2}, {3}])]
+        )
+        assert schema.m == 3
+        assert schema.width == 2
+
+    def test_redundant_mvd_skipped(self):
+        # Second MVD applies to a bag it cannot split further.
+        q = [
+            MVD({A}, [{F}, {B, C, D, E}]),
+            MVD({A}, [{F}, {B, C, D, E}]),  # exact duplicate is redundant
+        ]
+        schema = build_acyclic_schema(OMEGA6, q)
+        assert schema.m == 2
+
+    def test_result_always_acyclic(self):
+        schema = build_acyclic_schema(OMEGA6, FIG1_SUPPORT)
+        assert schema.is_acyclic()
+
+    def test_theorem_74_support_subset(self):
+        """MVD(T) of the *constructed* tree is contained in Q."""
+        from repro.core.asminer import build_acyclic_schema_with_tree
+
+        schema, tree = build_acyclic_schema_with_tree(OMEGA6, FIG1_SUPPORT)
+        support = set(tree.support())
+        assert support <= set(FIG1_SUPPORT)
+        # Q was non-redundant here, so equality holds.
+        assert support == set(FIG1_SUPPORT)
+
+    def test_theorem_74_generalized_mvd_coarsenings(self):
+        """With generalised MVDs, each support MVD of the constructed tree
+        is a coarsening of (refined by) some MVD of Q with the same key."""
+        from repro.core.asminer import build_acyclic_schema_with_tree
+
+        q = [MVD({0}, [{1}, {2}, {3}])]
+        __, tree = build_acyclic_schema_with_tree(frozenset(range(4)), q)
+        for psi in tree.support():
+            assert any(
+                phi.key == psi.key and phi.refines(psi) for phi in q
+            ), psi
+
+    def test_covers_omega(self):
+        schema = build_acyclic_schema(OMEGA6, FIG1_SUPPORT)
+        assert schema.attributes == OMEGA6
+
+
+class TestASMinerEnumeration:
+    def test_empty_mvds_universal_schema(self, fig1_oracle):
+        out = enumerate_schemas([], OMEGA6, oracle=fig1_oracle)
+        assert len(out) == 1
+        assert out[0].schema == Schema([OMEGA6])
+        assert out[0].j_measure == 0.0
+
+    def test_fig1_zero_eps(self, fig1, fig1_oracle):
+        mined = mine_mvds(fig1, 0.0)
+        out = enumerate_schemas(mined.mvds, OMEGA6, oracle=fig1_oracle)
+        assert out, "expected at least one schema"
+        for cand in out:
+            # At eps=0 every enumerated schema must be exact (Cor. 5.2).
+            assert cand.j_measure == pytest.approx(0.0, abs=1e-6)
+            assert cand.schema.is_acyclic()
+            assert cand.schema.attributes == OMEGA6
+            assert pairwise_compatible(list(cand.support_set))
+
+    def test_fig1_enumeration_beats_paper_schema(self, fig1, fig1_oracle):
+        """M_0 contains the *full* MVD AD ->> B|C|E|F, which strictly
+        refines the paper's AD ->> CF|BE — so ASMiner produces an exact
+        schema at least as decomposed as the paper's 4-relation example."""
+        mined = mine_mvds(fig1, 0.0)
+        out = enumerate_schemas(mined.mvds, OMEGA6, oracle=fig1_oracle)
+        assert any(cand.schema.m >= 4 for cand in out)
+        best = max(cand.schema.m for cand in out)
+        widths = [c.schema.width for c in out if c.schema.m == best]
+        assert min(widths) <= 3  # as narrow as the paper's schema
+
+    def test_dedupe(self, fig1, fig1_oracle):
+        mined = mine_mvds(fig1, 0.0)
+        out = enumerate_schemas(mined.mvds, OMEGA6, oracle=fig1_oracle)
+        schemas = [cand.schema for cand in out]
+        assert len(schemas) == len(set(schemas))
+
+    def test_limit(self, fig1, fig1_oracle):
+        mined = mine_mvds(fig1, 0.0)
+        out = enumerate_schemas(mined.mvds, OMEGA6, oracle=fig1_oracle, limit=2)
+        assert len(out) == 2
+
+    def test_budget_stops_enumeration(self, fig1, fig1_oracle):
+        mined = mine_mvds(fig1, 0.0)
+        budget = SearchBudget(max_steps=1).start()
+        budget.tick()
+        out = enumerate_schemas(mined.mvds, OMEGA6, oracle=fig1_oracle, budget=budget)
+        assert out == []
+
+    def test_j_bound_with_eps(self, fig1_red, ):
+        """Corollary 5.2: schemas from eps-MVD supports have J <= (m-1) eps."""
+        from repro.entropy.oracle import make_oracle
+
+        eps = 0.3
+        oracle = make_oracle(fig1_red)
+        mined = mine_mvds(fig1_red, eps)
+        for cand in enumerate_schemas(mined.mvds, OMEGA6, oracle=oracle):
+            m = cand.schema.m
+            assert cand.j_measure <= (m - 1) * eps + 1e-6
+
+    def test_incompatible_pair_counter(self):
+        miner = ASMiner(
+            [MVD({A}, [{B}, {C, D}]), MVD({B, C}, [{A}, {D}])],
+            frozenset({A, B, C, D}),
+        )
+        assert miner.n_incompatible_pairs == 1

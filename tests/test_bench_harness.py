@@ -1,0 +1,90 @@
+"""Smoke tests for the benchmark harness (tiny budgets)."""
+
+import pytest
+
+from repro.bench.harness import (
+    Table,
+    column_scalability,
+    full_mvd_rates,
+    quality_sweep,
+    row_scalability,
+    run_nursery_sweep,
+    spurious_vs_j_buckets,
+    table2_row,
+)
+from repro.data.generators import markov_tree
+
+
+@pytest.fixture(scope="module")
+def small_relation():
+    return markov_tree(5, 300, seed=41, name="harness-test")
+
+
+class TestTable:
+    def test_render(self):
+        t = Table("Demo", ["a", "b"])
+        t.add({"a": 1, "b": 2.5})
+        t.add({"a": None})
+        text = t.render()
+        assert "Demo" in text and "2.5" in text and "-" in text
+
+
+class TestDrivers:
+    def test_table2_row(self):
+        row = table2_row("Bridges", scale=1.0, max_rows=100, max_cols=6,
+                         time_limit_s=10.0)
+        assert row["dataset"] == "Bridges"
+        assert row["cols"] == 6
+        assert row["rows"] <= 108
+        assert isinstance(row["runtime_s"], float)
+
+    def test_nursery_sweep_shape(self, small_relation):
+        rows, pareto = run_nursery_sweep(
+            small_relation, thresholds=(0.0, 0.2), schema_limit=5,
+            schema_budget_s=5.0,
+        )
+        assert rows
+        for r in rows:
+            assert set(r) >= {"eps", "J", "S%", "E%", "m", "width"}
+        assert all(0 <= i < len(rows) for i in pareto)
+
+    def test_spurious_buckets(self, small_relation):
+        rows = spurious_vs_j_buckets(
+            small_relation, thresholds=(0.0, 0.2), schema_limit=5,
+            schema_budget_s=5.0, n_buckets=4,
+        )
+        for r in rows:
+            assert r["E%_q25"] <= r["E%_median"] <= r["E%_q75"] <= r["E%_max"]
+
+    def test_row_scalability(self):
+        rows = row_scalability(
+            "Bridges", fractions=(0.5, 1.0), eps_values=(0.0,),
+            base_rows=100, max_cols=6, time_limit_s=10.0,
+        )
+        assert len(rows) == 2
+        assert rows[0]["rows"] <= rows[1]["rows"]
+
+    def test_column_scalability(self):
+        rows = column_scalability(
+            "Bridges", col_counts=(4, 6), eps_values=(0.0,),
+            max_rows=100, time_limit_s=10.0,
+        )
+        assert [r["cols"] for r in rows] == [4, 6]
+
+    def test_quality_sweep(self, small_relation):
+        rows = quality_sweep(
+            small_relation, thresholds=(0.0, 0.2), schema_limit=10,
+            schema_budget_s=5.0,
+        )
+        assert len(rows) == 2
+        assert all("max_relations" in r for r in rows)
+
+    def test_full_mvd_rates(self, small_relation):
+        rows = full_mvd_rates(
+            small_relation, thresholds=(0.0, 0.2), time_limit_s=5.0
+        )
+        assert len(rows) == 2
+        zero = rows[0]
+        # Appendix 14: at eps = 0, #full MVDs equals #minimal separators.
+        if not zero["timed_out"]:
+            assert zero["full_mvds"] == zero["min_seps"]

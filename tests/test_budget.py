@@ -1,0 +1,49 @@
+"""Tests for SearchBudget."""
+
+import time
+
+import pytest
+
+from repro.core.budget import SearchBudget, ensure_budget
+
+
+class TestSearchBudget:
+    def test_unlimited_never_exhausts(self):
+        b = SearchBudget.unlimited()
+        b.tick(10_000)
+        assert not b.exhausted
+
+    def test_step_limit(self):
+        b = SearchBudget(max_steps=3).start()
+        assert not b.exhausted
+        b.tick(3)
+        assert b.exhausted
+
+    def test_time_limit(self):
+        b = SearchBudget(max_seconds=0.01).start()
+        time.sleep(0.02)
+        assert b.exhausted
+
+    def test_lazy_clock_start(self):
+        b = SearchBudget(max_seconds=100)
+        assert b.elapsed == 0.0
+        assert not b.exhausted  # starts the clock
+        assert b._start is not None
+
+    def test_restart_resets(self):
+        b = SearchBudget(max_steps=1).start()
+        b.tick()
+        assert b.exhausted
+        b.start()
+        assert not b.exhausted
+        assert b.steps == 0
+
+    def test_ensure_budget(self):
+        assert ensure_budget(None).max_steps is None
+        b = SearchBudget(max_steps=5)
+        assert ensure_budget(b) is b
+
+    def test_repr(self):
+        assert "unlimited" in repr(SearchBudget())
+        assert "steps" in repr(SearchBudget(max_steps=2))
+        assert "5s" in repr(SearchBudget(max_seconds=5))

@@ -1,0 +1,104 @@
+"""Tests for the conditional-independence / graphical-model view."""
+
+import numpy as np
+import pytest
+
+from repro.common import TOL
+from repro.core.cimap import (
+    chow_liu_tree,
+    independence_graph,
+    tree_fit,
+    tree_schema,
+)
+from repro.data.generators import markov_tree, nursery
+from repro.data.relation import Relation
+from repro.entropy.oracle import make_oracle
+
+
+def planted_markov_chain(n_rows=3000, seed=5):
+    """A 4-attribute Markov chain 0 - 1 - 2 - 3 with strong edges."""
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 3, size=n_rows)
+    def child(parent, d=3, det=0.95):
+        table = rng.integers(0, d, size=3)
+        keep = rng.random(n_rows) < det
+        return np.where(keep, table[parent], rng.integers(0, d, size=n_rows))
+    b = child(a)
+    c = child(b)
+    d = child(c)
+    return Relation.from_codes(np.column_stack([a, b, c, d]), list("ABCD"))
+
+
+class TestChowLiu:
+    def test_single_attr(self):
+        r = Relation.from_rows([(0,), (1,)], ["a"])
+        assert chow_liu_tree(make_oracle(r)) == []
+
+    def test_edge_count(self):
+        r = planted_markov_chain()
+        edges = chow_liu_tree(make_oracle(r))
+        assert len(edges) == 3
+
+    def test_recovers_chain_edges(self):
+        """On chain-sampled data the MI-MST is the chain itself."""
+        r = planted_markov_chain()
+        edges = {frozenset(e) for e in chow_liu_tree(make_oracle(r))}
+        assert edges == {frozenset({0, 1}), frozenset({1, 2}), frozenset({2, 3})}
+
+    def test_tree_fit_small_on_tree_data(self):
+        r = planted_markov_chain()
+        o = make_oracle(r)
+        edges = chow_liu_tree(o)
+        fit = tree_fit(o, edges)
+        assert 0 <= fit < 0.1  # near-exact factorisation (sampling noise)
+
+    def test_tree_fit_large_on_entangled_data(self):
+        """Nursery's class attribute depends on everything: no tree fits."""
+        r = nursery().sample_rows(1500, seed=2)
+        o = make_oracle(r)
+        fit = tree_fit(o, chow_liu_tree(o))
+        assert fit > 0.5
+
+
+class TestTreeSchema:
+    def test_bags_are_edges(self):
+        schema = tree_schema([(0, 1), (1, 2)], 3)
+        assert set(schema.bags) == {frozenset({0, 1}), frozenset({1, 2})}
+        assert schema.is_acyclic()
+
+    def test_isolated_attributes_covered(self):
+        schema = tree_schema([(0, 1)], 4)
+        assert schema.attributes == frozenset(range(4))
+
+    def test_empty(self):
+        schema = tree_schema([], 2)
+        assert schema.m == 2
+
+
+class TestIndependenceGraph:
+    def test_chain_skeleton(self):
+        """Exact-CI skeleton of chain data: non-adjacent pairs are exactly
+        those separated by some ε-separator; with modest eps the chain's
+        non-edges (0,2), (0,3), (1,3) disappear."""
+        r = planted_markov_chain(n_rows=4000, seed=9)
+        o = make_oracle(r)
+        adj = independence_graph(o, eps=0.05)
+        assert 2 not in adj[0]
+        assert 3 not in adj[0]
+        assert 3 not in adj[1]
+        # Direct chain edges stay (strongly dependent neighbours).
+        assert 1 in adj[0]
+        assert 2 in adj[1]
+        assert 3 in adj[2]
+
+    def test_symmetry(self):
+        r = planted_markov_chain(n_rows=500, seed=11)
+        adj = independence_graph(make_oracle(r), eps=0.1)
+        for a, nbrs in enumerate(adj):
+            for b in nbrs:
+                assert a in adj[b]
+
+    def test_fully_dependent_pair(self):
+        r = Relation.from_rows([(0, 0), (1, 1), (2, 2)], ["a", "b"])
+        adj = independence_graph(make_oracle(r), eps=0.0)
+        assert adj[0] == {1}

@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.generators import paper_running_example
+from repro.data.loaders import to_csv
+
+
+@pytest.fixture
+def fig1_csv(tmp_path):
+    path = str(tmp_path / "fig1.csv")
+    to_csv(paper_running_example(), path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_mine_defaults(self):
+        args = build_parser().parse_args(["mine", "x.csv"])
+        assert args.eps == 0.0
+        assert args.engine == "pli"
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "Census" in out and "nursery" in out
+
+    def test_mine_csv(self, fig1_csv, capsys):
+        assert main(["mine", fig1_csv, "--eps", "0.0", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "full MVDs" in out
+        assert "->>" in out
+
+    def test_mine_json_output(self, fig1_csv, tmp_path, capsys):
+        out_path = str(tmp_path / "mined.json")
+        assert main(["mine", fig1_csv, "--json", out_path]) == 0
+        data = json.loads(open(out_path).read())
+        assert data["eps"] == 0.0
+        assert data["mvds"]
+
+    def test_mine_missing_input(self):
+        with pytest.raises(SystemExit):
+            main(["mine"])
+
+    def test_schemas(self, fig1_csv, capsys):
+        assert (
+            main(
+                [
+                    "schemas",
+                    fig1_csv,
+                    "--eps",
+                    "0.0",
+                    "--top",
+                    "3",
+                    "--objective",
+                    "relations",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Top" in out and "rank" in out
+
+    def test_schemas_json(self, fig1_csv, tmp_path):
+        out_path = str(tmp_path / "schemas.json")
+        assert main(["schemas", fig1_csv, "--eps", "0.0", "--json", out_path]) == 0
+        data = json.loads(open(out_path).read())
+        assert data["schemas"]
+
+    def test_profile(self, fig1_csv, capsys):
+        assert main(["profile", fig1_csv]) == 0
+        out = capsys.readouterr().out
+        assert "Column profile" in out and "H_bits" in out
+
+    def test_dataset_source(self, capsys):
+        assert (
+            main(["mine", "--dataset", "Bridges", "--scale", "1.0", "--top", "2"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "Bridges" in out

@@ -1,0 +1,105 @@
+"""Tests for MVD compatibility (Definition 7.1) and Theorem 7.2."""
+
+import numpy as np
+import pytest
+
+from repro.core.compat import (
+    compatible,
+    incompatibility_graph,
+    incompatible,
+    pairwise_compatible,
+)
+from repro.core.jointree import JoinTree
+from repro.core.mvd import MVD
+from repro.core.schema import Schema
+
+A, B, C, D, E, F = range(6)
+
+
+class TestCompatibleExamples:
+    def test_fig1_support_pairwise_compatible(self):
+        """Example 3.2's support comes from one join tree (Thm 7.2)."""
+        support = [
+            MVD({B, D}, [{E}, {A, C, F}]),
+            MVD({A, D}, [{C, F}, {B, E}]),
+            MVD({A}, [{F}, {B, C, D, E}]),
+        ]
+        assert pairwise_compatible(support)
+
+    def test_same_key_different_bipartitions(self):
+        # X ->> AB|C vs X ->> AC|B (keys equal): compatible — they jointly
+        # refine to the star schema {XA, XB, XC}.
+        x, a, b, c = 0, 1, 2, 3
+        m1 = MVD({x}, [{a, b}, {c}])
+        m2 = MVD({x}, [{a, c}, {b}])
+        assert compatible(m1, m2)
+        assert compatible(m2, m1)  # symmetric
+
+    def test_split_keys_incompatible(self):
+        # key of m2 is split across dependents of m1: violates split-freeness.
+        m1 = MVD({A}, [{B}, {C, D}])
+        m2 = MVD({B, C}, [{A}, {D}])
+        assert incompatible(m1, m2)
+
+    def test_incompatible_when_no_split(self):
+        # m2 does not split X u Ai for the only admissible i.
+        m1 = MVD({A}, [{B}, {C}])
+        m2 = MVD({A}, [{B}, {C}])
+        # identical MVDs: definition's condition (2) fails (a single
+        # dependent intersects), so an MVD is incompatible with itself.
+        assert incompatible(m1, m2)
+
+
+class TestTheorem72:
+    """The support of any join tree is pairwise compatible."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_acyclic_schema_support(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 9))
+        # Build a random join tree directly: random tree over m nodes with
+        # random bags that respect running intersection by construction:
+        # child bag = random subset of parent bag + fresh attributes.
+        bags = [frozenset(rng.choice(n, size=min(n, 3), replace=False).tolist())]
+        fresh = n
+        for __ in range(int(rng.integers(1, 4))):
+            parent = bags[int(rng.integers(0, len(bags)))]
+            keep = [a for a in parent if rng.random() < 0.6]
+            new_bag = frozenset(keep) | {fresh, fresh + 1}
+            fresh += 2
+            bags.append(new_bag)
+        schema = Schema(bags)
+        if not schema.is_acyclic():  # pragma: no cover - construction is acyclic
+            pytest.skip("construction produced a cyclic schema")
+        support = schema.join_tree().support()
+        if len(support) >= 2:
+            assert pairwise_compatible(support)
+
+
+class TestIncompatibilityGraph:
+    def test_graph_shape(self):
+        mvds = [
+            MVD({B, D}, [{E}, {A, C, F}]),
+            MVD({A, D}, [{C, F}, {B, E}]),
+            MVD({A}, [{F}, {B, C, D, E}]),
+        ]
+        adj = incompatibility_graph(mvds)
+        assert len(adj) == 3
+        assert all(not a for a in adj)  # all compatible -> no edges
+
+    def test_graph_symmetric(self):
+        mvds = [
+            MVD({A}, [{B}, {C, D}]),
+            MVD({B, C}, [{A}, {D}]),
+            MVD({A, B}, [{C}, {D}]),
+        ]
+        adj = incompatibility_graph(mvds)
+        for u, nbrs in enumerate(adj):
+            for v in nbrs:
+                assert u in adj[v]
+
+    def test_incompatible_edge_present(self):
+        m1 = MVD({A}, [{B}, {C, D}])
+        m2 = MVD({B, C}, [{A}, {D}])
+        adj = incompatibility_graph([m1, m2])
+        assert adj[0] == {1} and adj[1] == {0}

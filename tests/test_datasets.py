@@ -1,0 +1,67 @@
+"""Tests for the Table 2 dataset registry."""
+
+import pytest
+
+from repro.data import datasets
+
+
+class TestRegistry:
+    def test_twenty_specs(self):
+        assert len(datasets.TABLE2) == 20
+
+    def test_names_unique(self):
+        names = [s.name for s in datasets.TABLE2]
+        assert len(set(names)) == 20
+
+    def test_spec_lookup_case_insensitive(self):
+        assert datasets.spec("abalone").n_cols == 9
+        assert datasets.spec("ABALONE").n_rows == 4177
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            datasets.spec("nope")
+
+    def test_names_helper(self):
+        names = datasets.names()
+        assert "nursery" in names
+        assert len(names) == 21
+
+    def test_paper_shapes_recorded(self):
+        # Spot-check the column/row counts from Table 2.
+        by_name = {s.name: s for s in datasets.TABLE2}
+        assert by_name["Census"].n_cols == 42
+        assert by_name["Voter_State"].n_cols == 45
+        assert by_name["Ditag_Feature"].n_rows == 3_960_124
+        assert by_name["Bridges"].n_rows == 108
+
+
+class TestLoad:
+    def test_scaled_load(self):
+        r = datasets.load("Bridges", scale=1.0)
+        assert r.n_rows == 108
+        assert r.n_cols == 13
+        assert r.name == "Bridges"
+
+    def test_scale_and_caps(self):
+        r = datasets.load("Census", scale=0.001, max_rows=150, max_cols=8)
+        assert r.n_rows <= 150
+        assert r.n_cols == 8
+
+    def test_minimum_rows(self):
+        r = datasets.load("Hepatitis", scale=0.0001)
+        assert r.n_rows >= 32
+
+    def test_deterministic(self):
+        r1 = datasets.load("Adult", max_rows=100)
+        r2 = datasets.load("Adult", max_rows=100)
+        assert r1.rows() == r2.rows()
+
+    def test_nursery_passthrough(self):
+        r = datasets.load("nursery", max_rows=500)
+        assert r.n_rows == 500
+        assert r.n_cols == 9
+
+    def test_profiles_differ(self):
+        fd = datasets.load("FD_Reduced_15", max_rows=200)
+        wide = datasets.load("Census", max_rows=200, max_cols=15)
+        assert fd.rows() != wide.rows()

@@ -1,0 +1,141 @@
+"""Naive vs PLI-cache engines vs counting reference, plus Shannon laws."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.entropy.naive import NaiveEntropyEngine
+from repro.entropy.plicache import PLICacheEngine
+from repro.entropy.oracle import make_oracle
+from repro.reference import entropy_by_counting
+from tests.conftest import random_relation
+
+
+def all_subsets(n, max_size=None):
+    max_size = n if max_size is None else max_size
+    for r in range(max_size + 1):
+        yield from (frozenset(c) for c in itertools.combinations(range(n), r))
+
+
+class TestEnginesAgree:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_naive_equals_counting(self, seed):
+        r = random_relation(4, 50, seed=seed)
+        eng = NaiveEntropyEngine(r)
+        for attrs in all_subsets(4):
+            assert eng.entropy_of(attrs) == pytest.approx(
+                entropy_by_counting(r, attrs), abs=1e-10
+            )
+
+    @pytest.mark.parametrize("block_size", [1, 2, 3, 10])
+    def test_pli_equals_naive_all_subsets(self, block_size):
+        r = random_relation(5, 64, seed=3)
+        naive = NaiveEntropyEngine(r)
+        pli = PLICacheEngine(r, block_size=block_size)
+        for attrs in all_subsets(5):
+            assert pli.entropy_of(attrs) == pytest.approx(
+                naive.entropy_of(attrs), abs=1e-9
+            ), f"mismatch on {sorted(attrs)} (block_size={block_size})"
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 5000), rows=st.integers(1, 60))
+    def test_pli_equals_naive_property(self, seed, rows):
+        r = random_relation(4, rows, seed=seed)
+        naive = NaiveEntropyEngine(r)
+        pli = PLICacheEngine(r, block_size=2)
+        for attrs in all_subsets(4):
+            assert pli.entropy_of(attrs) == pytest.approx(
+                naive.entropy_of(attrs), abs=1e-9
+            )
+
+
+class TestEntropyLaws:
+    """H must satisfy the Shannon inequalities the algorithms rely on."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_monotone_and_submodular(self, seed):
+        r = random_relation(4, 40, seed=seed)
+        eng = PLICacheEngine(r)
+        h = {attrs: eng.entropy_of(attrs) for attrs in all_subsets(4)}
+        subsets = list(all_subsets(4))
+        for x in subsets:
+            for y in subsets:
+                # Monotonicity: H(X) <= H(X u Y).
+                assert h[x] <= h[x | y] + 1e-9
+                # Submodularity: H(X) + H(Y) >= H(X u Y) + H(X n Y).
+                assert h[x] + h[y] >= h[x | y] + h[x & y] - 1e-9
+
+    def test_full_set_entropy_log_n_when_rows_distinct(self):
+        r = random_relation(5, 30, seed=8)
+        distinct = r.distinct()
+        eng = NaiveEntropyEngine(distinct)
+        assert eng.entropy_of(frozenset(range(5))) == pytest.approx(
+            math.log2(distinct.n_rows)
+        )
+
+    def test_empty_set_entropy_zero(self):
+        r = random_relation(3, 10, seed=0)
+        assert NaiveEntropyEngine(r).entropy_of(frozenset()) == 0.0
+        assert PLICacheEngine(r).entropy_of(frozenset()) == 0.0
+
+    def test_empty_relation(self):
+        import numpy as np
+        from repro.data.relation import Relation
+
+        r = Relation(np.zeros((0, 2), dtype=np.int64), ["a", "b"])
+        assert NaiveEntropyEngine(r).entropy_of(frozenset({0})) == 0.0
+        assert PLICacheEngine(r).entropy_of(frozenset({0, 1})) == 0.0
+
+
+class TestCaching:
+    def test_pli_cache_hits_grow(self):
+        r = random_relation(6, 100, seed=4)
+        eng = PLICacheEngine(r, block_size=3)
+        eng.entropy_of(frozenset({0, 1, 4}))
+        misses_first = eng.cache_misses
+        eng._entropy_memo.clear()  # force partition path again
+        eng.entropy_of(frozenset({0, 1, 4}))
+        assert eng.cache_hits > 0
+        assert eng.cache_misses == misses_first  # no new partition work
+
+    def test_cross_cache_eviction(self):
+        r = random_relation(8, 60, seed=5)
+        eng = PLICacheEngine(r, block_size=2, cross_cache_size=2)
+        for attrs in ({0, 2, 4}, {1, 3, 5}, {0, 5, 7}, {2, 3, 6}):
+            eng.entropy_of(frozenset(attrs))
+        assert len(eng._cross_cache) <= 2
+
+    def test_naive_scan_counter(self):
+        r = random_relation(3, 20, seed=6)
+        eng = NaiveEntropyEngine(r)
+        eng.entropy_of(frozenset({0, 1}))
+        eng.entropy_of(frozenset({0, 1}))  # memo hit
+        assert eng.scans == 1
+        eng.reset_stats()
+        assert eng.scans == 0
+
+    def test_block_size_validation(self):
+        r = random_relation(2, 5, seed=0)
+        with pytest.raises(ValueError):
+            PLICacheEngine(r, block_size=0)
+
+    def test_reset_stats(self):
+        r = random_relation(3, 20, seed=6)
+        eng = PLICacheEngine(r)
+        eng.entropy_of(frozenset({0, 1, 2}))
+        assert eng.products > 0
+        eng.reset_stats()
+        assert eng.products == 0
+
+
+class TestMakeOracle:
+    def test_engine_selection(self, fig1):
+        assert isinstance(make_oracle(fig1, engine="pli").engine, PLICacheEngine)
+        assert isinstance(make_oracle(fig1, engine="naive").engine, NaiveEntropyEngine)
+
+    def test_unknown_engine(self, fig1):
+        with pytest.raises(ValueError, match="unknown engine"):
+            make_oracle(fig1, engine="duckdb")

@@ -1,0 +1,128 @@
+"""Tests for the TANE-style FD miner and the Kivinen–Mannila measures."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.relation import Relation
+from repro.entropy.oracle import make_oracle
+from repro.fd.measures import fd_conditional_entropy, g1_error, g2_error, g3_error
+from repro.fd.tane import FD, brute_force_fds, fd_holds, mine_fds
+from tests.conftest import random_relation
+
+
+@pytest.fixture
+def fd_relation():
+    """b = f(a); c free; d constant."""
+    rows = [
+        (0, 10, 0, 7),
+        (1, 11, 0, 7),
+        (2, 10, 1, 7),
+        (0, 10, 1, 7),
+        (1, 11, 2, 7),
+    ]
+    return Relation.from_rows(rows, ["a", "b", "c", "d"])
+
+
+class TestErrorsMeasures:
+    def test_exact_fd_zero_errors(self, fd_relation):
+        for g in (g1_error, g2_error, g3_error):
+            assert g(fd_relation, [0], 1) == 0.0
+
+    def test_constant_column(self, fd_relation):
+        assert g3_error(fd_relation, [], 3) == 0.0
+        assert g3_error(fd_relation, [], 1) > 0.0
+
+    def test_g3_by_hand(self):
+        # a=0 -> b in {0,0,1}: remove 1 tuple out of 4.
+        r = Relation.from_rows([(0, 0), (0, 0), (0, 1), (1, 2)], ["a", "b"])
+        assert g3_error(r, [0], 1) == pytest.approx(1 / 4)
+
+    def test_g2_counts_whole_groups(self):
+        r = Relation.from_rows([(0, 0), (0, 1), (1, 2), (2, 3)], ["a", "b"])
+        # Only the a=0 group (2 tuples) violates.
+        assert g2_error(r, [0], 1) == pytest.approx(2 / 4)
+
+    def test_g1_pairs(self):
+        r = Relation.from_rows([(0, 0), (0, 1)], ["a", "b"])
+        # Ordered violating pairs: (t1,t2),(t2,t1) out of 4 -> 1/2.
+        assert g1_error(r, [0], 1) == pytest.approx(0.5)
+
+    def test_measure_ordering(self):
+        """g1 <= g3 <= g2 on any instance (standard inequality)."""
+        for seed in range(10):
+            r = random_relation(3, 30, seed=seed)
+            e1, e3, e2 = (
+                g1_error(r, [0], 2),
+                g3_error(r, [0], 2),
+                g2_error(r, [0], 2),
+            )
+            assert e1 <= e3 + 1e-12
+            assert e3 <= e2 + 1e-12
+
+    def test_conditional_entropy_zero_iff_exact(self, fd_relation):
+        o = make_oracle(fd_relation)
+        assert fd_conditional_entropy(o, [0], 1) == pytest.approx(0.0, abs=1e-9)
+        assert fd_conditional_entropy(o, [0], 2) > 0.01
+
+    def test_empty_relation(self):
+        import numpy as np
+
+        r = Relation(np.zeros((0, 2), dtype=np.int64), ["a", "b"])
+        assert g3_error(r, [0], 1) == 0.0
+        assert g1_error(r, [0], 1) == 0.0
+        assert g2_error(r, [0], 1) == 0.0
+
+
+class TestFdHolds:
+    def test_exact(self, fd_relation):
+        assert fd_holds(fd_relation, [0], 1)
+        assert not fd_holds(fd_relation, [0], 2)
+        assert fd_holds(fd_relation, [0], 0)  # rhs in lhs is trivial
+
+    def test_approximate(self):
+        r = Relation.from_rows([(0, 0)] * 9 + [(0, 1)], ["a", "b"])
+        assert not fd_holds(r, [0], 1)
+        assert fd_holds(r, [0], 1, error=0.1)
+
+
+class TestMineFds:
+    def test_fd_relation_minimal_fds(self, fd_relation):
+        fds = mine_fds(fd_relation)
+        as_pairs = {(fd.lhs, fd.rhs) for fd in fds}
+        assert (frozenset({0}), 1) in as_pairs  # a -> b
+        assert (frozenset(), 3) in as_pairs  # {} -> d (constant)
+        # a -> b means ab -> b must NOT be reported (non-minimal).
+        assert not any(fd.rhs == 1 and len(fd.lhs) > 1 for fd in fds)
+
+    def test_matches_brute_force_exact(self):
+        for seed in (0, 5, 9):
+            r = random_relation(4, 25, seed=seed)
+            got = {(fd.lhs, fd.rhs) for fd in mine_fds(r)}
+            expected = {(fd.lhs, fd.rhs) for fd in brute_force_fds(r)}
+            assert got == expected, f"seed {seed}"
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 3000), error=st.sampled_from([0.0, 0.1]))
+    def test_matches_brute_force_property(self, seed, error):
+        r = random_relation(4, 18, seed=seed)
+        got = {(fd.lhs, fd.rhs) for fd in mine_fds(r, error=error)}
+        expected = {(fd.lhs, fd.rhs) for fd in brute_force_fds(r, error=error)}
+        assert got == expected
+
+    def test_max_lhs_cutoff(self):
+        r = random_relation(5, 20, seed=3)
+        fds = mine_fds(r, max_lhs=1)
+        assert all(len(fd.lhs) <= 1 for fd in fds)
+
+    def test_key_yields_fds(self):
+        # Column a is a key: a -> everything.
+        r = Relation.from_rows([(i, i % 2, i % 3) for i in range(12)], "abc")
+        fds = {(fd.lhs, fd.rhs) for fd in mine_fds(r)}
+        assert (frozenset({0}), 1) in fds
+        assert (frozenset({0}), 2) in fds
+
+    def test_format(self):
+        fd = FD(frozenset({0, 2}), 1)
+        assert fd.format("abc") == "a,c -> b"
+        assert fd.format() == "0,2 -> 1"
+        assert FD(frozenset(), 1).format("ab") == "{} -> b"

@@ -1,0 +1,159 @@
+"""Tests for getFullMVDs against exhaustive enumeration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common import TOL
+from repro.core.budget import SearchBudget
+from repro.core.fullmvd import (
+    get_full_mvds,
+    key_separates,
+    neighbors,
+    pairwise_consistent,
+)
+from repro.core.measures import j_measure
+from repro.core.mvd import MVD
+from repro.entropy.oracle import make_oracle
+from repro.reference import full_mvds_with_key, separates as brute_separates
+from tests.conftest import random_relation
+
+
+class TestNeighbors:
+    def test_counts_without_pair(self):
+        m = MVD({0}, [{1}, {2}, {3}])
+        assert len(neighbors(m)) == 3
+
+    def test_pair_excluded(self):
+        m = MVD({0}, [{1}, {2}, {3}])
+        nbrs = neighbors(m, pair=(1, 2))
+        # Merging {1} with {2} is forbidden; the other two merges stand.
+        assert len(nbrs) == 2
+        assert all(n.separates(1, 2) for n in nbrs)
+
+    def test_standard_mvd_has_no_neighbors(self):
+        assert neighbors(MVD({0}, [{1}, {2}])) == []
+
+
+class TestPairwiseConsistent:
+    def test_consistent_input_returned_unchanged(self, fig1_oracle):
+        m = MVD({0, 3}, [{1}, {2}, {4}, {5}])  # AD ->> B|C|E|F holds exactly
+        out = pairwise_consistent(fig1_oracle, m, eps=0.0)
+        assert out == m
+
+    def test_forced_merges_applied(self, lemma54_oracle):
+        # In the 2-tuple example every pair among A,B,C is fully correlated.
+        m = MVD({0}, [{1}, {2}, {3}])
+        out = pairwise_consistent(lemma54_oracle, m, eps=0.5)
+        assert out is None  # all merges forced; collapses to one dependent
+
+    def test_pair_collision_returns_none(self, lemma54_oracle):
+        m = MVD({0}, [{1}, {2}, {3}])
+        assert pairwise_consistent(lemma54_oracle, m, eps=0.5, pair=(1, 2)) is None
+
+    def test_eps_one_keeps_bipartitions(self, lemma54_oracle):
+        m = MVD({0}, [{1}, {2}, {3}])
+        out = pairwise_consistent(lemma54_oracle, m, eps=1.0, pair=(1, 2))
+        # I(.|X) = 1 <= eps for every pair, so nothing is forced.
+        assert out == m
+
+
+class TestGetFullMVDs:
+    def test_lemma54_full_set(self, lemma54_oracle):
+        """Section 5.2: FullMVD_1(R, X) = the three bipartitions."""
+        out = get_full_mvds(lemma54_oracle, {0}, eps=1.0)
+        assert set(out) == {
+            MVD({0}, [{1, 2}, {3}]),
+            MVD({0}, [{1, 3}, {2}]),
+            MVD({0}, [{2, 3}, {1}]),
+        }
+
+    def test_lemma54_eps2_single_full(self, lemma54_oracle):
+        out = get_full_mvds(lemma54_oracle, {0}, eps=2.0)
+        assert out == [MVD({0}, [{1}, {2}, {3}])]
+
+    def test_exact_case_at_most_one_full_mvd(self, fig1_oracle):
+        """Beeri: FullMVD_0(R, X) has at most one element."""
+        for key in ({0}, {0, 3}, {1, 3}, {2}):
+            out = get_full_mvds(fig1_oracle, key, eps=0.0)
+            assert len(out) <= 1
+
+    def test_fig1_ad_key(self, fig1_oracle):
+        out = get_full_mvds(fig1_oracle, {0, 3}, eps=0.0)
+        # AD ->> B|C|E|F holds exactly (B,C,E,F mutually independent given AD).
+        assert out == [MVD({0, 3}, [{1}, {2}, {4}, {5}])]
+
+    def test_limit_k(self, lemma54_oracle):
+        out = get_full_mvds(lemma54_oracle, {0}, eps=1.0, limit=1)
+        assert len(out) == 1
+
+    def test_pair_filtering(self, lemma54_oracle):
+        out = get_full_mvds(lemma54_oracle, {0}, eps=1.0, pair=(1, 2))
+        assert all(m.separates(1, 2) for m in out)
+        assert set(out) == {
+            MVD({0}, [{1, 3}, {2}]),
+            MVD({0}, [{2, 3}, {1}]),
+        }
+
+    def test_key_containing_pair_member(self, fig1_oracle):
+        assert get_full_mvds(fig1_oracle, {1}, eps=0.0, pair=(1, 4)) == []
+
+    def test_too_few_free_attrs(self, fig1_oracle):
+        assert get_full_mvds(fig1_oracle, set(range(5)), eps=1.0) == []
+
+    def test_budget_truncates(self, fig1_oracle):
+        budget = SearchBudget(max_steps=1).start()
+        out = get_full_mvds(fig1_oracle, {2}, eps=0.0, budget=budget, optimized=False)
+        assert len(out) <= 1
+
+    @pytest.mark.parametrize("optimized", [True, False])
+    @pytest.mark.parametrize("eps", [0.0, 0.05, 0.2, 0.6])
+    def test_matches_reference_enumeration(self, optimized, eps):
+        """Outputs ε-hold, are mutually refinement-free, and every reference
+        full MVD is found."""
+        r = random_relation(5, 20, seed=71)
+        o = make_oracle(r)
+        key = frozenset({0})
+        got = get_full_mvds(o, key, eps, optimized=optimized)
+        expected = full_mvds_with_key(r, key, eps)
+        assert set(got) == set(expected)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2000), eps=st.sampled_from([0.0, 0.1, 0.4]))
+    def test_property_vs_reference(self, seed, eps):
+        r = random_relation(4, 15, seed=seed)
+        o = make_oracle(r)
+        key = frozenset({0})
+        got = set(get_full_mvds(o, key, eps))
+        expected = set(full_mvds_with_key(r, key, eps))
+        assert got == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2000), eps=st.sampled_from([0.0, 0.15, 0.5]))
+    def test_outputs_hold_and_are_full(self, seed, eps):
+        r = random_relation(5, 18, seed=seed)
+        o = make_oracle(r)
+        out = get_full_mvds(o, frozenset({1}), eps)
+        for phi in out:
+            assert j_measure(o, phi) <= eps + TOL
+        for i, a in enumerate(out):
+            for j, b in enumerate(out):
+                if i != j:
+                    assert not a.strictly_refines(b)
+
+
+class TestKeySeparates:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2000), eps=st.sampled_from([0.0, 0.2]))
+    def test_matches_brute_force(self, seed, eps):
+        r = random_relation(4, 15, seed=seed)
+        o = make_oracle(r)
+        pair = (2, 3)
+        for key in (frozenset(), frozenset({0}), frozenset({0, 1})):
+            assert key_separates(o, key, pair, eps) == brute_separates(
+                r, key, pair, eps
+            )
+
+    def test_pair_in_key_never_separates(self, fig1_oracle):
+        assert not key_separates(fig1_oracle, {0, 1}, (1, 4), 1.0)
+        assert not key_separates(fig1_oracle, {0}, (0, 4), 1.0)
+        assert not key_separates(fig1_oracle, {0}, (4, 4), 1.0)

@@ -1,0 +1,106 @@
+"""Targeted tests for code paths not exercised elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.core.budget import SearchBudget
+from repro.core.schema import Schema
+from repro.data.relation import Relation
+from repro.entropy.estimators import jackknife_entropy
+from repro.quality.spurious import materialized_join_rows
+from repro.quality.yannakakis import DecomposedBags, iter_join_rows
+from tests.conftest import random_relation
+
+
+def fs(*xs):
+    return frozenset(xs)
+
+
+class TestIterJoinRowsUnreduced:
+    def test_reduce_flag_equivalence(self):
+        """Skipping the full reducer must not change the join result, only
+        the amount of dead-end backtracking."""
+        r = random_relation(4, 25, seed=77)
+        schema = Schema([fs(0, 1), fs(1, 2), fs(2, 3)])
+        reduced = set(iter_join_rows(DecomposedBags(r, schema), reduce_first=True))
+        unreduced = set(iter_join_rows(DecomposedBags(r, schema), reduce_first=False))
+        assert reduced == unreduced == materialized_join_rows(r, schema)
+
+    def test_single_bag(self):
+        r = random_relation(3, 10, seed=1)
+        bags = DecomposedBags(r, Schema([fs(0, 1, 2)]))
+        rows = set(iter_join_rows(bags))
+        assert rows == r.row_set()
+
+
+class TestBudgetCombination:
+    def test_steps_and_seconds_combined(self):
+        b = SearchBudget(max_seconds=100.0, max_steps=2).start()
+        assert not b.exhausted
+        b.tick(2)
+        assert b.exhausted  # steps trip first even with time remaining
+
+    def test_elapsed_monotone(self):
+        b = SearchBudget(max_seconds=100.0).start()
+        e1 = b.elapsed
+        e2 = b.elapsed
+        assert e2 >= e1 >= 0.0
+
+
+class TestJackknifeTinyCases:
+    def test_two_rows(self):
+        # Two distinct singletons: H_mle = 1 bit; jackknife stays finite.
+        h = jackknife_entropy(np.array([1, 1]), 2)
+        assert np.isfinite(h)
+        assert h >= 0.0
+
+    def test_single_cluster(self):
+        assert jackknife_entropy(np.array([4]), 4) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestRelationMisc:
+    def test_pretty_within_limit(self):
+        r = Relation.from_rows([(1, 2)], ["a", "b"])
+        text = r.pretty(limit=10)
+        assert "more rows" not in text
+
+    def test_cardinality_by_name(self, fig1):
+        assert fig1.cardinality("A") == 2
+        assert fig1.cardinality("E") == 3
+
+    def test_select_columns_keeps_duplicates(self, fig1):
+        sel = fig1.select_columns(["A"])
+        assert sel.n_rows == fig1.n_rows
+
+
+class TestSchemaDunderEdges:
+    def test_schema_neq_other_type(self):
+        assert Schema([fs(0)]) != 42
+
+    def test_join_tree_not_equal_other_type(self):
+        from repro.core.jointree import JoinTree
+
+        jt = JoinTree([fs(0, 1)], [])
+        assert jt != "tree"
+
+
+class TestCliProfileDatasetSource:
+    def test_profile_on_builtin(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "profile",
+                    "--dataset",
+                    "Abalone",
+                    "--scale",
+                    "0.05",
+                    "--fd-lhs",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Column profile" in out

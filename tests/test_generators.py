@@ -1,0 +1,153 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.common import TOL
+from repro.core.schema import Schema
+from repro.data.generators import (
+    NURSERY_ATTRS,
+    NURSERY_CLASSES,
+    decomposable,
+    lemma54_example,
+    markov_tree,
+    nursery,
+    paper_running_example,
+    surrogate,
+)
+from repro.entropy.oracle import make_oracle
+from repro.quality.spurious import spurious_tuple_count
+
+
+class TestPaperExamples:
+    def test_fig1_shape(self):
+        r = paper_running_example()
+        assert r.n_rows == 4 and r.n_cols == 6
+        assert r.columns == tuple("ABCDEF")
+
+    def test_fig1_red_shape(self):
+        r = paper_running_example(with_red_tuple=True)
+        assert r.n_rows == 5
+        assert r.rows()[4] == ("a1", "b2", "c1", "d2", "e2", "f1")
+
+    def test_lemma54_shape(self):
+        r = lemma54_example()
+        assert r.n_rows == 2 and r.n_cols == 4
+
+
+class TestNursery:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return nursery()
+
+    def test_shape(self, data):
+        assert data.n_rows == 12960
+        assert data.n_cols == 9
+        assert data.n_cells == 116640  # the paper's cell count
+
+    def test_domain_sizes(self, data):
+        sizes = [data.cardinality(j) for j in range(8)]
+        assert sizes == [len(dom) for __, dom in NURSERY_ATTRS]
+
+    def test_full_cartesian_product(self, data):
+        assert data.distinct_count(range(8)) == 12960
+
+    def test_class_is_function_of_inputs(self, data):
+        assert data.distinct_count(range(9)) == 12960
+        # class depends functionally on the 8 inputs: H(class | inputs) = 0.
+        o = make_oracle(data.sample_rows(2000, seed=0))
+        assert o.cond_entropy({8}, set(range(8))) == pytest.approx(0.0, abs=TOL)
+
+    def test_class_values_and_skew(self, data):
+        values = set(data.column_values("class"))
+        assert values <= set(NURSERY_CLASSES)
+        assert len(values) == 5
+        counts = {v: 0 for v in values}
+        for v in data.column_values("class"):
+            counts[v] += 1
+        # health == not_recom forces exactly a third of rows.
+        assert counts["not_recom"] == 12960 // 3
+        # "recommend" is rare, as in the real data.
+        assert counts["recommend"] < 200
+
+    def test_inputs_mutually_independent(self, data):
+        """The first 8 attributes form a uniform product: I = 0 exactly."""
+        o = make_oracle(data)
+        assert o.mutual_information({0}, {1}) == pytest.approx(0.0, abs=TOL)
+        assert o.mutual_information({2, 3}, {4, 5}) == pytest.approx(0.0, abs=TOL)
+
+
+class TestMarkovTree:
+    def test_shape_and_determinism(self):
+        r1 = markov_tree(6, 200, seed=5)
+        r2 = markov_tree(6, 200, seed=5)
+        assert r1.n_rows == 200 and r1.n_cols == 6
+        assert r1.rows() == r2.rows()  # seeded -> reproducible
+
+    def test_different_seeds_differ(self):
+        r1 = markov_tree(6, 200, seed=1)
+        r2 = markov_tree(6, 200, seed=2)
+        assert r1.rows() != r2.rows()
+
+    def test_fd_edges_exact(self):
+        """With fd_fraction=1 every non-root tree column is a function of
+        its parent, hence H(child | parents...) = 0 for some parent."""
+        r = markov_tree(5, 300, seed=9, fd_fraction=1.0, independent_fraction=0.0)
+        o = make_oracle(r)
+        for child in range(1, 5):
+            assert any(
+                o.cond_entropy({child}, {p}) <= TOL for p in range(child)
+            ), f"column {child} is not determined by any earlier column"
+
+    def test_independent_columns_appended(self):
+        r = markov_tree(8, 400, seed=3, independent_fraction=0.5)
+        assert r.n_cols == 8
+
+    def test_noise_changes_cells(self):
+        clean = markov_tree(5, 300, seed=4, noise=0.0)
+        noisy = markov_tree(5, 300, seed=4, noise=0.3)
+        assert clean.rows() != noisy.rows()
+
+    def test_invalid_cols(self):
+        with pytest.raises(ValueError):
+            markov_tree(0, 10)
+
+    def test_planted_ci_approximately_holds(self):
+        """A cut through the Markov tree has small empirical J."""
+        r = markov_tree(4, 4000, seed=11, fd_fraction=0.0, determinism=0.9)
+        o = make_oracle(r)
+        # Column 0 is the root; each later column hangs off an earlier one.
+        # I(later ; earlier | direct parent) should be ~0; bound loosely.
+        mi = o.mutual_information({2}, {3}, {0, 1})
+        assert mi < 0.2
+
+
+class TestDecomposable:
+    def test_exact_when_noiseless(self):
+        bags = [["A", "B"], ["B", "C"], ["C", "D"]]
+        r = decomposable(bags, 400, seed=2)
+        schema = Schema(
+            [frozenset(r.col_indices(b)) for b in bags]
+        )
+        o = make_oracle(r)
+        assert schema.j_measure(o) == pytest.approx(0.0, abs=1e-9)
+        assert spurious_tuple_count(r, schema) == 0
+
+    def test_noise_rows_break_exactness(self):
+        bags = [["A", "B"], ["B", "C"]]
+        clean = decomposable(bags, 300, seed=3)
+        noisy = decomposable(bags, 300, seed=3, noise_rows=60)
+        schema = Schema([frozenset(clean.col_indices(b)) for b in bags])
+        o_clean, o_noisy = make_oracle(clean), make_oracle(noisy)
+        assert schema.j_measure(o_noisy) > schema.j_measure(o_clean)
+
+    def test_row_count(self):
+        r = decomposable([["A", "B"], ["B", "C"]], 100, noise_rows=20)
+        assert r.n_rows == 120
+
+
+class TestSurrogate:
+    def test_named(self):
+        r = surrogate("TestData", 7, 150, seed=1)
+        assert r.name == "TestData"
+        assert r.n_cols == 7 and r.n_rows == 150

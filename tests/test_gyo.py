@@ -1,0 +1,121 @@
+"""Tests for GYO reduction and join-tree construction."""
+
+import pytest
+
+from repro.hypergraph.gyo import (
+    build_join_tree_edges,
+    check_running_intersection,
+    gyo_reduction,
+    is_acyclic,
+    tree_components,
+)
+
+
+def fs(*xs):
+    return frozenset(xs)
+
+
+FIG1_BAGS = [fs(0, 5), fs(0, 2, 3), fs(0, 1, 3), fs(1, 3, 4)]  # AF ACD ABD BDE
+TRIANGLE = [fs(0, 1), fs(1, 2), fs(0, 2)]
+
+
+class TestGyoReduction:
+    def test_acyclic_reduces_to_nothing(self):
+        assert gyo_reduction(FIG1_BAGS) == []
+
+    def test_triangle_is_irreducible(self):
+        residue = gyo_reduction(TRIANGLE)
+        assert set(residue) == set(TRIANGLE)
+
+    def test_single_bag(self):
+        assert gyo_reduction([fs(0, 1, 2)]) == []
+
+    def test_contained_bags_absorbed(self):
+        assert gyo_reduction([fs(0, 1), fs(0), fs(1)]) == []
+
+    def test_duplicate_bags(self):
+        assert gyo_reduction([fs(0, 1), fs(0, 1)]) == []
+
+    def test_empty_input(self):
+        assert gyo_reduction([]) == []
+
+    def test_cyclic_core_extracted(self):
+        # Triangle plus an ear: the ear goes away, the triangle stays.
+        bags = TRIANGLE + [fs(2, 7, 8)]
+        residue = gyo_reduction(bags)
+        assert set(residue) == set(TRIANGLE)
+
+
+class TestIsAcyclic:
+    def test_known_cases(self):
+        assert is_acyclic(FIG1_BAGS)
+        assert not is_acyclic(TRIANGLE)
+        assert is_acyclic([fs(0, 1, 2)])
+        assert is_acyclic([])
+        # Star: pairwise overlap through a hub attribute.
+        assert is_acyclic([fs(0, 1), fs(0, 2), fs(0, 3)])
+        # 4-cycle.
+        assert not is_acyclic([fs(0, 1), fs(1, 2), fs(2, 3), fs(3, 0)])
+
+    def test_big_bag_covers_cycle(self):
+        # Adding a bag containing the whole triangle makes it acyclic
+        # (alpha-acyclicity is not hereditary -- the classic example).
+        assert is_acyclic(TRIANGLE + [fs(0, 1, 2)])
+
+
+class TestRunningIntersection:
+    def test_valid_tree(self):
+        edges = build_join_tree_edges(FIG1_BAGS)
+        assert edges is not None
+        assert check_running_intersection(FIG1_BAGS, edges)
+
+    def test_wrong_edge_count(self):
+        assert not check_running_intersection(FIG1_BAGS, [(0, 1)])
+
+    def test_cycle_rejected(self):
+        bags = [fs(0), fs(1), fs(2)]
+        assert not check_running_intersection(bags, [(0, 1), (1, 2), (0, 2)])
+
+    def test_violating_tree(self):
+        # Attribute 0 appears in bags 0 and 2 but not on the path via bag 1.
+        bags = [fs(0, 1), fs(1, 2), fs(0, 2)]
+        edges = [(0, 1), (1, 2)]
+        assert not check_running_intersection(bags, edges)
+
+    def test_empty(self):
+        assert check_running_intersection([], [])
+
+    def test_self_loop_rejected(self):
+        assert not check_running_intersection([fs(0), fs(1)], [(0, 0)])
+
+
+class TestBuildJoinTree:
+    def test_fig1(self):
+        edges = build_join_tree_edges(FIG1_BAGS)
+        assert len(edges) == 3
+        # The separators must be {A}, {AD}, {BD} (indices {0},{0,3},{1,3}).
+        seps = {frozenset(FIG1_BAGS[u] & FIG1_BAGS[v]) for u, v in edges}
+        assert seps == {fs(0), fs(0, 3), fs(1, 3)}
+
+    def test_cyclic_returns_none(self):
+        assert build_join_tree_edges(TRIANGLE) is None
+
+    def test_single_and_empty(self):
+        assert build_join_tree_edges([fs(0, 1)]) == []
+        assert build_join_tree_edges([]) == []
+
+    def test_disconnected_bags(self):
+        # Disjoint bags form a valid (degenerate) join tree with empty
+        # separators.
+        edges = build_join_tree_edges([fs(0, 1), fs(2, 3)])
+        assert edges is not None
+        assert check_running_intersection([fs(0, 1), fs(2, 3)], edges)
+
+
+class TestTreeComponents:
+    def test_split(self):
+        edges = [(0, 1), (1, 2), (1, 3)]
+        side_a, side_b = tree_components(4, edges, (1, 2))
+        assert set(side_a) == {0, 1, 3} or set(side_a) == {2}
+        assert set(side_a) | set(side_b) == {0, 1, 2, 3}
+        assert not set(side_a) & set(side_b)

@@ -1,0 +1,77 @@
+"""Regression tests for budget plumbing in the bench harness.
+
+Guards the bug class found during Fig. 11 reproduction: a schema budget
+whose clock starts before phase 1 runs is already exhausted when schema
+enumeration begins, silently producing zero schemas at slow thresholds.
+"""
+
+import pytest
+
+from repro.bench.harness import run_nursery_sweep, quality_sweep
+from repro.core.budget import SearchBudget
+from repro.core.maimon import Maimon
+from repro.data.generators import markov_tree
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return markov_tree(5, 400, seed=61, name="budget-test")
+
+
+class TestLazyBudgetStart:
+    def test_budget_clock_starts_on_first_check(self):
+        import time
+
+        b = SearchBudget(max_seconds=0.05)
+        time.sleep(0.06)  # elapsed before anyone checks
+        assert not b.exhausted  # first check starts the clock
+        time.sleep(0.06)
+        assert b.exhausted
+
+    def test_discover_schemas_with_slow_phase1(self, relation):
+        """Even if phase 1 takes longer than the schema budget, phase 2
+        still gets its full window."""
+        maimon = Maimon(relation)
+        # Unstarted schema budget: its window must begin at enumeration.
+        schema_budget = SearchBudget(max_seconds=5.0)
+        out = list(
+            maimon.discover_schemas(
+                0.1, limit=5, schema_budget=schema_budget, with_spurious=False
+            )
+        )
+        assert out, "schema enumeration starved despite a fresh budget"
+
+
+class TestSweepsProduceRows:
+    def test_nursery_sweep_multiple_thresholds(self, relation):
+        rows, pareto = run_nursery_sweep(
+            relation,
+            thresholds=(0.0, 0.1, 0.3),
+            schema_limit=6,
+            schema_budget_s=4.0,
+            mvd_budget_s=10.0,
+        )
+        eps_seen = {r["eps"] for r in rows}
+        # At least two thresholds contribute rows (no silent starvation).
+        assert len(eps_seen) >= 2
+
+    def test_quality_sweep_rows_per_threshold(self, relation):
+        rows = quality_sweep(
+            relation,
+            thresholds=(0.0, 0.2),
+            schema_limit=8,
+            schema_budget_s=4.0,
+            mvd_budget_s=10.0,
+        )
+        assert len(rows) == 2
+        assert any(r["n_schemes"] > 0 for r in rows)
+
+    def test_unbudgeted_sweep(self, relation):
+        rows, __ = run_nursery_sweep(
+            relation,
+            thresholds=(0.1,),
+            schema_limit=3,
+            schema_budget_s=4.0,
+            mvd_budget_s=None,
+        )
+        assert isinstance(rows, list)

@@ -1,0 +1,94 @@
+"""Tests for Theorem 5.7 constructive derivation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common import TOL
+from repro.core.inference import Derivation, derive, implied_eps, is_implied
+from repro.core.measures import j_measure
+from repro.core.miner import mine_mvds
+from repro.core.mvd import MVD
+from repro.entropy.oracle import make_oracle
+from repro.reference import all_standard_mvds
+from tests.conftest import random_relation
+
+A, B, C, D, E, F = range(6)
+
+
+class TestDerive:
+    def test_requires_standard_target(self, fig1):
+        mined = mine_mvds(fig1, 0.0).mvds
+        with pytest.raises(ValueError):
+            derive(mined, MVD({A}, [{B}, {C}, {D}]))
+
+    def test_fig1_paper_mvds_derivable(self, fig1, fig1_oracle):
+        """The three support MVDs of Example 3.2 are implied by M_0."""
+        mined = mine_mvds(fig1, 0.0).mvds
+        for target in (
+            MVD({B, D}, [{E}, {A, C, F}]),
+            MVD({A, D}, [{C, F}, {B, E}]),
+            MVD({A}, [{F}, {B, C, D, E}]),
+        ):
+            d = derive(mined, target)
+            assert d is not None, target.format("ABCDEF")
+            assert len(d.steps) == len(target.dependents[0]) * len(
+                target.dependents[1]
+            )
+            assert d.verify(fig1_oracle)
+            assert d.bound(fig1_oracle) >= j_measure(fig1_oracle, target) - TOL
+
+    def test_non_mvd_not_derivable(self, fig1):
+        """A pair no mined MVD separates yields no derivation."""
+        mined = mine_mvds(fig1, 0.0).mvds
+        # B and E are never separated with an empty key at eps=0.
+        target = MVD(frozenset(), [{B}, {E}])
+        assert derive(mined, target) is None
+
+    def test_witnesses_have_keys_inside_target_key(self, fig1):
+        mined = mine_mvds(fig1, 0.0).mvds
+        target = MVD({A, D}, [{C, F}, {B, E}])
+        d = derive(mined, target)
+        for step in d.steps:
+            assert step.witness.key <= target.key
+            assert step.witness.separates(step.a, step.b)
+
+    def test_step_format(self, fig1):
+        mined = mine_mvds(fig1, 0.0).mvds
+        d = derive(mined, MVD({A}, [{F}, {B, C, D, E}]))
+        text = d.steps[0].format("ABCDEF")
+        assert "J(" in text and "<=" in text
+
+
+class TestTheorem57Property:
+    """Every ε-standard-MVD must be derivable from M_ε with a valid bound."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 800), eps=st.sampled_from([0.0, 0.2]))
+    def test_every_holding_mvd_derivable(self, seed, eps):
+        r = random_relation(4, 14, seed=seed)
+        o = make_oracle(r)
+        mined = mine_mvds(r, eps).mvds
+        for target in all_standard_mvds(r, eps):
+            d = derive(mined, target)
+            assert d is not None, (
+                f"eps-MVD {target} not derivable from M_eps (seed={seed})"
+            )
+            # The Shannon bound must hold numerically.
+            assert d.verify(o)
+            # And the guaranteed threshold is (#steps) * eps.
+            assert implied_eps(mined, target, eps) == pytest.approx(
+                len(d.steps) * eps
+            )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 800))
+    def test_is_implied_sound(self, seed):
+        """is_implied -> the target really has a finite certified J bound."""
+        r = random_relation(4, 12, seed=seed)
+        o = make_oracle(r)
+        eps = 0.15
+        mined = mine_mvds(r, eps).mvds
+        for target in all_standard_mvds(r, eps)[:10]:
+            if is_implied(o, mined, target, eps):
+                d = derive(mined, target)
+                assert j_measure(o, target) <= d.bound(o) + TOL

@@ -1,0 +1,68 @@
+"""Tests for JSON serialisation round-trips."""
+
+import pytest
+
+from repro import io as rio
+from repro.core.jointree import JoinTree
+from repro.core.miner import mine_mvds
+from repro.core.mvd import MVD
+from repro.core.schema import Schema
+
+COLS = tuple("ABCDEF")
+
+
+class TestMvdRoundTrip:
+    def test_with_names(self):
+        m = MVD({0, 3}, [{2, 5}, {1, 4}])
+        d = rio.mvd_to_dict(m, COLS)
+        assert d == {"key": ["A", "D"], "dependents": [["B", "E"], ["C", "F"]]}
+        assert rio.mvd_from_dict(d, COLS) == m
+
+    def test_with_indices(self):
+        m = MVD(set(), [{0}, {1, 2}])
+        d = rio.mvd_to_dict(m)
+        assert rio.mvd_from_dict(d) == m
+
+
+class TestSchemaRoundTrip:
+    def test_schema(self):
+        s = Schema([frozenset({0, 1}), frozenset({1, 2})])
+        assert rio.schema_from_dict(rio.schema_to_dict(s, COLS), COLS) == s
+
+    def test_join_tree(self):
+        jt = JoinTree([frozenset({0, 1}), frozenset({1, 2})], [(0, 1)])
+        back = rio.join_tree_from_dict(rio.join_tree_to_dict(jt, COLS), COLS)
+        assert back == jt
+
+
+class TestMinerResultRoundTrip:
+    def test_round_trip(self, fig1):
+        result = mine_mvds(fig1, 0.0)
+        d = rio.miner_result_to_dict(result, fig1.columns)
+        back = rio.miner_result_from_dict(d, fig1.columns)
+        assert back.eps == result.eps
+        assert set(back.mvds) == set(result.mvds)
+        assert back.min_seps == result.min_seps
+        assert back.pairs_done == result.pairs_done
+
+    def test_file_round_trip(self, fig1, tmp_path):
+        result = mine_mvds(fig1, 0.0)
+        path = str(tmp_path / "mined.json")
+        rio.save_json(rio.miner_result_to_dict(result, fig1.columns), path)
+        loaded = rio.load_json(path)
+        back = rio.miner_result_from_dict(loaded, fig1.columns)
+        assert set(back.mvds) == set(result.mvds)
+
+
+class TestDiscoveredSchema:
+    def test_serialisable(self, fig1):
+        from repro.core.maimon import Maimon
+
+        ds = Maimon(fig1).discover(0.0, limit=1)[0]
+        d = rio.discovered_schema_to_dict(ds, fig1.columns)
+        assert d["quality"]["n_relations"] == ds.schema.m
+        assert len(d["support"]) == len(ds.support_set)
+        # JSON-encodable end to end.
+        import json
+
+        json.dumps(d)

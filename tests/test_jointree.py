@@ -1,0 +1,97 @@
+"""Tests for join trees: validation, support MVDs, J evaluation."""
+
+import pytest
+
+from repro.core.jointree import JoinTree
+from repro.core.mvd import MVD
+
+A, B, C, D, E, F = range(6)
+
+FIG1_BAGS = [
+    frozenset({A, F}),
+    frozenset({A, C, D}),
+    frozenset({A, B, D}),
+    frozenset({B, D, E}),
+]
+
+
+@pytest.fixture
+def fig1_tree():
+    return JoinTree.from_bags(FIG1_BAGS)
+
+
+class TestConstruction:
+    def test_from_bags(self, fig1_tree):
+        assert fig1_tree.m == 4
+        assert fig1_tree.attributes == frozenset(range(6))
+
+    def test_from_bags_cyclic_raises(self):
+        with pytest.raises(ValueError, match="acyclic"):
+            JoinTree.from_bags([{0, 1}, {1, 2}, {0, 2}])
+
+    def test_explicit_edges_validated(self):
+        bags = [frozenset({0, 1}), frozenset({1, 2}), frozenset({0, 2})]
+        with pytest.raises(ValueError, match="running intersection"):
+            JoinTree(bags, [(0, 1), (1, 2)])
+
+    def test_explicit_valid_edges(self):
+        bags = [frozenset({0, 1}), frozenset({1, 2})]
+        jt = JoinTree(bags, [(0, 1)])
+        assert jt.separator((0, 1)) == frozenset({1})
+
+    def test_single_bag(self):
+        jt = JoinTree([frozenset({0, 1})], [])
+        assert jt.m == 1
+        assert jt.support() == []
+
+
+class TestStructure:
+    def test_separators(self, fig1_tree):
+        seps = {frozenset(s) for s in fig1_tree.separators()}
+        assert seps == {
+            frozenset({A}),
+            frozenset({A, D}),
+            frozenset({B, D}),
+        }
+
+    def test_width(self, fig1_tree):
+        assert fig1_tree.width == 3
+
+    def test_intersection_width(self, fig1_tree):
+        assert fig1_tree.intersection_width == 2  # |AD| = |BD| = 2
+
+    def test_example_32_support(self, fig1_tree):
+        """Example 3.2: MVD(T) = {BD->>E|ACF, AD->>CF|BE, A->>F|BCDE}."""
+        support = set(fig1_tree.support())
+        assert support == {
+            MVD({B, D}, [{E}, {A, C, F}]),
+            MVD({A, D}, [{C, F}, {B, E}]),
+            MVD({A}, [{F}, {B, C, D, E}]),
+        }
+
+    def test_support_size(self, fig1_tree):
+        assert len(fig1_tree.support()) == fig1_tree.m - 1
+
+
+class TestSemantics:
+    def test_j_measure_zero_on_fig1(self, fig1_tree, fig1_oracle):
+        assert fig1_tree.j_measure(fig1_oracle) == pytest.approx(0.0, abs=1e-9)
+
+    def test_j_measure_positive_with_red(self, fig1_tree, fig1_red_oracle):
+        assert fig1_tree.j_measure(fig1_red_oracle) > 0.01
+
+
+class TestDunder:
+    def test_equality_up_to_edge_direction(self):
+        bags = [frozenset({0, 1}), frozenset({1, 2})]
+        assert JoinTree(bags, [(0, 1)]) == JoinTree(bags, [(1, 0)])
+
+    def test_hash(self, fig1_tree):
+        assert hash(fig1_tree) == hash(JoinTree.from_bags(FIG1_BAGS))
+
+    def test_format(self, fig1_tree):
+        text = fig1_tree.format("ABCDEF")
+        assert "-[" in text and "{A,F}" in text
+
+    def test_repr(self, fig1_tree):
+        assert "JoinTree" in repr(fig1_tree)

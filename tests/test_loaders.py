@@ -1,0 +1,65 @@
+"""Tests for CSV ingestion."""
+
+import io
+
+import pytest
+
+from repro.data.loaders import from_csv, from_columns, from_rows, to_csv
+
+
+CSV_BASIC = "a,b,c\n1,x,9\n2,y,8\n1,x,7\n"
+
+
+class TestFromCsv:
+    def test_stream_with_header(self):
+        r = from_csv(io.StringIO(CSV_BASIC))
+        assert r.columns == ("a", "b", "c")
+        assert r.n_rows == 3
+        assert r.rows()[0] == ("1", "x", "9")
+
+    def test_no_header(self):
+        r = from_csv(io.StringIO("1,2\n3,4\n"), has_header=False)
+        assert r.columns == ("A0", "A1")
+        assert r.n_rows == 2
+
+    def test_max_rows(self):
+        r = from_csv(io.StringIO(CSV_BASIC), max_rows=2)
+        assert r.n_rows == 2
+
+    def test_null_token(self):
+        r = from_csv(io.StringIO("a,b\n1,\n2,x\n"), null_token="")
+        assert r.rows()[0] == ("1", "<null>")
+
+    def test_ragged_rows_padded(self):
+        r = from_csv(io.StringIO("a,b,c\n1,2\n1,2,3,4\n"))
+        assert r.n_rows == 2
+        assert r.rows()[0] == ("1", "2", "<null>")
+        assert r.rows()[1] == ("1", "2", "3")
+
+    def test_custom_delimiter(self):
+        r = from_csv(io.StringIO("a;b\n1;2\n"), delimiter=";")
+        assert r.rows() == [("1", "2")]
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "t.csv")
+        original = from_rows([(1, "u"), (2, "v")], ["n", "s"])
+        to_csv(original, path)
+        loaded = from_csv(path)
+        assert loaded.columns == ("n", "s")
+        assert loaded.rows() == [("1", "u"), ("2", "v")]
+        assert loaded.name == "t.csv"
+
+    def test_empty_file(self):
+        r = from_csv(io.StringIO(""), has_header=False)
+        assert r.n_rows == 0
+        assert r.n_cols == 0
+
+
+class TestConvenience:
+    def test_from_rows(self):
+        r = from_rows([(1,)], ["a"], name="x")
+        assert r.name == "x"
+
+    def test_from_columns(self):
+        r = from_columns({"a": [1, 2]})
+        assert r.n_rows == 2

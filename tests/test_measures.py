@@ -1,0 +1,162 @@
+"""Tests for the J-measure: paper identities, Shannon inequalities, Lee."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common import TOL
+from repro.core.jointree import JoinTree
+from repro.core.measures import j_measure, j_of_join_tree, j_of_schema, satisfies
+from repro.core.mvd import MVD
+from repro.entropy.oracle import make_oracle
+from repro.reference import j_by_counting
+from tests.conftest import random_relation
+
+A, B, C, D, E, F = range(6)
+
+FIG1_BAGS = [
+    frozenset({A, F}),
+    frozenset({A, C, D}),
+    frozenset({A, B, D}),
+    frozenset({B, D, E}),
+]
+
+
+class TestPaperValues:
+    def test_fig1_join_tree_j_zero(self, fig1_oracle):
+        jt = JoinTree.from_bags(FIG1_BAGS)
+        assert jt.j_measure(fig1_oracle) == pytest.approx(0.0, abs=TOL)
+
+    def test_fig1_support_mvds_hold(self, fig1_oracle):
+        for m in (
+            MVD({B, D}, [{E}, {A, C, F}]),
+            MVD({A, D}, [{C, F}, {B, E}]),
+            MVD({A}, [{F}, {B, C, D, E}]),
+        ):
+            assert satisfies(fig1_oracle, m, 0.0)
+
+    def test_red_tuple_breaks_bd_mvd(self, fig1_red_oracle):
+        # With the red tuple, BD ->> E | ACF no longer holds...
+        assert not satisfies(fig1_red_oracle, MVD({B, D}, [{E}, {A, C, F}]), 0.0)
+        # ...while A ->> F | BCDE still does (paper, Section 2).
+        assert satisfies(fig1_red_oracle, MVD({A}, [{F}, {B, C, D, E}]), 0.0)
+
+    def test_red_tuple_breaks_schema(self, fig1_red_oracle):
+        jt = JoinTree.from_bags(FIG1_BAGS)
+        assert jt.j_measure(fig1_red_oracle) > 0.01
+
+    def test_lemma54_values(self, lemma54_oracle):
+        # Section 5.2: J(X->>AB|C) = J(X->>AC|B) = J(X->>BC|A) = 1,
+        # J(X->>A|B|C) = 2 (attributes X A B C = 0 1 2 3).
+        o = lemma54_oracle
+        assert j_measure(o, MVD({0}, [{1, 2}, {3}])) == pytest.approx(1.0)
+        assert j_measure(o, MVD({0}, [{1, 3}, {2}])) == pytest.approx(1.0)
+        assert j_measure(o, MVD({0}, [{2, 3}, {1}])) == pytest.approx(1.0)
+        assert j_measure(o, MVD({0}, [{1}, {2}, {3}])) == pytest.approx(2.0)
+
+    def test_standard_mvd_j_is_cmi(self, fig1_oracle):
+        m = MVD({A, D}, [{C, F}, {B, E}])
+        assert j_measure(fig1_oracle, m) == pytest.approx(
+            fig1_oracle.mutual_information({C, F}, {B, E}, {A, D}), abs=1e-12
+        )
+
+
+class TestAgainstReference:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_j_matches_counting(self, seed):
+        r = random_relation(5, 30, seed=seed)
+        o = make_oracle(r)
+        m = MVD({0}, [{1, 2}, {3}, {4}])
+        assert j_measure(o, m) == pytest.approx(j_by_counting(r, m), abs=1e-9)
+
+
+class TestShannonProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_j_nonnegative(self, seed):
+        r = random_relation(4, 25, seed=seed)
+        o = make_oracle(r)
+        for m in (
+            MVD(set(), [{0}, {1}, {2}, {3}]),
+            MVD({0}, [{1}, {2, 3}]),
+            MVD({0, 1}, [{2}, {3}]),
+        ):
+            assert j_measure(o, m) >= -TOL
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_refinement_increases_j(self, seed):
+        """Proposition 5.2: phi >= psi implies J(phi) >= J(psi)."""
+        r = random_relation(5, 25, seed=seed)
+        o = make_oracle(r)
+        fine = MVD({0}, [{1}, {2}, {3}, {4}])
+        for coarse in (
+            MVD({0}, [{1, 2}, {3}, {4}]),
+            MVD({0}, [{1, 2, 3}, {4}]),
+            MVD({0}, [{1, 4}, {2, 3}]),
+        ):
+            assert fine.refines(coarse)
+            assert j_measure(o, fine) >= j_measure(o, coarse) - TOL
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_lemma_54_inequalities(self, seed):
+        """J(phi v psi) <= J(phi) + m*J(psi) and <= k*J(phi) + J(psi)."""
+        r = random_relation(5, 25, seed=seed)
+        o = make_oracle(r)
+        phi = MVD({0}, [{1, 2}, {3, 4}])
+        psi = MVD({0}, [{1, 3}, {2, 4}])
+        join = phi.join(psi)
+        j_phi, j_psi, j_join = (j_measure(o, x) for x in (phi, psi, join))
+        m, k = phi.m, psi.m
+        assert j_join <= j_phi + m * j_psi + TOL
+        assert j_join <= k * j_phi + j_psi + TOL
+        assert j_join >= max(j_phi, j_psi) - TOL  # join refines both
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_key_growth_decreases_j(self, seed):
+        """Proposition 5.1 Eq. (8): moving attrs into the key lowers J."""
+        r = random_relation(5, 25, seed=seed)
+        o = make_oracle(r)
+        wide = MVD({0}, [{1, 2}, {3, 4}])  # X ->> Y1 Z1 | Y2 Z2
+        narrow = MVD({0, 2, 4}, [{1}, {3}])  # X Z1 Z2 ->> Y1 | Y2
+        assert j_measure(o, narrow) <= j_measure(o, wide) + TOL
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_theorem_51_identity_and_bounds(self, seed):
+        """Eq. (9): J(T) = sum of I terms; Eq. (10): max <= J <= sum."""
+        r = random_relation(5, 25, seed=seed)
+        o = make_oracle(r)
+        bags = [frozenset({0, 1}), frozenset({1, 2, 3}), frozenset({3, 4})]
+        edges = [(0, 1), (1, 2)]
+        j = j_of_join_tree(o, bags, edges)
+        # Depth-first order u1=0, u2=1, u3=2; Delta_2 = {1}, Delta_3 = {3}.
+        term2 = o.mutual_information(bags[0], bags[1], bags[0] & bags[1])
+        term3 = o.mutual_information(bags[0] | bags[1], bags[2], bags[1] & bags[2])
+        assert j == pytest.approx(term2 + term3, abs=1e-9)
+        # Support-MVD bounds: the support terms include *all* attributes.
+        omega = frozenset(range(5))
+        sup2 = o.mutual_information(bags[0] - {1}, omega - bags[0], {1})
+        sup3 = o.mutual_information(omega - {4} - {3}, {4}, {3})
+        assert j <= sup2 + sup3 + TOL
+        assert j >= max(sup2, sup3) - TOL
+
+
+class TestJOfSchema:
+    def test_tree_independence(self, fig1_oracle):
+        """Lee: J depends only on the schema, not the join tree chosen."""
+        bags = [frozenset({A, B}), frozenset({A, C}), frozenset({A, D})]
+        j_star1 = j_of_join_tree(fig1_oracle, bags, [(0, 1), (1, 2)])
+        j_star2 = j_of_join_tree(fig1_oracle, bags, [(0, 1), (0, 2)])
+        assert j_star1 == pytest.approx(j_star2, abs=1e-9)
+        assert j_of_schema(fig1_oracle, bags) == pytest.approx(j_star1, abs=1e-9)
+
+    def test_single_bag_schema(self, fig1_oracle):
+        assert j_of_schema(fig1_oracle, [frozenset(range(6))]) == 0.0
+
+    def test_cyclic_schema_rejected(self, fig1_oracle):
+        cyclic = [frozenset({0, 1}), frozenset({1, 2}), frozenset({0, 2})]
+        with pytest.raises(ValueError, match="acyclic"):
+            j_of_schema(fig1_oracle, cyclic)

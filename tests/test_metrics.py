@@ -1,0 +1,90 @@
+"""Tests for storage savings and schema quality metrics."""
+
+import pytest
+
+from repro.core.schema import Schema
+from repro.data.relation import Relation
+from repro.entropy.oracle import make_oracle
+from repro.quality.metrics import (
+    SchemaQuality,
+    evaluate_schema,
+    pareto_front,
+    schema_cells,
+    storage_savings_pct,
+)
+
+
+def fs(*xs):
+    return frozenset(xs)
+
+
+class TestStorage:
+    def test_schema_cells_fig1(self, fig1):
+        s = Schema([fs(0, 5), fs(0, 1, 2, 3, 4)])
+        # R[AF] has 2 distinct rows x 2 cols; R[ABCDE] has 4 x 5.
+        assert schema_cells(fig1, s) == 2 * 2 + 4 * 5
+
+    def test_savings_positive_when_projections_compress(self):
+        # Column b depends only on a: projecting {a,b} and {a,c} saves cells.
+        rows = [(i % 2, i % 2, i) for i in range(8)]
+        r = Relation.from_rows(rows, ["a", "b", "c"])
+        s = Schema([fs(0, 1), fs(0, 2)])
+        assert storage_savings_pct(r, s) > 0
+
+    def test_savings_negative_when_fragmenting_unique_data(self):
+        # All columns jointly unique and interdependent: overlap costs cells.
+        rows = [(i, i, i) for i in range(6)]
+        r = Relation.from_rows(rows, ["a", "b", "c"])
+        s = Schema([fs(0, 1), fs(1, 2)])
+        assert storage_savings_pct(r, s) == pytest.approx(
+            100.0 * (18 - (6 * 2 + 6 * 2)) / 18
+        )
+
+    def test_universal_schema_zero_savings(self, fig1):
+        s = Schema([fs(*range(6))])
+        assert storage_savings_pct(fig1, s) == pytest.approx(0.0)
+
+    def test_empty_relation(self):
+        import numpy as np
+
+        r = Relation(np.zeros((0, 2), dtype=np.int64), ["a", "b"])
+        assert storage_savings_pct(r, Schema([fs(0), fs(1)])) == 0.0
+
+
+class TestEvaluateSchema:
+    def test_full_profile(self, fig1, fig1_oracle):
+        s = Schema([fs(0, 5), fs(0, 1, 2, 3, 4)])
+        q = evaluate_schema(fig1, s, oracle=fig1_oracle)
+        assert q.n_relations == 2
+        assert q.width == 5
+        assert q.intersection_width == 1
+        assert q.j_measure == pytest.approx(0.0, abs=1e-9)
+        assert q.spurious_pct == pytest.approx(0.0)
+        row = q.row()
+        assert row["m"] == 2 and row["E%"] == 0.0
+
+    def test_without_spurious(self, fig1):
+        s = Schema([fs(0, 5), fs(0, 1, 2, 3, 4)])
+        q = evaluate_schema(fig1, s, with_spurious=False)
+        assert q.spurious_pct is None
+        assert q.row()["E%"] is None
+        assert q.j_measure is None
+
+
+class TestParetoFront:
+    def test_simple_domination(self):
+        # (savings, spurious): want max savings, min spurious; coincident
+        # points keep a single representative (the first).
+        points = [(50, 10), (60, 5), (40, 20), (60, 5)]
+        front = pareto_front(points)
+        assert set(front) == {1}
+
+    def test_chain(self):
+        points = [(10, 1), (20, 2), (30, 3)]
+        assert set(pareto_front(points)) == {0, 1, 2}
+
+    def test_single_point(self):
+        assert pareto_front([(1, 1)]) == [0]
+
+    def test_empty(self):
+        assert pareto_front([]) == []

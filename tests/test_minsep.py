@@ -1,0 +1,115 @@
+"""Tests for MineMinSeps / ReduceMinSep against exhaustive enumeration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.budget import SearchBudget
+from repro.core.fullmvd import key_separates
+from repro.core.minsep import mine_all_min_seps, mine_min_seps, reduce_min_sep
+from repro.entropy.oracle import make_oracle
+from repro.reference import minimal_separators as brute_min_seps
+from tests.conftest import random_relation
+
+A, B, C, D, E, F = range(6)
+
+
+class TestReduceMinSep:
+    def test_result_is_minimal_separator(self, fig1_oracle):
+        # Omega - {E, F} separates E and F at eps=0? First confirm, then
+        # the reduction must return a minimal separator.
+        pair = (E, F)
+        universe = frozenset(range(6)) - {E, F}
+        if key_separates(fig1_oracle, universe, pair, 0.0):
+            sep = reduce_min_sep(fig1_oracle, 0.0, universe, pair)
+            assert key_separates(fig1_oracle, sep, pair, 0.0)
+            for x in sep:
+                assert not key_separates(fig1_oracle, sep - {x}, pair, 0.0)
+
+    def test_already_minimal_untouched(self, fig1_oracle):
+        # {A} is a minimal A-excluded separator for (B, F)? A ->> F|BCDE
+        # separates F from B with key {A}; the empty key does not.
+        pair = (B, F)
+        assert key_separates(fig1_oracle, {A}, pair, 0.0)
+        assert not key_separates(fig1_oracle, frozenset(), pair, 0.0)
+        assert reduce_min_sep(fig1_oracle, 0.0, {A}, pair) == frozenset({A})
+
+
+class TestMineMinSeps:
+    def test_invalid_pair(self, fig1_oracle):
+        with pytest.raises(ValueError):
+            mine_min_seps(fig1_oracle, 0.0, (0, 0))
+        with pytest.raises(ValueError):
+            mine_min_seps(fig1_oracle, 0.0, (0, 99))
+
+    def test_gate_no_separator(self):
+        # Two perfectly correlated columns with nothing to condition on:
+        # I(A;B) = 1 > 0, so no separator exists at eps = 0.
+        from repro.data.relation import Relation
+
+        r = Relation.from_rows([(0, 0), (1, 1)], ["A", "B"])
+        assert mine_min_seps(make_oracle(r), 0.0, (0, 1)) == []
+
+    def test_lemma54_c_separates(self, lemma54_oracle):
+        # In the 2-tuple example H(A | C) = 0, so {C} separates A and B
+        # (and the empty set does not, since I(A;B) = 1).
+        assert mine_min_seps(lemma54_oracle, 0.0, (1, 2)) == [frozenset({3})]
+
+    def test_results_are_minimal_separators(self, fig1_oracle):
+        for pair in ((B, C), (E, F), (C, F)):
+            for sep in mine_min_seps(fig1_oracle, 0.0, pair):
+                assert key_separates(fig1_oracle, sep, pair, 0.0)
+                for x in sep:
+                    assert not key_separates(fig1_oracle, sep - {x}, pair, 0.0)
+
+    def test_fig1_matches_brute_force(self, fig1, fig1_oracle):
+        for pair in ((B, C), (B, F), (E, F), (A, B)):
+            got = set(mine_min_seps(fig1_oracle, 0.0, pair))
+            expected = set(brute_min_seps(fig1, pair, 0.0))
+            assert got == expected, f"pair {pair}"
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 1500), eps=st.sampled_from([0.0, 0.1, 0.3]))
+    def test_property_vs_brute_force(self, seed, eps):
+        r = random_relation(5, 16, seed=seed)
+        o = make_oracle(r)
+        pair = (0, 4)
+        got = set(mine_min_seps(o, eps, pair))
+        expected = set(brute_min_seps(r, pair, eps))
+        assert got == expected
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1500))
+    def test_larger_eps_never_loses_separability(self, seed):
+        """If a pair is separable at eps, it stays separable at eps' > eps."""
+        r = random_relation(5, 14, seed=seed)
+        o = make_oracle(r)
+        pair = (1, 3)
+        small = mine_min_seps(o, 0.0, pair)
+        large = mine_min_seps(o, 0.5, pair)
+        if small:
+            assert large
+
+    def test_budget_returns_prefix(self, fig1_oracle):
+        budget = SearchBudget(max_steps=0)
+        budget.start()
+        budget.tick()  # already exhausted
+        budget.max_steps = 1
+        out = mine_min_seps(fig1_oracle, 0.0, (B, C), budget=budget)
+        full = mine_min_seps(fig1_oracle, 0.0, (B, C))
+        assert set(out) <= set(full)
+
+
+class TestMineAllMinSeps:
+    def test_covers_all_pairs(self, fig1_oracle):
+        out = mine_all_min_seps(fig1_oracle, 0.0)
+        assert len(out) == 15  # C(6,2)
+
+    def test_restricted_pairs(self, fig1_oracle):
+        out = mine_all_min_seps(fig1_oracle, 0.0, pairs=[(A, B), (E, F)])
+        assert set(out) == {(A, B), (E, F)}
+
+    def test_budget_skips_pairs(self, fig1_oracle):
+        budget = SearchBudget(max_steps=1).start()
+        budget.tick()
+        out = mine_all_min_seps(fig1_oracle, 0.0, budget=budget)
+        assert len(out) < 15

@@ -1,0 +1,153 @@
+"""Tests for the MVD class and its algebra."""
+
+import pytest
+
+from repro.core.mvd import MVD
+
+
+def mvd(key, *deps):
+    return MVD(key, deps)
+
+
+class TestConstruction:
+    def test_canonical_order(self):
+        m1 = MVD({0}, [{3, 4}, {1, 2}])
+        m2 = MVD({0}, [{1, 2}, {4, 3}])
+        assert m1 == m2
+        assert hash(m1) == hash(m2)
+        assert m1.dependents[0] == frozenset({1, 2})
+
+    def test_needs_two_dependents(self):
+        with pytest.raises(ValueError, match=">= 2 dependents"):
+            MVD({0}, [{1, 2}])
+
+    def test_empty_dependent_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            MVD({0}, [{1}, set()])
+
+    def test_overlap_with_key_rejected(self):
+        with pytest.raises(ValueError, match="overlaps key"):
+            MVD({0, 1}, [{1, 2}, {3}])
+
+    def test_overlapping_dependents_rejected(self):
+        with pytest.raises(ValueError, match="pairwise disjoint"):
+            MVD({0}, [{1, 2}, {2, 3}])
+
+    def test_empty_key_allowed(self):
+        m = MVD(set(), [{0}, {1}])
+        assert m.key == frozenset()
+
+    def test_finest(self):
+        m = MVD.finest({0}, range(4))
+        assert m.dependents == (frozenset({1}), frozenset({2}), frozenset({3}))
+
+    def test_finest_needs_room(self):
+        with pytest.raises(ValueError):
+            MVD.finest({0, 1}, range(3))
+
+
+class TestStructure:
+    def test_basic_properties(self):
+        m = mvd({0}, {1, 2}, {3}, {4})
+        assert m.m == 3
+        assert not m.is_standard
+        assert m.attributes == frozenset(range(5))
+        assert mvd({0}, {1}, {2}).is_standard
+
+    def test_dependent_of(self):
+        m = mvd({0}, {1, 2}, {3})
+        assert m.dependent_of(1) == m.dependent_of(2)
+        assert m.dependent_of(3) != m.dependent_of(1)
+        assert m.dependent_of(0) is None
+        assert m.dependent_of(9) is None
+
+    def test_separates(self):
+        m = mvd({0}, {1, 2}, {3})
+        assert m.separates(1, 3)
+        assert not m.separates(1, 2)
+        assert not m.separates(0, 1)  # key attr not in any dependent
+
+    def test_as_standard(self):
+        m = mvd({0}, {1}, {2}, {3})
+        std = m.as_standard(0)
+        assert std == mvd({0}, {1}, {2, 3})
+        assert mvd({0}, {1}, {2}).as_standard(0) == mvd({0}, {1}, {2})
+
+
+class TestRefinement:
+    def test_refines_reflexive(self):
+        m = mvd({0}, {1}, {2, 3})
+        assert m.refines(m)
+        assert not m.strictly_refines(m)
+
+    def test_refines_example(self):
+        fine = mvd({0}, {1}, {2}, {3})
+        coarse = mvd({0}, {1, 2}, {3})
+        assert fine.refines(coarse)
+        assert fine.strictly_refines(coarse)
+        assert not coarse.refines(fine)
+
+    def test_refines_requires_same_key(self):
+        assert not mvd({0}, {1}, {2}).refines(mvd({3}, {1}, {2}))
+
+    def test_incomparable(self):
+        m1 = mvd({0}, {1, 2}, {3, 4})
+        m2 = mvd({0}, {1, 3}, {2, 4})
+        assert not m1.refines(m2)
+        assert not m2.refines(m1)
+
+
+class TestJoinMerge:
+    def test_join_refines_both(self):
+        m1 = mvd({0}, {1, 2}, {3, 4})
+        m2 = mvd({0}, {1, 3}, {2, 4})
+        j = m1.join(m2)
+        assert j == mvd({0}, {1}, {2}, {3}, {4})
+        assert j.refines(m1) and j.refines(m2)
+
+    def test_join_drops_empty_intersections(self):
+        m1 = mvd({0}, {1}, {2, 3})
+        m2 = mvd({0}, {1, 2}, {3})
+        assert m1.join(m2) == mvd({0}, {1}, {2}, {3})
+
+    def test_join_requires_same_key(self):
+        with pytest.raises(ValueError, match="equal keys"):
+            mvd({0}, {1}, {2}).join(mvd({1}, {0}, {2}))
+
+    def test_join_requires_same_cover(self):
+        with pytest.raises(ValueError, match="cover"):
+            mvd({0}, {1}, {2}).join(mvd({0}, {1}, {3}))
+
+    def test_merge(self):
+        m = mvd({0}, {1}, {2}, {3})
+        merged = m.merge(0, 2)
+        assert merged == mvd({0}, {1, 3}, {2})
+
+    def test_merge_same_index_rejected(self):
+        with pytest.raises(ValueError):
+            mvd({0}, {1}, {2}, {3}).merge(1, 1)
+
+    def test_merge_then_refines(self):
+        m = mvd({0}, {1}, {2}, {3}, {4})
+        assert m.strictly_refines(m.merge(0, 3))
+
+
+class TestDunder:
+    def test_sort_order_deterministic(self):
+        ms = [mvd({1}, {0}, {2}), mvd({0}, {1}, {2}), mvd(set(), {0}, {1, 2})]
+        ordered = sorted(ms)
+        assert ordered[0].key == frozenset()
+        assert ordered[-1].key == frozenset({1})
+
+    def test_format_with_names(self):
+        m = mvd({0, 3}, {2, 5}, {1, 4})
+        assert m.format("ABCDEF") == "{A,D} ->> {B,E}|{C,F}"
+
+    def test_format_without_names(self):
+        assert mvd(set(), {0}, {1}).format() == "{} ->> {0}|{1}"
+
+    def test_repr(self):
+        assert "MVD" in repr(mvd({0}, {1}, {2}))
+
+    def test_inequality_other_type(self):
+        assert mvd({0}, {1}, {2}) != "not an mvd"

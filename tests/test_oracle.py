@@ -1,0 +1,66 @@
+"""Tests for the EntropyOracle facade and its derived measures."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.entropy.oracle import make_oracle
+from tests.conftest import random_relation
+
+
+class TestPaperNumbers:
+    """Pin the worked values of Example 3.4 (Fig. 1, base-2 logs)."""
+
+    def test_full_entropy(self, fig1_oracle):
+        assert fig1_oracle.entropy(range(6)) == pytest.approx(2.0)
+
+    def test_bde_entropy(self, fig1_oracle):
+        # Marginals 1/4, 1/4, 1/2 -> H = 3/2.
+        B, D, E = 1, 3, 4
+        assert fig1_oracle.entropy({B, D, E}) == pytest.approx(1.5)
+
+    def test_mvd_mutual_informations_zero(self, fig1_oracle):
+        A, B, C, D, E, F = range(6)
+        o = fig1_oracle
+        assert o.mutual_information({E}, {A, C, F}, {B, D}) == pytest.approx(0, abs=1e-9)
+        assert o.mutual_information({C, F}, {B, E}, {A, D}) == pytest.approx(0, abs=1e-9)
+        assert o.mutual_information({F}, {B, C, D, E}, {A}) == pytest.approx(0, abs=1e-9)
+
+
+class TestMeasures:
+    def test_cond_entropy_definition(self, fig1_oracle):
+        o = fig1_oracle
+        for ys, xs in (({0}, {1}), ({2, 3}, {0}), ({4}, set())):
+            assert o.cond_entropy(ys, xs) == pytest.approx(
+                o.entropy(set(xs) | set(ys)) - o.entropy(xs)
+            )
+
+    def test_mi_unconditional(self, lemma54_oracle):
+        # A and B are perfectly correlated in the 2-tuple example.
+        assert lemma54_oracle.mutual_information({1}, {2}) == pytest.approx(1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 3000))
+    def test_mi_nonnegative_and_chain_rule(self, seed):
+        r = random_relation(4, 30, seed=seed)
+        o = make_oracle(r)
+        a, b, c, d = ({0}, {1}, {2}, {3})
+        assert o.mutual_information(a, b, c) >= -1e-9
+        # Chain rule (Eq. 4): I(B; CD | A) = I(B; C | A) + I(B; D | AC).
+        lhs = o.mutual_information(b, {2, 3}, a)
+        rhs = o.mutual_information(b, c, a) + o.mutual_information(b, d, {0, 2})
+        assert lhs == pytest.approx(rhs, abs=1e-9)
+
+    def test_query_counter(self, fig1):
+        o = make_oracle(fig1)
+        o.entropy({0})
+        o.mutual_information({1}, {2}, {0})
+        assert o.queries == 5  # 1 + 4
+        o.reset_stats()
+        assert o.queries == 0
+
+    def test_omega_and_n_attrs(self, fig1_oracle):
+        assert fig1_oracle.n_attrs == 6
+        assert fig1_oracle.omega == frozenset(range(6))
+
+    def test_repr(self, fig1_oracle):
+        assert "EntropyOracle" in repr(fig1_oracle)

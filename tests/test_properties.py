@@ -1,0 +1,158 @@
+"""Cross-cutting property tests for the theory the system rests on."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common import TOL
+from repro.core.asminer import ASMiner
+from repro.core.compat import incompatibility_graph, pairwise_compatible
+from repro.core.jointree import JoinTree
+from repro.core.measures import j_measure, j_of_join_tree
+from repro.core.miner import mine_mvds
+from repro.core.mvd import MVD
+from repro.core.schema import Schema
+from repro.entropy.oracle import make_oracle
+from repro.hypergraph.gyo import check_running_intersection
+from repro.hypergraph.mis import maximal_independent_sets
+from repro.reference import brute_maximal_independent_sets
+from tests.conftest import random_relation
+
+
+def spanning_trees(m):
+    """All labelled spanning trees on m nodes (tiny m only)."""
+    nodes = list(range(m))
+    all_edges = list(itertools.combinations(nodes, 2))
+    for combo in itertools.combinations(all_edges, m - 1):
+        parent = list(range(m))
+
+        def find(x):
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        ok = True
+        for u, v in combo:
+            ru, rv = find(u), find(v)
+            if ru == rv:
+                ok = False
+                break
+            parent[ru] = rv
+        if ok:
+            yield list(combo)
+
+
+class TestLeeTreeInvariance:
+    """Lee: J(T) depends only on the schema, not the join tree."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2000))
+    def test_all_valid_trees_same_j(self, seed):
+        r = random_relation(5, 20, seed=seed)
+        o = make_oracle(r)
+        bags = [frozenset({0, 1, 2}), frozenset({1, 2, 3}), frozenset({2, 4})]
+        values = []
+        for edges in spanning_trees(3):
+            if check_running_intersection(bags, edges):
+                values.append(j_of_join_tree(o, bags, edges))
+        assert len(values) >= 2  # several valid join trees exist
+        for v in values[1:]:
+            assert v == pytest.approx(values[0], abs=1e-9)
+
+
+class TestSupportBound:
+    """Eq. (10): max_i J(phi_i) <= J(T) <= sum_i J(phi_i) over the support."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2000))
+    def test_bounds_hold(self, seed):
+        r = random_relation(5, 18, seed=seed)
+        o = make_oracle(r)
+        tree = JoinTree.from_bags(
+            [frozenset({0, 1}), frozenset({1, 2, 3}), frozenset({3, 4})]
+        )
+        j_tree = tree.j_measure(o)
+        support_js = [j_measure(o, phi) for phi in tree.support()]
+        assert j_tree <= sum(support_js) + TOL
+        assert j_tree >= max(support_js) - TOL
+
+
+class TestASMinerAgainstBruteForce:
+    """The MIS-driven enumeration visits exactly the maximal pairwise-
+    compatible subsets of M_eps."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 800), eps=st.sampled_from([0.0, 0.25]))
+    def test_maximal_compatible_sets_match(self, seed, eps):
+        r = random_relation(4, 12, seed=seed)
+        mined = mine_mvds(r, eps).mvds
+        if not mined or len(mined) > 10:
+            return  # keep the brute force tractable
+        adj = incompatibility_graph(mined)
+        got = sorted(maximal_independent_sets(len(mined), adj), key=sorted)
+        expected = sorted(brute_maximal_independent_sets(len(mined), adj), key=sorted)
+        assert got == expected
+        # Cross-check the semantics: every MIS is pairwise compatible and
+        # cannot be extended.
+        for mis in got:
+            subset = [mined[v] for v in mis]
+            assert pairwise_compatible(subset)
+            for v in range(len(mined)):
+                if v in mis:
+                    continue
+                assert not pairwise_compatible(subset + [mined[v]])
+
+
+class TestSchemaCandidateInvariants:
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_candidates_wellformed(self, seed):
+        r = random_relation(4, 14, seed=seed)
+        o = make_oracle(r)
+        mined = mine_mvds(r, 0.2).mvds
+        miner = ASMiner(mined, frozenset(range(4)))
+        for cand in miner.enumerate(oracle=o, limit=10):
+            schema = cand.schema
+            assert schema.is_acyclic()
+            assert schema.attributes == frozenset(range(4))
+            # The constructed join tree is a valid join tree of the bags.
+            assert check_running_intersection(
+                list(cand.join_tree.bags), list(cand.join_tree.edges)
+            )
+            # Cor 5.2: J(S) <= (m-1) * eps.
+            assert cand.j_measure <= (schema.m - 1) * 0.2 + 1e-6
+
+
+class TestMinerMonotonicity:
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_separable_pairs_monotone_in_eps(self, seed):
+        """Raising eps can only make more pairs separable (Prop 5.1)."""
+        r = random_relation(4, 14, seed=seed)
+        small = mine_mvds(r, 0.0)
+        large = mine_mvds(r, 0.4)
+        sep_small = {p for p, seps in small.min_seps.items() if seps}
+        sep_large = {p for p, seps in large.min_seps.items() if seps}
+        assert sep_small <= sep_large
+
+
+class TestDuplicatedColumnBehaviour:
+    def test_copy_column_always_separable_from_nothing(self):
+        """A duplicated column is determined by its twin: {twin} separates
+        it from everything else."""
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 3, size=60)
+        b = rng.integers(0, 3, size=60)
+        codes = np.column_stack([a, a, b])
+        from repro.data.relation import Relation
+
+        r = Relation.from_codes(codes, ["a1", "a2", "b"])
+        mined = mine_mvds(r, 0.0)
+        # a2 is separated from b by key {a1} (H(a2 | a1) = 0).
+        assert any(
+            phi.key == frozenset({0}) and phi.separates(1, 2)
+            for phi in mined.mvds
+        )

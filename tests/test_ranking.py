@@ -1,0 +1,86 @@
+"""Tests for ranked schema enumeration."""
+
+import pytest
+
+from repro.core.maimon import Maimon
+from repro.core.ranking import (
+    OBJECTIVES,
+    balanced,
+    by_accuracy,
+    by_j,
+    by_relations,
+    by_savings,
+    by_width,
+    rank_schemas,
+)
+
+
+@pytest.fixture(scope="module")
+def fig1_maimon(request):
+    from repro.data.generators import paper_running_example
+
+    return Maimon(paper_running_example())
+
+
+class TestObjectives:
+    def test_registry_complete(self):
+        assert set(OBJECTIVES) == {
+            "relations",
+            "width",
+            "savings",
+            "accuracy",
+            "j",
+            "balanced",
+        }
+
+    def test_objective_directions(self, fig1_maimon):
+        ds = fig1_maimon.discover(0.0, limit=1)[0]
+        assert by_relations(ds) == ds.quality.n_relations
+        assert by_width(ds) == -ds.quality.width
+        assert by_savings(ds) == ds.quality.savings_pct
+        assert by_accuracy(ds) == -(ds.quality.spurious_pct or 0.0)
+        assert by_j(ds) == -ds.j_measure
+        assert balanced(ds) == pytest.approx(
+            ds.quality.n_relations * 10
+            + ds.quality.savings_pct
+            - 0.5 * (ds.quality.spurious_pct or 0.0)
+        )
+
+
+class TestRankSchemas:
+    def test_scores_descending(self, fig1_maimon):
+        ranked = rank_schemas(fig1_maimon, 0.0, k=5)
+        scores = [rs.score for rs in ranked]
+        assert scores == sorted(scores, reverse=True)
+        assert [rs.rank for rs in ranked] == list(range(1, len(ranked) + 1))
+
+    def test_k_respected(self, fig1_maimon):
+        assert len(rank_schemas(fig1_maimon, 0.0, k=2)) == 2
+
+    def test_relations_objective_tops_most_decomposed(self, fig1_maimon):
+        ranked = rank_schemas(fig1_maimon, 0.0, k=3, objective="relations")
+        assert ranked[0].discovered.schema.m == max(
+            rs.discovered.schema.m for rs in ranked
+        )
+
+    def test_width_objective_minimises_width(self, fig1_maimon):
+        ranked = rank_schemas(fig1_maimon, 0.0, k=10, objective="width")
+        widths = [rs.discovered.quality.width for rs in ranked]
+        assert widths[0] == min(widths)
+
+    def test_custom_callable(self, fig1_maimon):
+        ranked = rank_schemas(
+            fig1_maimon, 0.0, k=3, objective=lambda ds: -ds.schema.m
+        )
+        ms = [rs.discovered.schema.m for rs in ranked]
+        assert ms == sorted(ms)
+
+    def test_unknown_objective(self, fig1_maimon):
+        with pytest.raises(ValueError, match="unknown objective"):
+            rank_schemas(fig1_maimon, 0.0, objective="nope")
+
+    def test_without_spurious(self, fig1_maimon):
+        ranked = rank_schemas(
+            fig1_maimon, 0.0, k=3, objective="width", with_spurious=False
+        )
+        assert all(rs.discovered.quality.spurious_pct is None for rs in ranked)

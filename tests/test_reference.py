@@ -1,0 +1,62 @@
+"""Sanity tests for the brute-force reference module itself."""
+
+import math
+
+import pytest
+
+from repro.core.mvd import MVD
+from repro.reference import (
+    all_standard_mvds,
+    entropy_by_counting,
+    full_mvds_with_key,
+    j_by_counting,
+    minimal_separators,
+    set_partitions,
+)
+from tests.conftest import random_relation
+
+
+class TestSetPartitions:
+    def test_bell_numbers(self):
+        # B_1..B_5 = 1, 2, 5, 15, 52.
+        for n, bell in [(1, 1), (2, 2), (3, 5), (4, 15), (5, 52)]:
+            assert sum(1 for _ in set_partitions(list(range(n)))) == bell
+
+    def test_empty(self):
+        assert list(set_partitions([])) == [[]]
+
+    def test_blocks_partition_input(self):
+        for blocks in set_partitions([1, 2, 3, 4]):
+            flat = sorted(x for b in blocks for x in b)
+            assert flat == [1, 2, 3, 4]
+
+
+class TestEntropyByCounting:
+    def test_uniform(self):
+        r = random_relation(1, 16, seed=0, max_domain=2)
+        h = entropy_by_counting(r, [0])
+        assert 0.0 <= h <= 1.0
+
+    def test_log_n_upper_bound(self):
+        r = random_relation(3, 20, seed=1)
+        assert entropy_by_counting(r, [0, 1, 2]) <= math.log2(20) + 1e-9
+
+
+class TestMvdEnumeration:
+    def test_standard_mvds_on_fig1(self, fig1):
+        out = all_standard_mvds(fig1, 0.0)
+        assert MVD({0}, [{5}, {1, 2, 3, 4}]) in out  # A ->> F | BCDE
+        # Every output is standard and covers Omega.
+        for m in out:
+            assert m.is_standard
+            assert m.attributes == frozenset(range(6))
+
+    def test_full_mvds_are_full(self, fig1):
+        for phi in full_mvds_with_key(fig1, frozenset({0, 3}), 0.0):
+            assert j_by_counting(fig1, phi) <= 1e-9
+
+    def test_minimal_separators_minimal(self, fig1):
+        seps = minimal_separators(fig1, (4, 5), 0.0)  # (E, F)
+        for s in seps:
+            for other in seps:
+                assert not (other < s)

@@ -1,0 +1,196 @@
+"""Unit tests for the columnar relation engine."""
+
+import numpy as np
+import pytest
+
+from repro.data.relation import Relation, _factorize
+from tests.conftest import random_relation
+
+
+class TestFactorize:
+    def test_first_appearance_order(self):
+        codes, domain = _factorize(["b", "a", "b", "c"])
+        assert list(codes) == [0, 1, 0, 2]
+        assert domain == ["b", "a", "c"]
+
+    def test_empty(self):
+        codes, domain = _factorize([])
+        assert len(codes) == 0
+        assert domain == []
+
+    def test_mixed_hashables(self):
+        codes, domain = _factorize([1, "1", 1, (2,)])
+        assert list(codes) == [0, 1, 0, 2]
+
+
+class TestConstruction:
+    def test_from_rows_roundtrip(self):
+        rows = [("x", 1), ("y", 2), ("x", 2)]
+        r = Relation.from_rows(rows, ["s", "n"])
+        assert r.n_rows == 3
+        assert r.n_cols == 2
+        assert r.rows() == [("x", 1), ("y", 2), ("x", 2)]
+
+    def test_from_columns(self):
+        r = Relation.from_columns({"a": [1, 1, 2], "b": ["u", "v", "u"]})
+        assert r.columns == ("a", "b")
+        assert r.cardinality("a") == 2
+
+    def test_from_columns_length_mismatch(self):
+        with pytest.raises(ValueError, match="differing lengths"):
+            Relation.from_columns({"a": [1], "b": [1, 2]})
+
+    def test_from_rows_width_mismatch(self):
+        with pytest.raises(ValueError, match="fields"):
+            Relation.from_rows([(1, 2), (3,)], ["a", "b"])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Relation.from_rows([(1, 2)], ["a", "a"])
+
+    def test_from_codes_densifies(self):
+        codes = np.array([[5, 0], [7, 0], [5, 1]])
+        r = Relation.from_codes(codes)
+        assert r.cardinality(0) == 2
+        assert r.cardinality(1) == 2
+        assert set(r.row_set()) == {(0, 0), (1, 0), (0, 1)}
+
+    def test_codes_must_be_2d(self):
+        with pytest.raises(ValueError):
+            Relation(np.zeros(3, dtype=np.int64), ["a"])
+
+    def test_empty_relation(self):
+        r = Relation.from_rows([], ["a", "b"])
+        assert r.n_rows == 0
+        assert r.n_cells == 0
+        assert r.distinct_count([0, 1]) == 0
+
+
+class TestColumnResolution:
+    def test_by_name_and_index(self, fig1):
+        assert fig1.col_index("A") == 0
+        assert fig1.col_index(3) == 3
+        assert fig1.col_indices(["D", "B"]) == (1, 3)
+
+    def test_unknown_name(self, fig1):
+        with pytest.raises(KeyError, match="unknown column"):
+            fig1.col_index("Z")
+
+    def test_index_out_of_range(self, fig1):
+        with pytest.raises(IndexError):
+            fig1.col_index(99)
+
+    def test_single_attr_spec(self, fig1):
+        assert fig1.col_indices("A") == (0,)
+        assert fig1.col_indices(2) == (2,)
+
+    def test_attr_names(self, fig1):
+        assert fig1.attr_names([3, 0]) == ("A", "D")
+
+
+class TestGrouping:
+    def test_group_ids_single_column(self):
+        r = Relation.from_rows([(1,), (2,), (1,)], ["a"])
+        ids, n = r.group_ids([0])
+        assert n == 2
+        assert ids[0] == ids[2] != ids[1]
+
+    def test_group_ids_multi_column(self, fig1):
+        ids, n = fig1.group_ids(["A", "D"])
+        # Fig 1 has AD values: (a1,d1),(a2,d1),(a2,d2),(a1,d2) - all distinct.
+        assert n == 4
+
+    def test_group_ids_empty_attrs(self, fig1):
+        ids, n = fig1.group_ids([])
+        assert n == 1
+        assert (ids == 0).all()
+
+    def test_group_sizes(self):
+        r = Relation.from_rows([(1, 1), (1, 2), (1, 1)], ["a", "b"])
+        sizes = sorted(r.group_sizes(["a", "b"]))
+        assert sizes == [1, 2]
+
+    def test_distinct_count_matches_set(self):
+        r = random_relation(4, 60, seed=3)
+        for attrs in ([0], [1, 3], [0, 1, 2, 3]):
+            expected = len({tuple(row) for row in r.codes[:, attrs]})
+            assert r.distinct_count(attrs) == expected
+
+    def test_group_ids_overflow_safe(self):
+        # Many columns with moderate cardinality would overflow naive
+        # mixed-radix encoding; group_ids must re-densify.
+        rng = np.random.default_rng(0)
+        codes = rng.integers(0, 1000, size=(200, 12))
+        r = Relation.from_codes(codes)
+        ids, n = r.group_ids(range(12))
+        expected = len({tuple(row) for row in r.codes})
+        assert n == expected
+
+
+class TestRelationalOps:
+    def test_project_dedups(self, fig1):
+        p = fig1.project(["A", "F"])
+        assert p.n_rows == 2  # (a1,f1), (a2,f2)
+        assert p.columns == ("A", "F")
+
+    def test_project_no_dedup(self, fig1):
+        p = fig1.project(["A"], dedup=False)
+        assert p.n_rows == fig1.n_rows
+
+    def test_distinct(self):
+        r = Relation.from_rows([(1, 2), (1, 2), (3, 4)], ["a", "b"])
+        assert r.distinct().n_rows == 2
+
+    def test_take_rows(self, fig1):
+        sub = fig1.take_rows([0, 2])
+        assert sub.n_rows == 2
+        assert sub.rows()[0] == fig1.rows()[0]
+        assert sub.rows()[1] == fig1.rows()[2]
+
+    def test_head(self, fig1):
+        assert fig1.head(2).n_rows == 2
+        assert fig1.head(100).n_rows == fig1.n_rows
+
+    def test_sample_rows_deterministic(self):
+        r = random_relation(3, 100, seed=1)
+        s1 = r.sample_rows(10, seed=42)
+        s2 = r.sample_rows(10, seed=42)
+        assert s1.rows() == s2.rows()
+        assert s1.n_rows == 10
+
+    def test_sample_rows_all(self):
+        r = random_relation(3, 10, seed=1)
+        assert r.sample_rows(100, seed=0) is r
+
+    def test_rename(self, fig1):
+        renamed = fig1.rename({"A": "alpha"})
+        assert renamed.columns[0] == "alpha"
+        assert renamed.columns[1:] == fig1.columns[1:]
+
+    def test_column_values(self):
+        r = Relation.from_rows([("x",), ("y",), ("x",)], ["c"])
+        assert r.column_values("c") == ["x", "y", "x"]
+
+
+class TestDunder:
+    def test_len(self, fig1):
+        assert len(fig1) == 4
+
+    def test_equality_set_semantics(self):
+        r1 = Relation.from_rows([(1, 2), (3, 4)], ["a", "b"])
+        r2 = Relation.from_rows([(3, 4), (1, 2)], ["a", "b"])
+        assert r1 == r2
+
+    def test_inequality_different_columns(self):
+        r1 = Relation.from_rows([(1,)], ["a"])
+        r2 = Relation.from_rows([(1,)], ["b"])
+        assert r1 != r2
+
+    def test_not_hashable(self, fig1):
+        with pytest.raises(TypeError):
+            hash(fig1)
+
+    def test_repr_and_pretty(self, fig1):
+        assert "4x6" in repr(fig1)
+        text = fig1.pretty(limit=2)
+        assert "A" in text and "more rows" in text

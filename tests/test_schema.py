@@ -1,0 +1,109 @@
+"""Tests for the Schema class."""
+
+import pytest
+
+from repro.core.schema import Schema, normalize_bags
+
+
+def fs(*xs):
+    return frozenset(xs)
+
+
+class TestNormalization:
+    def test_subsumed_bags_dropped(self):
+        bags = normalize_bags([fs(0, 1), fs(0), fs(1, 2)])
+        assert set(bags) == {fs(0, 1), fs(1, 2)}
+
+    def test_duplicates_dropped(self):
+        assert len(normalize_bags([fs(0, 1), fs(1, 0)])) == 1
+
+    def test_empty_bags_dropped(self):
+        assert normalize_bags([fs(0), fs()]) == (fs(0),)
+
+    def test_canonical_order(self):
+        bags = normalize_bags([fs(2, 3), fs(0, 1)])
+        assert bags == (fs(0, 1), fs(2, 3))
+
+
+class TestConstruction:
+    def test_normalizing_constructor(self):
+        s = Schema([fs(0, 1), fs(0)])
+        assert s.m == 1
+
+    def test_strict_constructor_rejects_subsumption(self):
+        with pytest.raises(ValueError, match="antichain"):
+            Schema([fs(0, 1), fs(0)], normalize=False)
+
+    def test_needs_a_bag(self):
+        with pytest.raises(ValueError, match="at least one bag"):
+            Schema([])
+
+
+class TestStructure:
+    def test_counts(self):
+        s = Schema([fs(0, 1, 2), fs(2, 3)])
+        assert s.m == 2
+        assert len(s) == 2
+        assert s.width == 3
+        assert s.intersection_width == 1
+        assert s.attributes == fs(0, 1, 2, 3)
+
+    def test_covers(self):
+        s = Schema([fs(0, 1), fs(1, 2)])
+        assert s.covers({0, 1, 2})
+        assert not s.covers({0, 3})
+
+    def test_iteration(self):
+        s = Schema([fs(0, 1), fs(1, 2)])
+        assert set(s) == {fs(0, 1), fs(1, 2)}
+
+
+class TestAcyclicity:
+    def test_acyclic(self):
+        assert Schema([fs(0, 1), fs(1, 2)]).is_acyclic()
+
+    def test_cyclic(self):
+        s = Schema([fs(0, 1), fs(1, 2), fs(0, 2)])
+        assert not s.is_acyclic()
+        with pytest.raises(ValueError):
+            s.join_tree()
+
+    def test_join_tree_cached(self):
+        s = Schema([fs(0, 1), fs(1, 2)])
+        assert s.join_tree() is s.join_tree()
+
+    def test_support(self):
+        s = Schema([fs(0, 1), fs(1, 2)])
+        (mvd,) = s.support()
+        assert mvd.key == fs(1)
+        assert set(mvd.dependents) == {fs(0), fs(2)}
+
+
+class TestSemantics:
+    def test_j_measure(self, fig1_oracle):
+        s = Schema([fs(0, 5), fs(0, 2, 3), fs(0, 1, 3), fs(1, 3, 4)])
+        assert s.j_measure(fig1_oracle) == pytest.approx(0.0, abs=1e-9)
+
+    def test_decompose(self, fig1):
+        s = Schema([fs(0, 5), fs(0, 1, 2, 3, 4)])
+        parts = s.decompose(fig1)
+        assert len(parts) == 2
+        af = next(p for p in parts if p.n_cols == 2)
+        assert af.columns == ("A", "F")
+        assert af.n_rows == 2  # deduplicated
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        s1 = Schema([fs(0, 1), fs(1, 2)])
+        s2 = Schema([fs(1, 2), fs(0, 1)])
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+        assert s1 != Schema([fs(0, 1, 2)])
+
+    def test_format(self):
+        s = Schema([fs(0, 1)])
+        assert s.format("AB") == "{{A,B}}"
+
+    def test_repr(self):
+        assert "Schema" in repr(Schema([fs(0)]))

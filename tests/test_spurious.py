@@ -1,0 +1,125 @@
+"""Tests for spurious-tuple counting (Yannakakis vs materialised join)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.schema import Schema
+from repro.quality.spurious import (
+    join_row_count,
+    materialized_join_rows,
+    spurious_tuple_count,
+    spurious_tuple_pct,
+)
+from tests.conftest import random_relation
+
+A, B, C, D, E, F = range(6)
+
+
+def fs(*xs):
+    return frozenset(xs)
+
+
+FIG1_SCHEMA = Schema([fs(A, F), fs(A, C, D), fs(A, B, D), fs(B, D, E)])
+
+
+class TestJoinRowCount:
+    def test_fig1_lossless(self, fig1):
+        assert join_row_count(fig1, FIG1_SCHEMA) == 4
+        assert spurious_tuple_count(fig1, FIG1_SCHEMA) == 0
+        assert spurious_tuple_pct(fig1, FIG1_SCHEMA) == 0.0
+
+    def test_fig1_red_one_spurious(self, fig1_red):
+        """Section 2: adding the red tuple creates exactly one spurious
+        tuple, (a2, b2, c2, d2, e2, f2)."""
+        assert join_row_count(fig1_red, FIG1_SCHEMA) == 6
+        assert spurious_tuple_count(fig1_red, FIG1_SCHEMA) == 1
+        assert spurious_tuple_pct(fig1_red, FIG1_SCHEMA) == pytest.approx(20.0)
+
+    def test_red_spurious_tuple_identity(self, fig1_red):
+        rows = materialized_join_rows(fig1_red, FIG1_SCHEMA)
+        base = fig1_red.row_set()
+        extra = rows - base
+        assert len(extra) == 1
+        decoded = next(iter(extra))
+        # Decode the codes back to the labels of Fig. 1.
+        labels = tuple(
+            fig1_red.domains[j][decoded[j]] for j in range(6)
+        )
+        assert labels == ("a2", "b2", "c2", "d2", "e2", "f2")
+
+    def test_single_bag_schema(self, fig1):
+        s = Schema([fs(*range(6))])
+        assert join_row_count(fig1, s) == 4
+        assert spurious_tuple_count(fig1, s) == 0
+
+    def test_independent_bags_product(self):
+        from repro.data.relation import Relation
+
+        r = Relation.from_rows([(0, 0), (1, 1), (2, 0)], ["a", "b"])
+        s = Schema([fs(0), fs(1)])
+        # Join of projections = 3 x 2 cartesian product.
+        assert join_row_count(r, s) == 6
+        assert spurious_tuple_count(r, s) == 3
+
+    def test_matches_materialized_on_fig1(self, fig1, fig1_red):
+        for rel in (fig1, fig1_red):
+            for schema in (
+                FIG1_SCHEMA,
+                Schema([fs(A, F), fs(A, B, C, D, E)]),
+                Schema([fs(A, B, C), fs(C, D, E), fs(E, F)]),
+            ):
+                assert join_row_count(rel, schema) == len(
+                    materialized_join_rows(rel, schema)
+                )
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 4000))
+    def test_matches_materialized_property(self, seed):
+        r = random_relation(5, 20, seed=seed)
+        for schema in (
+            Schema([fs(0, 1, 2), fs(2, 3, 4)]),
+            Schema([fs(0, 1), fs(1, 2), fs(2, 3), fs(3, 4)]),
+            Schema([fs(0), fs(1), fs(2), fs(3), fs(4)]),
+        ):
+            assert join_row_count(r, schema) == len(
+                materialized_join_rows(r, schema)
+            )
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 4000))
+    def test_join_contains_relation(self, seed):
+        """Decompose-then-join never loses tuples (spurious >= 0)."""
+        r = random_relation(4, 15, seed=seed)
+        schema = Schema([fs(0, 1), fs(1, 2, 3)])
+        assert spurious_tuple_count(r, schema) >= 0
+        assert r.row_set() <= materialized_join_rows(r, schema)
+
+    def test_duplicates_ignored(self):
+        from repro.data.relation import Relation
+
+        r = Relation.from_rows([(0, 0), (0, 0), (1, 1)], ["a", "b"])
+        s = Schema([fs(0), fs(1)])
+        # Distinct base is 2; join is 2x2=4.
+        assert spurious_tuple_count(r, s) == 2
+        assert spurious_tuple_pct(r, s) == pytest.approx(100.0)
+
+    def test_lee_connection(self, fig1_oracle, fig1):
+        """J(S) = 0 iff no spurious tuples (Lee / Theorem 3.3)."""
+        exact = FIG1_SCHEMA
+        assert exact.j_measure(fig1_oracle) == pytest.approx(0, abs=1e-9)
+        assert spurious_tuple_count(fig1, exact) == 0
+        lossy = Schema([fs(A, B, C), fs(C, D, E, F)])
+        j = lossy.j_measure(fig1_oracle)
+        spurious = spurious_tuple_count(fig1, lossy)
+        assert (j <= 1e-9) == (spurious == 0)
+
+
+class TestEmptyEdgeCases:
+    def test_empty_relation(self):
+        from repro.data.relation import Relation
+        import numpy as np
+
+        r = Relation(np.zeros((0, 2), dtype=np.int64), ["a", "b"])
+        s = Schema([fs(0), fs(1)])
+        assert join_row_count(r, s) == 0
+        assert spurious_tuple_pct(r, s) == 0.0

@@ -1,0 +1,126 @@
+"""Tests for the mini in-memory relational engine."""
+
+import pytest
+
+from repro.sqlsim.engine import Database, Table, hash_combine
+
+
+@pytest.fixture
+def people():
+    return Table(
+        "people",
+        ["id", "city"],
+        [(1, "sea"), (2, "sfo"), (3, "sea"), (4, "nyc")],
+    )
+
+
+@pytest.fixture
+def visits():
+    return Table(
+        "visits",
+        ["id", "place"],
+        [(1, "park"), (1, "cafe"), (3, "park"), (5, "gym")],
+    )
+
+
+class TestTableBasics:
+    def test_schema_checked(self):
+        with pytest.raises(ValueError, match="fields"):
+            Table("t", ["a", "b"], [(1,)])
+        with pytest.raises(ValueError, match="duplicate"):
+            Table("t", ["a", "a"])
+
+    def test_len_and_columns(self, people):
+        assert len(people) == 4
+        assert people.col("city") == 1
+        with pytest.raises(KeyError, match="no column"):
+            people.col("nope")
+
+    def test_column_values(self, people):
+        assert people.column_values("city") == ["sea", "sfo", "sea", "nyc"]
+
+    def test_row_dicts(self, people):
+        first = next(iter(people.row_dicts()))
+        assert first == {"id": 1, "city": "sea"}
+
+
+class TestOperators:
+    def test_where(self, people):
+        sea = people.where(lambda r: r["city"] == "sea")
+        assert len(sea) == 2
+
+    def test_project_computed(self, people):
+        out = people.project({"tag": lambda r: f"{r['id']}@{r['city']}"})
+        assert out.columns == ("tag",)
+        assert out.rows[0] == ("1@sea",)
+
+    def test_select_columns(self, people):
+        out = people.select_columns(["city"])
+        assert out.columns == ("city",)
+        assert len(out) == 4  # duplicates kept
+
+    def test_join_matches(self, people, visits):
+        out = people.join(visits, on="id")
+        assert set(out.columns) == {"id_a", "city_a", "id_b", "place_b"}
+        # ids 1 (x2 visits) and 3 (x1) match; 2, 4, 5 don't.
+        assert len(out) == 3
+        ids = out.column_values("id_a")
+        assert sorted(ids) == [1, 1, 3]
+
+    def test_join_side_order_stable(self, people, visits):
+        """Self columns always get the first suffix, regardless of which
+        side the hash build picks."""
+        small = Table("small", ["id", "x"], [(1, "u")])
+        out_a = small.join(people, on="id")
+        assert out_a.columns[:2] == ("id_a", "x_a")
+        out_b = people.join(small, on="id")
+        assert out_b.columns[:2] == ("id_a", "city_a")
+        assert out_b.rows[0][:2] == (1, "sea")
+
+    def test_group_count_having(self, people):
+        grp = people.select_columns(["city"]).group_count("city", having_min=2)
+        assert dict(grp.rows) == {"sea": 2}
+
+    def test_group_count_all(self, people):
+        grp = people.select_columns(["city"]).group_count("city")
+        assert dict(grp.rows) == {"sea": 2, "sfo": 1, "nyc": 1}
+
+    def test_semijoin(self, people, visits):
+        out = people.semijoin(visits, on="id")
+        assert sorted(out.column_values("id")) == [1, 3]
+
+    def test_distinct(self):
+        t = Table("t", ["a"], [(1,), (1,), (2,)])
+        assert len(t.distinct()) == 2
+
+
+class TestDatabase:
+    def test_create_get_drop(self, people):
+        db = Database()
+        db.create(people)
+        assert "people" in db
+        assert db.get("people") is people
+        with pytest.raises(ValueError, match="already exists"):
+            db.create(people)
+        db.drop("people")
+        assert "people" not in db
+        with pytest.raises(KeyError, match="no table"):
+            db.get("people")
+
+    def test_create_or_replace(self, people):
+        db = Database()
+        db.create_or_replace(people)
+        db.create_or_replace(people)
+        assert db.table_names() == ["people"]
+
+    def test_total_rows(self, people, visits):
+        db = Database()
+        db.create(people)
+        db.create(visits)
+        assert db.total_rows() == 8
+
+
+class TestHashCombine:
+    def test_deterministic(self):
+        assert hash_combine(1, "x") == hash_combine(1, "x")
+        assert hash_combine(1, 2) != hash_combine(2, 1)

@@ -1,0 +1,128 @@
+"""Tests for minimal hypergraph transversal enumeration (Berge)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hypergraph.transversal import (
+    TransversalEnumerator,
+    is_minimal_transversal,
+    is_transversal,
+    minimal_transversals,
+    minimize_sets,
+)
+from repro.reference import brute_minimal_transversals
+
+
+def fs(*xs):
+    return frozenset(xs)
+
+
+class TestMinimizeSets:
+    def test_removes_supersets(self):
+        out = minimize_sets([fs(1), fs(1, 2), fs(3, 4), fs(3)])
+        assert set(out) == {fs(1), fs(3)}
+
+    def test_deduplicates(self):
+        assert minimize_sets([fs(1, 2), fs(2, 1)]) == [fs(1, 2)]
+
+    def test_empty_set_dominates(self):
+        assert minimize_sets([fs(), fs(1)]) == [fs()]
+
+
+class TestPredicates:
+    def test_is_transversal(self):
+        edges = [fs(1, 2), fs(2, 3)]
+        assert is_transversal(fs(2), edges)
+        assert is_transversal(fs(1, 3), edges)
+        assert not is_transversal(fs(1), edges)
+
+    def test_is_minimal_transversal(self):
+        edges = [fs(1, 2), fs(2, 3)]
+        assert is_minimal_transversal(fs(2), edges)
+        assert is_minimal_transversal(fs(1, 3), edges)
+        assert not is_minimal_transversal(fs(1, 2), edges)
+
+
+class TestStaticEnumeration:
+    def test_triangle(self):
+        edges = [fs(1, 2), fs(2, 3), fs(1, 3)]
+        out = minimal_transversals(edges)
+        assert set(out) == {fs(1, 2), fs(2, 3), fs(1, 3)}
+
+    def test_disjoint_edges(self):
+        out = minimal_transversals([fs(1, 2), fs(3, 4)])
+        assert set(out) == {fs(1, 3), fs(1, 4), fs(2, 3), fs(2, 4)}
+
+    def test_no_edges(self):
+        assert minimal_transversals([]) == [fs()]
+
+    def test_empty_edge_kills_everything(self):
+        assert minimal_transversals([fs(1), fs()]) == []
+
+    def test_matches_brute_force_examples(self):
+        cases = [
+            [fs(0, 1, 2), fs(2, 3), fs(0, 3)],
+            [fs(0), fs(1), fs(2)],
+            [fs(0, 1), fs(0, 1)],
+            [fs(0, 1, 2, 3)],
+        ]
+        for edges in cases:
+            assert set(minimal_transversals(edges)) == set(
+                brute_minimal_transversals(edges)
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.frozensets(st.integers(0, 5), min_size=1, max_size=4),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_matches_brute_force_property(self, edges):
+        assert set(minimal_transversals(edges)) == set(
+            brute_minimal_transversals(edges)
+        )
+
+
+class TestIncrementalEnumerator:
+    def test_pending_queue_hands_out_once(self):
+        enum = TransversalEnumerator()
+        assert enum.pop_unprocessed() == fs()  # empty hypergraph
+        assert enum.pop_unprocessed() is None
+        enum.add_edge(fs(1, 2))
+        got = set()
+        while (d := enum.pop_unprocessed()) is not None:
+            got.add(d)
+        assert got == {fs(1), fs(2)}
+
+    def test_add_edge_invalidates_stale_pending(self):
+        enum = TransversalEnumerator()
+        enum.add_edge(fs(1, 2))
+        first = enum.pop_unprocessed()
+        assert first in {fs(1), fs(2)}
+        enum.add_edge(fs(3))
+        rest = set()
+        while (d := enum.pop_unprocessed()) is not None:
+            rest.add(d)
+        # The final hypergraph {12, 3} has minimal transversals {1,3}, {2,3};
+        # `first` is stale and must not suppress either of them.
+        assert rest == enum.transversals == {fs(1, 3), fs(2, 3)}
+
+    def test_processed_never_repeats(self):
+        enum = TransversalEnumerator()
+        enum.add_edge(fs(1, 2))
+        seen = []
+        while (d := enum.pop_unprocessed()) is not None:
+            seen.append(d)
+        enum.add_edge(fs(1, 3))
+        while (d := enum.pop_unprocessed()) is not None:
+            seen.append(d)
+        assert len(seen) == len(set(seen))
+
+    def test_incremental_matches_static(self):
+        edges = [fs(0, 1), fs(1, 2, 3), fs(0, 3), fs(2, 4)]
+        enum = TransversalEnumerator()
+        for e in edges:
+            enum.add_edge(e)
+        assert enum.transversals == set(brute_minimal_transversals(edges))

@@ -1,0 +1,96 @@
+"""Tests for unique column combination discovery."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.relation import Relation
+from repro.fd.ucc import UCC, brute_force_uccs, is_ucc, mine_uccs, ucc_error
+from tests.conftest import random_relation
+
+
+@pytest.fixture
+def keyed_relation():
+    """Column a is a key; (b, c) jointly unique; nothing smaller."""
+    rows = [
+        (0, 0, 0),
+        (1, 0, 1),
+        (2, 1, 0),
+        (3, 1, 1),
+    ]
+    return Relation.from_rows(rows, ["a", "b", "c"])
+
+
+class TestErrorAndPredicate:
+    def test_exact_key(self, keyed_relation):
+        assert ucc_error(keyed_relation, [0]) == 0.0
+        assert is_ucc(keyed_relation, [0])
+
+    def test_non_key(self, keyed_relation):
+        assert ucc_error(keyed_relation, [1]) == pytest.approx(0.5)
+        assert not is_ucc(keyed_relation, [1])
+        assert is_ucc(keyed_relation, [1], error=0.5)
+
+    def test_empty_set(self, keyed_relation):
+        # The empty set groups everything together: error (N-1)/N.
+        assert ucc_error(keyed_relation, []) == pytest.approx(3 / 4)
+
+    def test_empty_relation(self):
+        import numpy as np
+
+        r = Relation(np.zeros((0, 2), dtype=np.int64), ["a", "b"])
+        assert ucc_error(r, [0]) == 0.0
+
+
+class TestMineUccs:
+    def test_keyed_relation(self, keyed_relation):
+        uccs = {u.attrs for u in mine_uccs(keyed_relation)}
+        assert frozenset({0}) in uccs
+        assert frozenset({1, 2}) in uccs
+        # Non-minimal supersets of {a} must not appear.
+        assert frozenset({0, 1}) not in uccs
+
+    def test_no_ucc_when_duplicates(self):
+        r = Relation.from_rows([(1, 1), (1, 1)], ["a", "b"])
+        assert mine_uccs(r) == []
+        # ...but an approximate one exists at error 1/2.
+        uccs = mine_uccs(r, error=0.5)
+        assert UCC(frozenset(), 0.5) in uccs
+
+    def test_max_size(self, keyed_relation):
+        uccs = mine_uccs(keyed_relation, max_size=1)
+        assert all(len(u.attrs) <= 1 for u in uccs)
+
+    def test_matches_brute_force_examples(self):
+        for seed in (0, 3, 8):
+            r = random_relation(4, 20, seed=seed)
+            got = {(u.attrs, round(u.error, 9)) for u in mine_uccs(r)}
+            expected = {(u.attrs, round(u.error, 9)) for u in brute_force_uccs(r)}
+            assert got == expected, f"seed {seed}"
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 4000), error=st.sampled_from([0.0, 0.1, 0.3]))
+    def test_matches_brute_force_property(self, seed, error):
+        r = random_relation(4, 15, seed=seed)
+        got = {u.attrs for u in mine_uccs(r, error=error)}
+        expected = {u.attrs for u in brute_force_uccs(r, error=error)}
+        assert got == expected
+
+    def test_format(self):
+        u = UCC(frozenset({0, 2}))
+        assert u.format("abc") == "{a,c}"
+        assert u.format() == "{0,2}"
+
+
+class TestRelationToEntropy:
+    def test_ucc_iff_full_entropy(self, keyed_relation):
+        """X is an exact UCC iff H(X) = log2(N) (distinct rows)."""
+        import math
+
+        from repro.entropy.oracle import make_oracle
+
+        o = make_oracle(keyed_relation)
+        n = keyed_relation.n_rows
+        for attrs in ([0], [1], [2], [1, 2], [0, 1]):
+            expected = is_ucc(keyed_relation, attrs)
+            holds = o.entropy(attrs) >= math.log2(n) - 1e-9
+            assert holds == expected, attrs

@@ -1,0 +1,154 @@
+"""Tests for Yannakakis evaluation and the decomposed store."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.schema import Schema
+from repro.data.relation import Relation
+from repro.quality.spurious import join_row_count, materialized_join_rows
+from repro.quality.yannakakis import (
+    DecomposedBags,
+    count_query,
+    full_reducer,
+    iter_join_rows,
+    sum_query,
+)
+from repro.storage import DecomposedStore
+from tests.conftest import random_relation
+
+A, B, C, D, E, F = range(6)
+
+
+def fs(*xs):
+    return frozenset(xs)
+
+
+FIG1_SCHEMA = Schema([fs(A, F), fs(A, C, D), fs(A, B, D), fs(B, D, E)])
+
+
+class TestFullReducer:
+    def test_consistent_input_unchanged(self, fig1):
+        bags = DecomposedBags(fig1, FIG1_SCHEMA)
+        before = [len(r) for r in bags.rows]
+        full_reducer(bags)
+        assert [len(r) for r in bags.rows] == before
+
+    def test_dangling_tuples_removed(self):
+        # Two bags sharing B; one B value dangles on each side.
+        r = Relation.from_rows(
+            [(0, 0, 0), (1, 1, 1), (2, 2, 2)], ["a", "b", "c"]
+        )
+        bags = DecomposedBags(r, Schema([fs(0, 1), fs(1, 2)]))
+        # Manually inject a dangling tuple into bag 0.
+        extra = np.array([[7, 9]])
+        bags.rows[0] = np.vstack([bags.rows[0], extra])
+        full_reducer(bags)
+        assert len(bags.rows[0]) == 3  # dangling (7,9) gone
+
+    def test_empty_bag_propagates(self):
+        r = Relation.from_rows([(0, 0)], ["a", "b"])
+        bags = DecomposedBags(r, Schema([fs(0), fs(1)]))
+        bags.rows[1] = bags.rows[1][:0]  # empty one side
+        full_reducer(bags)
+        assert len(bags.rows[0]) == 0
+
+
+class TestIterJoinRows:
+    def test_fig1_join(self, fig1):
+        bags = DecomposedBags(fig1, FIG1_SCHEMA)
+        rows = set(iter_join_rows(bags))
+        assert rows == materialized_join_rows(fig1, FIG1_SCHEMA)
+
+    def test_fig1_red_includes_spurious(self, fig1_red):
+        bags = DecomposedBags(fig1_red, FIG1_SCHEMA)
+        rows = set(iter_join_rows(bags))
+        assert len(rows) == 6
+        assert fig1_red.row_set() < rows
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 3000))
+    def test_matches_materialized_property(self, seed):
+        r = random_relation(4, 15, seed=seed)
+        schema = Schema([fs(0, 1), fs(1, 2), fs(2, 3)])
+        bags = DecomposedBags(r, schema)
+        assert set(iter_join_rows(bags)) == materialized_join_rows(r, schema)
+
+
+class TestAggregates:
+    def test_count_matches_join_row_count(self, fig1, fig1_red):
+        for rel in (fig1, fig1_red):
+            bags = DecomposedBags(rel, FIG1_SCHEMA)
+            assert count_query(bags) == join_row_count(rel, FIG1_SCHEMA)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 3000))
+    def test_sum_matches_enumeration(self, seed):
+        r = random_relation(4, 15, seed=seed)
+        schema = Schema([fs(0, 1, 2), fs(2, 3)])
+        bags = DecomposedBags(r, schema)
+        rows = list(iter_join_rows(DecomposedBags(r, schema)))
+        for attr in range(4):
+            expected = sum(row[attr] for row in rows)
+            assert sum_query(bags, attr) == expected, f"attr {attr}"
+
+    def test_sum_on_star_schema(self):
+        r = Relation.from_rows(
+            [(0, 1, 10), (0, 2, 10), (1, 3, 20)], ["k", "x", "v"]
+        )
+        schema = Schema([fs(0, 1), fs(0, 2)])
+        bags = DecomposedBags(r, schema)
+        rows = list(iter_join_rows(DecomposedBags(r, schema)))
+        assert sum_query(bags, 2) == sum(row[2] for row in rows)
+
+
+class TestDecomposedStore:
+    def test_schema_validation(self, fig1):
+        with pytest.raises(ValueError, match="cover"):
+            DecomposedStore(fig1, Schema([fs(0, 1)]))
+        cyclic = Schema([fs(0, 1), fs(1, 2), fs(0, 2), fs(3), fs(4), fs(5)])
+        with pytest.raises(ValueError, match="acyclic"):
+            DecomposedStore(fig1, cyclic)
+
+    def test_membership(self, fig1):
+        store = DecomposedStore(fig1, FIG1_SCHEMA)
+        for row in fig1.codes:
+            assert store.contains(row)
+        assert not store.contains([9, 9, 9, 9, 9, 9])
+
+    def test_membership_width_check(self, fig1):
+        store = DecomposedStore(fig1, FIG1_SCHEMA)
+        with pytest.raises(ValueError):
+            store.contains([0, 0])
+
+    def test_spurious_membership(self, fig1_red):
+        """The spurious tuple is 'stored' — that is exactly the loss E."""
+        store = DecomposedStore(fig1_red, FIG1_SCHEMA)
+        # (a2,b2,c2,d2,e2,f2) decodes to codes via the column domains.
+        codes = [
+            fig1_red.domains[j].index(v)
+            for j, v in enumerate(("a2", "b2", "c2", "d2", "e2", "f2"))
+        ]
+        assert store.contains(codes)
+        assert store.spurious_count() == 1
+
+    def test_counts_and_savings(self, fig1):
+        store = DecomposedStore(fig1, FIG1_SCHEMA)
+        assert store.count() == 4
+        assert store.spurious_count() == 0
+        assert store.stored_cells == sum(
+            r.shape[0] * r.shape[1] for r in store.bags.rows
+        )
+        assert "DecomposedStore" in repr(store)
+
+    def test_reconstruct_roundtrip(self, fig1):
+        store = DecomposedStore(fig1, FIG1_SCHEMA)
+        back = store.reconstruct()
+        assert back.row_set() == fig1.row_set()
+        assert back.columns == fig1.columns
+
+    def test_sum_by_name(self):
+        r = Relation.from_rows([(0, 5), (1, 7)], ["k", "v"])
+        store = DecomposedStore(r, Schema([fs(0, 1)]))
+        # Codes, not decoded values: v codes are 0 and 1.
+        assert store.sum("v") == 1
