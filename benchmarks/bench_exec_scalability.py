@@ -1,0 +1,70 @@
+"""Exec subsystem — batched/parallel/persistent entropy execution.
+
+Not a paper figure: this bench tracks the performance of the
+``repro.exec`` execution service introduced on top of the entropy engines.
+It reruns the Fig. 13 row-scalability workload (``mine_all_min_seps``)
+three ways:
+
+* ``workers=1`` — the serial seed path (baseline);
+* ``workers>1`` — batched evaluation over the process pool;
+* ``persist_warm`` — serial again, against a warm on-disk entropy cache.
+
+Expected shape: parallel speedup scales with ``cpu_count`` (on a
+single-core host the pool can only lose — the payload records
+``cpu_count`` precisely so that regressions are distinguishable from
+hardware limits); the warm-cache run does no engine evaluations at all
+(``evals == 0``) and is near-instant.  The payload is also written to
+``BENCH_exec.json`` so the perf trajectory is tracked across PRs.
+"""
+
+import os
+
+import pytest
+
+from benchmarks.conftest import scaled
+from repro.bench.harness import Table, exec_scalability, write_bench_json
+
+
+def test_exec_scalability(benchmark, tmp_path):
+    payload = benchmark.pedantic(
+        exec_scalability,
+        kwargs=dict(
+            name="Image",
+            fractions=(0.5, 1.0),
+            workers=(1, 2, 4),
+            eps=0.01,
+            base_rows=scaled(1500),
+            max_cols=10,
+            time_limit_s=scaled(30.0),
+            persist_dir=str(tmp_path / "cache"),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = Table(
+        f"Exec scalability (Image, cpus={payload['cpu_count']})",
+        ["mode", "rows", "workers", "runtime_s", "min_seps", "queries",
+         "evals", "speedup_vs_serial"],
+    )
+    for r in payload["runs"]:
+        table.add(r)
+    table.show()
+    write_bench_json(payload, os.path.join(os.path.dirname(__file__), "..", "BENCH_exec.json"))
+
+    runs = payload["runs"]
+    # Every mode finds the same separators as the serial seed path.
+    assert all(r["matches_serial"] in (True, None) for r in runs)
+    # Counter semantics: logical queries never undercount engine evals.
+    assert all(r["queries"] >= r["evals"] for r in runs)
+    # The warm persistent cache eliminates engine evaluations entirely.
+    warm = [r for r in runs if r["mode"] == "persist_warm" and not r["timed_out"]]
+    assert warm and all(r["evals"] == 0 for r in warm)
+    # Parallel runs must at least have exercised the pool path.
+    parallel = [r for r in runs if r["mode"] == "parallel"]
+    assert parallel and all(r["workers"] > 1 for r in parallel)
+    # Speedup is hardware-bound: only assert it where there are cores to win.
+    if payload["cpu_count"] and payload["cpu_count"] >= 4:
+        best = max(
+            r["speedup_vs_serial"] for r in parallel if r["speedup_vs_serial"]
+        )
+        assert best >= 1.2, f"parallel mining should win on {payload['cpu_count']} cores"

@@ -1,8 +1,8 @@
 """Maimon — Mining Approximate Acyclic Schemes from Relations.
 
 A complete Python reproduction of the SIGMOD 2020 paper by Kenig, Mundra,
-Prasad, Salimi and Suciu.  See README.md for a tour and DESIGN.md for the
-system inventory.
+Prasad, Salimi and Suciu.  See README.md for a quickstart and the
+architecture map.
 
 Quickstart::
 
@@ -25,6 +25,7 @@ from repro.entropy import (
     StrippedPartition,
     make_oracle,
 )
+from repro.exec import BatchEntropyOracle, ParallelEvaluator, PersistentEntropyCache
 from repro.core import (
     MVD,
     ASMiner,
@@ -70,6 +71,9 @@ __all__ = [
     "PLICacheEngine",
     "StrippedPartition",
     "make_oracle",
+    "BatchEntropyOracle",
+    "ParallelEvaluator",
+    "PersistentEntropyCache",
     "MVD",
     "ASMiner",
     "DiscoveredSchema",

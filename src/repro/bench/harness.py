@@ -9,6 +9,8 @@ seconds on laptop-sized surrogates (DESIGN.md §3).
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -84,6 +86,8 @@ def table2_row(
         "runtime_s": round(result.elapsed, 2),
         "full_mvds": "TL" if result.timed_out else result.n_mvds,
         "min_seps": result.n_min_seps,
+        "entropy_queries": result.entropy_queries,
+        "entropy_evals": result.entropy_evals,
         "timed_out": result.timed_out,
     }
 
@@ -243,6 +247,8 @@ def row_scalability(
                     "eps": eps,
                     "runtime_s": round(elapsed, 3),
                     "min_seps": n_seps,
+                    "queries": oracle.queries,
+                    "evals": oracle.evals,
                     "timed_out": budget.exhausted,
                 }
             )
@@ -284,6 +290,141 @@ def column_scalability(
                 }
             )
     return rows_out
+
+
+# --------------------------------------------------------------------- #
+# Exec subsystem — serial vs batched/parallel vs warm-cache mining
+# --------------------------------------------------------------------- #
+
+def exec_scalability(
+    name: str = "Image",
+    fractions: Sequence[float] = (0.5, 1.0),
+    workers: Sequence[int] = (1, 2, 4),
+    eps: float = 0.01,
+    base_rows: int = 4000,
+    max_cols: Optional[int] = 10,
+    time_limit_s: float = 60.0,
+    seed: int = 0,
+    persist_dir: Optional[str] = None,
+) -> Dict[str, object]:
+    """The Fig. 13 row-scalability workload under the exec subsystem.
+
+    Runs ``mine_all_min_seps`` on row fractions of a dataset for each
+    worker count (``workers=1`` is the serial seed path) and, when
+    ``persist_dir`` is given, once more serially against a warm on-disk
+    entropy cache.  Returns a machine-readable payload (see
+    :func:`write_bench_json`) with per-run wall time, the oracle's logical
+    ``queries`` and engine ``evals`` counters, and serial-vs-parallel
+    speedups per row fraction.  ``cpu_count`` is recorded because process
+    pools cannot beat serial on single-core hosts.
+    """
+    full = datasets.load(name, scale=1.0, max_rows=base_rows, max_cols=max_cols)
+    runs: List[Dict[str, object]] = []
+    serial_time: Dict[float, float] = {}
+    for frac in fractions:
+        k = max(32, int(round(full.n_rows * frac)))
+        sub = full.sample_rows(k, seed=seed)
+        baseline = None  # the full pair -> separators map of the serial run
+        for w in workers:
+            oracle = make_oracle(sub, workers=w)
+            budget = SearchBudget(max_seconds=time_limit_s).start()
+            t0 = time.perf_counter()
+            seps = mine_all_min_seps(oracle, eps, budget=budget)
+            elapsed = time.perf_counter() - t0
+            oracle.close()
+            n_seps = len({s for lst in seps.values() for s in lst})
+            if w == 1:
+                serial_time[frac] = elapsed
+                baseline = seps
+            runs.append(
+                {
+                    "mode": "parallel" if w > 1 else "serial",
+                    "rows": sub.n_rows,
+                    "frac": frac,
+                    "workers": w,
+                    "runtime_s": round(elapsed, 3),
+                    "min_seps": n_seps,
+                    "queries": oracle.queries,
+                    "evals": oracle.evals,
+                    "prefetched": getattr(oracle, "prefetched", 0),
+                    "speedup_vs_serial": (
+                        round(serial_time[frac] / elapsed, 3)
+                        if frac in serial_time and elapsed > 0
+                        else None
+                    ),
+                    # Exact parity: the same separators for the same pairs,
+                    # not just the same count.
+                    "matches_serial": None if baseline is None else seps == baseline,
+                    "timed_out": budget.exhausted,
+                }
+            )
+        if persist_dir is not None:
+            # Cold run fills the on-disk cache, warm run measures the skip.
+            for attempt in ("persist_cold", "persist_warm"):
+                oracle = make_oracle(sub, persist=True, cache_dir=persist_dir)
+                budget = SearchBudget(max_seconds=time_limit_s).start()
+                t0 = time.perf_counter()
+                seps = mine_all_min_seps(oracle, eps, budget=budget)
+                elapsed = time.perf_counter() - t0
+                oracle.close()
+                n_seps = len({s for lst in seps.values() for s in lst})
+                runs.append(
+                    {
+                        "mode": attempt,
+                        "rows": sub.n_rows,
+                        "frac": frac,
+                        "workers": 1,
+                        "runtime_s": round(elapsed, 3),
+                        "min_seps": n_seps,
+                        "queries": oracle.queries,
+                        "evals": oracle.evals,
+                        "persist_hits": getattr(oracle, "persist_hits", 0),
+                        "speedup_vs_serial": (
+                            round(serial_time[frac] / elapsed, 3)
+                            if frac in serial_time and elapsed > 0
+                            else None
+                        ),
+                        "matches_serial": (
+                            None if baseline is None else seps == baseline
+                        ),
+                        "timed_out": budget.exhausted,
+                    }
+                )
+    best_parallel = {
+        f"frac={frac:g}": max(
+            (
+                r["speedup_vs_serial"]
+                for r in runs
+                if r["mode"] == "parallel"
+                and r["frac"] == frac
+                and r["speedup_vs_serial"] is not None
+            ),
+            default=None,
+        )
+        for frac in fractions
+    }
+    return {
+        "bench": "exec_scalability",
+        "dataset": name,
+        "eps": eps,
+        "cpu_count": os.cpu_count(),
+        "workers": list(workers),
+        "runs": runs,
+        "best_parallel_speedup": best_parallel,
+        "note": (
+            "speedup_vs_serial compares each run to the workers=1 seed path "
+            "on the same rows; parallel speedup requires cpu_count > 1, "
+            "persist_warm speedup requires a warm cache directory"
+        ),
+    }
+
+
+def write_bench_json(payload: Dict[str, object], path: str = "BENCH_exec.json") -> str:
+    """Write a bench payload as machine-readable JSON; returns the path."""
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=False)
+        f.write("\n")
+    return path
 
 
 # --------------------------------------------------------------------- #

@@ -5,13 +5,19 @@ Commands
 ``mine``      mine full ε-MVDs from a CSV file (phase 1);
 ``schemas``   discover approximate acyclic schemas from a CSV (both phases);
 ``profile``   quick information profile of a CSV (entropies, near-FDs);
+``bench``     exec-subsystem scalability bench (writes ``BENCH_exec.json``);
 ``datasets``  list the built-in dataset surrogates (Table 2 registry).
+
+All data commands take ``--workers N`` (parallel entropy evaluation over a
+process pool), ``--no-persist`` (disable the on-disk entropy cache) and
+``--cache-dir`` (cache location); see :mod:`repro.exec`.
 
 Examples
 --------
     python -m repro mine data.csv --eps 0.05 --json out.json
     python -m repro schemas data.csv --eps 0.1 --top 5 --objective savings
-    python -m repro profile data.csv
+    python -m repro profile data.csv --workers 4
+    python -m repro bench --dataset Image --workers 1 2 4
     python -m repro datasets
 """
 
@@ -39,38 +45,54 @@ def _load(args) -> "Relation":
     return from_csv(args.csv, max_rows=args.max_rows)
 
 
+def _make_maimon(relation, args) -> Maimon:
+    return Maimon(
+        relation,
+        engine=args.engine,
+        workers=args.workers,
+        persist=not args.no_persist,
+        cache_dir=args.cache_dir,
+    )
+
+
 def cmd_mine(args) -> int:
     relation = _load(args)
     print(f"{relation.name or 'input'}: {relation.n_rows} rows x {relation.n_cols} cols")
-    maimon = Maimon(relation, engine=args.engine)
-    budget = SearchBudget(max_seconds=args.budget) if args.budget else None
-    result = maimon.mine_mvds(args.eps, budget=budget)
-    print(result.summary())
-    for phi in result.mvds[: args.top]:
-        print(f"  {phi.format(relation.columns)}")
-    if len(result.mvds) > args.top:
-        print(f"  ... ({len(result.mvds) - args.top} more)")
-    if args.json:
-        repro_io.save_json(
-            repro_io.miner_result_to_dict(result, relation.columns), args.json
-        )
-        print(f"wrote {args.json}")
+    maimon = _make_maimon(relation, args)
+    try:
+        budget = SearchBudget(max_seconds=args.budget) if args.budget else None
+        result = maimon.mine_mvds(args.eps, budget=budget)
+        print(result.summary())
+        for phi in result.mvds[: args.top]:
+            print(f"  {phi.format(relation.columns)}")
+        if len(result.mvds) > args.top:
+            print(f"  ... ({len(result.mvds) - args.top} more)")
+        if args.json:
+            repro_io.save_json(
+                repro_io.miner_result_to_dict(result, relation.columns), args.json
+            )
+            print(f"wrote {args.json}")
+    finally:
+        maimon.close()
     return 0
 
 
 def cmd_schemas(args) -> int:
     relation = _load(args)
     print(f"{relation.name or 'input'}: {relation.n_rows} rows x {relation.n_cols} cols")
-    maimon = Maimon(relation, engine=args.engine)
-    budget = SearchBudget(max_seconds=args.budget) if args.budget else None
-    ranked = rank_schemas(
-        maimon,
-        args.eps,
-        k=args.top,
-        objective=args.objective,
-        schema_budget=budget,
-        with_spurious=not args.no_spurious,
-    )
+    maimon = _make_maimon(relation, args)
+    try:
+        budget = SearchBudget(max_seconds=args.budget) if args.budget else None
+        ranked = rank_schemas(
+            maimon,
+            args.eps,
+            k=args.top,
+            objective=args.objective,
+            schema_budget=budget,
+            with_spurious=not args.no_spurious,
+        )
+    finally:
+        maimon.close()
     if not ranked:
         print("no schemas found at this threshold")
         return 1
@@ -106,31 +128,86 @@ def cmd_profile(args) -> int:
     relation = _load(args)
     from repro.entropy.oracle import make_oracle
 
-    oracle = make_oracle(relation)
+    oracle = make_oracle(
+        relation,
+        workers=args.workers,
+        persist=not args.no_persist,
+        cache_dir=args.cache_dir,
+    )
     print(f"{relation.name or 'input'}: {relation.n_rows} rows x {relation.n_cols} cols")
-    table = Table("Column profile", ["column", "distinct", "H_bits", "H_norm"])
-    import math
+    try:
+        table = Table("Column profile", ["column", "distinct", "H_bits", "H_norm"])
+        import math
 
-    n = relation.n_rows
-    for j, c in enumerate(relation.columns):
-        h = oracle.entropy({j})
-        hmax = math.log2(max(relation.cardinality(j), 2))
-        table.add(
-            {
-                "column": c,
-                "distinct": relation.cardinality(j),
-                "H_bits": round(h, 3),
-                "H_norm": round(h / hmax, 3) if hmax else 0.0,
-            }
-        )
-    table.show()
-    fds = [fd for fd in mine_fds(relation, max_lhs=args.fd_lhs) if fd.lhs]
+        for j, c in enumerate(relation.columns):
+            h = oracle.entropy({j})
+            hmax = math.log2(max(relation.cardinality(j), 2))
+            table.add(
+                {
+                    "column": c,
+                    "distinct": relation.cardinality(j),
+                    "H_bits": round(h, 3),
+                    "H_norm": round(h / hmax, 3) if hmax else 0.0,
+                }
+            )
+        table.show()
+        fds = [
+            fd
+            for fd in mine_fds(relation, max_lhs=args.fd_lhs, workers=args.workers)
+            if fd.lhs
+        ]
+    finally:
+        oracle.close()
     table = Table(f"Minimal exact FDs (lhs <= {args.fd_lhs})", ["fd"])
     for fd in fds[:20]:
         table.add({"fd": fd.format(relation.columns)})
     table.show()
     if len(fds) > 20:
         print(f"... ({len(fds) - 20} more FDs)")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """Exec-subsystem scalability bench; writes machine-readable JSON."""
+    from repro.bench.harness import exec_scalability, write_bench_json
+
+    persist_dir = None
+    scratch_dir = None
+    if not args.no_persist:
+        persist_dir = args.cache_dir
+        if persist_dir is None:
+            import tempfile
+
+            # Scratch cache: the bench measures cold-vs-warm within one
+            # invocation, so the directory is removed afterwards.
+            persist_dir = scratch_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        payload = exec_scalability(
+            name=args.dataset,
+            fractions=tuple(args.fractions),
+            workers=tuple(args.workers_list),
+            eps=args.eps,
+            base_rows=args.base_rows,
+            max_cols=args.max_cols,
+            time_limit_s=args.budget,
+            persist_dir=persist_dir,
+        )
+    finally:
+        if scratch_dir is not None:
+            import shutil
+
+            shutil.rmtree(scratch_dir, ignore_errors=True)
+    table = Table(
+        f"Exec scalability ({args.dataset}, eps={args.eps}, "
+        f"cpus={payload['cpu_count']})",
+        ["mode", "rows", "workers", "runtime_s", "min_seps", "queries",
+         "evals", "speedup_vs_serial"],
+    )
+    for r in payload["runs"]:
+        table.add(r)
+    table.show()
+    path = write_bench_json(payload, args.json)
+    print(f"wrote {path}")
     return 0
 
 
@@ -160,6 +237,19 @@ def _common_input_args(p: argparse.ArgumentParser) -> None:
                    help="row scale for --dataset (default 0.01)")
     p.add_argument("--max-rows", type=int, default=None)
     p.add_argument("--engine", choices=["pli", "naive"], default="pli")
+    _exec_args(p)
+
+
+def _exec_args(p: argparse.ArgumentParser, include_workers: bool = True) -> None:
+    """Flags of the repro.exec entropy execution subsystem."""
+    if include_workers:
+        p.add_argument("--workers", type=int, default=1,
+                       help="entropy worker processes (1 = serial, the default)")
+    p.add_argument("--no-persist", action="store_true",
+                   help="disable the on-disk entropy cache")
+    p.add_argument("--cache-dir", default=None,
+                   help="entropy cache directory (default: $REPRO_CACHE_DIR "
+                        "or ./.repro_cache)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -192,6 +282,22 @@ def build_parser() -> argparse.ArgumentParser:
     _common_input_args(p)
     p.add_argument("--fd-lhs", type=int, default=2, help="max FD lhs size")
     p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "bench", help="exec-subsystem scalability bench (BENCH_exec.json)"
+    )
+    p.add_argument("--dataset", default="Image")
+    p.add_argument("--base-rows", type=int, default=4000)
+    p.add_argument("--max-cols", type=int, default=10)
+    p.add_argument("--eps", type=float, default=0.01)
+    p.add_argument("--fractions", type=float, nargs="+", default=[0.5, 1.0])
+    p.add_argument("--workers", dest="workers_list", type=int, nargs="+",
+                   default=[1, 2, 4],
+                   help="worker counts to sweep (1 = serial baseline)")
+    p.add_argument("--budget", type=float, default=60.0, help="seconds per run")
+    p.add_argument("--json", default="BENCH_exec.json")
+    _exec_args(p, include_workers=False)
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("datasets", help="list built-in dataset surrogates")
     p.set_defaults(func=cmd_datasets)

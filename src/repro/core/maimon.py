@@ -57,6 +57,13 @@ class Maimon:
         ablation baseline).
     optimized:
         Use the pairwise-consistency pruning in the full-MVD search.
+    workers:
+        With ``workers > 1`` entropy batches are evaluated on a process
+        pool (see :mod:`repro.exec`); results agree within ``TOL``.
+    persist:
+        Cache entropies on disk keyed by the relation fingerprint, so
+        repeated runs over the same data skip recomputation
+        (``cache_dir`` overrides the location).
 
     Example
     -------
@@ -72,10 +79,18 @@ class Maimon:
         engine: str = "pli",
         optimized: bool = True,
         block_size: int = 10,
+        workers: int = 1,
+        persist: bool = False,
+        cache_dir=None,
     ):
         self.relation = relation
         self.oracle: EntropyOracle = make_oracle(
-            relation, engine=engine, block_size=block_size
+            relation,
+            engine=engine,
+            block_size=block_size,
+            workers=workers,
+            persist=persist,
+            cache_dir=cache_dir,
         )
         self.optimized = optimized
         self._miner = MVDMiner(self.oracle, optimized=optimized)
@@ -166,3 +181,7 @@ class Maimon:
     ) -> List[DiscoveredSchema]:
         """Eager version of :meth:`discover_schemas`."""
         return list(self.discover_schemas(eps, limit=limit, **kwargs))
+
+    def close(self) -> None:
+        """Release oracle resources (worker pool, persistent cache)."""
+        self.oracle.close()

@@ -53,16 +53,20 @@ def j_of_join_tree(
     bags: Sequence[FrozenSet[int]],
     edges: Iterable[Tuple[int, int]],
 ) -> float:
-    """Eq. (6): ``sum H(bag) - sum H(separator) - H(all attributes)``."""
+    """Eq. (6): ``sum H(bag) - sum H(separator) - H(all attributes)``.
+
+    All H terms of a tree are issued as one batch, so scoring a schema
+    candidate is a single (deduped, possibly parallel) oracle call —
+    this is ASMiner's per-candidate scoring hot path.
+    """
     bags = [attrset(b) for b in bags]
-    total = 0.0
-    everything: set = set()
-    for b in bags:
-        total += oracle.entropy(b)
-        everything |= b
-    for u, v in edges:
-        total -= oracle.entropy(bags[u] & bags[v])
-    total -= oracle.entropy(frozenset(everything))
+    edges = list(edges)
+    everything = frozenset().union(*bags) if bags else frozenset()
+    requests = bags + [bags[u] & bags[v] for u, v in edges] + [everything]
+    hs = oracle.entropies(requests)
+    total = sum(hs[b] for b in bags)
+    total -= sum(hs[bags[u] & bags[v]] for u, v in edges)
+    total -= hs[everything]
     return total
 
 

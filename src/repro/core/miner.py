@@ -37,7 +37,8 @@ class MinerResult:
     timed_out: bool
     pairs_done: int
     pairs_total: int
-    entropy_queries: int
+    entropy_queries: int      # logical H() requests issued during the run
+    entropy_evals: int = 0    # sets the engines actually evaluated
 
     @property
     def n_mvds(self) -> int:
@@ -110,6 +111,7 @@ class MVDMiner:
         pairs = list(pairs)
         start = time.perf_counter()
         queries_before = oracle.queries
+        evals_before = oracle.evals
         collected: Dict[MVD, None] = {}  # insertion-ordered set
         min_seps: Dict[Pair, List[FrozenSet[int]]] = {}
         pairs_done = 0
@@ -149,6 +151,7 @@ class MVDMiner:
             pairs_done=pairs_done,
             pairs_total=len(pairs),
             entropy_queries=oracle.queries - queries_before,
+            entropy_evals=oracle.evals - evals_before,
         )
 
 

@@ -34,6 +34,10 @@ from repro.hypergraph.transversal import TransversalEnumerator
 
 Pair = Tuple[int, int]
 
+#: Sets per speculative prefetch batch: large enough to amortise a pool
+#: round trip, small enough that time budgets are honoured between batches.
+_PREFETCH_CHUNK = 192
+
 
 def reduce_min_sep(
     oracle: EntropyOracle,
@@ -52,6 +56,27 @@ def reduce_min_sep(
     lexicographic order this scan induces).
     """
     current = set(attrset(separator))
+    if oracle.prefers_batches:
+        # Speculative warm-up for the scan: each drop-candidate K is first
+        # probed through the finest MVD with key K, whose pairwise terms
+        # need H(K) and the one-attribute extensions H(K ∪ {y}).  Shipping
+        # them as parallel prefetches overlaps the engine work with the
+        # (inherently sequential) scan below; misses merely waste idle
+        # workers, never correctness.  Chunked so a time budget is checked
+        # every few hundred sets rather than after the whole warm-up.
+        omega = oracle.omega
+        sets: List[FrozenSet[int]] = []
+        for x in sorted(current):
+            if budget is not None and budget.exhausted:
+                break
+            candidate = frozenset(current - {x})
+            sets.append(candidate)
+            sets.extend(candidate | {y} for y in omega - candidate)
+            if len(sets) >= _PREFETCH_CHUNK:
+                oracle.prefetch(sets)
+                sets = []
+        if sets and not (budget is not None and budget.exhausted):
+            oracle.prefetch(sets)
     for x in sorted(current):
         candidate = frozenset(current - {x})
         if key_separates(oracle, candidate, pair, eps, optimized=optimized, budget=budget):
@@ -83,8 +108,9 @@ def iter_min_seps(
         return
     # Fast gate (Fig. 5 line 3): the most favourable key is Omega - {A,B};
     # J(Omega-AB ->> A|B) = I(A; B | Omega-AB).  If even that exceeds eps,
-    # no separator exists (Eq. 8).
-    if oracle.mutual_information({a}, {b}, universe) > eps + TOL:
+    # no separator exists (Eq. 8).  The batched form ships the four H
+    # terms together on a parallel oracle.
+    if oracle.mutual_informations([({a}, {b}, universe)])[0] > eps + TOL:
         return
     found: set = set()
     first = reduce_min_sep(oracle, eps, universe, pair, optimized=optimized, budget=budget)
@@ -144,6 +170,25 @@ def mine_all_min_seps(
     n = oracle.n_attrs
     if pairs is None:
         pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    pairs = list(pairs)
+    if oracle.prefers_batches:
+        # All per-pair gates (Fig. 5 line 3) share Omega and need only
+        # H(U), H(U ∪ {a}), H(U ∪ {b}) with U = Omega - {a,b}: planned
+        # parallel prefetches replace the per-pair serial warm-up.
+        # Chunked with budget checks in between so a time-budgeted run is
+        # never blocked behind the whole O(n^2) warm-up.
+        omega = oracle.omega
+        sets: List[FrozenSet[int]] = [omega]
+        for a, b in pairs:
+            if budget.exhausted:
+                break
+            universe = omega - {a, b}
+            sets.extend((universe, universe | {a}, universe | {b}))
+            if len(sets) >= _PREFETCH_CHUNK:
+                oracle.prefetch(sets)
+                sets = []
+        if sets and not budget.exhausted:
+            oracle.prefetch(sets)
     out: Dict[Pair, List[FrozenSet[int]]] = {}
     for pair in pairs:
         if budget.exhausted:

@@ -103,6 +103,32 @@ class _FragmentOracle:
             attrset(xs) & self._fragment,
         )
 
+    # Batched interface: clip to the fragment, delegate to the base oracle
+    # (which may plan/parallelise/persist; see repro.exec).
+
+    @property
+    def prefers_batches(self) -> bool:
+        return self._base.prefers_batches
+
+    def entropies(self, requests):
+        clipped = [attrset(a) & self._fragment for a in requests]
+        return self._base.entropies(clipped)
+
+    def mutual_informations(self, triples):
+        return self._base.mutual_informations(
+            [
+                (
+                    attrset(ys) & self._fragment,
+                    attrset(zs) & self._fragment,
+                    attrset(xs) & self._fragment,
+                )
+                for ys, zs, xs in triples
+            ]
+        )
+
+    def prefetch(self, requests) -> int:
+        return self._base.prefetch(attrset(a) & self._fragment for a in requests)
+
     @property
     def queries(self) -> int:
         return self._base.queries

@@ -10,12 +10,22 @@ information measures the paper needs:
 
 The oracle also counts queries, which the scalability benches report (the
 paper: "the most expensive operation of Maimon is the computation of the
-entropy H(X)").
+entropy H(X)").  Two counters are kept with distinct meanings:
+
+* ``queries`` — **logical** ``H()`` requests, i.e. every entropy a caller
+  asked for, whether or not it was served from a cache.  Batched requests
+  (:meth:`EntropyOracle.entropies`) count one per requested set, duplicates
+  included, so serial and batched runs of the same algorithm report the
+  same number.
+* ``evals`` — **engine evaluations**, i.e. requests that missed the
+  oracle-level memo and were handed to the engine (or, for the batched
+  subclass, to the worker pool / persistent cache).  ``queries - evals``
+  is the work saved by memoisation and deduplication.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Union
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple, Union
 
 from repro.common import attrset
 from repro.data.relation import Relation
@@ -23,21 +33,30 @@ from repro.entropy.naive import NaiveEntropyEngine
 from repro.entropy.plicache import PLICacheEngine
 
 AttrsLike = Union[FrozenSet[int], Iterable[int]]
+#: An ``I(Y; Z | X)`` request: ``(ys, zs, xs)`` attribute sets.
+MITriple = Tuple[AttrsLike, AttrsLike, AttrsLike]
 
 
 class EntropyOracle:
     """Caching facade over an entropy engine.
 
     The mining algorithms call this object millions of times with heavily
-    overlapping attribute sets; engines cache partitions, the oracle caches
-    nothing extra (engines already memoise entropies) but centralises the
-    measure formulas and instrumentation.
+    overlapping attribute sets; engines cache partitions, the oracle keeps a
+    memo of finished entropies (so ``evals`` can be counted consistently)
+    and centralises the measure formulas and instrumentation.
+
+    Subclasses (notably :class:`repro.exec.batch.BatchEntropyOracle`) keep
+    the exact same serial semantics and add planned, parallel and persistent
+    evaluation behind the same interface; all mining code is written against
+    this class only.
     """
 
     def __init__(self, relation: Relation, engine=None):
         self.relation = relation
         self.engine = engine if engine is not None else PLICacheEngine(relation)
-        self.queries = 0  # number of H() evaluations requested
+        self.queries = 0  # logical H() requests (cache hits included)
+        self.evals = 0    # requests that reached the engine (memo misses)
+        self._memo: Dict[FrozenSet[int], float] = {}
 
     # ------------------------------------------------------------------ #
     # Core measures
@@ -46,7 +65,17 @@ class EntropyOracle:
     def entropy(self, attrs: AttrsLike) -> float:
         """``H(attrs)`` in bits under the empirical distribution of R."""
         self.queries += 1
-        return self.engine.entropy_of(attrset(attrs))
+        attrs = attrset(attrs)
+        value = self._memo.get(attrs)
+        if value is None:
+            value = self._compute(attrs)
+            self._memo[attrs] = value
+        return value
+
+    def _compute(self, attrs: FrozenSet[int]) -> float:
+        """Evaluate one memo-missing set (hook for batched subclasses)."""
+        self.evals += 1
+        return self.engine.entropy_of(attrs)
 
     def cond_entropy(self, ys: AttrsLike, xs: AttrsLike) -> float:
         """``H(Y | X) = H(XY) - H(X)``."""
@@ -68,6 +97,44 @@ class EntropyOracle:
         )
 
     # ------------------------------------------------------------------ #
+    # Batched interface (serial reference implementations)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def prefers_batches(self) -> bool:
+        """Should callers restructure loops to hand over whole batches?
+
+        ``False`` here: batching brings nothing to the serial oracle, and
+        the adaptive search loops are cheaper with early exits.  The
+        parallel subclass returns ``True`` so hot paths switch to their
+        collect-then-evaluate form.
+        """
+        return False
+
+    def entropies(self, requests: Iterable[AttrsLike]) -> Dict[FrozenSet[int], float]:
+        """``H`` of every requested set, as ``{frozenset: bits}``.
+
+        Duplicate requests collapse onto one dict key but each still counts
+        as one logical query, keeping ``queries`` comparable between serial
+        and batched runs of the same algorithm.
+        """
+        return {a: self.entropy(a) for a in map(attrset, requests)}
+
+    def mutual_informations(self, triples: Sequence[MITriple]) -> List[float]:
+        """``I(Y; Z | X)`` for every ``(ys, zs, xs)`` triple, in order."""
+        return [self.mutual_information(ys, zs, xs) for ys, zs, xs in triples]
+
+    def prefetch(self, requests: Iterable[AttrsLike]) -> int:
+        """Hint that the sets *may* be needed soon; returns #evaluated.
+
+        The serial oracle ignores hints (speculative work would only slow
+        it down).  The parallel subclass evaluates missing sets across its
+        worker pool without touching the ``queries`` counter — prefetched
+        sets are speculation, not logical requests.
+        """
+        return 0
+
+    # ------------------------------------------------------------------ #
     # Convenience
     # ------------------------------------------------------------------ #
 
@@ -82,12 +149,19 @@ class EntropyOracle:
 
     def reset_stats(self) -> None:
         self.queries = 0
+        self.evals = 0
         if hasattr(self.engine, "reset_stats"):
             self.engine.reset_stats()
 
+    def close(self) -> None:
+        """Release external resources (worker pools, cache files).
+
+        The serial oracle holds none; exists so callers can treat every
+        oracle uniformly."""
+
     def __repr__(self) -> str:
         return (
-            f"<EntropyOracle over {self.relation!r} "
+            f"<{type(self).__name__} over {self.relation!r} "
             f"engine={type(self.engine).__name__} queries={self.queries}>"
         )
 
@@ -97,6 +171,9 @@ def make_oracle(
     engine: str = "pli",
     block_size: int = 10,
     cross_cache_size: int = 4096,
+    workers: int = 1,
+    persist: bool = False,
+    cache_dir=None,
 ) -> EntropyOracle:
     """Construct an oracle with a named engine.
 
@@ -104,6 +181,18 @@ def make_oracle(
     ``"naive"`` — fresh group-by per query;
     ``"sql"`` — the Section 6.3 CNT/TID queries on the mini SQL engine
     (row-store speeds; fidelity/ablation arm).
+
+    Parameters
+    ----------
+    workers:
+        With ``workers > 1`` a :class:`repro.exec.batch.BatchEntropyOracle`
+        is returned whose batch calls fan out over a process pool (results
+        agree with the serial oracle within :data:`repro.common.TOL`).
+    persist:
+        Cache entropies on disk keyed by a fingerprint of the relation, so
+        repeated runs on the same data skip recomputation.  ``cache_dir``
+        overrides the default cache location (see
+        :mod:`repro.exec.persist`).
     """
     if engine == "pli":
         eng = PLICacheEngine(relation, block_size=block_size, cross_cache_size=cross_cache_size)
@@ -116,5 +205,18 @@ def make_oracle(
     else:
         raise ValueError(
             f"unknown engine {engine!r}; expected 'pli', 'naive' or 'sql'"
+        )
+    if workers > 1 or persist:
+        # Imported lazily: repro.exec builds on this module.
+        from repro.exec.batch import BatchEntropyOracle
+
+        return BatchEntropyOracle(
+            relation,
+            engine=eng,
+            workers=workers,
+            persist=persist,
+            cache_dir=cache_dir,
+            block_size=block_size,
+            cross_cache_size=cross_cache_size,
         )
     return EntropyOracle(relation, eng)

@@ -1,0 +1,228 @@
+"""``BatchEntropyOracle``: planned, parallel, persistent entropy service.
+
+Drop-in subclass of :class:`~repro.entropy.oracle.EntropyOracle` — every
+mining algorithm that accepts an oracle accepts this one unchanged — that
+upgrades the batched entry points:
+
+* :meth:`entropies` / :meth:`mutual_informations` run the request batch
+  through the planner (dedupe + containment ordering,
+  :mod:`repro.exec.plan`), resolve what it can from the in-memory memo and
+  the optional on-disk cache (:mod:`repro.exec.persist`), and evaluate the
+  rest — across the worker pool (:mod:`repro.exec.pool`) when ``workers >
+  1`` and the batch is worth shipping, serially on the oracle's own engine
+  otherwise;
+* :meth:`prefetch` evaluates *speculative* sets in parallel without
+  advancing the ``queries`` counter, so adaptive searches can overlap
+  engine work with their own control flow;
+* ``queries``/``evals`` accounting matches the serial oracle exactly:
+  queries = logical ``H()`` requests, evals = sets actually computed.
+
+With ``workers <= 1`` and no persistent cache this class behaves
+bit-identically to the base oracle (same engine, same evaluation order on
+single requests); the acceptance tests pin that equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
+
+from repro.common import attrset
+from repro.data.relation import Relation
+from repro.entropy.oracle import AttrsLike, EntropyOracle, MITriple
+from repro.entropy.plicache import PLICacheEngine
+from repro.exec.persist import PersistentEntropyCache
+from repro.exec.plan import mi_entropy_sets, plan_entropy_requests
+from repro.exec.pool import ParallelEvaluator
+
+AttrSet = FrozenSet[int]
+
+#: Smallest number of *missing* sets worth a round-trip to the pool; tiny
+#: batches are cheaper on the local engine than on the wire.
+MIN_PARALLEL_BATCH = 4
+
+
+class BatchEntropyOracle(EntropyOracle):
+    """Entropy oracle with batched, parallel and persistent evaluation.
+
+    Parameters
+    ----------
+    relation:
+        The input relation R.
+    engine:
+        Front-end engine for serial evaluation (default: a fresh
+        :class:`~repro.entropy.plicache.PLICacheEngine`).  Workers always
+        run PLI engines regardless of this choice.
+    workers:
+        Process-pool width; ``<= 1`` keeps everything in-process.
+    persist:
+        Enable the on-disk entropy cache; ``cache_dir`` overrides its
+        location (see :mod:`repro.exec.persist`).
+    block_size, cross_cache_size:
+        Engine parameters, forwarded to the default engine, the workers
+        and the persistence fingerprint.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        engine=None,
+        workers: int = 1,
+        persist: bool = False,
+        cache_dir: Optional[str] = None,
+        block_size: int = 10,
+        cross_cache_size: int = 4096,
+    ):
+        if engine is None:
+            engine = PLICacheEngine(
+                relation, block_size=block_size, cross_cache_size=cross_cache_size
+            )
+        super().__init__(relation, engine)
+        self.workers = max(1, int(workers))
+        self.block_size = block_size
+        self.cross_cache_size = cross_cache_size
+        self._evaluator: Optional[ParallelEvaluator] = None
+        self._persist: Optional[PersistentEntropyCache] = None
+        if persist:
+            # Fingerprint by the *actual* front-end engine so e.g. naive-
+            # and pli-engine caches never mix (they agree only within TOL).
+            self._persist = PersistentEntropyCache(
+                relation,
+                cache_dir=cache_dir,
+                params=(type(engine).__name__, block_size, cross_cache_size),
+            )
+        self.persist_hits = 0
+        self.prefetched = 0
+
+    # ------------------------------------------------------------------ #
+    # Single-request path (adds the persistent tier)
+    # ------------------------------------------------------------------ #
+
+    def _compute(self, attrs: AttrSet) -> float:
+        if self._persist is not None:
+            cached = self._persist.get(attrs)
+            if cached is not None:
+                self.persist_hits += 1
+                return cached
+        self.evals += 1
+        value = self.engine.entropy_of(attrs)
+        if self._persist is not None:
+            self._persist.put(attrs, value)
+        return value
+
+    # ------------------------------------------------------------------ #
+    # Batched paths
+    # ------------------------------------------------------------------ #
+
+    @property
+    def prefers_batches(self) -> bool:
+        """Hot paths should collect whole batches when the pool is on."""
+        return self.workers > 1
+
+    def entropies(self, requests: Iterable[AttrsLike]) -> Dict[AttrSet, float]:
+        """``H`` of every requested set (see base class for accounting)."""
+        plan = plan_entropy_requests(requests)
+        self.queries += plan.logical
+        missing = self._resolve_missing(plan.unique)
+        if missing:
+            self._evaluate(missing)
+        return {a: self._memo[a] for a in plan.unique}
+
+    def mutual_informations(self, triples: Sequence[MITriple]) -> List[float]:
+        """``I(Y; Z | X)`` per triple, through one planned entropy batch."""
+        expanded = [mi_entropy_sets(ys, zs, xs) for ys, zs, xs in triples]
+        flat: List[AttrSet] = [s for quad in expanded for s in quad]
+        hs = self.entropies(flat)
+        return [
+            hs[xy] + hs[xz] - hs[xyz] - hs[x] for (xy, xz, xyz, x) in expanded
+        ]
+
+    def prefetch(self, requests: Iterable[AttrsLike]) -> int:
+        """Evaluate likely-needed sets in parallel; no ``queries`` impact.
+
+        A no-op without a pool: speculative evaluation only pays off when
+        it overlaps with other work.
+        """
+        if self.workers <= 1:
+            return 0
+        plan = plan_entropy_requests(requests)
+        missing = self._resolve_missing(plan.unique)
+        if len(missing) < MIN_PARALLEL_BATCH:
+            return 0
+        self._evaluate(missing)
+        self.prefetched += len(missing)
+        return len(missing)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle / stats
+    # ------------------------------------------------------------------ #
+
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        self.persist_hits = 0
+        self.prefetched = 0
+
+    def flush(self) -> None:
+        """Persist any new entropies to disk (no-op without persistence)."""
+        if self._persist is not None:
+            self._persist.flush()
+
+    def close(self) -> None:
+        """Shut down the worker pool and flush the persistent cache."""
+        if self._evaluator is not None:
+            self._evaluator.close()
+            self._evaluator = None
+        self.flush()
+
+    def __repr__(self) -> str:
+        return (
+            f"<BatchEntropyOracle over {self.relation!r} "
+            f"engine={type(self.engine).__name__} workers={self.workers} "
+            f"persist={self._persist is not None} "
+            f"queries={self.queries} evals={self.evals}>"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _resolve_missing(self, unique: Sequence[AttrSet]) -> List[AttrSet]:
+        """Fill the memo from the persistent tier; return what remains."""
+        missing: List[AttrSet] = []
+        for a in unique:
+            if a in self._memo:
+                continue
+            if self._persist is not None:
+                cached = self._persist.get(a)
+                if cached is not None:
+                    self.persist_hits += 1
+                    self._memo[a] = cached
+                    continue
+            missing.append(a)
+        return missing
+
+    def _evaluate(self, missing: Sequence[AttrSet]) -> None:
+        """Compute missing sets (pool when worthwhile) into the memo."""
+        if self.workers > 1 and len(missing) >= MIN_PARALLEL_BATCH:
+            values = self._pool().entropies(missing)
+            # The evaluator degrades itself to serial when subprocesses are
+            # unavailable; mirror that here so prefers_batches flips off
+            # and we stop paying for speculative batches we run serially.
+            self.workers = self._evaluator.workers
+        else:
+            values = {a: self.engine.entropy_of(a) for a in missing}
+        self.evals += len(missing)
+        self._memo.update(values)
+        if self._persist is not None:
+            # No flush here: PersistentEntropyCache batches disk writes
+            # (flush_every); close()/flush() persists the tail.
+            self._persist.update(values)
+
+    def _pool(self) -> ParallelEvaluator:
+        if self._evaluator is None:
+            self._evaluator = ParallelEvaluator(
+                self.relation,
+                workers=self.workers,
+                block_size=self.block_size,
+                cross_cache_size=self.cross_cache_size,
+            )
+        return self._evaluator

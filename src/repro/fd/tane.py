@@ -59,10 +59,33 @@ def fd_holds(relation: Relation, lhs: Iterable[int], rhs: int, error: float = 0.
     return g3_error(relation, lhs, rhs) <= error + 1e-12
 
 
+def _batch_g3(
+    relation: Relation,
+    requests: List[Tuple[FrozenSet[int], int]],
+    executor=None,
+) -> Dict[Tuple[FrozenSet[int], int], float]:
+    """g3 errors for a whole lattice level in one call.
+
+    With an executor (:class:`repro.exec.pool.ParallelEvaluator`) the level
+    fans out across the worker pool; without one it is a plain serial loop
+    with identical results.
+    """
+    if executor is not None and requests:
+        by_key = executor.g3_errors(
+            [(tuple(sorted(lhs)), rhs) for lhs, rhs in requests]
+        )
+        return {
+            (lhs, rhs): by_key[(tuple(sorted(lhs)), rhs)] for lhs, rhs in requests
+        }
+    return {(lhs, rhs): g3_error(relation, lhs, rhs) for lhs, rhs in requests}
+
+
 def mine_fds(
     relation: Relation,
     error: float = 0.0,
     max_lhs: Optional[int] = None,
+    workers: int = 1,
+    executor=None,
 ) -> List[FD]:
     """All minimal FDs of the relation with ``g3 <= error``.
 
@@ -74,10 +97,36 @@ def mine_fds(
         g3 threshold; 0 mines exact FDs.
     max_lhs:
         Optional cap on left-hand-side size (level cutoff).
+    workers:
+        With ``workers > 1`` each level's validity checks are evaluated in
+        parallel over a :class:`repro.exec.pool.ParallelEvaluator` (results
+        are identical; candidate generation per node depends only on the
+        previous level, so level-wise batching is semantics-preserving).
+    executor:
+        Pass an existing evaluator instead of building one from
+        ``workers`` (the CLI shares one across commands).
 
     Returns FDs sorted by (|lhs|, lhs, rhs).  ``{} -> A`` is reported for
     (near-)constant columns.
     """
+    own_executor = None
+    if executor is None and workers > 1:
+        from repro.exec.pool import ParallelEvaluator
+
+        executor = own_executor = ParallelEvaluator(relation, workers=workers)
+    try:
+        return _mine_fds_levelwise(relation, error, max_lhs, executor)
+    finally:
+        if own_executor is not None:
+            own_executor.close()
+
+
+def _mine_fds_levelwise(
+    relation: Relation,
+    error: float,
+    max_lhs: Optional[int],
+    executor,
+) -> List[FD]:
     n = relation.n_cols
     omega = frozenset(range(n))
     if max_lhs is None:
@@ -86,9 +135,10 @@ def mine_fds(
     # C+ sets: cplus[X] = candidate rhs attributes for FDs with lhs ⊆ X.
     cplus: Dict[FrozenSet[int], Set[int]] = {frozenset(): set(range(n))}
 
-    # Level 0: constant columns ({} -> A).
+    # Level 0: constant columns ({} -> A), checked as one batch.
+    g3 = _batch_g3(relation, [(frozenset(), a) for a in range(n)], executor)
     for a in range(n):
-        err = g3_error(relation, frozenset(), a)
+        err = g3[(frozenset(), a)]
         if err <= error + 1e-12:
             results.append(FD(frozenset(), a, err))
             cplus[frozenset()].discard(a)
@@ -102,13 +152,21 @@ def mine_fds(
     # max_lhs + 1.
     size = 1
     while level and size <= max_lhs + 1:
+        # Collect the level's candidate FDs up front and evaluate their g3
+        # errors as one batch.  Per node the candidate list is fixed by the
+        # previous level (C+ edits inside a node never add candidates), so
+        # this is exactly the work the serial scan would do.
+        candidates: List[Tuple[FrozenSet[int], int]] = []
+        for x in level:
+            candidates.extend((x - {a}, a) for a in sorted(x & cplus[x]))
+        g3 = _batch_g3(relation, candidates, executor)
         next_cplus: Dict[FrozenSet[int], Set[int]] = {}
         for x in level:
             cx = cplus[x]
             # Candidate FDs at this node: (X \ {A}) -> A for A in X ∩ C+(X).
             for a in sorted(x & cx):
                 lhs = x - {a}
-                err = g3_error(relation, lhs, a)
+                err = g3[(lhs, a)]
                 if err <= error + 1e-12:
                     results.append(FD(lhs, a, err))
                     cx.discard(a)

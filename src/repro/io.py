@@ -98,6 +98,7 @@ def miner_result_to_dict(result: MinerResult, columns: Optional[Columns] = None)
         "pairs_done": result.pairs_done,
         "pairs_total": result.pairs_total,
         "entropy_queries": result.entropy_queries,
+        "entropy_evals": result.entropy_evals,
     }
 
 
@@ -115,6 +116,7 @@ def miner_result_from_dict(data: dict, columns: Optional[Columns] = None) -> Min
         pairs_done=data.get("pairs_done", 0),
         pairs_total=data.get("pairs_total", 0),
         entropy_queries=data.get("entropy_queries", 0),
+        entropy_evals=data.get("entropy_evals", 0),
     )
 
 

@@ -108,6 +108,27 @@ class TestCaching:
             eng.entropy_of(frozenset(attrs))
         assert len(eng._cross_cache) <= 2
 
+    def test_cross_cache_lru_at_boundary(self):
+        """Pin the eviction *order* exactly at the cache-size boundary:
+        a re-used entry is refreshed, so the least-recently-used one goes."""
+        r = random_relation(8, 60, seed=5)
+        eng = PLICacheEngine(r, block_size=2, cross_cache_size=2)
+        a, b, c = frozenset({0, 2}), frozenset({0, 4}), frozenset({0, 6})
+        eng.partition_of(a)           # cache: [a]
+        eng.partition_of(b)           # cache: [a, b] — exactly at capacity
+        assert list(eng._cross_cache) == [a, b]
+        eng.partition_of(a)           # LRU refresh: [b, a]
+        assert list(eng._cross_cache) == [b, a]
+        hits_before = eng.cache_hits
+        eng.partition_of(c)           # overflow: b (least recent) evicted
+        assert list(eng._cross_cache) == [a, c]
+        # The refreshed entry still serves hits; the evicted one is rebuilt.
+        eng.partition_of(a)
+        assert eng.cache_hits > hits_before
+        products_before = eng.products
+        eng.partition_of(b)
+        assert eng.products > products_before
+
     def test_naive_scan_counter(self):
         r = random_relation(3, 20, seed=6)
         eng = NaiveEntropyEngine(r)
