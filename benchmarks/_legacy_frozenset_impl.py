@@ -1,0 +1,363 @@
+"""Frozenset-era baseline for :mod:`benchmarks.bench_lattice_ops`.
+
+This is a faithful snapshot of the pre-``repro.lattice`` hot path — the
+oracle memo, the MVD algebra, Berge transversal maintenance and the
+``MineMinSeps``/``getFullMVDs`` search cores — exactly as they worked when
+every attribute set was a ``frozenset[int]``.  It exists so the
+frozenset-vs-bitmask comparison stays *reproducible*: the benchmark runs
+this arm and the live ``repro`` implementation on the same dataset and the
+same engine class, so the measured gap isolates the representation change
+(set construction, hashing, comparison, memo keys) rather than engine or
+algorithm differences.
+
+Do not "modernise" this module; it is intentionally frozen at commit
+96ed8e5 semantics.  It is not part of the library API.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.core.budget import SearchBudget, ensure_budget
+from repro.data.relation import Relation
+from repro.entropy.plicache import PLICacheEngine
+
+TOL = 1e-9
+
+Pair = Tuple[int, int]
+AttrSet = FrozenSet[int]
+
+
+def attrset(attrs: Iterable[int]) -> AttrSet:
+    """Normalise an iterable of column indices into a frozenset."""
+    return frozenset(int(a) for a in attrs)
+
+
+# --------------------------------------------------------------------- #
+# Oracle (frozenset memo keys)
+# --------------------------------------------------------------------- #
+
+class LegacyEntropyOracle:
+    """The pre-lattice serial oracle: memo and algebra on frozensets."""
+
+    def __init__(self, relation: Relation, engine=None):
+        self.relation = relation
+        self.engine = engine if engine is not None else PLICacheEngine(relation)
+        self.queries = 0
+        self.evals = 0
+        self._memo: Dict[AttrSet, float] = {}
+
+    def entropy(self, attrs) -> float:
+        self.queries += 1
+        attrs = attrset(attrs)
+        value = self._memo.get(attrs)
+        if value is None:
+            self.evals += 1
+            value = self.engine.entropy_of(attrs)
+            self._memo[attrs] = value
+        return value
+
+    def mutual_information(self, ys, zs, xs=()) -> float:
+        ys, zs, xs = attrset(ys), attrset(zs), attrset(xs)
+        return (
+            self.entropy(xs | ys)
+            + self.entropy(xs | zs)
+            - self.entropy(xs | ys | zs)
+            - self.entropy(xs)
+        )
+
+    def mutual_informations(self, triples) -> List[float]:
+        return [self.mutual_information(ys, zs, xs) for ys, zs, xs in triples]
+
+    @property
+    def prefers_batches(self) -> bool:
+        return False
+
+    @property
+    def n_attrs(self) -> int:
+        return self.relation.n_cols
+
+    @property
+    def omega(self) -> AttrSet:
+        return frozenset(range(self.relation.n_cols))
+
+
+# --------------------------------------------------------------------- #
+# MVD algebra (frozenset keys/dependents)
+# --------------------------------------------------------------------- #
+
+def _canonical_dependents(dependents) -> Tuple[AttrSet, ...]:
+    deps = [attrset(d) for d in dependents]
+    if any(not d for d in deps):
+        raise ValueError("dependents must be non-empty")
+    deps.sort(key=lambda d: (min(d), sorted(d)))
+    return tuple(deps)
+
+
+class LegacyMVD:
+    """Pre-lattice generalised MVD over frozensets (validation elided)."""
+
+    __slots__ = ("key", "dependents", "_hash")
+
+    def __init__(self, key, dependents):
+        self.key: AttrSet = attrset(key)
+        self.dependents: Tuple[AttrSet, ...] = _canonical_dependents(dependents)
+        self._hash = hash((self.key, self.dependents))
+
+    @property
+    def m(self) -> int:
+        return len(self.dependents)
+
+    def dependent_of(self, attr: int) -> Optional[int]:
+        for i, d in enumerate(self.dependents):
+            if attr in d:
+                return i
+        return None
+
+    def separates(self, a: int, b: int) -> bool:
+        ia, ib = self.dependent_of(a), self.dependent_of(b)
+        return ia is not None and ib is not None and ia != ib
+
+    def merge(self, i: int, j: int) -> "LegacyMVD":
+        deps = list(self.dependents)
+        lo, hi = min(i, j), max(i, j)
+        united = deps[lo] | deps[hi]
+        del deps[hi]
+        deps[lo] = united
+        return LegacyMVD(self.key, deps)
+
+    @staticmethod
+    def finest(key, universe) -> "LegacyMVD":
+        key = attrset(key)
+        singles = [frozenset((a,)) for a in attrset(universe) - key]
+        return LegacyMVD(key, singles)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, LegacyMVD):
+            return NotImplemented
+        return self.key == other.key and self.dependents == other.dependents
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+def j_measure(oracle: LegacyEntropyOracle, mvd: LegacyMVD) -> float:
+    key = mvd.key
+    total = 0.0
+    everything = set(key)
+    for d in mvd.dependents:
+        total += oracle.entropy(key | d)
+        everything |= d
+    total -= (mvd.m - 1) * oracle.entropy(key)
+    total -= oracle.entropy(frozenset(everything))
+    return total
+
+
+# --------------------------------------------------------------------- #
+# Berge transversals (frozenset algebra)
+# --------------------------------------------------------------------- #
+
+def minimize_sets(sets: Iterable[AttrSet]) -> List[AttrSet]:
+    out: List[AttrSet] = []
+    for s in sorted(set(sets), key=len):
+        if not any(t <= s for t in out):
+            out.append(s)
+    return out
+
+
+class LegacyTransversalEnumerator:
+    def __init__(self):
+        self.edges: List[AttrSet] = []
+        self._transversals: Set[AttrSet] = {frozenset()}
+        self._processed: Set[AttrSet] = set()
+        self._pending: List[AttrSet] = [frozenset()]
+
+    def add_edge(self, edge: Iterable[int]) -> None:
+        e = frozenset(edge)
+        if not e:
+            self.edges.append(e)
+            self._transversals = set()
+            self._pending = []
+            return
+        self.edges.append(e)
+        candidates: Set[AttrSet] = set()
+        for t in self._transversals:
+            if t & e:
+                candidates.add(t)
+            else:
+                for v in e:
+                    candidates.add(t | {v})
+        new = set(minimize_sets(candidates))
+        self._transversals = new
+        self._pending = sorted(
+            (t for t in new if t not in self._processed),
+            key=lambda s: (len(s), sorted(s)),
+        )
+
+    def pop_unprocessed(self):
+        while self._pending:
+            t = self._pending.pop(0)
+            if t in self._transversals and t not in self._processed:
+                self._processed.add(t)
+                return t
+        return None
+
+
+# --------------------------------------------------------------------- #
+# getFullMVDs / MineMinSeps (frozenset search cores)
+# --------------------------------------------------------------------- #
+
+def neighbors(mvd: LegacyMVD, pair: Optional[Pair] = None) -> List[LegacyMVD]:
+    out: List[LegacyMVD] = []
+    m = mvd.m
+    if m <= 2:
+        return out
+    if pair is not None:
+        a, b = pair
+    for i in range(m):
+        for j in range(i + 1, m):
+            if pair is not None:
+                union = mvd.dependents[i] | mvd.dependents[j]
+                if a in union and b in union:
+                    continue
+            out.append(mvd.merge(i, j))
+    return out
+
+
+def pairwise_consistent(oracle, mvd, eps, pair=None):
+    key = mvd.key
+    current = mvd
+    while True:
+        if pair is not None and not current.separates(*pair):
+            return None
+        violating = None
+        deps = current.dependents
+        for i in range(len(deps)):
+            for j in range(i + 1, len(deps)):
+                if oracle.mutual_information(deps[i], deps[j], key) > eps + TOL:
+                    violating = (i, j)
+                    break
+            if violating:
+                break
+        if violating is None:
+            return current
+        if len(deps) == 2:
+            return None
+        if pair is not None:
+            union = deps[violating[0]] | deps[violating[1]]
+            if pair[0] in union and pair[1] in union:
+                return None
+        current = current.merge(*violating)
+
+
+def get_full_mvds(
+    oracle,
+    key,
+    eps,
+    pair=None,
+    limit=None,
+    optimized=True,
+    budget: Optional[SearchBudget] = None,
+):
+    key = attrset(key)
+    budget = ensure_budget(budget)
+    universe = oracle.omega
+    free = universe - key
+    if pair is not None:
+        a, b = pair
+        if a in key or b in key or a == b:
+            return []
+    if len(free) < 2:
+        return []
+    phi0 = LegacyMVD.finest(key, universe)
+    if optimized:
+        phi0 = pairwise_consistent(oracle, phi0, eps, pair)
+        if phi0 is None:
+            return []
+    out: List[LegacyMVD] = []
+    seen = {phi0}
+    stack: List[LegacyMVD] = [phi0]
+    while stack:
+        if limit is not None and len(out) >= limit:
+            break
+        if budget.exhausted:
+            break
+        phi = stack.pop()
+        budget.tick()
+        if j_measure(oracle, phi) <= eps + TOL:
+            out.append(phi)
+            continue
+        for nbr in neighbors(phi, pair):
+            if optimized:
+                nbr = pairwise_consistent(oracle, nbr, eps, pair)
+                if nbr is None:
+                    continue
+            if nbr not in seen:
+                seen.add(nbr)
+                stack.append(nbr)
+    return out
+
+
+def key_separates(oracle, key, pair, eps, optimized=True, budget=None) -> bool:
+    return bool(
+        get_full_mvds(
+            oracle, key, eps, pair=pair, limit=1, optimized=optimized, budget=budget
+        )
+    )
+
+
+def reduce_min_sep(oracle, eps, separator, pair, optimized=True, budget=None):
+    current = set(attrset(separator))
+    for x in sorted(current):
+        candidate = frozenset(current - {x})
+        if key_separates(oracle, candidate, pair, eps, optimized=optimized, budget=budget):
+            current.discard(x)
+    return frozenset(current)
+
+
+def iter_min_seps(oracle, eps, pair, optimized=True, budget=None):
+    a, b = pair
+    budget = ensure_budget(budget)
+    omega = oracle.omega
+    universe = omega - {a, b}
+    if budget.exhausted:
+        return
+    if oracle.mutual_informations([({a}, {b}, universe)])[0] > eps + TOL:
+        return
+    found: set = set()
+    first = reduce_min_sep(oracle, eps, universe, pair, optimized=optimized, budget=budget)
+    found.add(first)
+    yield first
+    enum = LegacyTransversalEnumerator()
+    enum.add_edge(first)
+    while not budget.exhausted:
+        d = enum.pop_unprocessed()
+        if d is None:
+            break
+        budget.tick()
+        candidate = universe - d
+        if key_separates(oracle, candidate, pair, eps, optimized=optimized, budget=budget):
+            sep = reduce_min_sep(
+                oracle, eps, candidate, pair, optimized=optimized, budget=budget
+            )
+            if sep not in found:
+                found.add(sep)
+                yield sep
+                enum.add_edge(sep)
+
+
+def mine_min_seps(oracle, eps, pair, optimized=True, budget=None):
+    return list(iter_min_seps(oracle, eps, pair, optimized=optimized, budget=budget))
+
+
+def mine_all_min_seps(oracle, eps, pairs=None, optimized=True, budget=None):
+    budget = ensure_budget(budget)
+    n = oracle.n_attrs
+    if pairs is None:
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    out: Dict[Pair, List[AttrSet]] = {}
+    for pair in list(pairs):
+        if budget.exhausted:
+            break
+        out[pair] = mine_min_seps(oracle, eps, pair, optimized=optimized, budget=budget)
+    return out

@@ -29,7 +29,7 @@ from repro.entropy.estimators import (
     mle_entropy,
 )
 from repro.entropy.naive import NaiveEntropyEngine
-from repro.entropy.oracle import EntropyOracle, make_oracle
+from repro.entropy.oracle import make_oracle
 
 
 @pytest.fixture(scope="module")

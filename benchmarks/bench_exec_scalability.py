@@ -19,8 +19,6 @@ hardware limits); the warm-cache run does no engine evaluations at all
 
 import os
 
-import pytest
-
 from benchmarks.conftest import scaled
 from repro.bench.harness import Table, exec_scalability, write_bench_json
 

@@ -9,8 +9,6 @@ a positively associated cloud (higher savings generally costs spurious
 tuples), pareto front non-trivial, at least a few dozen schemes.
 """
 
-import pytest
-
 from benchmarks.conftest import scaled
 from repro.bench.harness import Table, run_nursery_sweep
 from repro.data.generators import nursery

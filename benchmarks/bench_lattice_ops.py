@@ -1,0 +1,225 @@
+"""Lattice representation — frozenset vs bitmask throughput.
+
+Not a paper figure: this bench tracks the performance of the
+``repro.lattice`` bitmask representation introduced as the system-wide
+attribute-set currency.  Three arms, each comparing the live bitmask
+implementation against the frozenset-era baseline (snapshotted verbatim in
+:mod:`benchmarks._legacy_frozenset_impl` so the comparison stays
+reproducible):
+
+* **memo lookups** — the oracle's hot path: normalise a request and probe
+  the entropy memo.  Legacy: build a frozenset per request, hash it into a
+  frozenset-keyed dict.  Bitmask: OR two masks, probe an int-keyed dict.
+* **transversal minimization** — the Berge maintainer's quadratic
+  ``minimize`` step on a realistic batch of candidate transversals.
+* **mine_all_min_seps** — the end-to-end hot path of Figs. 13/14, run
+  through both stacks on the same dataset with the *same live PLI engine
+  class* underneath, so the measured gap isolates the set-representation
+  change; the bench also asserts both arms return identical separators.
+
+The payload is written to ``BENCH_lattice.json``.  ``cpu_count`` is
+recorded because this container runs on a single core (as for
+``BENCH_exec.json``); the frozenset-vs-bitmask ratio is CPU-count
+independent (both arms are serial), so the recorded speedups transfer.
+"""
+
+import json
+import os
+import time
+
+from benchmarks.conftest import scaled
+from benchmarks._legacy_frozenset_impl import (
+    LegacyEntropyOracle,
+    attrset as legacy_attrset,
+    mine_all_min_seps as legacy_mine_all_min_seps,
+    minimize_sets as legacy_minimize_sets,
+)
+from repro.bench.harness import Table, write_bench_json
+from repro.core.minsep import mine_all_min_seps
+from repro.data.generators import markov_tree
+from repro.entropy.oracle import make_oracle
+from repro.lattice import AttrSet, minimize
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_lattice.json")
+
+#: The end-to-end acceptance bar for the representation change.
+TARGET_SPEEDUP = 1.3
+
+
+def _bench_dataset():
+    return markov_tree(
+        n_cols=12, n_rows=scaled(1500), seed=5, noise=0.05, name="lattice-bench"
+    )
+
+
+# --------------------------------------------------------------------- #
+# Arm 1: oracle-memo lookups
+# --------------------------------------------------------------------- #
+
+def _memo_workload(n_attrs=12, n_keys=160, reps=40):
+    """(key, extension) index pairs shaped like the miner's H(X ∪ {y}) probes."""
+    pairs = []
+    for k in range(n_keys):
+        key = tuple(sorted({(k * 7 + i) % n_attrs for i in range(3 + k % 4)}))
+        for y in range(n_attrs):
+            pairs.append((key, y))
+    return pairs * reps
+
+
+def memo_lookup_bench():
+    pairs = _memo_workload()
+
+    legacy_memo = {}
+    t0 = time.perf_counter()
+    for key, y in pairs:
+        s = legacy_attrset(key) | {y}
+        if s not in legacy_memo:
+            legacy_memo[s] = 0.0
+    legacy_s = time.perf_counter() - t0
+
+    mask_memo = {}
+    key_cache = {}
+    t0 = time.perf_counter()
+    for key, y in pairs:
+        km = key_cache.get(key)
+        if km is None:
+            km = key_cache[key] = AttrSet(key).mask
+        m = km | (1 << y)
+        if m not in mask_memo:
+            mask_memo[m] = 0.0
+    bitmask_s = time.perf_counter() - t0
+
+    assert len(legacy_memo) == len(mask_memo)
+    return {
+        "arm": "memo_lookups",
+        "lookups": len(pairs),
+        "legacy_s": round(legacy_s, 4),
+        "bitmask_s": round(bitmask_s, 4),
+        "speedup": round(legacy_s / bitmask_s, 2),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Arm 2: transversal minimization
+# --------------------------------------------------------------------- #
+
+def _candidate_transversals(n_vertices=24, n_sets=420, seed=13):
+    """A Berge-update-shaped candidate pool: overlapping smallish sets."""
+    import random
+
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n_sets):
+        size = rng.randint(2, 7)
+        out.append(frozenset(rng.sample(range(n_vertices), size)))
+    return out
+
+
+def transversal_minimize_bench(rounds=30):
+    candidates = _candidate_transversals()
+
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        legacy_out = legacy_minimize_sets(candidates)
+    legacy_s = time.perf_counter() - t0
+
+    masks = [AttrSet(c).mask for c in candidates]
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        mask_out = minimize(masks)
+    bitmask_s = time.perf_counter() - t0
+
+    assert {AttrSet.from_mask(m) for m in mask_out} == set(legacy_out)
+    return {
+        "arm": "transversal_minimize",
+        "candidates": len(candidates),
+        "rounds": rounds,
+        "legacy_s": round(legacy_s, 4),
+        "bitmask_s": round(bitmask_s, 4),
+        "speedup": round(legacy_s / bitmask_s, 2),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Arm 3: end-to-end mine_all_min_seps
+# --------------------------------------------------------------------- #
+
+def mine_all_min_seps_bench(eps=0.05):
+    relation = _bench_dataset()
+
+    legacy_oracle = LegacyEntropyOracle(relation)
+    t0 = time.perf_counter()
+    legacy_out = legacy_mine_all_min_seps(legacy_oracle, eps)
+    legacy_s = time.perf_counter() - t0
+
+    oracle = make_oracle(relation)
+    t0 = time.perf_counter()
+    live_out = mine_all_min_seps(oracle, eps)
+    bitmask_s = time.perf_counter() - t0
+
+    def norm(res):
+        return {p: [sorted(s) for s in v] for p, v in res.items()}
+
+    identical = norm(live_out) == norm(legacy_out)
+    return {
+        "arm": "mine_all_min_seps",
+        "dataset": relation.name,
+        "rows": relation.n_rows,
+        "cols": relation.n_cols,
+        "eps": eps,
+        "pairs": len(live_out),
+        "min_seps": sum(len(v) for v in live_out.values()),
+        "queries": oracle.queries,
+        "legacy_queries": legacy_oracle.queries,
+        "legacy_s": round(legacy_s, 3),
+        "bitmask_s": round(bitmask_s, 3),
+        "speedup": round(legacy_s / bitmask_s, 2),
+        "identical_output": identical,
+    }
+
+
+def lattice_ops_payload():
+    arms = [
+        memo_lookup_bench(),
+        transversal_minimize_bench(),
+        mine_all_min_seps_bench(),
+    ]
+    return {
+        "bench": "lattice_ops",
+        "baseline": "frozenset implementation snapshot (pre-repro.lattice, commit 96ed8e5)",
+        "cpu_count": os.cpu_count(),
+        "note": (
+            "1-CPU container (like BENCH_exec.json); both arms are serial, "
+            "so frozenset-vs-bitmask ratios are CPU-count independent"
+        ),
+        "target_speedup_end_to_end": TARGET_SPEEDUP,
+        "arms": arms,
+    }
+
+
+def test_lattice_ops(benchmark):
+    payload = benchmark.pedantic(lattice_ops_payload, rounds=1, iterations=1)
+    table = Table(
+        "Lattice ops — frozenset vs bitmask",
+        ["arm", "legacy_s", "bitmask_s", "speedup"],
+    )
+    for arm in payload["arms"]:
+        table.add(arm)
+    print()
+    print(table.render())
+    write_bench_json(payload, BENCH_PATH)
+
+    by_arm = {a["arm"]: a for a in payload["arms"]}
+    e2e = by_arm["mine_all_min_seps"]
+    # The representation change must not alter results...
+    assert e2e["identical_output"]
+    assert e2e["queries"] == e2e["legacy_queries"]
+    # ...and must clear the acceptance bar on the hot path.
+    assert e2e["speedup"] >= TARGET_SPEEDUP
+    assert by_arm["memo_lookups"]["speedup"] > 1.0
+
+
+if __name__ == "__main__":
+    payload = lattice_ops_payload()
+    print(json.dumps(payload, indent=2))
+    write_bench_json(payload, BENCH_PATH)

@@ -17,7 +17,7 @@ Run:  python examples/decomposed_analytics.py
 import numpy as np
 
 from repro import Maimon, Relation
-from repro.core.cimap import chow_liu_tree, tree_fit, tree_schema
+from repro.core.cimap import chow_liu_tree, tree_fit
 from repro.core.ranking import rank_schemas
 from repro.storage import DecomposedStore
 

@@ -12,11 +12,10 @@ from __future__ import annotations
 import json
 import os
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.asminer import ASMiner
 from repro.core.budget import SearchBudget
 from repro.core.maimon import Maimon
 from repro.core.miner import MVDMiner
@@ -25,7 +24,7 @@ from repro.core.fullmvd import get_full_mvds
 from repro.data import datasets
 from repro.data.relation import Relation
 from repro.entropy.oracle import make_oracle
-from repro.quality.metrics import evaluate_schema, pareto_front
+from repro.quality.metrics import pareto_front
 
 
 class Table:

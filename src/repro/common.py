@@ -1,25 +1,17 @@
-"""Shared constants and tiny helpers used across the package."""
+"""Shared constants and tiny helpers used across the package.
+
+The attribute-set helpers (``AttrSet``, ``attrset``, ``fmt_attrs``) moved
+to :mod:`repro.lattice` when attribute sets became bitmask-backed; they are
+re-exported here so historical imports keep working.
+"""
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Tuple
+from repro.lattice import AttrSet, attrset, bits_of, fmt_attrs, mask_of
 
 #: Numeric slack used for all ``J <= eps`` comparisons.  The J-measure is a
 #: sum/difference of entropies computed in floating point; values that are
 #: mathematically zero can come out at ~1e-12.
 TOL = 1e-9
 
-AttrSet = FrozenSet[int]
-
-
-def attrset(attrs: Iterable[int]) -> AttrSet:
-    """Normalise an iterable of column indices into a frozenset."""
-    return frozenset(int(a) for a in attrs)
-
-
-def fmt_attrs(attrs: Iterable[int], columns: Tuple[str, ...] = ()) -> str:
-    """Render an attribute set compactly, e.g. ``{A,B,D}`` or ``{0,1,3}``."""
-    idx = sorted(attrs)
-    if columns:
-        return "{" + ",".join(columns[j] for j in idx) + "}"
-    return "{" + ",".join(str(j) for j in idx) + "}"
+__all__ = ["TOL", "AttrSet", "attrset", "bits_of", "fmt_attrs", "mask_of"]

@@ -18,9 +18,8 @@ contained in ``Q`` (Theorem 7.4); since a schema with ``m`` relations stacks
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.common import attrset
 from repro.core.budget import SearchBudget, ensure_budget
@@ -30,28 +29,29 @@ from repro.core.mvd import MVD
 from repro.core.schema import Schema
 from repro.entropy.oracle import EntropyOracle
 from repro.hypergraph.mis import maximal_independent_sets
+from repro.lattice import AttrSet
 
 
 def _subtree_attrs(
-    bags: Sequence[Optional[FrozenSet[int]]],
+    bags: Sequence[Optional[AttrSet]],
     adj: Dict[int, List[int]],
     start: int,
     avoid: int,
-) -> FrozenSet[int]:
+) -> AttrSet:
     """Attributes of the tree component reachable from ``start`` without
     passing through node ``avoid``."""
     seen = {start, avoid}
     stack = [start]
-    attrs: set = set()
+    mask = 0
     while stack:
         u = stack.pop()
         if bags[u] is not None:
-            attrs |= bags[u]
+            mask |= bags[u].mask
         for v in adj.get(u, ()):
             if v not in seen:
                 seen.add(v)
                 stack.append(v)
-    return frozenset(attrs)
+    return AttrSet.from_mask(mask)
 
 
 def build_acyclic_schema_with_tree(
@@ -75,7 +75,7 @@ def build_acyclic_schema_with_tree(
     because the construction only ever splits bags (the result is acyclic).
     """
     omega = attrset(omega)
-    bags: List[Optional[FrozenSet[int]]] = [omega]
+    bags: List[Optional[AttrSet]] = [omega]
     edges: List[Tuple[int, int]] = []
     ordered = sorted(mvds, key=lambda p: (len(p.key), p.sort_key()))
     for phi in ordered:
@@ -85,9 +85,9 @@ def build_acyclic_schema_with_tree(
         for i, bag in enumerate(bags):
             if bag is None or not (x <= bag):
                 continue
-            piece_deps: Dict[FrozenSet[int], set] = {}
+            piece_deps: Dict[AttrSet, set] = {}
             for c in phi.dependents:
-                piece = frozenset((c | x) & bag)
+                piece = (c | x) & bag
                 if piece and piece != x:
                     piece_deps.setdefault(piece, set()).update(c)
             if len(piece_deps) < 2:
@@ -133,7 +133,7 @@ def build_acyclic_schema_with_tree(
             break
     # Compact away dead bags.
     remap: Dict[int, int] = {}
-    final_bags: List[FrozenSet[int]] = []
+    final_bags: List[AttrSet] = []
     for i, bag in enumerate(bags):
         if bag is not None:
             remap[i] = len(final_bags)

@@ -18,7 +18,7 @@ This module exploits that reading in two directions:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.core.budget import SearchBudget
 from repro.core.minsep import mine_min_seps

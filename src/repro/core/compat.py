@@ -22,7 +22,7 @@ polynomial-delay enumeration (Theorem 7.3).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, FrozenSet
+from typing import FrozenSet, List, Sequence, Set
 
 from repro.core.mvd import MVD
 

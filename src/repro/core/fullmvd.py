@@ -25,7 +25,7 @@ not put A and B into the same dependent.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.common import TOL, attrset
 from repro.core.budget import SearchBudget, ensure_budget

@@ -21,9 +21,9 @@ and, given an oracle, can verify the numeric inequality.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence
 
-from repro.common import TOL, attrset
+from repro.common import TOL
 from repro.core.measures import j_measure
 from repro.core.mvd import MVD
 from repro.entropy.oracle import EntropyOracle

@@ -13,9 +13,10 @@ approximate setting by Theorem 5.1 / Corollary 5.2).
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 from repro.common import attrset, fmt_attrs
+from repro.lattice import AttrSet
 from repro.core.measures import j_of_join_tree
 from repro.core.mvd import MVD
 from repro.entropy.oracle import EntropyOracle
@@ -37,7 +38,7 @@ class JoinTree:
         edges: Iterable[Tuple[int, int]],
         validate: bool = True,
     ):
-        self.bags: Tuple[FrozenSet[int], ...] = tuple(attrset(b) for b in bags)
+        self.bags: Tuple[AttrSet, ...] = tuple(attrset(b) for b in bags)
         self.edges: Tuple[Tuple[int, int], ...] = tuple(
             (min(u, v), max(u, v)) for u, v in edges
         )
@@ -67,19 +68,19 @@ class JoinTree:
         return len(self.bags)
 
     @property
-    def attributes(self) -> FrozenSet[int]:
+    def attributes(self) -> AttrSet:
         """``chi(T)``: all attributes of the tree."""
-        out: set = set()
+        m = 0
         for b in self.bags:
-            out |= b
-        return frozenset(out)
+            m |= b.mask
+        return AttrSet.from_mask(m)
 
-    def separator(self, edge: Tuple[int, int]) -> FrozenSet[int]:
+    def separator(self, edge: Tuple[int, int]) -> AttrSet:
         """``chi(u) ∩ chi(v)`` for an edge."""
         u, v = edge
         return self.bags[u] & self.bags[v]
 
-    def separators(self) -> List[FrozenSet[int]]:
+    def separators(self) -> List[AttrSet]:
         return [self.separator(e) for e in self.edges]
 
     @property
@@ -106,13 +107,19 @@ class JoinTree:
         u, v = edge
         side_u_nodes, side_v_nodes = tree_components(self.m, list(self.edges), edge)
         sep = self.separator(edge)
-        attrs_u: set = set()
+        attrs_u = 0
         for w in side_u_nodes:
-            attrs_u |= self.bags[w]
-        attrs_v: set = set()
+            attrs_u |= self.bags[w].mask
+        attrs_v = 0
         for w in side_v_nodes:
-            attrs_v |= self.bags[w]
-        return MVD(sep, [frozenset(attrs_u) - sep, frozenset(attrs_v) - sep])
+            attrs_v |= self.bags[w].mask
+        return MVD(
+            sep,
+            [
+                AttrSet.from_mask(attrs_u & ~sep.mask),
+                AttrSet.from_mask(attrs_v & ~sep.mask),
+            ],
+        )
 
     def support(self) -> List[MVD]:
         """``MVD(T)``: the ``m - 1`` MVDs of the edges."""

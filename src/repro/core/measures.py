@@ -31,15 +31,19 @@ def j_measure(oracle: EntropyOracle, mvd: MVD) -> float:
     Defined for any pairwise-disjoint dependents, whether or not they cover
     ``Omega`` (Section 3.2).  Always >= 0 up to float noise (it is a sum of
     conditional mutual informations, Theorem 5.1).
+
+    This is the innermost scoring call of the full-MVD DFS, so all the set
+    algebra runs on raw bitmasks through :meth:`EntropyOracle.entropy_mask`.
     """
-    key = mvd.key
+    key_mask = mvd.key.mask
     total = 0.0
-    everything = set(key)
+    everything = key_mask
     for d in mvd.dependents:
-        total += oracle.entropy(key | d)
-        everything |= d
-    total -= (mvd.m - 1) * oracle.entropy(key)
-    total -= oracle.entropy(frozenset(everything))
+        dm = d.mask
+        total += oracle.entropy_mask(key_mask | dm)
+        everything |= dm
+    total -= (mvd.m - 1) * oracle.entropy_mask(key_mask)
+    total -= oracle.entropy_mask(everything)
     return total
 
 
@@ -61,11 +65,11 @@ def j_of_join_tree(
     """
     bags = [attrset(b) for b in bags]
     edges = list(edges)
-    everything = frozenset().union(*bags) if bags else frozenset()
-    requests = bags + [bags[u] & bags[v] for u, v in edges] + [everything]
-    hs = oracle.entropies(requests)
+    everything = attrset(()).union(*bags)
+    separators = [bags[u] & bags[v] for u, v in edges]
+    hs = oracle.entropies(bags + separators + [everything])
     total = sum(hs[b] for b in bags)
-    total -= sum(hs[bags[u] & bags[v]] for u, v in edges)
+    total -= sum(hs[sep] for sep in separators)
     total -= hs[everything]
     return total
 

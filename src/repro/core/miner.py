@@ -13,8 +13,8 @@ from which every ε-MVD of R can be derived by Shannon inequalities
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.budget import SearchBudget, ensure_budget
 from repro.core.fullmvd import get_full_mvds
@@ -22,6 +22,7 @@ from repro.core.minsep import mine_min_seps
 from repro.core.mvd import MVD
 from repro.data.relation import Relation
 from repro.entropy.oracle import EntropyOracle, make_oracle
+from repro.lattice import AttrSet
 
 Pair = Tuple[int, int]
 
@@ -32,7 +33,7 @@ class MinerResult:
 
     eps: float
     mvds: List[MVD]
-    min_seps: Dict[Pair, List[FrozenSet[int]]]
+    min_seps: Dict[Pair, List[AttrSet]]
     elapsed: float
     timed_out: bool
     pairs_done: int
@@ -113,7 +114,7 @@ class MVDMiner:
         queries_before = oracle.queries
         evals_before = oracle.evals
         collected: Dict[MVD, None] = {}  # insertion-ordered set
-        min_seps: Dict[Pair, List[FrozenSet[int]]] = {}
+        min_seps: Dict[Pair, List[AttrSet]] = {}
         pairs_done = 0
         timed_out = False
         for pair in pairs:

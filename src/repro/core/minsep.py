@@ -24,13 +24,14 @@ the proof of Theorem 6.1, where separators and transversals live inside
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.common import TOL, attrset
+from repro.common import TOL
 from repro.core.budget import SearchBudget, ensure_budget
 from repro.core.fullmvd import key_separates
 from repro.entropy.oracle import EntropyOracle
 from repro.hypergraph.transversal import TransversalEnumerator
+from repro.lattice import AttrSet, bits_of, mask_of
 
 Pair = Tuple[int, int]
 
@@ -46,16 +47,17 @@ def reduce_min_sep(
     pair: Pair,
     optimized: bool = True,
     budget: Optional[SearchBudget] = None,
-) -> FrozenSet[int]:
+) -> AttrSet:
     """Shrink a separator to a minimal one (Fig. 4).
 
     Scans the attributes of ``separator`` in ascending index order (the
     "predefined ordering p"); drops each attribute whose removal still
     leaves a separator.  The fixed order is what makes the enumeration of
     ``MineMinSeps`` complete (Theorem 6.2's proof inducts on the
-    lexicographic order this scan induces).
+    lexicographic order this scan induces).  The scan itself is pure mask
+    arithmetic: each drop-candidate is one AND-NOT away.
     """
-    current = set(attrset(separator))
+    start = mask_of(separator)
     if oracle.prefers_batches:
         # Speculative warm-up for the scan: each drop-candidate K is first
         # probed through the finest MVD with key K, whose pairwise terms
@@ -64,24 +66,30 @@ def reduce_min_sep(
         # (inherently sequential) scan below; misses merely waste idle
         # workers, never correctness.  Chunked so a time budget is checked
         # every few hundred sets rather than after the whole warm-up.
-        omega = oracle.omega
-        sets: List[FrozenSet[int]] = []
-        for x in sorted(current):
+        omega_mask = oracle.omega.mask
+        sets: List[AttrSet] = []
+        for x in bits_of(start):
             if budget is not None and budget.exhausted:
                 break
-            candidate = frozenset(current - {x})
-            sets.append(candidate)
-            sets.extend(candidate | {y} for y in omega - candidate)
+            cand = start & ~(1 << x)
+            sets.append(AttrSet.from_mask(cand))
+            sets.extend(
+                AttrSet.from_mask(cand | (1 << y)) for y in bits_of(omega_mask & ~cand)
+            )
             if len(sets) >= _PREFETCH_CHUNK:
                 oracle.prefetch(sets)
                 sets = []
         if sets and not (budget is not None and budget.exhausted):
             oracle.prefetch(sets)
-    for x in sorted(current):
-        candidate = frozenset(current - {x})
-        if key_separates(oracle, candidate, pair, eps, optimized=optimized, budget=budget):
-            current.discard(x)
-    return frozenset(current)
+    current = start
+    for x in bits_of(start):
+        candidate = current & ~(1 << x)
+        if key_separates(
+            oracle, AttrSet.from_mask(candidate), pair, eps,
+            optimized=optimized, budget=budget,
+        ):
+            current = candidate
+    return AttrSet.from_mask(current)
 
 
 def iter_min_seps(
@@ -103,7 +111,7 @@ def iter_min_seps(
     omega = oracle.omega
     if a == b or a not in omega or b not in omega:
         raise ValueError(f"pair {pair} must be two distinct attributes of the relation")
-    universe = omega - {a, b}
+    universe = AttrSet.from_mask(omega.mask & ~((1 << a) | (1 << b)))
     if budget.exhausted:
         return
     # Fast gate (Fig. 5 line 3): the most favourable key is Omega - {A,B};
@@ -142,7 +150,7 @@ def mine_min_seps(
     pair: Pair,
     optimized: bool = True,
     budget: Optional[SearchBudget] = None,
-) -> List[FrozenSet[int]]:
+) -> List[AttrSet]:
     """All minimal A,B-separators of R (Fig. 5), in discovery order.
 
     Eager wrapper over :func:`iter_min_seps`; with an exhausted budget the
@@ -159,7 +167,7 @@ def mine_all_min_seps(
     pairs: Optional[Iterable[Pair]] = None,
     optimized: bool = True,
     budget: Optional[SearchBudget] = None,
-) -> Dict[Pair, List[FrozenSet[int]]]:
+) -> Dict[Pair, List[AttrSet]]:
     """Minimal separators for every attribute pair (the Fig. 13/14 workload).
 
     ``pairs`` defaults to all unordered attribute pairs, in lexicographic
@@ -178,18 +186,21 @@ def mine_all_min_seps(
         # Chunked with budget checks in between so a time-budgeted run is
         # never blocked behind the whole O(n^2) warm-up.
         omega = oracle.omega
-        sets: List[FrozenSet[int]] = [omega]
+        sets: List[AttrSet] = [omega]
         for a, b in pairs:
             if budget.exhausted:
                 break
-            universe = omega - {a, b}
-            sets.extend((universe, universe | {a}, universe | {b}))
+            u = omega.mask & ~((1 << a) | (1 << b))
+            sets.extend(
+                AttrSet.from_mask(m)
+                for m in (u, u | (1 << a), u | (1 << b))
+            )
             if len(sets) >= _PREFETCH_CHUNK:
                 oracle.prefetch(sets)
                 sets = []
         if sets and not budget.exhausted:
             oracle.prefetch(sets)
-    out: Dict[Pair, List[FrozenSet[int]]] = {}
+    out: Dict[Pair, List[AttrSet]] = {}
     for pair in pairs:
         if budget.exhausted:
             break

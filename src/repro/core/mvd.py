@@ -18,45 +18,51 @@ The operations implemented here drive the miner:
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 from repro.common import attrset, fmt_attrs
+from repro.lattice import AttrSet
 
 
 def _canonical_dependents(
     dependents: Iterable[Iterable[int]],
-) -> Tuple[FrozenSet[int], ...]:
+) -> Tuple[AttrSet, ...]:
     deps = [attrset(d) for d in dependents]
     if any(not d for d in deps):
         raise ValueError("dependents must be non-empty")
-    deps.sort(key=lambda d: (min(d), sorted(d)))
+    # Pairwise-disjoint dependents have distinct minima, so (min, mask) is a
+    # total order matching the historical (min, sorted) canonical order.
+    deps.sort(key=lambda d: (d.mask & -d.mask, d.mask))
     return tuple(deps)
 
 
 class MVD:
     """An immutable generalised multivalued dependency.
 
-    Dependents are kept in a canonical order (by minimum element), so two
-    MVDs describing the same dependency compare and hash equal.
+    Key and dependents are :class:`~repro.lattice.AttrSet` bitmasks (equal
+    and hash-equal to the matching frozensets).  Dependents are kept in a
+    canonical order (by minimum element), so two MVDs describing the same
+    dependency compare and hash equal; the hash is computed from the raw
+    masks, which makes the DFS ``seen`` sets of the full-MVD search cheap.
     """
 
     __slots__ = ("key", "dependents", "_hash")
 
     def __init__(self, key: Iterable[int], dependents: Iterable[Iterable[int]]):
-        self.key: FrozenSet[int] = attrset(key)
-        self.dependents: Tuple[FrozenSet[int], ...] = _canonical_dependents(dependents)
+        self.key: AttrSet = attrset(key)
+        self.dependents: Tuple[AttrSet, ...] = _canonical_dependents(dependents)
         if len(self.dependents) < 2:
             raise ValueError(f"an MVD needs >= 2 dependents, got {self.dependents}")
-        seen: set = set()
+        key_mask = self.key.mask
+        seen = 0
         for d in self.dependents:
-            if not d:
-                raise ValueError("dependents must be non-empty")
-            if d & self.key:
+            dm = d.mask
+            if dm & key_mask:
                 raise ValueError(f"dependent {sorted(d)} overlaps key {sorted(self.key)}")
-            if d & seen:
+            if dm & seen:
                 raise ValueError("dependents must be pairwise disjoint")
-            seen |= d
-        self._hash = hash((self.key, self.dependents))
+            seen |= dm
+        self._hash = hash((key_mask, tuple(d.mask for d in self.dependents)))
 
     # ------------------------------------------------------------------ #
     # Basic structure
@@ -73,12 +79,12 @@ class MVD:
         return self.m == 2
 
     @property
-    def attributes(self) -> FrozenSet[int]:
+    def attributes(self) -> AttrSet:
         """All attributes mentioned: key union dependents."""
-        out = set(self.key)
+        m = self.key.mask
         for d in self.dependents:
-            out |= d
-        return frozenset(out)
+            m |= d.mask
+        return AttrSet.from_mask(m)
 
     def dependent_of(self, attr: int) -> Optional[int]:
         """Index of the dependent containing ``attr``, or None."""
@@ -145,11 +151,11 @@ class MVD:
         """The standard MVD ``X ->> Yi | (rest)`` implied by ``self``."""
         if self.m == 2:
             return self
-        rest = set()
+        rest = 0
         for j, d in enumerate(self.dependents):
             if j != i:
-                rest |= d
-        return MVD(self.key, [self.dependents[i], rest])
+                rest |= d.mask
+        return MVD(self.key, [self.dependents[i], AttrSet.from_mask(rest)])
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -164,7 +170,7 @@ class MVD:
         ``getFullMVDs`` (Fig. 6, line 3).
         """
         key = attrset(key)
-        singles = [frozenset((a,)) for a in attrset(universe) - key]
+        singles = [AttrSet.singleton(a) for a in attrset(universe) - key]
         if len(singles) < 2:
             raise ValueError("need at least two non-key attributes")
         return MVD(key, singles)

@@ -22,6 +22,7 @@ from repro.core.fullmvd import get_full_mvds
 from repro.core.schema import Schema
 from repro.data.relation import Relation
 from repro.entropy.oracle import EntropyOracle, make_oracle
+from repro.lattice import AttrSet
 
 
 def _fragment_violation(
@@ -81,12 +82,12 @@ def _full_mvds_within(
 class _FragmentOracle:
     """Oracle adapter restricting the attribute universe to a fragment."""
 
-    def __init__(self, base: EntropyOracle, fragment: FrozenSet[int]):
+    def __init__(self, base: EntropyOracle, fragment):
         self._base = base
-        self._fragment = frozenset(fragment)
+        self._fragment = attrset(fragment)
 
     @property
-    def omega(self) -> FrozenSet[int]:
+    def omega(self) -> AttrSet:
         return self._fragment
 
     @property
@@ -95,6 +96,9 @@ class _FragmentOracle:
 
     def entropy(self, attrs):
         return self._base.entropy(attrset(attrs) & self._fragment)
+
+    def entropy_mask(self, m: int) -> float:
+        return self._base.entropy_mask(m & self._fragment.mask)
 
     def mutual_information(self, ys, zs, xs=()):
         return self._base.mutual_information(

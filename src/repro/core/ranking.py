@@ -15,7 +15,7 @@ J-measure) plus a balanced default; custom callables are accepted.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.core.budget import SearchBudget
 from repro.core.maimon import DiscoveredSchema, Maimon

@@ -7,24 +7,32 @@ dependency ``AJD(S)`` when ``J(S) <= ε`` (Definition 4.1).
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.common import attrset, fmt_attrs
 from repro.core.jointree import JoinTree
 from repro.core.measures import j_of_schema
 from repro.entropy.oracle import EntropyOracle
 from repro.hypergraph.gyo import is_acyclic
+from repro.lattice import AttrSet, popcount
 
 
-def normalize_bags(bags: Iterable[Iterable[int]]) -> Tuple[FrozenSet[int], ...]:
+def normalize_bags(bags: Iterable[Iterable[int]]) -> Tuple[AttrSet, ...]:
     """Drop empty and subsumed bags, deduplicate, order canonically."""
-    sets = sorted({attrset(b) for b in bags if b}, key=len, reverse=True)
-    kept: List[FrozenSet[int]] = []
-    for b in sets:
-        if not any(b <= other for other in kept):
-            kept.append(b)
-    kept.sort(key=lambda b: (min(b), sorted(b)))
-    return tuple(kept)
+    masks = sorted(
+        {attrset(b).mask for b in bags if b},
+        key=popcount,
+        reverse=True,
+    )
+    kept: List[int] = []
+    for m in masks:
+        if not any(m & ~other == 0 for other in kept):
+            kept.append(m)
+    # Canonical order: by minimum element, then lexicographic on indices
+    # (mask numeric order would differ — it compares high bits first).
+    sets = [AttrSet.from_mask(m) for m in kept]
+    sets.sort(key=lambda b: (b.mask & -b.mask, b.indices()))
+    return tuple(sets)
 
 
 class Schema:
@@ -58,11 +66,11 @@ class Schema:
         return len(self.bags)
 
     @property
-    def attributes(self) -> FrozenSet[int]:
-        out: set = set()
+    def attributes(self) -> AttrSet:
+        m = 0
         for b in self.bags:
-            out |= b
-        return frozenset(out)
+            m |= b.mask
+        return AttrSet.from_mask(m)
 
     @property
     def width(self) -> int:
@@ -80,7 +88,7 @@ class Schema:
 
     def covers(self, omega: Iterable[int]) -> bool:
         """Do the bags cover the full attribute set?"""
-        return attrset(omega) <= self.attributes
+        return attrset(omega).mask & ~self.attributes.mask == 0
 
     # ------------------------------------------------------------------ #
     # Acyclicity / semantics
@@ -117,10 +125,10 @@ class Schema:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Schema):
             return NotImplemented
-        return set(self.bags) == set(other.bags)
+        return {b.mask for b in self.bags} == {b.mask for b in other.bags}
 
     def __hash__(self) -> int:
-        return hash(frozenset(self.bags))
+        return hash(frozenset(b.mask for b in self.bags))
 
     def __len__(self) -> int:
         return self.m

@@ -27,6 +27,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.lattice import AttrSet
+
 AttrSpec = Union[int, str]
 AttrSetSpec = Union[Iterable[AttrSpec], AttrSpec]
 
@@ -207,6 +209,14 @@ class Relation:
 
     def col_indices(self, attrs: AttrSetSpec) -> Tuple[int, ...]:
         """Resolve a collection of names/indices to a sorted index tuple."""
+        if type(attrs) is AttrSet:
+            # Bitmask fast path: bits iterate ascending; one range check.
+            if attrs.mask >> self.n_cols:
+                raise IndexError(
+                    f"column index {attrs.max_attr()} out of range "
+                    f"0..{self.n_cols - 1}"
+                )
+            return attrs.indices()
         if isinstance(attrs, (int, np.integer, str)):
             attrs = [attrs]
         return tuple(sorted(self.col_index(a) for a in attrs))
@@ -326,15 +336,28 @@ class Relation:
     # ------------------------------------------------------------------ #
 
     def rows(self) -> List[tuple]:
-        """Decoded rows as a list of tuples."""
-        out = []
-        decoders = []
+        """Decoded rows as a list of tuples.
+
+        Decoding is vectorized per column — one ``np.take`` into an object
+        array per column instead of an O(N·n) Python double loop — and the
+        column-major result is zipped back into row tuples.
+        """
+        if self.n_rows == 0:
+            return []
+        if self.n_cols == 0:
+            return [() for _ in range(self.n_rows)]
+        decoded = []
         for j in range(self.n_cols):
             domain = self.domains[j]
-            decoders.append((lambda v: int(v)) if domain is None else domain.__getitem__)
-        for t in range(self.n_rows):
-            out.append(tuple(decoders[j](self.codes[t, j]) for j in range(self.n_cols)))
-        return out
+            col = self.codes[:, j]
+            if domain is None:
+                decoded.append(col.tolist())
+            else:
+                table = np.empty(len(domain), dtype=object)
+                for code, value in enumerate(domain):
+                    table[code] = value
+                decoded.append(np.take(table, col).tolist())
+        return list(zip(*decoded))
 
     def row_set(self, attrs: Optional[AttrSetSpec] = None) -> set:
         """Set of code tuples over ``attrs`` (defaults to all columns)."""

@@ -10,32 +10,34 @@ such computation requires a full scan over the data").  It is kept as:
 from __future__ import annotations
 
 import math
-from typing import Dict, FrozenSet
+from typing import Dict
 
 import numpy as np
 
-from repro.common import attrset
 from repro.data.relation import Relation
+from repro.lattice import AttrSet, mask_of
 
 
 class NaiveEntropyEngine:
     """Computes ``H(X)`` by grouping the full code matrix on every call.
 
     A small memo of already-computed entropies is kept (the oracle layer
-    also caches, but the engine memo makes the engine usable standalone).
+    also caches, but the engine memo makes the engine usable standalone);
+    it is keyed by the :class:`~repro.lattice.AttrSet` bitmask.
     """
 
     def __init__(self, relation: Relation):
         self.relation = relation
-        self._memo: Dict[FrozenSet[int], float] = {}
+        self._memo: Dict[int, float] = {}
         self.scans = 0  # instrumentation: number of full-data group-bys
 
-    def entropy_of(self, attrs: FrozenSet[int]) -> float:
+    def entropy_of(self, attrs) -> float:
         """Entropy in bits of the attribute set ``attrs`` (column indices)."""
-        attrs = attrset(attrs)
-        cached = self._memo.get(attrs)
+        m = attrs.mask if type(attrs) is AttrSet else mask_of(attrs)
+        cached = self._memo.get(m)
         if cached is not None:
             return cached
+        attrs = AttrSet.from_mask(m)
         n = self.relation.n_rows
         if n == 0 or not attrs:
             value = 0.0
@@ -46,7 +48,7 @@ class NaiveEntropyEngine:
             s = float(np.dot(sizes, np.log2(sizes))) if len(sizes) else 0.0
             # Clamp tiny negative float residue (H is mathematically >= 0).
             value = max(0.0, math.log2(n) - s / n)
-        self._memo[attrs] = value
+        self._memo[m] = value
         return value
 
     def reset_stats(self) -> None:

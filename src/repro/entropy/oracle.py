@@ -21,18 +21,24 @@ entropy H(X)").  Two counters are kept with distinct meanings:
   oracle-level memo and were handed to the engine (or, for the batched
   subclass, to the worker pool / persistent cache).  ``queries - evals``
   is the work saved by memoisation and deduplication.
+
+Internally the memo is keyed by the raw :class:`~repro.lattice.AttrSet`
+bitmask — a plain int, the cheapest dict key CPython has — and the hot
+measure formulas (:meth:`entropy_mask`, :meth:`mutual_information`) work
+directly on masks, so the per-query cost is a few int ops plus one dict
+probe.  All entry points still accept any iterable of column indices.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
 
-from repro.common import attrset
 from repro.data.relation import Relation
 from repro.entropy.naive import NaiveEntropyEngine
 from repro.entropy.plicache import PLICacheEngine
+from repro.lattice import AttrSet, attrset, mask_of
 
-AttrsLike = Union[FrozenSet[int], Iterable[int]]
+AttrsLike = Union[AttrSet, Iterable[int]]
 #: An ``I(Y; Z | X)`` request: ``(ys, zs, xs)`` attribute sets.
 MITriple = Tuple[AttrsLike, AttrsLike, AttrsLike]
 
@@ -56,7 +62,8 @@ class EntropyOracle:
         self.engine = engine if engine is not None else PLICacheEngine(relation)
         self.queries = 0  # logical H() requests (cache hits included)
         self.evals = 0    # requests that reached the engine (memo misses)
-        self._memo: Dict[FrozenSet[int], float] = {}
+        self._memo: Dict[int, float] = {}  # keyed by AttrSet bitmask
+        self._omega = AttrSet.full(relation.n_cols)
 
     # ------------------------------------------------------------------ #
     # Core measures
@@ -65,22 +72,36 @@ class EntropyOracle:
     def entropy(self, attrs: AttrsLike) -> float:
         """``H(attrs)`` in bits under the empirical distribution of R."""
         self.queries += 1
-        attrs = attrset(attrs)
-        value = self._memo.get(attrs)
+        m = attrs.mask if type(attrs) is AttrSet else mask_of(attrs)
+        value = self._memo.get(m)
         if value is None:
-            value = self._compute(attrs)
-            self._memo[attrs] = value
+            value = self._compute(AttrSet.from_mask(m))
+            self._memo[m] = value
         return value
 
-    def _compute(self, attrs: FrozenSet[int]) -> float:
+    def entropy_mask(self, m: int) -> float:
+        """``H`` of the set encoded by the bitmask ``m`` (hot-path entry).
+
+        Same accounting as :meth:`entropy`; exists so inner search loops
+        can do their set algebra as int arithmetic and skip object
+        construction on memo hits entirely.
+        """
+        self.queries += 1
+        value = self._memo.get(m)
+        if value is None:
+            value = self._compute(AttrSet.from_mask(m))
+            self._memo[m] = value
+        return value
+
+    def _compute(self, attrs: AttrSet) -> float:
         """Evaluate one memo-missing set (hook for batched subclasses)."""
         self.evals += 1
         return self.engine.entropy_of(attrs)
 
     def cond_entropy(self, ys: AttrsLike, xs: AttrsLike) -> float:
         """``H(Y | X) = H(XY) - H(X)``."""
-        ys, xs = attrset(ys), attrset(xs)
-        return self.entropy(xs | ys) - self.entropy(xs)
+        ym, xm = mask_of(ys), mask_of(xs)
+        return self.entropy_mask(xm | ym) - self.entropy_mask(xm)
 
     def mutual_information(self, ys: AttrsLike, zs: AttrsLike, xs: AttrsLike = ()) -> float:
         """``I(Y; Z | X) = H(XY) + H(XZ) - H(XYZ) - H(X)`` (Eq. 2).
@@ -88,12 +109,12 @@ class EntropyOracle:
         Non-negative up to float noise; callers compare against thresholds
         with the shared tolerance :data:`repro.common.TOL`.
         """
-        ys, zs, xs = attrset(ys), attrset(zs), attrset(xs)
+        ym, zm, xm = mask_of(ys), mask_of(zs), mask_of(xs)
         return (
-            self.entropy(xs | ys)
-            + self.entropy(xs | zs)
-            - self.entropy(xs | ys | zs)
-            - self.entropy(xs)
+            self.entropy_mask(xm | ym)
+            + self.entropy_mask(xm | zm)
+            - self.entropy_mask(xm | ym | zm)
+            - self.entropy_mask(xm)
         )
 
     # ------------------------------------------------------------------ #
@@ -111,12 +132,14 @@ class EntropyOracle:
         """
         return False
 
-    def entropies(self, requests: Iterable[AttrsLike]) -> Dict[FrozenSet[int], float]:
-        """``H`` of every requested set, as ``{frozenset: bits}``.
+    def entropies(self, requests: Iterable[AttrsLike]) -> Dict[AttrSet, float]:
+        """``H`` of every requested set, as ``{attr set: bits}``.
 
-        Duplicate requests collapse onto one dict key but each still counts
-        as one logical query, keeping ``queries`` comparable between serial
-        and batched runs of the same algorithm.
+        Keys are :class:`~repro.lattice.AttrSet` (equal and hash-equal to
+        the corresponding frozensets).  Duplicate requests collapse onto
+        one dict key but each still counts as one logical query, keeping
+        ``queries`` comparable between serial and batched runs of the same
+        algorithm.
         """
         return {a: self.entropy(a) for a in map(attrset, requests)}
 
@@ -143,9 +166,9 @@ class EntropyOracle:
         return self.relation.n_cols
 
     @property
-    def omega(self) -> FrozenSet[int]:
+    def omega(self) -> AttrSet:
         """The full attribute set ``Omega`` as column indices."""
-        return frozenset(range(self.relation.n_cols))
+        return self._omega
 
     def reset_stats(self) -> None:
         self.queries = 0

@@ -20,16 +20,24 @@ bounded without changing results:
 * cross-block combinations go into a bounded LRU cache, and the running
   unions built while assembling ``alpha`` are cached too, so lattice-shaped
   query workloads (which the miners produce) hit the cache heavily.
+
+The hot entropy memo is keyed by the :class:`~repro.lattice.AttrSet`
+bitmask of the attribute set (a plain int); splitting ``alpha`` by block is
+one AND per block mask, and the within-block recursion peels bits off the
+mask.  The partition caches themselves key on ``AttrSet`` objects — they
+are probed only on memo misses, and ``AttrSet`` keys stay interchangeable
+with the frozensets external introspection (and the LRU-boundary tests)
+use.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from repro.common import attrset
 from repro.data.relation import Relation
 from repro.entropy.partitions import StrippedPartition
+from repro.lattice import AttrSet, bits_of, mask_of
 
 
 class PLICacheEngine:
@@ -57,20 +65,17 @@ class PLICacheEngine:
         self.relation = relation
         self.block_size = block_size
         n = relation.n_cols
-        self.blocks: List[Tuple[int, ...]] = [
-            tuple(range(start, min(start + block_size, n)))
+        # Bitmask of each block Omega_b (consecutive index ranges).
+        self.block_masks: List[int] = [
+            ((1 << min(start + block_size, n)) - 1) & ~((1 << start) - 1)
             for start in range(0, n, block_size)
         ]
-        self._block_of: Dict[int, int] = {}
-        for b, cols in enumerate(self.blocks):
-            for j in cols:
-                self._block_of[j] = b
         # Permanent cache: subsets contained in a single block.
-        self._block_cache: Dict[FrozenSet[int], StrippedPartition] = {}
+        self._block_cache: Dict[AttrSet, StrippedPartition] = {}
         # Bounded LRU cache: subsets spanning blocks.
-        self._cross_cache: "OrderedDict[FrozenSet[int], StrippedPartition]" = OrderedDict()
+        self._cross_cache: "OrderedDict[AttrSet, StrippedPartition]" = OrderedDict()
         self._cross_cache_size = cross_cache_size
-        self._entropy_memo: Dict[FrozenSet[int], float] = {}
+        self._entropy_memo: Dict[int, float] = {}
         # Instrumentation.
         self.products = 0       # partition products performed
         self.cache_hits = 0
@@ -80,40 +85,26 @@ class PLICacheEngine:
     # Public API
     # ------------------------------------------------------------------ #
 
-    def entropy_of(self, attrs: FrozenSet[int]) -> float:
+    @property
+    def blocks(self) -> List[tuple]:
+        """The attribute blocks as index tuples (introspection helper)."""
+        return [tuple(bits_of(m)) for m in self.block_masks]
+
+    def entropy_of(self, attrs) -> float:
         """Entropy in bits of the attribute set ``attrs`` (column indices)."""
-        attrs = attrset(attrs)
-        cached = self._entropy_memo.get(attrs)
+        m = attrs.mask if type(attrs) is AttrSet else mask_of(attrs)
+        cached = self._entropy_memo.get(m)
         if cached is not None:
             return cached
-        value = self.partition_of(attrs).entropy()
-        self._entropy_memo[attrs] = value
+        value = self._partition_of_mask(m).entropy()
+        self._entropy_memo[m] = value
         return value
 
-    def partition_of(self, attrs: FrozenSet[int]) -> StrippedPartition:
+    def partition_of(self, attrs) -> StrippedPartition:
         """Stripped partition of ``attrs`` (cached)."""
-        attrs = attrset(attrs)
-        if not attrs:
-            return StrippedPartition.single_cluster(self.relation.n_rows)
-        pieces = self._split_by_block(attrs)
-        if len(pieces) == 1:
-            return self._block_partition(pieces[0])
-        hit = self._cross_lookup(attrs)
-        if hit is not None:
-            return hit
-        # Assemble across blocks, caching running unions so subsequent
-        # queries sharing a prefix of blocks reuse the work.
-        acc_attrs = pieces[0]
-        acc = self._block_partition(acc_attrs)
-        for piece in pieces[1:]:
-            acc_attrs = acc_attrs | piece
-            cached = self._cross_lookup(acc_attrs)
-            if cached is not None:
-                acc = cached
-                continue
-            acc = self._product(acc, self._block_partition(piece))
-            self._cross_store(acc_attrs, acc)
-        return acc
+        return self._partition_of_mask(
+            attrs.mask if type(attrs) is AttrSet else mask_of(attrs)
+        )
 
     def reset_stats(self) -> None:
         self.products = 0
@@ -124,34 +115,57 @@ class PLICacheEngine:
     # Internals
     # ------------------------------------------------------------------ #
 
-    def _split_by_block(self, attrs: FrozenSet[int]) -> List[FrozenSet[int]]:
-        by_block: Dict[int, set] = {}
-        for j in attrs:
-            by_block.setdefault(self._block_of[j], set()).add(j)
-        return [frozenset(by_block[b]) for b in sorted(by_block)]
+    def _partition_of_mask(self, m: int) -> StrippedPartition:
+        if m >> self.relation.n_cols:
+            raise IndexError(
+                f"attribute index {m.bit_length() - 1} out of range "
+                f"0..{self.relation.n_cols - 1}"
+            )
+        if not m:
+            return StrippedPartition.single_cluster(self.relation.n_rows)
+        pieces = [m & bm for bm in self.block_masks if m & bm]
+        if len(pieces) == 1:
+            return self._block_partition(pieces[0])
+        hit = self._cross_lookup(m)
+        if hit is not None:
+            return hit
+        # Assemble across blocks, caching running unions so subsequent
+        # queries sharing a prefix of blocks reuse the work.
+        acc_mask = pieces[0]
+        acc = self._block_partition(acc_mask)
+        for piece in pieces[1:]:
+            acc_mask |= piece
+            cached = self._cross_lookup(acc_mask)
+            if cached is not None:
+                acc = cached
+                continue
+            acc = self._product(acc, self._block_partition(piece))
+            self._cross_store(acc_mask, acc)
+        return acc
 
-    def _block_partition(self, attrs: FrozenSet[int]) -> StrippedPartition:
+    def _block_partition(self, m: int) -> StrippedPartition:
         """Partition of a subset living inside one block (permanent cache).
 
-        Built recursively: ``P(S) = P(S \\ {max}) * P({max})``, so all
-        sub-subsets along the recursion get cached as well — the lazy
-        equivalent of the paper's "compute the tables for all subsets of
-        each block".
+        Built recursively by peeling the top bit: ``P(S) = P(S \\ {max}) *
+        P({max})``, so all sub-subsets along the recursion get cached as
+        well — the lazy equivalent of the paper's "compute the tables for
+        all subsets of each block".
         """
-        part = self._block_cache.get(attrs)
+        key = AttrSet.from_mask(m)
+        part = self._block_cache.get(key)
         if part is not None:
             self.cache_hits += 1
             return part
         self.cache_misses += 1
-        if len(attrs) == 1:
-            part = StrippedPartition.from_relation(self.relation, attrs)
+        top = 1 << (m.bit_length() - 1)
+        rest = m ^ top
+        if not rest:
+            part = StrippedPartition.from_relation(self.relation, bits_of(m))
         else:
-            top = max(attrs)
-            rest = attrs - {top}
             part = self._product(
-                self._block_partition(rest), self._block_partition(frozenset((top,)))
+                self._block_partition(rest), self._block_partition(top)
             )
-        self._block_cache[attrs] = part
+        self._block_cache[key] = part
         return part
 
     def _product(self, a: StrippedPartition, b: StrippedPartition) -> StrippedPartition:
@@ -159,15 +173,17 @@ class PLICacheEngine:
         # Probe with the smaller partition for a cheaper pass.
         return a.intersect(b) if a.size >= b.size else b.intersect(a)
 
-    def _cross_lookup(self, attrs: FrozenSet[int]) -> Optional[StrippedPartition]:
-        part = self._cross_cache.get(attrs)
+    def _cross_lookup(self, m: int) -> Optional[StrippedPartition]:
+        key = AttrSet.from_mask(m)
+        part = self._cross_cache.get(key)
         if part is not None:
-            self._cross_cache.move_to_end(attrs)
+            self._cross_cache.move_to_end(key)
             self.cache_hits += 1
         return part
 
-    def _cross_store(self, attrs: FrozenSet[int], part: StrippedPartition) -> None:
-        self._cross_cache[attrs] = part
-        self._cross_cache.move_to_end(attrs)
+    def _cross_store(self, m: int, part: StrippedPartition) -> None:
+        key = AttrSet.from_mask(m)
+        self._cross_cache[key] = part
+        self._cross_cache.move_to_end(key)
         while len(self._cross_cache) > self._cross_cache_size:
             self._cross_cache.popitem(last=False)

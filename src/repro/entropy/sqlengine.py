@@ -25,15 +25,15 @@ from __future__ import annotations
 
 import math
 from collections import OrderedDict
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
-from repro.common import attrset
 from repro.data.relation import Relation
+from repro.lattice import AttrSet, bits_of, mask_of
 from repro.sqlsim.engine import Database, Table, hash_combine
 
 
-def _table_suffix(attrs: FrozenSet[int]) -> str:
-    return "_".join(str(a) for a in sorted(attrs))
+def _table_suffix(mask: int) -> str:
+    return "_".join(str(a) for a in bits_of(mask))
 
 
 class SQLEntropyEngine:
@@ -56,17 +56,15 @@ class SQLEntropyEngine:
         self.block_size = block_size
         self.db = Database()
         n = relation.n_cols
-        self.blocks: List[Tuple[int, ...]] = [
-            tuple(range(start, min(start + block_size, n)))
+        # Bitmask of each block, for one-AND splitting of query sets.
+        self.block_masks: List[int] = [
+            ((1 << min(start + block_size, n)) - 1) & ~((1 << start) - 1)
             for start in range(0, n, block_size)
         ]
-        self._block_of: Dict[int, int] = {
-            j: b for b, cols in enumerate(self.blocks) for j in cols
-        }
-        self._block_tables: Dict[FrozenSet[int], str] = {}
-        self._cross_tables: "OrderedDict[FrozenSet[int], str]" = OrderedDict()
+        self._block_tables: Dict[int, str] = {}
+        self._cross_tables: "OrderedDict[AttrSet, str]" = OrderedDict()
         self._cross_cache_size = cross_cache_size
-        self._entropy_memo: Dict[FrozenSet[int], float] = {}
+        self._entropy_memo: Dict[int, float] = {}
         self.queries_run = 0  # combine operations executed
         for j in range(n):
             self._materialise_single(j)
@@ -75,20 +73,25 @@ class SQLEntropyEngine:
     # Public API (same contract as the other engines)
     # ------------------------------------------------------------------ #
 
-    def entropy_of(self, attrs: FrozenSet[int]) -> float:
+    @property
+    def blocks(self) -> List[Tuple[int, ...]]:
+        """The attribute blocks as index tuples (introspection helper)."""
+        return [tuple(bits_of(m)) for m in self.block_masks]
+
+    def entropy_of(self, attrs) -> float:
         """Entropy in bits via a scan of ``CNT_attrs`` (Eq. 5)."""
-        attrs = attrset(attrs)
-        cached = self._entropy_memo.get(attrs)
+        m = attrs.mask if type(attrs) is AttrSet else mask_of(attrs)
+        cached = self._entropy_memo.get(m)
         if cached is not None:
             return cached
         n = self.relation.n_rows
-        if n == 0 or not attrs:
+        if n == 0 or not m:
             value = 0.0
         else:
-            cnt = self.db.get(self._cnt_name(attrs))
+            cnt = self.db.get(self._cnt_name(m))
             s = sum(c * math.log2(c) for c in cnt.column_values("cnt"))
             value = max(0.0, math.log2(n) - s / n)
-        self._entropy_memo[attrs] = value
+        self._entropy_memo[m] = value
         return value
 
     def reset_stats(self) -> None:
@@ -105,7 +108,7 @@ class SQLEntropyEngine:
         for v in codes:
             counts[int(v)] = counts.get(int(v), 0) + 1
         kept = {v for v, c in counts.items() if c >= 2}
-        suffix = _table_suffix(frozenset((j,)))
+        suffix = _table_suffix(1 << j)
         self.db.create(
             Table(f"CNT_{suffix}", ["val", "cnt"],
                   [(v, counts[v]) for v in sorted(kept)])
@@ -117,53 +120,59 @@ class SQLEntropyEngine:
                 [(int(v), t) for t, v in enumerate(codes) if int(v) in kept],
             )
         )
-        self._block_tables[frozenset((j,))] = suffix
+        self._block_tables[1 << j] = suffix
 
-    def _cnt_name(self, attrs: FrozenSet[int]) -> str:
-        return f"CNT_{self._ensure_tables(attrs)}"
+    def _cnt_name(self, mask: int) -> str:
+        return f"CNT_{self._ensure_tables(mask)}"
 
-    def _tid_name(self, attrs: FrozenSet[int]) -> str:
-        return f"TID_{self._ensure_tables(attrs)}"
+    def _tid_name(self, mask: int) -> str:
+        return f"TID_{self._ensure_tables(mask)}"
 
-    def _ensure_tables(self, attrs: FrozenSet[int]) -> str:
+    def _ensure_tables(self, mask: int) -> str:
         """Materialise (or look up) the CNT/TID pair for an attribute set."""
-        pieces = self._split_by_block(attrs)
+        if mask >> self.relation.n_cols:
+            raise IndexError(
+                f"attribute index {mask.bit_length() - 1} out of range "
+                f"0..{self.relation.n_cols - 1}"
+            )
+        pieces = [mask & bm for bm in self.block_masks if mask & bm]
         if len(pieces) == 1:
             return self._block_suffix(pieces[0])
-        acc_attrs = pieces[0]
-        suffix = self._block_suffix(acc_attrs)
+        acc_mask = pieces[0]
+        suffix = self._block_suffix(acc_mask)
         for piece in pieces[1:]:
-            acc_attrs = acc_attrs | piece
-            hit = self._cross_tables.get(acc_attrs)
+            acc_mask |= piece
+            acc_key = AttrSet.from_mask(acc_mask)
+            hit = self._cross_tables.get(acc_key)
             if hit is not None:
-                self._cross_tables.move_to_end(acc_attrs)
+                self._cross_tables.move_to_end(acc_key)
                 suffix = hit
                 continue
-            suffix = self._combine(suffix, self._block_suffix(piece), acc_attrs)
-            self._cross_store(acc_attrs, suffix)
+            suffix = self._combine(suffix, self._block_suffix(piece), acc_mask)
+            self._cross_store(acc_key, suffix)
         return suffix
 
-    def _block_suffix(self, attrs: FrozenSet[int]) -> str:
+    def _block_suffix(self, mask: int) -> str:
         """Within-block tables are cached permanently (<= 2^L per block)."""
-        hit = self._block_tables.get(attrs)
+        hit = self._block_tables.get(mask)
         if hit is not None:
             return hit
-        top = max(attrs)
-        rest = attrs - {top}
+        top = 1 << (mask.bit_length() - 1)
+        rest = mask ^ top
         suffix = self._combine(
             self._block_suffix(rest),
-            self._block_suffix(frozenset((top,))),
-            attrs,
+            self._block_suffix(top),
+            mask,
         )
-        self._block_tables[attrs] = suffix
+        self._block_tables[mask] = suffix
         return suffix
 
-    def _combine(self, sfx_a: str, sfx_b: str, attrs: FrozenSet[int]) -> str:
+    def _combine(self, sfx_a: str, sfx_b: str, mask: int) -> str:
         """Run the paper's two queries to build CNT/TID for a union."""
         self.queries_run += 1
         tid_a = self.db.get(f"TID_{sfx_a}")
         tid_b = self.db.get(f"TID_{sfx_b}")
-        suffix = _table_suffix(attrs)
+        suffix = _table_suffix(mask)
         # Query 1: join TIDs on tid, group the hashed value pair, HAVING > 1.
         joined = tid_a.join(tid_b, on="tid", suffixes=("_a", "_b"))
         hashed = joined.project(
@@ -184,15 +193,9 @@ class SQLEntropyEngine:
     # Caching plumbing
     # ------------------------------------------------------------------ #
 
-    def _split_by_block(self, attrs: FrozenSet[int]) -> List[FrozenSet[int]]:
-        by_block: Dict[int, set] = {}
-        for j in attrs:
-            by_block.setdefault(self._block_of[j], set()).add(j)
-        return [frozenset(by_block[b]) for b in sorted(by_block)]
-
-    def _cross_store(self, attrs: FrozenSet[int], suffix: str) -> None:
-        self._cross_tables[attrs] = suffix
-        self._cross_tables.move_to_end(attrs)
+    def _cross_store(self, key: AttrSet, suffix: str) -> None:
+        self._cross_tables[key] = suffix
+        self._cross_tables.move_to_end(key)
         while len(self._cross_tables) > self._cross_cache_size:
             __, old = self._cross_tables.popitem(last=False)
             self.db.drop(f"CNT_{old}")

@@ -24,17 +24,15 @@ single requests); the acceptance tests pin that equivalence.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.common import attrset
 from repro.data.relation import Relation
 from repro.entropy.oracle import AttrsLike, EntropyOracle, MITriple
 from repro.entropy.plicache import PLICacheEngine
 from repro.exec.persist import PersistentEntropyCache
 from repro.exec.plan import mi_entropy_sets, plan_entropy_requests
 from repro.exec.pool import ParallelEvaluator
-
-AttrSet = FrozenSet[int]
+from repro.lattice import AttrSet
 
 #: Smallest number of *missing* sets worth a round-trip to the pool; tiny
 #: batches are cheaper on the local engine than on the wire.
@@ -125,7 +123,7 @@ class BatchEntropyOracle(EntropyOracle):
         missing = self._resolve_missing(plan.unique)
         if missing:
             self._evaluate(missing)
-        return {a: self._memo[a] for a in plan.unique}
+        return {a: self._memo[a.mask] for a in plan.unique}
 
     def mutual_informations(self, triples: Sequence[MITriple]) -> List[float]:
         """``I(Y; Z | X)`` per triple, through one planned entropy batch."""
@@ -189,13 +187,13 @@ class BatchEntropyOracle(EntropyOracle):
         """Fill the memo from the persistent tier; return what remains."""
         missing: List[AttrSet] = []
         for a in unique:
-            if a in self._memo:
+            if a.mask in self._memo:
                 continue
             if self._persist is not None:
                 cached = self._persist.get(a)
                 if cached is not None:
                     self.persist_hits += 1
-                    self._memo[a] = cached
+                    self._memo[a.mask] = cached
                     continue
             missing.append(a)
         return missing
@@ -211,7 +209,7 @@ class BatchEntropyOracle(EntropyOracle):
         else:
             values = {a: self.engine.entropy_of(a) for a in missing}
         self.evals += len(missing)
-        self._memo.update(values)
+        self._memo.update((a.mask, v) for a, v in values.items())
         if self._persist is not None:
             # No flush here: PersistentEntropyCache batches disk writes
             # (flush_every); close()/flush() persists the tail.

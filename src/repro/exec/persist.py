@@ -26,15 +26,17 @@ import hashlib
 import json
 import os
 import tempfile
-from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Optional
 
 import numpy as np
 
 from repro.data.relation import Relation
+from repro.lattice import AttrSet, bits_of, mask_of
 
-AttrSet = FrozenSet[int]
-
-#: Bump when the file layout changes; old files are simply ignored.
+#: Bump when the file layout changes; old files are simply ignored.  The
+#: in-memory store moved to bitmask keys without touching the layout: keys
+#: on disk stay canonical sorted index tuples ("0,3,5"), so caches written
+#: before the bitmask refactor remain readable.
 CACHE_FORMAT = 1
 
 
@@ -60,12 +62,16 @@ def relation_fingerprint(relation: Relation, params: Iterable[object] = ()) -> s
     return h.hexdigest()[:40]
 
 
-def _encode_attrs(attrs: AttrSet) -> str:
-    return ",".join(str(j) for j in sorted(attrs))
+def _encode_mask(mask: int) -> str:
+    return ",".join(str(j) for j in bits_of(mask))
 
 
-def _decode_attrs(key: str) -> AttrSet:
-    return frozenset(int(j) for j in key.split(",")) if key else frozenset()
+def _decode_mask(key: str) -> int:
+    mask = 0
+    if key:
+        for j in key.split(","):
+            mask |= 1 << int(j)
+    return mask
 
 
 class PersistentEntropyCache:
@@ -94,7 +100,7 @@ class PersistentEntropyCache:
         self.fingerprint = relation_fingerprint(relation, params)
         self.path = os.path.join(self.cache_dir, f"entropy-{self.fingerprint}.json")
         self.flush_every = flush_every
-        self._data: Dict[AttrSet, float] = {}
+        self._data: Dict[int, float] = {}  # keyed by AttrSet bitmask
         self._dirty = 0
         self.hits = 0
         self._load()
@@ -103,16 +109,18 @@ class PersistentEntropyCache:
     # Public API
     # ------------------------------------------------------------------ #
 
-    def get(self, attrs: AttrSet) -> Optional[float]:
-        value = self._data.get(attrs)
+    def get(self, attrs) -> Optional[float]:
+        m = attrs.mask if type(attrs) is AttrSet else mask_of(attrs)
+        value = self._data.get(m)
         if value is not None:
             self.hits += 1
         return value
 
-    def put(self, attrs: AttrSet, value: float) -> None:
-        if attrs in self._data:
+    def put(self, attrs, value: float) -> None:
+        m = attrs.mask if type(attrs) is AttrSet else mask_of(attrs)
+        if m in self._data:
             return
-        self._data[attrs] = float(value)
+        self._data[m] = float(value)
         self._dirty += 1
         if self.flush_every and self._dirty >= self.flush_every:
             self.flush()
@@ -129,7 +137,7 @@ class PersistentEntropyCache:
         payload = {
             "format": CACHE_FORMAT,
             "fingerprint": self.fingerprint,
-            "entropies": {_encode_attrs(a): v for a, v in self._data.items()},
+            "entropies": {_encode_mask(m): v for m, v in self._data.items()},
         }
         fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
         try:
@@ -144,8 +152,9 @@ class PersistentEntropyCache:
     def __len__(self) -> int:
         return len(self._data)
 
-    def __contains__(self, attrs: AttrSet) -> bool:
-        return attrs in self._data
+    def __contains__(self, attrs) -> bool:
+        m = attrs.mask if type(attrs) is AttrSet else mask_of(attrs)
+        return m in self._data
 
     def __repr__(self) -> str:
         return (
@@ -169,4 +178,4 @@ class PersistentEntropyCache:
         ):
             return
         entries = payload.get("entropies", {})
-        self._data = {_decode_attrs(k): float(v) for k, v in entries.items()}
+        self._data = {_decode_mask(k): float(v) for k, v in entries.items()}

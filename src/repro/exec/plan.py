@@ -7,7 +7,9 @@ sees the batch:
 
 * **deduplication** — duplicate sets are evaluated once; the batch oracle
   still accounts one logical query per request (see
-  :mod:`repro.entropy.oracle` on ``queries`` vs ``evals``);
+  :mod:`repro.entropy.oracle` on ``queries`` vs ``evals``).  Dedup runs on
+  raw :class:`~repro.lattice.AttrSet` bitmasks (a plain-int set), the
+  cheapest dedup structure CPython has;
 * **containment ordering** — unique sets are ordered by size, then
   lexicographically, so subsets are evaluated before their supersets and
   neighbouring sets share long prefixes.  The PLI-cache engine memoises
@@ -22,15 +24,15 @@ sees the batch:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
-from repro.common import attrset
-
-AttrSet = FrozenSet[int]
+from repro.lattice import AttrSet, mask_of
 
 
-def containment_key(attrs: AttrSet) -> Tuple[int, Tuple[int, ...]]:
+def containment_key(attrs) -> Tuple[int, Tuple[int, ...]]:
     """Sort key placing subsets before supersets, then lexicographic."""
+    if type(attrs) is AttrSet:
+        return (len(attrs), attrs.indices())
     return (len(attrs), tuple(sorted(attrs)))
 
 
@@ -66,12 +68,14 @@ def plan_entropy_requests(requests: Iterable[Iterable[int]]) -> ExecutionPlan:
     unique = set()
     for attrs in requests:
         logical += 1
-        unique.add(attrset(attrs))
-    ordered = tuple(sorted(unique, key=containment_key))
+        unique.add(attrs.mask if type(attrs) is AttrSet else mask_of(attrs))
+    ordered = tuple(
+        sorted(map(AttrSet.from_mask, unique), key=containment_key)
+    )
     return ExecutionPlan(logical=logical, unique=ordered)
 
 
-def estimated_cost(attrs: AttrSet) -> int:
+def estimated_cost(attrs) -> int:
     """Relative cost proxy for evaluating ``H(attrs)``.
 
     One partition product per attribute beyond the first, plus a constant
@@ -97,7 +101,7 @@ def shard(sets: Sequence[AttrSet], n_shards: int) -> List[List[AttrSet]]:
     current: List[AttrSet] = []
     spent = 0
     acc = 0
-    for i, s in enumerate(sets):
+    for s in sets:
         current.append(s)
         acc += estimated_cost(s)
         remaining_shards = n_shards - len(shards)
@@ -118,5 +122,10 @@ def mi_entropy_sets(
 ) -> Tuple[AttrSet, AttrSet, AttrSet, AttrSet]:
     """The four ``H`` terms of ``I(Y; Z | X)`` (Eq. 2), in formula order:
     ``H(XY), H(XZ), H(XYZ), H(X)``."""
-    ys, zs, xs = attrset(ys), attrset(zs), attrset(xs)
-    return (xs | ys, xs | zs, xs | ys | zs, xs)
+    ym, zm, xm = mask_of(ys), mask_of(zs), mask_of(xs)
+    return (
+        AttrSet.from_mask(xm | ym),
+        AttrSet.from_mask(xm | zm),
+        AttrSet.from_mask(xm | ym | zm),
+        AttrSet.from_mask(xm),
+    )

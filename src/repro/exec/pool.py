@@ -22,15 +22,15 @@ from __future__ import annotations
 
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.data.relation import Relation
 from repro.entropy.plicache import PLICacheEngine
 from repro.exec.plan import shard
+from repro.lattice import AttrSet
 
-AttrSet = FrozenSet[int]
 G3Request = Tuple[Tuple[int, ...], int]  # (lhs, rhs)
 
 # Worker-process globals, set once by _init_worker.
@@ -122,7 +122,10 @@ class ParallelEvaluator:
             engine = self._engine()
             return {a: engine.entropy_of(a) for a in attr_sets}
         shards = shard(attr_sets, self.workers)
-        payloads = [[tuple(sorted(a)) for a in piece] for piece in shards]
+        payloads = [
+            [tuple(a) if type(a) is AttrSet else tuple(sorted(a)) for a in piece]
+            for piece in shards
+        ]
         results = self._map(_entropy_shard, payloads)
         if results is None:  # pool unavailable: degrade to serial
             return self.entropies(attr_sets)

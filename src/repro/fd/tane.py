@@ -18,18 +18,23 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.common import attrset
 from repro.data.relation import Relation
 from repro.fd.measures import g3_error
+from repro.lattice import AttrSet, bits_of
 
 
 @dataclass(frozen=True)
 class FD:
-    """A functional dependency ``lhs -> rhs`` with its g3 error."""
+    """A functional dependency ``lhs -> rhs`` with its g3 error.
 
-    lhs: FrozenSet[int]
+    ``lhs`` is an :class:`~repro.lattice.AttrSet` (equal and hash-equal to
+    the matching frozenset of column indices).
+    """
+
+    lhs: AttrSet
     rhs: int
     error: float = 0.0
 
@@ -61,23 +66,27 @@ def fd_holds(relation: Relation, lhs: Iterable[int], rhs: int, error: float = 0.
 
 def _batch_g3(
     relation: Relation,
-    requests: List[Tuple[FrozenSet[int], int]],
+    requests: List[Tuple[int, int]],
     executor=None,
-) -> Dict[Tuple[FrozenSet[int], int], float]:
+) -> Dict[Tuple[int, int], float]:
     """g3 errors for a whole lattice level in one call.
 
-    With an executor (:class:`repro.exec.pool.ParallelEvaluator`) the level
-    fans out across the worker pool; without one it is a plain serial loop
-    with identical results.
+    Requests and result keys are ``(lhs bitmask, rhs)`` pairs.  With an
+    executor (:class:`repro.exec.pool.ParallelEvaluator`) the level fans
+    out across the worker pool; without one it is a plain serial loop with
+    identical results.
     """
     if executor is not None and requests:
         by_key = executor.g3_errors(
-            [(tuple(sorted(lhs)), rhs) for lhs, rhs in requests]
+            [(tuple(bits_of(lhs)), rhs) for lhs, rhs in requests]
         )
         return {
-            (lhs, rhs): by_key[(tuple(sorted(lhs)), rhs)] for lhs, rhs in requests
+            (lhs, rhs): by_key[(tuple(bits_of(lhs)), rhs)] for lhs, rhs in requests
         }
-    return {(lhs, rhs): g3_error(relation, lhs, rhs) for lhs, rhs in requests}
+    return {
+        (lhs, rhs): g3_error(relation, AttrSet.from_mask(lhs), rhs)
+        for lhs, rhs in requests
+    }
 
 
 def mine_fds(
@@ -127,26 +136,31 @@ def _mine_fds_levelwise(
     max_lhs: Optional[int],
     executor,
 ) -> List[FD]:
+    """Levelwise TANE search with the lattice encoded as raw bitmasks.
+
+    Nodes, C+ sets and g3 request keys are all plain-int masks — the
+    classic TANE bitset layout — so candidate generation and the C+
+    prunings are single AND/OR/NOT operations.
+    """
     n = relation.n_cols
-    omega = frozenset(range(n))
+    omega = (1 << n) - 1
     if max_lhs is None:
         max_lhs = n - 1
     results: List[FD] = []
-    # C+ sets: cplus[X] = candidate rhs attributes for FDs with lhs ⊆ X.
-    cplus: Dict[FrozenSet[int], Set[int]] = {frozenset(): set(range(n))}
+    # C+ sets: cplus[X] = bitmask of candidate rhs attributes for lhs ⊆ X.
+    cplus: Dict[int, int] = {0: omega}
 
     # Level 0: constant columns ({} -> A), checked as one batch.
-    g3 = _batch_g3(relation, [(frozenset(), a) for a in range(n)], executor)
+    g3 = _batch_g3(relation, [(0, a) for a in range(n)], executor)
     for a in range(n):
-        err = g3[(frozenset(), a)]
+        err = g3[(0, a)]
         if err <= error + 1e-12:
-            results.append(FD(frozenset(), a, err))
-            cplus[frozenset()].discard(a)
+            results.append(FD(AttrSet.from_mask(0), a, err))
+            cplus[0] &= ~(1 << a)
 
-    level: List[FrozenSet[int]] = [frozenset((a,)) for a in range(n)]
+    level: List[int] = [1 << a for a in range(n)]
     for x in level:
-        parent = cplus[frozenset()]
-        cplus[x] = set(parent)
+        cplus[x] = cplus[0]
 
     # A node X of size k tests FDs with |lhs| = k - 1, so levels run up to
     # max_lhs + 1.
@@ -156,54 +170,56 @@ def _mine_fds_levelwise(
         # errors as one batch.  Per node the candidate list is fixed by the
         # previous level (C+ edits inside a node never add candidates), so
         # this is exactly the work the serial scan would do.
-        candidates: List[Tuple[FrozenSet[int], int]] = []
+        candidates: List[Tuple[int, int]] = []
         for x in level:
-            candidates.extend((x - {a}, a) for a in sorted(x & cplus[x]))
+            candidates.extend((x & ~(1 << a), a) for a in bits_of(x & cplus[x]))
         g3 = _batch_g3(relation, candidates, executor)
-        next_cplus: Dict[FrozenSet[int], Set[int]] = {}
+        next_cplus: Dict[int, int] = {}
         for x in level:
             cx = cplus[x]
             # Candidate FDs at this node: (X \ {A}) -> A for A in X ∩ C+(X).
-            for a in sorted(x & cx):
-                lhs = x - {a}
+            for a in bits_of(x & cx):
+                lhs = x & ~(1 << a)
                 err = g3[(lhs, a)]
                 if err <= error + 1e-12:
-                    results.append(FD(lhs, a, err))
-                    cx.discard(a)
-                    # TANE pruning: remove attributes outside X from C+(X);
-                    # any FD (X' \ {B}) -> B with X ⊆ X' would be non-minimal.
-                    cx -= omega - x
+                    results.append(FD(AttrSet.from_mask(lhs), a, err))
+                    # TANE pruning: drop A, and remove attributes outside X
+                    # from C+(X); any FD (X' \ {B}) -> B with X ⊆ X' would
+                    # be non-minimal.
+                    cx &= x & ~(1 << a)
             next_cplus[x] = cx
         cplus.update(next_cplus)
-        # Generate the next level (apriori-style join of siblings).
-        next_level_set: Set[FrozenSet[int]] = set()
-        by_prefix: Dict[FrozenSet[int], List[int]] = {}
+        # Generate the next level (apriori-style join of siblings sharing
+        # the prefix = all but the top attribute).
+        by_prefix: Dict[int, List[int]] = {}
         for x in level:
-            xs = sorted(x)
-            prefix = frozenset(xs[:-1])
-            by_prefix.setdefault(prefix, []).append(xs[-1])
+            top = x.bit_length() - 1
+            by_prefix.setdefault(x & ~(1 << top), []).append(top)
+        next_level_set = set()
         for prefix, tails in by_prefix.items():
             tails.sort()
             for i in range(len(tails)):
                 for j in range(i + 1, len(tails)):
-                    candidate = prefix | {tails[i], tails[j]}
+                    candidate = prefix | (1 << tails[i]) | (1 << tails[j])
                     # All size-|candidate|-1 subsets must exist (apriori).
-                    if all(candidate - {a} in cplus for a in candidate):
-                        next_level_set.add(frozenset(candidate))
+                    if all(
+                        candidate & ~(1 << a) in cplus for a in bits_of(candidate)
+                    ):
+                        next_level_set.add(candidate)
         next_level = []
-        for x in sorted(next_level_set, key=sorted):
-            cx = set.intersection(*(cplus[x - {a}] for a in x))
+        for x in sorted(next_level_set, key=lambda m: tuple(bits_of(m))):
+            cx = omega
+            for a in bits_of(x):
+                cx &= cplus[x & ~(1 << a)]
             if cx:
                 cplus[x] = cx
                 next_level.append(x)
-        # Drop the processed level's C+ entries we no longer need except the
-        # ones next-level intersection used (already consumed above).
         level = next_level
         size += 1
     # Deduplicate (a constant column also surfaces at level 1 checks).
-    unique: Dict[Tuple[FrozenSet[int], int], FD] = {}
+    unique: Dict[Tuple[int, int], FD] = {}
     for fd in results:
-        key = (fd.lhs, fd.rhs)
+        key = (fd.lhs.mask, fd.rhs)
         if key not in unique:
             unique[key] = fd
     minimal = _filter_minimal(list(unique.values()))

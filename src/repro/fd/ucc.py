@@ -15,17 +15,22 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.common import attrset
 from repro.data.relation import Relation
+from repro.lattice import AttrSet
 
 
 @dataclass(frozen=True)
 class UCC:
-    """A (minimal) unique column combination with its g3 error."""
+    """A (minimal) unique column combination with its g3 error.
 
-    attrs: FrozenSet[int]
+    ``attrs`` is an :class:`~repro.lattice.AttrSet` (interchangeable with
+    the matching frozenset of column indices).
+    """
+
+    attrs: AttrSet
     error: float = 0.0
 
     def format(self, columns: Sequence[str] = ()) -> str:
@@ -67,27 +72,28 @@ def mine_uccs(
     if max_size is None:
         max_size = n
     found: List[UCC] = []
-    minimal: List[FrozenSet[int]] = []
-    level: List[FrozenSet[int]] = [frozenset()] if n >= 0 else []
+    minimal: List[int] = []          # bitmasks of found (minimal) UCCs
+    level: List[int] = [0]
     size = 0
     while level and size <= max_size:
-        next_level: List[FrozenSet[int]] = []
-        survivors: List[FrozenSet[int]] = []
+        next_level: List[int] = []
+        survivors: List[int] = []
         for cand in level:
-            if any(m <= cand for m in minimal):
+            if any(m & ~cand == 0 for m in minimal):
                 continue  # not minimal
-            err = ucc_error(relation, cand)
+            err = ucc_error(relation, AttrSet.from_mask(cand))
             if err <= error + 1e-12:
                 minimal.append(cand)
-                found.append(UCC(cand, err))
+                found.append(UCC(AttrSet.from_mask(cand), err))
             else:
                 survivors.append(cand)
-        # Expand the non-unique survivors apriori-style.
+        # Expand the non-unique survivors apriori-style (append attributes
+        # above the current maximum, so each set is generated once).
         seen = set()
         for cand in survivors:
-            top = max(cand) if cand else -1
+            top = cand.bit_length() - 1 if cand else -1
             for a in range(top + 1, n):
-                nxt = cand | {a}
+                nxt = cand | (1 << a)
                 if nxt not in seen:
                     seen.add(nxt)
                     next_level.append(nxt)

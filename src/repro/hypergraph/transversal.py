@@ -16,36 +16,56 @@ The theoretical state of the art is the quasi-polynomial algorithm of
 Fredman–Khachiyan (cited by the paper for the delay bound); Berge's algorithm
 is what practical implementations use at the scale of separator hypergraphs
 (tens of edges over tens of vertices) and is simple to validate exhaustively.
+
+Vertex sets are :class:`~repro.lattice.AttrSet` bitmasks throughout: the
+Berge update is pure AND/OR arithmetic on ints, and the ``minimize`` step —
+the complexity hot spot, quadratic in the number of candidate transversals —
+runs as a vectorized mask-array sweep (:func:`repro.lattice.masks.minimize`)
+once candidate counts justify it.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Sequence, Set
+from typing import Iterable, List, Set
+
+from repro.lattice import AttrSet, mask_of, popcount
+from repro.lattice import minimize as _minimize_masks
 
 
-def minimize_sets(sets: Iterable[FrozenSet[int]]) -> List[FrozenSet[int]]:
+def minimize_sets(sets: Iterable) -> List[AttrSet]:
     """Keep only the inclusion-minimal sets.
 
-    Sorting by size lets each candidate be tested only against already
-    accepted (smaller or equal) sets.
+    Accepts any mix of ``AttrSet``/``frozenset``/iterables; returns
+    :class:`AttrSet` (equal and hash-equal to the matching frozensets),
+    smallest first.
     """
-    out: List[FrozenSet[int]] = []
-    for s in sorted(set(sets), key=len):
-        if not any(t <= s for t in out):
-            out.append(s)
-    return out
+    return [AttrSet.from_mask(m) for m in _minimize_masks(map(mask_of, sets))]
 
 
-def is_transversal(candidate: FrozenSet[int], edges: Iterable[FrozenSet[int]]) -> bool:
+def is_transversal(candidate, edges: Iterable) -> bool:
     """Does ``candidate`` intersect every edge?"""
-    return all(candidate & e for e in edges)
+    c = mask_of(candidate)
+    return all(c & mask_of(e) for e in edges)
 
 
-def is_minimal_transversal(candidate: FrozenSet[int], edges: Sequence[FrozenSet[int]]) -> bool:
+def is_minimal_transversal(candidate, edges) -> bool:
     """Transversal such that no proper subset is one."""
-    if not is_transversal(candidate, edges):
+    c = mask_of(candidate)
+    edge_masks = [mask_of(e) for e in edges]
+    if not all(c & e for e in edge_masks):
         return False
-    return all(not is_transversal(candidate - {v}, edges) for v in candidate)
+    m = c
+    while m:
+        low = m & -m
+        if all((c ^ low) & e for e in edge_masks):
+            return False
+        m ^= low
+    return True
+
+
+def _pending_key(mask: int):
+    """Deterministic hand-out order: by size, then lexicographic indices."""
+    return (popcount(mask), tuple(AttrSet.from_mask(mask)))
 
 
 class TransversalEnumerator:
@@ -63,41 +83,49 @@ class TransversalEnumerator:
     dropped, and brand-new minimal transversals are queued.  Transversals that
     were already processed are remembered so they are never handed out twice
     even if they remain minimal after an update.
+
+    Internally every transversal is a raw bitmask in plain-int sets; the
+    public surface (``pop_unprocessed``, ``transversals``, ``edges``) speaks
+    :class:`AttrSet`.
     """
 
     def __init__(self):
-        self.edges: List[FrozenSet[int]] = []
+        self._edge_masks: List[int] = []
         # Minimal transversals of the current hypergraph.  With no edges the
         # unique minimal transversal is the empty set.
-        self._transversals: Set[FrozenSet[int]] = {frozenset()}
-        self._processed: Set[FrozenSet[int]] = set()
-        self._pending: List[FrozenSet[int]] = [frozenset()]
+        self._transversals: Set[int] = {0}
+        self._processed: Set[int] = set()
+        self._pending: List[int] = [0]
 
     # ------------------------------------------------------------------ #
 
+    @property
+    def edges(self) -> List[AttrSet]:
+        """Edges added so far, in insertion order."""
+        return [AttrSet.from_mask(m) for m in self._edge_masks]
+
     def add_edge(self, edge: Iterable[int]) -> None:
         """Berge update with a new edge."""
-        e = frozenset(edge)
+        e = mask_of(edge)
+        self._edge_masks.append(e)
         if not e:
             # An empty edge can never be hit: no transversals exist.
-            self.edges.append(e)
             self._transversals = set()
             self._pending = []
             return
-        self.edges.append(e)
-        candidates: Set[FrozenSet[int]] = set()
+        candidates: Set[int] = set()
         for t in self._transversals:
             if t & e:
                 candidates.add(t)
             else:
-                for v in e:
-                    candidates.add(t | {v})
-        new = set(minimize_sets(candidates))
+                m = e
+                while m:
+                    low = m & -m
+                    candidates.add(t | low)
+                    m ^= low
+        new = set(_minimize_masks(candidates))
         self._transversals = new
-        self._pending = sorted(
-            (t for t in new if t not in self._processed),
-            key=lambda s: (len(s), sorted(s)),
-        )
+        self._pending = sorted(new - self._processed, key=_pending_key)
 
     def pop_unprocessed(self):
         """Next minimal transversal not yet handed out, or ``None``."""
@@ -105,18 +133,30 @@ class TransversalEnumerator:
             t = self._pending.pop(0)
             if t in self._transversals and t not in self._processed:
                 self._processed.add(t)
-                return t
+                return AttrSet.from_mask(t)
         return None
 
     @property
-    def transversals(self) -> Set[FrozenSet[int]]:
+    def transversals(self) -> Set[AttrSet]:
         """Current set of minimal transversals (read-only view)."""
-        return set(self._transversals)
+        return {AttrSet.from_mask(m) for m in self._transversals}
 
 
-def minimal_transversals(edges: Iterable[Iterable[int]]) -> List[FrozenSet[int]]:
+def minimal_transversals(edges: Iterable[Iterable[int]]) -> List[AttrSet]:
     """All minimal transversals of a static hypergraph (Berge fold)."""
     enum = TransversalEnumerator()
     for e in edges:
         enum.add_edge(e)
-    return sorted(enum.transversals, key=lambda s: (len(s), sorted(s)))
+    return [
+        AttrSet.from_mask(m)
+        for m in sorted(enum._transversals, key=_pending_key)
+    ]
+
+
+__all__ = [
+    "TransversalEnumerator",
+    "is_minimal_transversal",
+    "is_transversal",
+    "minimal_transversals",
+    "minimize_sets",
+]

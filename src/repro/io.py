@@ -9,7 +9,7 @@ when a column tuple is supplied (recommended), else as indices.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 from repro.core.jointree import JoinTree
 from repro.core.maimon import DiscoveredSchema

@@ -1,0 +1,55 @@
+"""``repro.lattice`` — the attribute-set lattice as a first-class subsystem.
+
+Every layer of the system talks about *sets of column indices*: oracle memo
+keys, PLI cache keys, TANE lattice levels, Berge transversal algebra,
+separators, schema bags.  This package provides the one representation they
+all share:
+
+* :class:`~repro.lattice.attrset.AttrSet` — an immutable attribute set
+  backed by a Python-int **bitmask** (arbitrary width, so no 64-attribute
+  ceiling).  Set algebra is machine-word arithmetic, equality is one int
+  comparison, and the raw ``.mask`` doubles as the cheapest possible dict
+  key for hot caches.  ``AttrSet`` remains fully interchangeable with
+  ``frozenset[int]`` — equal *and* hash-equal — so public APIs keep
+  accepting and producing plain frozensets without breakage.
+* :mod:`~repro.lattice.masks` — vectorized numpy mask-array helpers
+  (:func:`~repro.lattice.masks.contains_any`,
+  :func:`~repro.lattice.masks.supersets_of`,
+  :func:`~repro.lattice.masks.minimize`) for bulk lattice operations such
+  as antichain minimization and subset/superset scans.
+
+See :mod:`repro.lattice.attrset` for the encoding and the persistent-cache
+key compatibility story.
+"""
+
+from repro.lattice.attrset import (
+    AttrSet,
+    attrset,
+    bits_of,
+    fmt_attrs,
+    mask_of,
+    popcount,
+)
+from repro.lattice.masks import (
+    contains_any,
+    minimize,
+    pack_masks,
+    subsets_of,
+    supersets_of,
+    unpack_masks,
+)
+
+__all__ = [
+    "AttrSet",
+    "attrset",
+    "bits_of",
+    "contains_any",
+    "fmt_attrs",
+    "mask_of",
+    "minimize",
+    "pack_masks",
+    "popcount",
+    "subsets_of",
+    "supersets_of",
+    "unpack_masks",
+]

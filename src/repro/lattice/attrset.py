@@ -1,0 +1,357 @@
+"""Bitmask-backed attribute sets — the system-wide set currency.
+
+Encoding
+--------
+An attribute set ``{j1, j2, ...}`` of column indices is stored as the
+Python integer ``(1 << j1) | (1 << j2) | ...``.  Python ints have arbitrary
+precision, so there is no 64-attribute ceiling; for the relations the paper
+mines (tens of attributes) every set is a single machine word and all of
+union / intersection / difference / subset testing compile down to one int
+operation.  This is the representation production dependency miners (TANE,
+Pyro, Metanome's PLI stack) use for exactly this reason.
+
+Frozenset interoperability
+--------------------------
+:class:`AttrSet` is *fully interchangeable* with ``frozenset[int]``:
+
+* ``AttrSet({0, 2}) == frozenset({0, 2})`` is ``True`` (and symmetric);
+* ``hash(AttrSet(s)) == hash(frozenset(s))`` — the class reproduces
+  CPython's frozenset hash from the mask (cached after first use), so
+  mixed containment (``frozenset(...) in {AttrSet(...)}``) works and
+  public APIs can keep returning ``AttrSet`` where callers expect
+  frozensets.  A property test pins this bit-for-bit agreement.
+
+Internal hot paths do not pay for that compatibility: caches key on the raw
+``.mask`` int (the fastest dict key CPython has), and the compatibility
+hash is only computed when an ``AttrSet`` itself lands in a dict or set.
+
+Persistent-cache key compatibility
+----------------------------------
+The on-disk entropy cache (:mod:`repro.exec.persist`) keeps its
+canonical-sorted-tuple key encoding (``"0,3,5"``); masks are decoded to
+ascending indices at the boundary, so caches written before this
+representation change remain valid (``CACHE_FORMAT`` is unchanged).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+__all__ = ["AttrSet", "attrset", "bits_of", "fmt_attrs", "mask_of", "popcount"]
+
+_M64 = (1 << 64) - 1
+
+try:  # int.bit_count is Python 3.10+; fall back to bin() counting on 3.9.
+    popcount = int.bit_count
+except AttributeError:  # pragma: no cover - exercised only on Python 3.9
+    def popcount(mask: int) -> int:
+        return bin(mask).count("1")
+
+
+def _frozenset_hash_from_mask(mask: int) -> int:
+    """CPython's frozenset hash, computed from a bitmask of small ints.
+
+    Mirrors ``frozenset_hash`` in ``Objects/setobject.c`` (stable across
+    CPython 3.8+; ``hash(j) == j`` for the small non-negative ints used as
+    column indices).  Verified bit-for-bit against the interpreter by
+    ``tests/test_lattice.py``.
+    """
+    h = 0
+    m = mask
+    n = 0
+    while m:
+        low = m & -m
+        j = low.bit_length() - 1
+        h ^= ((j ^ 89869747) ^ ((j << 16) & _M64)) * 3644798167 & _M64
+        m ^= low
+        n += 1
+    h ^= ((n + 1) * 1927868237) & _M64
+    h ^= (h >> 11) ^ (h >> 25)
+    h = (h * 69069 + 907133923) & _M64
+    if h > 0x7FFFFFFFFFFFFFFF:
+        h -= 1 << 64
+    if h == -1:
+        h = 590923713
+    return h
+
+
+def mask_of(attrs) -> int:
+    """Bitmask of any attribute-set-like value (``AttrSet``, iterable of ints)."""
+    if type(attrs) is AttrSet:
+        return attrs.mask
+    m = 0
+    for a in attrs:
+        j = int(a)
+        if j < 0:
+            raise ValueError(f"attribute indices must be >= 0, got {j}")
+        m |= 1 << j
+    return m
+
+
+def bits_of(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class AttrSet:
+    """An immutable set of attribute (column) indices backed by a bitmask.
+
+    Construct with an iterable (``AttrSet({0, 2})``), or from a raw mask
+    with :meth:`from_mask` on hot paths.  Behaves like ``frozenset[int]``
+    — iteration is in **ascending index order** (so ``tuple(s)`` is already
+    sorted), operators follow set semantics, and equality/hashing are
+    interchangeable with real frozensets of the same indices.
+    """
+
+    __slots__ = ("mask", "_hash")
+
+    def __init__(self, attrs: Iterable[int] = ()):
+        self.mask = mask_of(attrs)
+        self._hash = None
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_mask(cls, mask: int) -> "AttrSet":
+        """Wrap a raw bitmask (no validation; hot-path constructor)."""
+        s = object.__new__(cls)
+        s.mask = mask
+        s._hash = None
+        return s
+
+    @classmethod
+    def singleton(cls, j: int) -> "AttrSet":
+        return cls.from_mask(1 << j)
+
+    @classmethod
+    def full(cls, n: int) -> "AttrSet":
+        """``{0, 1, ..., n-1}`` — the universe Omega of an n-column relation."""
+        return cls.from_mask((1 << n) - 1)
+
+    # ------------------------------------------------------------------ #
+    # Container protocol
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return popcount(self.mask)
+
+    def __bool__(self) -> bool:
+        return self.mask != 0
+
+    def __contains__(self, j) -> bool:
+        if type(j) is not int:
+            # Frozenset semantics: membership is equality with a member, so
+            # "A" is absent (not an error) and 2.5 is absent (no truncation),
+            # while 2.0 and np.int64(2) match the member 2.
+            try:
+                i = int(j)
+            except (TypeError, ValueError):
+                return False
+            if i != j:
+                return False
+            j = i
+        return j >= 0 and (self.mask >> j) & 1 == 1
+
+    def __iter__(self) -> Iterator[int]:
+        m = self.mask
+        while m:
+            low = m & -m
+            yield low.bit_length() - 1
+            m ^= low
+
+    def indices(self) -> Tuple[int, ...]:
+        """The member indices as an ascending tuple."""
+        return tuple(self)
+
+    def min_attr(self) -> int:
+        """Smallest member (raises ``ValueError`` when empty)."""
+        if not self.mask:
+            raise ValueError("min_attr() of an empty AttrSet")
+        return (self.mask & -self.mask).bit_length() - 1
+
+    def max_attr(self) -> int:
+        """Largest member (raises ``ValueError`` when empty)."""
+        if not self.mask:
+            raise ValueError("max_attr() of an empty AttrSet")
+        return self.mask.bit_length() - 1
+
+    # ------------------------------------------------------------------ #
+    # Equality / hashing (frozenset-compatible)
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other) -> bool:
+        if type(other) is AttrSet:
+            return self.mask == other.mask
+        if isinstance(other, (frozenset, set)):
+            try:
+                return self.mask == mask_of(other)
+            except (TypeError, ValueError):
+                return False
+        return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        eq = self.__eq__(other)
+        return eq if eq is NotImplemented else not eq
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = self._hash = _frozenset_hash_from_mask(self.mask)
+        return h
+
+    # ------------------------------------------------------------------ #
+    # Set algebra (operators require set-like operands, as frozenset does)
+    # ------------------------------------------------------------------ #
+
+    def _coerce(self, other):
+        if type(other) is AttrSet:
+            return other.mask
+        if isinstance(other, (frozenset, set)):
+            return mask_of(other)
+        return None
+
+    def __and__(self, other):
+        m = self._coerce(other)
+        if m is None:
+            return NotImplemented
+        return AttrSet.from_mask(self.mask & m)
+
+    __rand__ = __and__
+
+    def __or__(self, other):
+        m = self._coerce(other)
+        if m is None:
+            return NotImplemented
+        return AttrSet.from_mask(self.mask | m)
+
+    __ror__ = __or__
+
+    def __xor__(self, other):
+        m = self._coerce(other)
+        if m is None:
+            return NotImplemented
+        return AttrSet.from_mask(self.mask ^ m)
+
+    __rxor__ = __xor__
+
+    def __sub__(self, other):
+        m = self._coerce(other)
+        if m is None:
+            return NotImplemented
+        return AttrSet.from_mask(self.mask & ~m)
+
+    def __rsub__(self, other):
+        m = self._coerce(other)
+        if m is None:
+            return NotImplemented
+        return AttrSet.from_mask(m & ~self.mask)
+
+    # Subset order (matches frozenset comparison semantics).
+
+    def __le__(self, other) -> bool:
+        m = self._coerce(other)
+        if m is None:
+            return NotImplemented
+        return self.mask & ~m == 0
+
+    def __lt__(self, other) -> bool:
+        m = self._coerce(other)
+        if m is None:
+            return NotImplemented
+        return self.mask != m and self.mask & ~m == 0
+
+    def __ge__(self, other) -> bool:
+        m = self._coerce(other)
+        if m is None:
+            return NotImplemented
+        return m & ~self.mask == 0
+
+    def __gt__(self, other) -> bool:
+        m = self._coerce(other)
+        if m is None:
+            return NotImplemented
+        return self.mask != m and m & ~self.mask == 0
+
+    # Named methods accept arbitrary iterables, like frozenset's do.
+
+    def union(self, *others) -> "AttrSet":
+        m = self.mask
+        for o in others:
+            m |= mask_of(o)
+        return AttrSet.from_mask(m)
+
+    def intersection(self, *others) -> "AttrSet":
+        m = self.mask
+        for o in others:
+            m &= mask_of(o)
+        return AttrSet.from_mask(m)
+
+    def difference(self, *others) -> "AttrSet":
+        m = self.mask
+        for o in others:
+            m &= ~mask_of(o)
+        return AttrSet.from_mask(m)
+
+    def symmetric_difference(self, other) -> "AttrSet":
+        return AttrSet.from_mask(self.mask ^ mask_of(other))
+
+    def issubset(self, other) -> bool:
+        return self.mask & ~mask_of(other) == 0
+
+    def issuperset(self, other) -> bool:
+        return mask_of(other) & ~self.mask == 0
+
+    def isdisjoint(self, other) -> bool:
+        return self.mask & mask_of(other) == 0
+
+    def with_attr(self, j: int) -> "AttrSet":
+        """``self | {j}`` without building an intermediate set."""
+        return AttrSet.from_mask(self.mask | (1 << j))
+
+    def without_attr(self, j: int) -> "AttrSet":
+        """``self - {j}`` without building an intermediate set."""
+        return AttrSet.from_mask(self.mask & ~(1 << j))
+
+    def copy(self) -> "AttrSet":
+        return self
+
+    def to_frozenset(self) -> frozenset:
+        return frozenset(self)
+
+    # ------------------------------------------------------------------ #
+    # Misc protocol
+    # ------------------------------------------------------------------ #
+
+    def __reduce__(self):
+        return (AttrSet.from_mask, (self.mask,))
+
+    def __repr__(self) -> str:
+        return f"AttrSet({{{','.join(str(j) for j in self)}}})"
+
+
+_EMPTY = AttrSet.from_mask(0)
+
+
+def attrset(attrs: Iterable[int]) -> AttrSet:
+    """Normalise an iterable of column indices into an :class:`AttrSet`.
+
+    The system-wide boundary normaliser: accepts ``AttrSet`` (returned
+    as-is), ``frozenset``/``set``/any iterable of ints.
+    """
+    if type(attrs) is AttrSet:
+        return attrs
+    m = mask_of(attrs)
+    return _EMPTY if m == 0 else AttrSet.from_mask(m)
+
+
+def fmt_attrs(attrs: Iterable[int], columns: Tuple[str, ...] = ()) -> str:
+    """Render an attribute set compactly, e.g. ``{A,B,D}`` or ``{0,1,3}``."""
+    idx = tuple(attrs) if type(attrs) is AttrSet else sorted(attrs)
+    if columns:
+        return "{" + ",".join(columns[j] for j in idx) + "}"
+    return "{" + ",".join(str(j) for j in idx) + "}"

@@ -1,0 +1,133 @@
+"""Vectorized bulk operations over arrays of attribute-set bitmasks.
+
+A *mask array* packs ``k`` attribute sets into a ``(k, W)`` uint64 numpy
+matrix, ``W = ceil(width / 64)`` words per set, least-significant word
+first.  Bulk lattice operations — "which of these sets intersect X?",
+"which contain X?", "keep only the inclusion-minimal sets" — then become
+row-wise bitwise numpy kernels instead of per-set Python loops.
+
+The Berge transversal maintainer (:mod:`repro.hypergraph.transversal`) is
+the main consumer: its ``minimize`` step dominates ``MineMinSeps`` when
+separator hypergraphs grow to hundreds of transversals.  Small inputs fall
+back to plain-int loops (numpy call overhead would dominate); the
+crossover is controlled by :data:`VECTORIZE_THRESHOLD`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.lattice.attrset import popcount
+
+__all__ = [
+    "VECTORIZE_THRESHOLD",
+    "contains_any",
+    "minimize",
+    "pack_masks",
+    "subsets_of",
+    "supersets_of",
+    "unpack_masks",
+]
+
+#: Below this many sets, pure-Python loops beat numpy dispatch overhead.
+VECTORIZE_THRESHOLD = 48
+
+_WORD = 64
+_WORD_MASK = (1 << _WORD) - 1
+
+
+def _n_words(masks: Sequence[int]) -> int:
+    width = max((m.bit_length() for m in masks), default=0)
+    return max(1, -(-width // _WORD))
+
+
+def pack_masks(masks: Sequence[int], n_words: int = 0) -> np.ndarray:
+    """Pack Python-int bitmasks into a ``(k, W)`` uint64 mask array."""
+    masks = list(masks)
+    w = n_words or _n_words(masks)
+    out = np.zeros((len(masks), w), dtype=np.uint64)
+    for i, m in enumerate(masks):
+        j = 0
+        while m:
+            out[i, j] = m & _WORD_MASK
+            m >>= _WORD
+            j += 1
+    return out
+
+def unpack_masks(packed: np.ndarray) -> List[int]:
+    """Inverse of :func:`pack_masks`."""
+    out = []
+    for row in packed:
+        m = 0
+        for j in range(packed.shape[1] - 1, -1, -1):
+            m = (m << _WORD) | int(row[j])
+        out.append(m)
+    return out
+
+
+def _broadcast(packed: np.ndarray, mask: int) -> np.ndarray:
+    row = pack_masks([mask], n_words=packed.shape[1])
+    return row[0]
+
+
+def contains_any(packed: np.ndarray, mask: int) -> np.ndarray:
+    """Boolean row vector: does row ``i`` intersect ``mask``?
+
+    The vectorized form of the transversal hit-test ``T ∩ e != ∅`` across
+    every maintained transversal at once.
+    """
+    m = _broadcast(packed, mask)
+    return (packed & m).any(axis=1)
+
+
+def supersets_of(packed: np.ndarray, mask: int) -> np.ndarray:
+    """Boolean row vector: is row ``i`` a superset of ``mask``?"""
+    m = _broadcast(packed, mask)
+    return ((packed & m) == m).all(axis=1)
+
+
+def subsets_of(packed: np.ndarray, mask: int) -> np.ndarray:
+    """Boolean row vector: is row ``i`` a subset of ``mask``?"""
+    m = _broadcast(packed, mask)
+    return ((packed & ~m) == 0).all(axis=1)
+
+
+#: Word budget for the all-pairs domination matrix (k*k*W); above this the
+#: sweep falls back to row chunks to bound memory at ~8 MB of bools.
+_PAIRWISE_WORD_BUDGET = 8_000_000
+
+
+def minimize(masks: Iterable[int]) -> List[int]:
+    """Inclusion-minimal antichain of a collection of bitmasks.
+
+    Small inputs run a popcount-sorted plain-int loop (each candidate is
+    tested only against already accepted, smaller sets).  Larger inputs use
+    one vectorized all-pairs domination kernel: subset-ness is transitive,
+    so a set is minimal iff *no other distinct set* is contained in it —
+    ``(other & ~self) == 0`` row-against-matrix, a single numpy broadcast.
+    """
+    uniq = sorted(set(masks), key=popcount)
+    if len(uniq) < VECTORIZE_THRESHOLD:
+        out: List[int] = []
+        for m in uniq:
+            for t in out:
+                if t & ~m == 0:
+                    break
+            else:
+                out.append(m)
+        return out
+    packed = pack_masks(uniq)
+    k, w = packed.shape
+    chunk = max(1, min(k, _PAIRWISE_WORD_BUDGET // (k * w)))
+    keep = np.empty(k, dtype=bool)
+    for lo in range(0, k, chunk):
+        hi = min(lo + chunk, k)
+        block = packed[lo:hi]  # (c, W) candidates being tested
+        # dominated[i, j] = uniq[j] ⊆ uniq[lo+i]; uniqueness makes j != i
+        # subset-ness strict, so any hit besides the diagonal disqualifies.
+        dominated = ((packed[None, :, :] & ~block[:, None, :]) == 0).all(axis=2)
+        dominated[np.arange(hi - lo), np.arange(lo, hi)] = False
+        keep[lo:hi] = ~dominated.any(axis=1)
+    return [m for m, k_ in zip(uniq, keep) if k_]

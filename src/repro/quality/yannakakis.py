@@ -22,7 +22,7 @@ storage/query layout, not just a structural artefact.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 import itertools
 import math
 from collections import Counter
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.common import TOL, attrset
 from repro.core.mvd import MVD

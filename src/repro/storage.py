@@ -17,7 +17,7 @@ actual storage layout:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 
@@ -26,7 +26,6 @@ from repro.data.relation import Relation
 from repro.quality.yannakakis import (
     DecomposedBags,
     count_query,
-    full_reducer,
     iter_join_rows,
     sum_query,
 )

@@ -7,7 +7,6 @@ import pytest
 
 from repro.data.generators import (
     lemma54_example,
-    markov_tree,
     nursery,
     paper_running_example,
 )

@@ -7,7 +7,6 @@ in that order, and the relational-algebra laws of the mini SQL engine.
 
 import itertools
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.mvd import MVD

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.common import TOL
 from repro.core.asminer import ASMiner, build_acyclic_schema, enumerate_schemas
 from repro.core.budget import SearchBudget
 from repro.core.compat import pairwise_compatible

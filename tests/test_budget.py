@@ -2,7 +2,6 @@
 
 import time
 
-import pytest
 
 from repro.core.budget import SearchBudget, ensure_budget
 

@@ -1,16 +1,14 @@
 """Tests for the conditional-independence / graphical-model view."""
 
 import numpy as np
-import pytest
 
-from repro.common import TOL
 from repro.core.cimap import (
     chow_liu_tree,
     independence_graph,
     tree_fit,
     tree_schema,
 )
-from repro.data.generators import markov_tree, nursery
+from repro.data.generators import nursery
 from repro.data.relation import Relation
 from repro.entropy.oracle import make_oracle
 

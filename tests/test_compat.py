@@ -9,7 +9,6 @@ from repro.core.compat import (
     incompatible,
     pairwise_compatible,
 )
-from repro.core.jointree import JoinTree
 from repro.core.mvd import MVD
 from repro.core.schema import Schema
 

@@ -160,3 +160,20 @@ class TestMakeOracle:
     def test_unknown_engine(self, fig1):
         with pytest.raises(ValueError, match="unknown engine"):
             make_oracle(fig1, engine="duckdb")
+
+
+class TestOutOfRangeAttrs:
+    """Invalid column indices must raise, never silently drop bits."""
+
+    def test_pli_out_of_range_raises(self):
+        r = random_relation(5, 20, seed=3)
+        eng = PLICacheEngine(r)
+        with pytest.raises(IndexError):
+            eng.entropy_of(frozenset({0, 99}))
+        with pytest.raises(IndexError):
+            eng.entropy_of(frozenset({99}))
+
+    def test_naive_out_of_range_raises(self):
+        r = random_relation(5, 20, seed=3)
+        with pytest.raises(IndexError):
+            NaiveEntropyEngine(r).entropy_of(frozenset({7}))

@@ -1,6 +1,5 @@
 """Tests for the synthetic dataset generators."""
 
-import numpy as np
 import pytest
 
 from repro.common import TOL

@@ -1,6 +1,5 @@
 """Tests for GYO reduction and join-tree construction."""
 
-import pytest
 
 from repro.hypergraph.gyo import (
     build_join_tree_edges,

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.common import TOL
-from repro.core.inference import Derivation, derive, implied_eps, is_implied
+from repro.core.inference import derive, implied_eps, is_implied
 from repro.core.measures import j_measure
 from repro.core.miner import mine_mvds
 from repro.core.mvd import MVD

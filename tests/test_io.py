@@ -1,6 +1,5 @@
 """Tests for JSON serialisation round-trips."""
 
-import pytest
 
 from repro import io as rio
 from repro.core.jointree import JoinTree

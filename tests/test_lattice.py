@@ -1,0 +1,252 @@
+"""Property tests for the bitmask attribute-set lattice (repro.lattice).
+
+The contract under test: ``AttrSet`` is *fully interchangeable* with
+``frozenset[int]`` — same algebra, same iteration/sort semantics, equal and
+hash-equal — while being backed by a single Python-int bitmask.  The hash
+parity test is the load-bearing one: it pins our pure-Python replica of
+CPython's frozenset hash bit-for-bit against the interpreter, which is what
+makes mixed containment (``frozenset(...) in {AttrSet(...)}``) safe
+everywhere else in the system.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice import (
+    AttrSet,
+    attrset,
+    bits_of,
+    contains_any,
+    fmt_attrs,
+    mask_of,
+    minimize,
+    pack_masks,
+    subsets_of,
+    supersets_of,
+    unpack_masks,
+)
+from repro.lattice.masks import VECTORIZE_THRESHOLD
+
+# Indices beyond 64 exercise the multi-word paths (no 64-attribute ceiling).
+elements = st.integers(min_value=0, max_value=130)
+index_sets = st.frozensets(elements, max_size=12)
+
+
+class TestFrozensetInterop:
+    @given(index_sets)
+    def test_hash_parity_with_frozenset(self, s):
+        a = attrset(s)
+        assert hash(a) == hash(s)
+
+    @given(index_sets)
+    def test_equality_both_directions(self, s):
+        a = attrset(s)
+        assert a == s and s == a
+        assert not (a != s)
+
+    @given(index_sets, index_sets)
+    def test_mixed_containment(self, s, t):
+        pool = {attrset(s), t}
+        assert s in pool          # frozenset probes an AttrSet entry
+        assert attrset(t) in pool  # AttrSet probes a frozenset entry
+
+    @given(index_sets)
+    def test_inequality_with_different_set(self, s):
+        a = attrset(s)
+        assert a != s | {131}
+        assert a != frozenset(["x"])  # non-int members: unequal, no raise
+
+    @given(index_sets)
+    def test_iteration_is_ascending(self, s):
+        a = attrset(s)
+        assert list(a) == sorted(s)
+        assert a.indices() == tuple(sorted(s))
+        assert len(a) == len(s)
+        assert bool(a) == bool(s)
+
+
+class TestAlgebra:
+    @given(index_sets, index_sets)
+    def test_binary_operators_match_frozenset(self, s, t):
+        a, b = attrset(s), attrset(t)
+        assert a | b == s | t
+        assert a & b == s & t
+        assert a - b == s - t
+        assert a ^ b == s ^ t
+
+    @given(index_sets, index_sets)
+    def test_mixed_operand_operators(self, s, t):
+        a = attrset(s)
+        # frozenset on either side; result is an AttrSet with set semantics.
+        assert (a | t) == (s | t) and (t | a) == (s | t)
+        assert (a - t) == (s - t) and (t - a) == (t - s)
+        assert (a & t) == (s & t) and (t & a) == (s & t)
+        assert (a ^ t) == (s ^ t) and (t ^ a) == (s ^ t)
+
+    @given(index_sets, index_sets)
+    def test_order_predicates(self, s, t):
+        a, b = attrset(s), attrset(t)
+        assert (a <= b) == (s <= t)
+        assert (a < b) == (s < t)
+        assert (a >= b) == (s >= t)
+        assert (a > b) == (s > t)
+        assert a.issubset(t) == s.issubset(t)
+        assert a.issuperset(t) == s.issuperset(t)
+        assert a.isdisjoint(t) == s.isdisjoint(t)
+
+    @given(index_sets, index_sets, index_sets)
+    def test_named_methods_accept_iterables(self, s, t, u):
+        a = attrset(s)
+        assert a.union(t, u) == s.union(t, u)
+        assert a.intersection(t, u) == s.intersection(t, u)
+        assert a.difference(t, u) == s.difference(t, u)
+        assert a.symmetric_difference(t) == s.symmetric_difference(t)
+
+    @given(index_sets, elements)
+    def test_membership_and_bit_edits(self, s, j):
+        a = attrset(s)
+        assert (j in a) == (j in s)
+        assert a.with_attr(j) == s | {j}
+        assert a.without_attr(j) == s - {j}
+
+    @given(st.frozensets(elements, min_size=1, max_size=12))
+    def test_min_max(self, s):
+        a = attrset(s)
+        assert a.min_attr() == min(s)
+        assert a.max_attr() == max(s)
+        assert min(a) == min(s) and max(a) == max(s)
+
+
+class TestConstruction:
+    def test_factories(self):
+        assert AttrSet.singleton(5) == {5}
+        assert AttrSet.full(4) == {0, 1, 2, 3}
+        assert AttrSet.from_mask(0b1011) == {0, 1, 3}
+        assert attrset([3, 1, 1, 3]) == {1, 3}
+        assert attrset(()) == frozenset()
+
+    def test_attrset_is_idempotent(self):
+        a = attrset({1, 2})
+        assert attrset(a) is a
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            attrset([-1])
+
+    def test_no_64_attribute_ceiling(self):
+        wide = attrset({0, 63, 64, 127, 200})
+        assert wide.mask == (1 << 0) | (1 << 63) | (1 << 64) | (1 << 127) | (1 << 200)
+        assert list(wide) == [0, 63, 64, 127, 200]
+        assert hash(wide) == hash(frozenset({0, 63, 64, 127, 200}))
+
+    def test_empty_min_max_raise(self):
+        with pytest.raises(ValueError):
+            attrset(()).min_attr()
+        with pytest.raises(ValueError):
+            attrset(()).max_attr()
+
+    @given(index_sets)
+    def test_pickle_roundtrip(self, s):
+        a = attrset(s)
+        assert pickle.loads(pickle.dumps(a)) == a
+
+    def test_mask_of_and_bits_of(self):
+        assert mask_of(frozenset({0, 2})) == 0b101
+        assert mask_of(attrset({0, 2})) == 0b101
+        assert list(bits_of(0b1101)) == [0, 2, 3]
+
+    def test_fmt_attrs(self):
+        assert fmt_attrs(attrset({0, 2}), ("A", "B", "C")) == "{A,C}"
+        assert fmt_attrs({2, 0}) == "{0,2}"
+        assert fmt_attrs(()) == "{}"
+
+    def test_repr(self):
+        assert repr(attrset({1, 3})) == "AttrSet({1,3})"
+
+
+masks = st.integers(min_value=0, max_value=(1 << 90) - 1)
+
+
+class TestMaskArrays:
+    @given(st.lists(masks, min_size=1, max_size=20))
+    def test_pack_unpack_roundtrip(self, ms):
+        assert unpack_masks(pack_masks(ms)) == ms
+
+    @given(st.lists(masks, min_size=1, max_size=20), masks)
+    def test_row_predicates_match_python(self, ms, probe):
+        packed = pack_masks(ms, n_words=2)
+        assert contains_any(packed, probe).tolist() == [bool(m & probe) for m in ms]
+        assert supersets_of(packed, probe).tolist() == [
+            probe & ~m == 0 for m in ms
+        ]
+        assert subsets_of(packed, probe).tolist() == [m & ~probe == 0 for m in ms]
+
+    @given(st.lists(masks, max_size=20))
+    def test_minimize_matches_bruteforce(self, ms):
+        got = set(minimize(ms))
+        uniq = set(ms)
+        expected = {
+            m for m in uniq
+            if not any(o != m and o & ~m == 0 for o in uniq)
+        }
+        assert got == expected
+
+    @settings(max_examples=20)
+    @given(st.lists(st.integers(0, (1 << 20) - 1), min_size=VECTORIZE_THRESHOLD,
+                    max_size=VECTORIZE_THRESHOLD + 40))
+    def test_minimize_vectorized_path(self, ms):
+        """Force the numpy sweep and pin it against the plain-loop result."""
+        got = set(minimize(ms))
+        uniq = set(ms)
+        expected = {
+            m for m in uniq
+            if not any(o != m and o & ~m == 0 for o in uniq)
+        }
+        assert got == expected
+
+    def test_minimize_antichain_property(self):
+        out = minimize([0b111, 0b011, 0b101, 0b001, 0b110])
+        assert out == [0b001, 0b110]
+
+    def test_pack_width(self):
+        packed = pack_masks([1 << 70], )
+        assert packed.shape == (1, 2)
+        assert unpack_masks(packed) == [1 << 70]
+
+    def test_empty_minimize(self):
+        assert minimize([]) == []
+        # The empty set is a subset of everything: it dominates.
+        assert minimize([0, 0b11]) == [0]
+
+    def test_numpy_dtype(self):
+        packed = pack_masks([0b1, 0b10])
+        assert packed.dtype == np.uint64
+
+
+class TestContainsSemantics:
+    """Membership must mirror frozenset: equality with a member, no raising."""
+
+    def test_non_numeric_is_absent(self):
+        a = attrset({2})
+        assert ("A" in a) == ("A" in frozenset({2}))
+        assert "A" not in a
+
+    def test_float_not_truncated(self):
+        a = attrset({2})
+        assert (2.5 in a) == (2.5 in frozenset({2}))
+        assert 2.5 not in a
+        assert (2.0 in a) == (2.0 in frozenset({2}))
+        assert 2.0 in a
+
+    def test_bool_and_numpy_ints(self):
+        a = attrset({0, 1})
+        assert (True in a) == (True in frozenset({0, 1}))
+        assert np.int64(1) in a
+        assert np.int64(5) not in a
+
+    def test_numeric_string_absent(self):
+        assert ("2" in attrset({2})) == ("2" in frozenset({2}))

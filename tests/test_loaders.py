@@ -2,7 +2,6 @@
 
 import io
 
-import pytest
 
 from repro.data.loaders import from_csv, from_columns, from_rows, to_csv
 

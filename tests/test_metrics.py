@@ -4,9 +4,7 @@ import pytest
 
 from repro.core.schema import Schema
 from repro.data.relation import Relation
-from repro.entropy.oracle import make_oracle
 from repro.quality.metrics import (
-    SchemaQuality,
     evaluate_schema,
     pareto_front,
     schema_cells,

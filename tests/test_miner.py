@@ -6,7 +6,6 @@ from repro.common import TOL
 from repro.core.budget import SearchBudget
 from repro.core.measures import j_measure
 from repro.core.miner import MVDMiner, mine_mvds
-from repro.entropy.oracle import make_oracle
 from repro.reference import all_standard_mvds, full_mvds_with_key, minimal_separators
 from tests.conftest import random_relation
 

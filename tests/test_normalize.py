@@ -6,7 +6,7 @@ from repro.core.budget import SearchBudget
 from repro.core.maimon import Maimon
 from repro.core.normalize import fourNF_decompose
 from repro.core.schema import Schema
-from repro.data.generators import decomposable, paper_running_example
+from repro.data.generators import decomposable
 from repro.data.relation import Relation
 from repro.entropy.oracle import make_oracle
 from repro.fd.normalize import bcnf_decompose, is_superkey
@@ -23,8 +23,8 @@ def pure_mvd_relation():
         ("eve", ["ml", "viz", "ops"], ["en"]),
     ]:
         for s in skills:
-            for l in langs:
-                rows.append((emp, s, l))
+            for lang in langs:
+                rows.append((emp, s, lang))
     return Relation.from_rows(rows, ["emp", "skill", "lang"])
 
 

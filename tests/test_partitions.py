@@ -148,3 +148,48 @@ class TestRepr:
     def test_repr(self):
         p = StrippedPartition.single_cluster(4)
         assert "StrippedPartition" in repr(p)
+
+
+class TestRefinesGroupIds:
+    """The vectorized refinement test must agree with the per-cluster loop."""
+
+    @staticmethod
+    def _loop_refines(part, target_ids):
+        # The pre-vectorization reference implementation.
+        for i in range(part.n_clusters):
+            c = part.cluster(i)
+            if len(np.unique(target_ids[c])) > 1:
+                return False
+        return True
+
+    @given(seed=st.integers(0, 40), rows=st.integers(2, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_loop_version(self, seed, rows):
+        r = random_relation(4, rows, seed=seed)
+        part = StrippedPartition.from_relation(r, [0])
+        for attrs in ([0], [0, 1], [1], [0, 1, 2], [3]):
+            target_ids, _ = r.group_ids(attrs)
+            assert part.refines_group_ids(target_ids) == self._loop_refines(
+                part, target_ids
+            )
+
+    def test_exact_fd_detected(self):
+        # b = f(a): the partition of {a} refines the grouping of {a,b}.
+        rows = [(i % 3, (i % 3) * 10) for i in range(12)]
+        r = Relation.from_rows(rows, ["a", "b"])
+        part = StrippedPartition.from_relation(r, [0])
+        ids_ab, _ = r.group_ids([0, 1])
+        assert part.refines_group_ids(ids_ab)
+
+    def test_violation_detected(self):
+        rows = [(0, 0), (0, 1), (1, 2), (1, 2)]
+        r = Relation.from_rows(rows, ["a", "b"])
+        part = StrippedPartition.from_relation(r, [0])
+        ids_ab, _ = r.group_ids([0, 1])
+        assert not part.refines_group_ids(ids_ab)
+
+    def test_empty_partition(self):
+        r = Relation.from_rows([(1,), (2,), (3,)], ["a"])
+        part = StrippedPartition.from_relation(r, [0])
+        assert part.n_clusters == 0
+        assert part.refines_group_ids(np.zeros(3, dtype=np.int64))

@@ -12,8 +12,6 @@ from repro.core.compat import incompatibility_graph, pairwise_compatible
 from repro.core.jointree import JoinTree
 from repro.core.measures import j_measure, j_of_join_tree
 from repro.core.miner import mine_mvds
-from repro.core.mvd import MVD
-from repro.core.schema import Schema
 from repro.entropy.oracle import make_oracle
 from repro.hypergraph.gyo import check_running_intersection
 from repro.hypergraph.mis import maximal_independent_sets

@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.core.mvd import MVD
 from repro.reference import (

@@ -194,3 +194,12 @@ class TestDunder:
         assert "4x6" in repr(fig1)
         text = fig1.pretty(limit=2)
         assert "A" in text and "more rows" in text
+
+
+class TestZeroColumnRows:
+    def test_rows_of_zero_column_relation(self):
+        import numpy as np
+
+        r = Relation(np.empty((5, 0), dtype=np.int64), [])
+        assert r.rows() == [()] * 5
+        assert len(r.rows()) == r.n_rows

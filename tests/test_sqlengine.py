@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.miner import MVDMiner
 from repro.entropy.naive import NaiveEntropyEngine
-from repro.entropy.oracle import EntropyOracle, make_oracle
+from repro.entropy.oracle import make_oracle
 from repro.entropy.sqlengine import SQLEntropyEngine
 from tests.conftest import random_relation
 
@@ -86,3 +86,11 @@ class TestEndToEnd:
         sql_result = MVDMiner(make_oracle(fig1, engine="sql")).mine(0.0)
         pli_result = MVDMiner(make_oracle(fig1, engine="pli")).mine(0.0)
         assert set(sql_result.mvds) == set(pli_result.mvds)
+
+
+class TestOutOfRange:
+    def test_sql_out_of_range_raises(self):
+        r = random_relation(4, 20, seed=5)
+        sql = SQLEntropyEngine(r, block_size=2)
+        with pytest.raises(IndexError):
+            sql.entropy_of(frozenset({0, 9}))

@@ -1,6 +1,5 @@
 """Tests for minimal hypergraph transversal enumeration (Berge)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.hypergraph.transversal import (
