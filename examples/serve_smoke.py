@@ -1,0 +1,91 @@
+"""Smoke-test the serving layer through the real CLI entry point.
+
+Starts ``repro serve`` as a subprocess on a free port, waits for
+``/healthz``, uploads a small CSV, runs a mine request and asserts the
+JSON payload — exactly the loop a user's first session would take.  Used
+as the CI serve smoke step; exits non-zero on any failure.
+
+Run with: ``PYTHONPATH=src python examples/serve_smoke.py``
+"""
+
+import os
+import re
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.serve import ServeClient  # noqa: E402
+
+CSV = """A,B,C,D,E,F
+a1,b1,c1,d1,e1,f1
+a1,b1,c2,d1,e1,f1
+a1,b2,c1,d2,e2,f1
+a2,b1,c1,d2,e3,f2
+"""
+
+TIMEOUT_S = 60
+
+
+def main() -> int:
+    # -u: unbuffered child stdout — with a pipe the startup banner would
+    # otherwise sit in a block buffer and the readline() below would hang.
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", "serve", "--port", "0",
+         "--no-persist", "--max-request-seconds", "30"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={**os.environ, "PYTHONPATH": "src"},
+        cwd=os.path.join(os.path.dirname(__file__), ".."),
+    )
+    try:
+        # The CLI prints the bound port (port 0 picks a free one).
+        deadline = time.time() + TIMEOUT_S
+        port = None
+        while port is None:
+            if proc.poll() is not None or time.time() > deadline:
+                raise RuntimeError("server did not start")
+            line = proc.stdout.readline()
+            m = re.search(r"listening on http://[\d.]+:(\d+)", line)
+            if m:
+                port = int(m.group(1))
+
+        client = ServeClient(f"http://127.0.0.1:{port}", timeout=TIMEOUT_S)
+        for _ in range(100):
+            try:
+                assert client.healthz()["status"] == "ok"
+                break
+            except OSError:
+                time.sleep(0.1)
+        else:
+            raise RuntimeError("healthz never came up")
+
+        ds = client.upload_csv(text=CSV, name="smoke")
+        assert ds["rows"] == 4 and ds["cols"] == 6, ds
+
+        resp = client.mine(ds["dataset_id"], eps=0.0)
+        assert resp["status"] == "done", resp
+        result = resp["result"]
+        assert result["eps"] == 0.0 and result["mvds"], result
+        assert all({"key", "dependents"} <= set(m) for m in result["mvds"])
+
+        resp = client.schemas(ds["dataset_id"], eps=0.0, top=2)
+        assert resp["status"] == "done" and resp["result"]["schemas"], resp
+
+        health = client.healthz()
+        assert health["jobs"]["done"] == 2, health["jobs"]
+        print("serve smoke OK:", len(result["mvds"]), "MVDs,",
+              len(resp["result"]["schemas"]), "schemas")
+        return 0
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -418,6 +418,145 @@ def exec_scalability(
     }
 
 
+# --------------------------------------------------------------------- #
+# Serve subsystem — cold single-shot vs warm-session request latency
+# --------------------------------------------------------------------- #
+
+def serve_benchmark(
+    name: str = "Image",
+    scale: float = 1.0,
+    max_rows: Optional[int] = 1500,
+    max_cols: Optional[int] = 10,
+    eps: float = 0.01,
+    n_requests: int = 12,
+    clients: Sequence[int] = (1, 2, 4),
+    cold_runs: int = 3,
+    budget_s: float = 60.0,
+) -> Dict[str, object]:
+    """Serving-layer latency: cold one-shot runs vs warm-session requests.
+
+    The cold baseline repeats the full per-invocation bill of the one-shot
+    CLI — load the dataset, build a fresh ``Maimon`` (engines, caches),
+    mine, tear down.  The warm arm starts a real ``repro.serve`` HTTP
+    server, uploads the dataset once, then measures end-to-end request
+    latency (client → HTTP → job pool → warm session) for 1..k concurrent
+    clients.  Returns a payload with requests/sec, p50/p95 latency per
+    client count, and the warm-vs-cold speedup.
+    """
+    import csv as _csv
+    import io as _io
+    import threading
+
+    from repro.serve import MiningService, ServeClient, start_background
+
+    relation = datasets.load(name, scale=scale, max_rows=max_rows, max_cols=max_cols)
+
+    cold_times: List[float] = []
+    for _ in range(max(1, cold_runs)):
+        t0 = time.perf_counter()
+        fresh = datasets.load(name, scale=scale, max_rows=max_rows, max_cols=max_cols)
+        maimon = Maimon(fresh)
+        maimon.mine_mvds(eps, budget=SearchBudget(max_seconds=budget_s))
+        maimon.close()
+        cold_times.append(time.perf_counter() - t0)
+    cold_mean = sum(cold_times) / len(cold_times)
+
+    buf = _io.StringIO()
+    writer = _csv.writer(buf)
+    writer.writerow(relation.columns)
+    writer.writerows([str(v) for v in row] for row in relation.rows())
+    csv_text = buf.getvalue()
+
+    service = MiningService(
+        job_workers=max(clients), max_request_seconds=budget_s
+    )
+    server, _thread = start_background(service)
+    base_url = f"http://127.0.0.1:{server.server_port}"
+    warm_rows: List[Dict[str, object]] = []
+    try:
+        client = ServeClient(base_url)
+        dataset_id = client.upload_csv(text=csv_text, name=name)["dataset_id"]
+        client.mine(dataset_id, eps=eps)  # warm-up: fills session + MVD cache
+
+        for c in clients:
+            latencies: List[float] = []
+            failures: List[BaseException] = []
+            lock = threading.Lock()
+
+            def issue(count: int) -> None:
+                try:
+                    local = ServeClient(base_url)
+                    for _ in range(count):
+                        t0 = time.perf_counter()
+                        resp = local.mine(dataset_id, eps=eps)
+                        dt = time.perf_counter() - t0
+                        if resp.get("status") != "done":
+                            raise RuntimeError(f"warm request failed: {resp}")
+                        with lock:
+                            latencies.append(dt)
+                except BaseException as exc:
+                    with lock:
+                        failures.append(exc)
+
+            shares = [
+                n_requests // c + (1 if i < n_requests % c else 0) for i in range(c)
+            ]
+            threads = [
+                threading.Thread(target=issue, args=(k,)) for k in shares if k
+            ]
+            t_start = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            total = time.perf_counter() - t_start
+            if failures:
+                # Partial stats would silently misreport the bench.
+                raise RuntimeError(
+                    f"{len(failures)} warm request(s) failed with {c} "
+                    f"client(s); first: {failures[0]}"
+                ) from failures[0]
+            lat = np.array(sorted(latencies))
+            p50 = float(np.percentile(lat, 50))
+            warm_rows.append(
+                {
+                    "mode": "warm",
+                    "clients": c,
+                    "requests": len(latencies),
+                    "total_s": round(total, 4),
+                    "rps": round(len(latencies) / total, 2) if total > 0 else None,
+                    "p50_ms": round(p50 * 1000, 3),
+                    "p95_ms": round(float(np.percentile(lat, 95)) * 1000, 3),
+                    "mean_ms": round(float(lat.mean()) * 1000, 3),
+                    "speedup_vs_cold": round(cold_mean / p50, 2) if p50 > 0 else None,
+                }
+            )
+    finally:
+        server.close()
+
+    one_client = next((r for r in warm_rows if r["clients"] == 1), warm_rows[0])
+    return {
+        "bench": "serve_latency",
+        "dataset": name,
+        "rows": relation.n_rows,
+        "cols": relation.n_cols,
+        "eps": eps,
+        "cpu_count": os.cpu_count(),
+        "cold_single_shot": {
+            "runs": [round(t, 4) for t in cold_times],
+            "mean_s": round(cold_mean, 4),
+        },
+        "warm": warm_rows,
+        "warm_speedup_vs_cold": one_client["speedup_vs_cold"],
+        "note": (
+            "cold = load dataset + fresh Maimon + mine + teardown per request "
+            "(the one-shot CLI bill); warm = end-to-end HTTP request latency "
+            "against one warm repro.serve session (shared oracle memo, PLI "
+            "caches and phase-1 result cache)"
+        ),
+    }
+
+
 def write_bench_json(payload: Dict[str, object], path: str = "BENCH_exec.json") -> str:
     """Write a bench payload as machine-readable JSON; returns the path."""
     with open(path, "w") as f:

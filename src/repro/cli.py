@@ -2,11 +2,14 @@
 
 Commands
 --------
-``mine``      mine full ε-MVDs from a CSV file (phase 1);
-``schemas``   discover approximate acyclic schemas from a CSV (both phases);
-``profile``   quick information profile of a CSV (entropies, near-FDs);
-``bench``     exec-subsystem scalability bench (writes ``BENCH_exec.json``);
-``datasets``  list the built-in dataset surrogates (Table 2 registry).
+``mine``        mine full ε-MVDs from a CSV file (phase 1);
+``schemas``     discover approximate acyclic schemas from a CSV (both phases);
+``profile``     quick information profile of a CSV (entropies, near-FDs);
+``serve``       long-lived mining service: JSON API over warm sessions
+                (see :mod:`repro.serve`);
+``serve-bench`` cold-vs-warm serving latency bench (``BENCH_serve.json``);
+``bench``       exec-subsystem scalability bench (writes ``BENCH_exec.json``);
+``datasets``    list the built-in dataset surrogates (Table 2 registry).
 
 All data commands take ``--workers N`` (parallel entropy evaluation over a
 process pool), ``--no-persist`` (disable the on-disk entropy cache) and
@@ -17,6 +20,7 @@ Examples
     python -m repro mine data.csv --eps 0.05 --json out.json
     python -m repro schemas data.csv --eps 0.1 --top 5 --objective savings
     python -m repro profile data.csv --workers 4
+    python -m repro serve --port 8765
     python -m repro bench --dataset Image --workers 1 2 4
     python -m repro datasets
 """
@@ -34,7 +38,6 @@ from repro.core.maimon import Maimon
 from repro.core.ranking import OBJECTIVES, rank_schemas
 from repro.data import datasets
 from repro.data.loaders import from_csv
-from repro.fd.tane import mine_fds
 
 
 def _load(args) -> "Relation":
@@ -60,7 +63,9 @@ def cmd_mine(args) -> int:
     print(f"{relation.name or 'input'}: {relation.n_rows} rows x {relation.n_cols} cols")
     maimon = _make_maimon(relation, args)
     try:
-        budget = SearchBudget(max_seconds=args.budget) if args.budget else None
+        # `is not None`: an explicit --budget 0 means "no time at all"
+        # (empty truncated result), not "unlimited".
+        budget = SearchBudget(max_seconds=args.budget) if args.budget is not None else None
         result = maimon.mine_mvds(args.eps, budget=budget)
         print(result.summary())
         for phi in result.mvds[: args.top]:
@@ -82,7 +87,7 @@ def cmd_schemas(args) -> int:
     print(f"{relation.name or 'input'}: {relation.n_rows} rows x {relation.n_cols} cols")
     maimon = _make_maimon(relation, args)
     try:
-        budget = SearchBudget(max_seconds=args.budget) if args.budget else None
+        budget = SearchBudget(max_seconds=args.budget) if args.budget is not None else None
         ranked = rank_schemas(
             maimon,
             args.eps,
@@ -100,7 +105,6 @@ def cmd_schemas(args) -> int:
         f"Top {len(ranked)} schemas (eps={args.eps}, objective={args.objective})",
         ["rank", "score", "J", "m", "width", "S%", "E%", "schema"],
     )
-    out = []
     for rs in ranked:
         ds = rs.discovered
         q = ds.quality
@@ -116,10 +120,11 @@ def cmd_schemas(args) -> int:
                 "schema": ds.schema.format(relation.columns),
             }
         )
-        out.append(repro_io.discovered_schema_to_dict(ds, relation.columns))
     table.show()
     if args.json:
-        repro_io.save_json({"eps": args.eps, "schemas": out}, args.json)
+        repro_io.save_json(
+            repro_io.schemas_payload(args.eps, ranked, relation.columns), args.json
+        )
         print(f"wrote {args.json}")
     return 0
 
@@ -130,40 +135,90 @@ def cmd_profile(args) -> int:
 
     oracle = make_oracle(
         relation,
+        engine=args.engine,  # honour --engine (was silently always PLI)
         workers=args.workers,
         persist=not args.no_persist,
         cache_dir=args.cache_dir,
     )
     print(f"{relation.name or 'input'}: {relation.n_rows} rows x {relation.n_cols} cols")
     try:
-        table = Table("Column profile", ["column", "distinct", "H_bits", "H_norm"])
-        import math
-
-        for j, c in enumerate(relation.columns):
-            h = oracle.entropy({j})
-            hmax = math.log2(max(relation.cardinality(j), 2))
-            table.add(
-                {
-                    "column": c,
-                    "distinct": relation.cardinality(j),
-                    "H_bits": round(h, 3),
-                    "H_norm": round(h / hmax, 3) if hmax else 0.0,
-                }
-            )
-        table.show()
-        fds = [
-            fd
-            for fd in mine_fds(relation, max_lhs=args.fd_lhs, workers=args.workers)
-            if fd.lhs
-        ]
+        payload = repro_io.profile_to_dict(
+            relation, oracle, fd_lhs=args.fd_lhs, workers=args.workers
+        )
     finally:
         oracle.close()
-    table = Table(f"Minimal exact FDs (lhs <= {args.fd_lhs})", ["fd"])
-    for fd in fds[:20]:
-        table.add({"fd": fd.format(relation.columns)})
+    table = Table("Column profile", ["column", "distinct", "H_bits", "H_norm"])
+    for row in payload["columns"]:
+        table.add(row)
     table.show()
-    if len(fds) > 20:
-        print(f"... ({len(fds) - 20} more FDs)")
+    table = Table(f"Minimal exact FDs (lhs <= {args.fd_lhs})", ["fd"])
+    for fd in payload["fds"][:20]:
+        table.add({"fd": fd})
+    table.show()
+    if len(payload["fds"]) > 20:
+        print(f"... ({len(payload['fds']) - 20} more FDs)")
+    if args.json:
+        repro_io.save_json(payload, args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the long-lived mining service (see :mod:`repro.serve`)."""
+    from repro.serve import MiningService, make_server
+
+    service = MiningService(
+        max_sessions=args.max_sessions,
+        job_workers=args.job_workers,
+        max_request_seconds=args.max_request_seconds,
+        engine=args.engine,
+        workers=args.workers,
+        persist=not args.no_persist,
+        cache_dir=args.cache_dir,
+    )
+    for name in args.preload or []:
+        entry = service.upload({"dataset": name, "scale": args.scale})
+        print(f"preloaded {name}: dataset_id={entry['dataset_id']}")
+    server = make_server(service, host=args.host, port=args.port, verbose=args.verbose)
+    print(
+        f"repro serve listening on http://{args.host}:{server.server_port} "
+        f"(engine={args.engine}, sessions<={args.max_sessions}, "
+        f"jobs<={args.job_workers}, deadline={args.max_request_seconds}s)"
+    )
+    print("endpoints: POST /datasets /mine /schemas /profile; "
+          "GET /jobs/<id> /healthz; Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.close()
+    return 0
+
+
+def cmd_serve_bench(args) -> int:
+    """Cold-vs-warm serving bench; writes ``BENCH_serve.json``."""
+    from repro.bench.harness import serve_benchmark, write_bench_json
+
+    payload = serve_benchmark(
+        name=args.dataset,
+        scale=args.scale,
+        max_rows=args.max_rows,
+        eps=args.eps,
+        n_requests=args.requests,
+        clients=tuple(args.clients),
+        cold_runs=args.cold_runs,
+    )
+    table = Table(
+        f"Serve latency ({args.dataset}, eps={args.eps}, "
+        f"cold mean {payload['cold_single_shot']['mean_s']:.3f}s)",
+        ["mode", "clients", "requests", "rps", "p50_ms", "p95_ms", "speedup_vs_cold"],
+    )
+    for r in payload["warm"]:
+        table.add(r)
+    table.show()
+    path = write_bench_json(payload, args.json)
+    print(f"wrote {path}")
     return 0
 
 
@@ -236,8 +291,13 @@ def _common_input_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--scale", type=float, default=0.01,
                    help="row scale for --dataset (default 0.01)")
     p.add_argument("--max-rows", type=int, default=None)
-    p.add_argument("--engine", choices=["pli", "naive"], default="pli")
+    _engine_arg(p)
     _exec_args(p)
+
+
+def _engine_arg(p: argparse.ArgumentParser) -> None:
+    # All three make_oracle engines, including the Section 6.3 SQL arm.
+    p.add_argument("--engine", choices=["pli", "naive", "sql"], default="pli")
 
 
 def _exec_args(p: argparse.ArgumentParser, include_workers: bool = True) -> None:
@@ -281,7 +341,45 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("profile", help="entropy / FD profile of the input")
     _common_input_args(p)
     p.add_argument("--fd-lhs", type=int, default=2, help="max FD lhs size")
+    p.add_argument("--json", help="write the profile to a JSON file")
     p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "serve", help="long-lived mining service (JSON API over warm sessions)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765, help="0 picks a free port")
+    p.add_argument("--max-sessions", type=int, default=8,
+                   help="warm Maimon sessions kept (LRU eviction)")
+    p.add_argument("--job-workers", type=int, default=4,
+                   help="concurrent mining jobs (others queue)")
+    p.add_argument("--max-request-seconds", type=float, default=300.0,
+                   help="hard per-request mining deadline")
+    p.add_argument("--preload", nargs="*", metavar="DATASET",
+                   help="built-in surrogates to register at startup")
+    p.add_argument("--scale", type=float, default=0.01,
+                   help="row scale for --preload datasets")
+    p.add_argument("--verbose", action="store_true", help="log HTTP requests")
+    _engine_arg(p)
+    _exec_args(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "serve-bench",
+        help="cold vs warm serving latency bench (BENCH_serve.json)",
+    )
+    p.add_argument("--dataset", default="Image")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--max-rows", type=int, default=1500)
+    p.add_argument("--eps", type=float, default=0.01)
+    p.add_argument("--requests", type=int, default=12,
+                   help="warm requests per client count")
+    p.add_argument("--clients", type=int, nargs="+", default=[1, 2, 4],
+                   help="concurrent client counts to sweep")
+    p.add_argument("--cold-runs", type=int, default=3,
+                   help="cold single-shot baseline repetitions")
+    p.add_argument("--json", default="BENCH_serve.json")
+    p.set_defaults(func=cmd_serve_bench)
 
     p = sub.add_parser(
         "bench", help="exec-subsystem scalability bench (BENCH_exec.json)"

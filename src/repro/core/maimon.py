@@ -105,11 +105,15 @@ class Maimon:
     ) -> MinerResult:
         """Run (or reuse) phase 1 for a threshold.
 
-        Results are cached per ε; pass a budget to re-run with a time limit
-        (budget-limited runs are not cached, as they may be partial).
+        Complete results are cached per ε and reused even by budgeted
+        calls — a finished result trivially satisfies any time limit, which
+        is what lets a warm serving session answer budgeted requests
+        instantly.  Budget-limited runs that time out are partial and are
+        never cached.
         """
-        if budget is None and eps in self._mvd_cache:
-            return self._mvd_cache[eps]
+        cached = self._mvd_cache.get(eps)
+        if cached is not None:
+            return cached
         result = self._miner.mine(eps, budget=budget)
         if budget is None or not result.timed_out:
             self._mvd_cache[eps] = result
@@ -182,6 +186,45 @@ class Maimon:
         """Eager version of :meth:`discover_schemas`."""
         return list(self.discover_schemas(eps, limit=limit, **kwargs))
 
+    # ------------------------------------------------------------------ #
+    # Reuse / lifecycle hooks (used by the serving layer, repro.serve)
+    # ------------------------------------------------------------------ #
+
+    def counters(self) -> dict:
+        """Current oracle instrumentation as a plain dict.
+
+        Warm serving sessions expose these per session (``/healthz``);
+        keys beyond ``queries``/``evals`` appear only when the underlying
+        oracle tracks them.
+        """
+        out = {"queries": self.oracle.queries, "evals": self.oracle.evals}
+        for extra in ("persist_hits", "prefetched"):
+            value = getattr(self.oracle, extra, None)
+            if value is not None:
+                out[extra] = value
+        return out
+
+    def reset_counters(self) -> None:
+        """Zero the oracle's query/eval counters (memo contents are kept).
+
+        For long-lived holders that want per-window stats instead of
+        lifetime totals."""
+        self.oracle.reset_stats()
+
+    def clear_cache(self) -> None:
+        """Drop cached phase-1 results (oracle memo stays warm).
+
+        For long-lived holders that need a forced re-mine — e.g. after
+        changing tolerance-sensitive engine settings — without paying to
+        rebuild the oracle."""
+        self._mvd_cache.clear()
+
     def close(self) -> None:
         """Release oracle resources (worker pool, persistent cache)."""
         self.oracle.close()
+
+    def __enter__(self) -> "Maimon":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

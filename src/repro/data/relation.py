@@ -68,7 +68,7 @@ class Relation:
         Optional human-readable dataset name (used in benches and reports).
     """
 
-    __slots__ = ("codes", "columns", "domains", "name", "_col_index", "_cards")
+    __slots__ = ("codes", "columns", "domains", "name", "_col_index", "_radix", "_cards")
 
     def __init__(
         self,
@@ -95,12 +95,19 @@ class Relation:
         self.domains: Tuple[Optional[list], ...] = tuple(domains)
         self.name = name
         self._col_index = {c: j for j, c in enumerate(self.columns)}
-        # Per-column cardinality (number of distinct codes).  Codes are dense
-        # starting at 0, so max+1 equals the cardinality.
+        # Per-column *radix* bound (max code + 1).  Row subsetting
+        # (``take_rows``/``head``/``sample_rows``) can leave holes in the
+        # code range, so this is an upper bound on the number of distinct
+        # codes — exactly what the mixed-radix combination in
+        # :meth:`group_ids` needs, but NOT the true cardinality.
         if codes.shape[0]:
-            self._cards = tuple(int(codes[:, j].max()) + 1 for j in range(codes.shape[1]))
+            self._radix = tuple(int(codes[:, j].max()) + 1 for j in range(codes.shape[1]))
         else:
-            self._cards = tuple(0 for _ in self.columns)
+            self._radix = tuple(0 for _ in self.columns)
+        # True per-column distinct counts, computed lazily on first
+        # :meth:`cardinality` call (an np.unique per column is too costly
+        # for the many short-lived relations created during mining).
+        self._cards: List[Optional[int]] = [None] * len(self.columns)
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -192,8 +199,19 @@ class Relation:
         return self.n_rows * self.n_cols
 
     def cardinality(self, attr: AttrSpec) -> int:
-        """Number of distinct values in one column."""
-        return self._cards[self.col_index(attr)]
+        """Number of distinct values in one column.
+
+        This is the *true* distinct count even when codes are non-dense
+        (relations produced by ``take_rows``/``head``/``sample_rows`` may
+        skip codes); the dense-radix bound used internally by
+        :meth:`group_ids` is kept separately.
+        """
+        j = self.col_index(attr)
+        card = self._cards[j]
+        if card is None:
+            card = int(len(np.unique(self.codes[:, j]))) if self.n_rows else 0
+            self._cards[j] = card
+        return card
 
     def col_index(self, attr: AttrSpec) -> int:
         """Resolve a column name or index to an index."""
@@ -254,9 +272,9 @@ class Relation:
         if not idx:
             return np.zeros(self.n_rows, dtype=np.int64), min(1, self.n_rows)
         ids = self.codes[:, idx[0]]
-        card = max(self._cards[idx[0]], 1)
+        card = max(self._radix[idx[0]], 1)
         for j in idx[1:]:
-            cj = max(self._cards[j], 1)
+            cj = max(self._radix[j], 1)
             if card > (2**62) // max(cj, 1):
                 uniq, ids = np.unique(ids, return_inverse=True)
                 card = len(uniq)

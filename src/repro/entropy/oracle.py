@@ -170,6 +170,15 @@ class EntropyOracle:
         """The full attribute set ``Omega`` as column indices."""
         return self._omega
 
+    def evaluator(self):
+        """The oracle's shared parallel evaluator, if it runs one.
+
+        ``None`` for the serial oracle; the batched subclass returns its
+        live worker pool so co-located work (e.g. the serving layer's FD
+        profiling) can reuse it instead of spawning a pool per call.
+        """
+        return None
+
     def reset_stats(self) -> None:
         self.queries = 0
         self.evals = 0

@@ -154,6 +154,12 @@ class BatchEntropyOracle(EntropyOracle):
     # Lifecycle / stats
     # ------------------------------------------------------------------ #
 
+    def evaluator(self) -> Optional[ParallelEvaluator]:
+        """The shared worker pool (building it on first use); None if serial."""
+        if self.workers <= 1:
+            return None
+        return self._pool()
+
     def reset_stats(self) -> None:
         super().reset_stats()
         self.persist_hits = 0

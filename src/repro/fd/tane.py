@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.common import attrset
+from repro.core.budget import SearchBudget
 from repro.data.relation import Relation
 from repro.fd.measures import g3_error
 from repro.lattice import AttrSet, bits_of
@@ -95,6 +96,7 @@ def mine_fds(
     max_lhs: Optional[int] = None,
     workers: int = 1,
     executor=None,
+    budget: Optional[SearchBudget] = None,
 ) -> List[FD]:
     """All minimal FDs of the relation with ``g3 <= error``.
 
@@ -114,6 +116,11 @@ def mine_fds(
     executor:
         Pass an existing evaluator instead of building one from
         ``workers`` (the CLI shares one across commands).
+    budget:
+        Optional search budget checked at every level boundary; when it
+        trips (deadline or a serving-layer cancellation) the FDs of the
+        completed levels are returned — each one individually valid and
+        minimal, the deeper levels simply unexplored.
 
     Returns FDs sorted by (|lhs|, lhs, rhs).  ``{} -> A`` is reported for
     (near-)constant columns.
@@ -124,7 +131,7 @@ def mine_fds(
 
         executor = own_executor = ParallelEvaluator(relation, workers=workers)
     try:
-        return _mine_fds_levelwise(relation, error, max_lhs, executor)
+        return _mine_fds_levelwise(relation, error, max_lhs, executor, budget)
     finally:
         if own_executor is not None:
             own_executor.close()
@@ -135,6 +142,7 @@ def _mine_fds_levelwise(
     error: float,
     max_lhs: Optional[int],
     executor,
+    budget: Optional[SearchBudget] = None,
 ) -> List[FD]:
     """Levelwise TANE search with the lattice encoded as raw bitmasks.
 
@@ -166,6 +174,8 @@ def _mine_fds_levelwise(
     # max_lhs + 1.
     size = 1
     while level and size <= max_lhs + 1:
+        if budget is not None and budget.exhausted:
+            break  # return the completed levels (all individually valid)
         # Collect the level's candidate FDs up front and evaluate their g3
         # errors as one batch.  Per node the candidate list is fixed by the
         # previous level (C+ edits inside a node never add candidates), so

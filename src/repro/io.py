@@ -4,6 +4,10 @@ Lets users persist and reload the artefacts Maimon produces — MVDs, schemas,
 join trees, full miner results and discovered schemas — in a stable, human-
 readable format.  Attribute sets are serialised as sorted column-name lists
 when a column tuple is supplied (recommended), else as indices.
+
+The same payload builders back both the one-shot CLI (``--json`` outputs)
+and the mining service (:mod:`repro.serve`), so a served response is
+byte-compatible with the corresponding CLI artefact.
 """
 
 from __future__ import annotations
@@ -136,6 +140,78 @@ def discovered_schema_to_dict(
             "savings_pct": q.savings_pct,
             "spurious_pct": q.spurious_pct,
         },
+    }
+
+
+# --------------------------------------------------------------------- #
+# Command payloads (shared between the CLI --json outputs and repro.serve)
+# --------------------------------------------------------------------- #
+
+def schemas_payload(eps: float, schemas, columns: Optional[Columns] = None) -> dict:
+    """The ``schemas`` artefact: a threshold plus serialised schemas.
+
+    Accepts :class:`~repro.core.maimon.DiscoveredSchema` items or anything
+    carrying one under ``.discovered`` (e.g.
+    :class:`~repro.core.ranking.RankedSchema`), in ranked order.
+    """
+    out = []
+    for s in schemas:
+        ds = getattr(s, "discovered", s)
+        out.append(discovered_schema_to_dict(ds, columns))
+    return {"eps": eps, "schemas": out}
+
+
+def profile_to_dict(
+    relation,
+    oracle,
+    fd_lhs: int = 2,
+    workers: int = 1,
+    budget=None,
+    executor=None,
+) -> dict:
+    """The ``profile`` artefact: per-column entropies plus minimal FDs.
+
+    Computes ``H`` through the supplied oracle (so a warm serving session
+    reuses its memo) and mines exact FDs up to ``fd_lhs`` attributes on the
+    left-hand side.  An optional :class:`~repro.core.budget.SearchBudget`
+    bounds the FD search (serving-layer deadlines/cancellation); when it
+    trips, the profile is returned with the completed FD levels and
+    ``truncated: true``.  ``executor`` lets long-lived callers share an
+    existing parallel evaluator (e.g. ``oracle.evaluator()``) instead of
+    ``mine_fds`` spawning a pool per call.
+    """
+    import math
+
+    from repro.fd.tane import mine_fds
+
+    cols = []
+    for j, c in enumerate(relation.columns):
+        h = oracle.entropy({j})
+        hmax = math.log2(max(relation.cardinality(j), 2))
+        cols.append(
+            {
+                "column": c,
+                "distinct": relation.cardinality(j),
+                "H_bits": round(h, 3),
+                "H_norm": round(h / hmax, 3) if hmax else 0.0,
+            }
+        )
+    fds = [
+        fd.format(relation.columns)
+        for fd in mine_fds(
+            relation, max_lhs=fd_lhs, workers=workers, budget=budget,
+            executor=executor,
+        )
+        if fd.lhs
+    ]
+    return {
+        "name": relation.name or "input",
+        "rows": relation.n_rows,
+        "cols": relation.n_cols,
+        "columns": cols,
+        "fd_lhs": fd_lhs,
+        "fds": fds,
+        "truncated": bool(budget is not None and budget.exhausted),
     }
 
 

@@ -1,0 +1,131 @@
+"""A small stdlib client for the mining service.
+
+Mirrors the HTTP API one-to-one (see :mod:`repro.serve.server`); every
+method returns the decoded JSON payload.  Server-side errors raise
+:class:`ServeAPIError` carrying the HTTP status and the server's message.
+
+Example
+-------
+    client = ServeClient("http://127.0.0.1:8765")
+    ds = client.upload_csv(path="data.csv")
+    job = client.mine(ds["dataset_id"], eps=0.05)
+    print(job["result"]["mvds"])
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Optional
+
+
+class ServeAPIError(Exception):
+    """An error response from the serve API."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """Thin JSON-over-HTTP client bound to one server."""
+
+    def __init__(self, base_url: str, timeout: float = 600.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+
+    def request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(url, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except ValueError:
+                message = exc.reason
+            raise ServeAPIError(exc.code, message) from None
+
+    # ------------------------------------------------------------------ #
+    # Datasets
+    # ------------------------------------------------------------------ #
+
+    def upload_csv(
+        self,
+        path: Optional[str] = None,
+        text: Optional[str] = None,
+        name: Optional[str] = None,
+        max_rows: Optional[int] = None,
+    ) -> dict:
+        """Upload CSV data from a local file path or an in-memory string."""
+        if (path is None) == (text is None):
+            raise ValueError("pass exactly one of 'path' or 'text'")
+        if path is not None:
+            with open(path, "r", encoding="utf-8") as f:
+                text = f.read()
+            if name is None:
+                name = path.rsplit("/", 1)[-1]
+        payload = {"csv": text, "name": name or "upload"}
+        if max_rows is not None:
+            payload["max_rows"] = max_rows
+        return self.request("POST", "/datasets", payload)
+
+    def upload_rows(self, rows, columns, name: str = "") -> dict:
+        return self.request(
+            "POST", "/datasets", {"rows": rows, "columns": columns, "name": name}
+        )
+
+    def upload_builtin(
+        self, dataset: str, scale: float = 0.01, max_rows: Optional[int] = None
+    ) -> dict:
+        payload = {"dataset": dataset, "scale": scale}
+        if max_rows is not None:
+            payload["max_rows"] = max_rows
+        return self.request("POST", "/datasets", payload)
+
+    def datasets(self) -> dict:
+        return self.request("GET", "/datasets")
+
+    # ------------------------------------------------------------------ #
+    # Mining
+    # ------------------------------------------------------------------ #
+
+    def mine(self, dataset_id: str, eps: float = 0.0, wait: bool = True, **opts) -> dict:
+        payload = {"dataset_id": dataset_id, "eps": eps, "wait": wait, **opts}
+        return self.request("POST", "/mine", payload)
+
+    def schemas(
+        self, dataset_id: str, eps: float = 0.05, wait: bool = True, **opts
+    ) -> dict:
+        payload = {"dataset_id": dataset_id, "eps": eps, "wait": wait, **opts}
+        return self.request("POST", "/schemas", payload)
+
+    def profile(self, dataset_id: str, wait: bool = True, **opts) -> dict:
+        payload = {"dataset_id": dataset_id, "wait": wait, **opts}
+        return self.request("POST", "/profile", payload)
+
+    # ------------------------------------------------------------------ #
+    # Jobs / health
+    # ------------------------------------------------------------------ #
+
+    def job(self, job_id: str, wait: Optional[float] = None) -> dict:
+        suffix = f"?wait={wait:g}" if wait is not None else ""
+        return self.request("GET", f"/jobs/{job_id}{suffix}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self.request("POST", f"/jobs/{job_id}/cancel")
+
+    def healthz(self) -> dict:
+        return self.request("GET", "/healthz")

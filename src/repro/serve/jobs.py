@@ -1,0 +1,248 @@
+"""Job management: bounded execution, deadlines, polling, cancellation.
+
+Mining requests can take anywhere from microseconds (warm cache hit) to the
+paper's five-hour budgets, so the service never runs them on the HTTP
+thread.  A :class:`JobManager` owns a bounded ``ThreadPoolExecutor``;
+each request becomes a :class:`Job` that can be polled (``GET /jobs/<id>``)
+and cancelled.  Deadlines and cancellation both ride on the repo's own
+budget mechanism: a :class:`RequestBudget` is a
+:class:`~repro.core.budget.SearchBudget` that additionally trips when the
+job's cancel event is set, so every budget-aware search loop in the system
+(minsep mining, full-MVD enumeration, ASMiner) doubles as a cooperative
+cancellation point for free.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional
+
+from repro.core.budget import SearchBudget
+
+#: Job lifecycle: queued -> running -> done | error | cancelled.
+STATUSES = ("queued", "running", "done", "error", "cancelled")
+
+
+class RequestBudget(SearchBudget):
+    """A search budget that also honours a cancellation event.
+
+    ``exhausted`` is checked inside every mining loop; tripping it on
+    cancellation makes a running job unwind at the next loop head and
+    return its partial result (flagged ``timed_out``), which the job
+    runner then reports as ``cancelled``.
+    """
+
+    def __init__(
+        self,
+        max_seconds: Optional[float] = None,
+        max_steps: Optional[int] = None,
+        cancel_event: Optional[threading.Event] = None,
+    ):
+        super().__init__(max_seconds=max_seconds, max_steps=max_steps)
+        self.cancel_event = cancel_event
+
+    @property
+    def exhausted(self) -> bool:
+        if self.cancel_event is not None and self.cancel_event.is_set():
+            return True
+        return SearchBudget.exhausted.fget(self)
+
+
+class Job:
+    """One submitted request: status, timings, result-or-error."""
+
+    def __init__(self, job_id: str, kind: str, request: Optional[dict] = None):
+        self.id = job_id
+        self.kind = kind
+        # Keep the request for introspection, minus inline data bodies —
+        # finished jobs linger in the journal and must not pin an uploaded
+        # CSV (up to the transport's body cap) in memory each.
+        self.request = {
+            k: v for k, v in (request or {}).items() if k not in ("csv", "rows")
+        }
+        self.status = "queued"
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.result: Optional[dict] = None
+        self.error: Optional[str] = None
+        self.cancel_event = threading.Event()
+        self.done_event = threading.Event()
+        self.future = None  # set by the manager on submit
+
+    @property
+    def finished(self) -> bool:
+        return self.status in ("done", "error", "cancelled")
+
+    def budget(
+        self,
+        max_seconds: Optional[float] = None,
+        max_steps: Optional[int] = None,
+    ) -> RequestBudget:
+        """A budget wired to this job's cancellation event."""
+        return RequestBudget(
+            max_seconds=max_seconds, max_steps=max_steps,
+            cancel_event=self.cancel_event,
+        )
+
+    def to_dict(self) -> dict:
+        out = {
+            "job_id": self.id,
+            "kind": self.kind,
+            "status": self.status,
+            "cancel_requested": self.cancel_event.is_set(),
+            "queued_s": round(
+                (self.started_at or self.finished_at or time.time())
+                - self.submitted_at,
+                6,
+            ),
+        }
+        if self.started_at is not None:
+            end = self.finished_at if self.finished_at is not None else time.time()
+            out["elapsed_s"] = round(end - self.started_at, 6)
+        if self.result is not None:
+            out["result"] = self.result
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+class JobManager:
+    """Bounded thread pool plus a bounded journal of finished jobs.
+
+    Parameters
+    ----------
+    max_workers:
+        Concurrent mining jobs; further submissions queue (FIFO).
+    max_jobs:
+        Finished jobs retained for polling; older entries are pruned.
+    """
+
+    def __init__(self, max_workers: int = 4, max_jobs: int = 256):
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self.max_jobs = max_jobs
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve-job"
+        )
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Submission / execution
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self,
+        kind: str,
+        fn: Callable[[Job], dict],
+        request: Optional[dict] = None,
+    ) -> Job:
+        """Queue ``fn(job)`` on the pool; returns the trackable job.
+
+        ``fn`` receives the job so it can derive cancellation-aware
+        budgets via :meth:`Job.budget`; its return dict becomes
+        ``job.result``.
+        """
+        job = Job(uuid.uuid4().hex[:12], kind, request)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("job manager is shut down")
+            self._jobs[job.id] = job
+            self.submitted += 1
+            self._prune_locked()
+            job.future = self._pool.submit(self._run, job, fn)
+        return job
+
+    def _run(self, job: Job, fn: Callable[[Job], dict]) -> None:
+        if job.cancel_event.is_set():
+            self._finish(job, "cancelled")
+            return
+        job.started_at = time.time()
+        job.status = "running"
+        try:
+            result = fn(job)
+        except Exception as exc:  # surfaced to the poller, not the log
+            job.error = f"{type(exc).__name__}: {exc}"
+            self._finish(job, "error")
+            return
+        job.result = result
+        # A cancel that raced in during the run marks the job cancelled even
+        # though the fn returned: cooperative cancellation means the result
+        # is presumed partial (budget-truncated).  The result is attached
+        # either way — a cancel landing in the final instants loses nothing,
+        # and to_dict's ``cancel_requested`` makes the race observable.
+        self._finish(job, "cancelled" if job.cancel_event.is_set() else "done")
+
+    def _finish(self, job: Job, status: str) -> None:
+        job.status = status
+        job.finished_at = time.time()
+        job.done_event.set()
+
+    # ------------------------------------------------------------------ #
+    # Polling / cancellation
+    # ------------------------------------------------------------------ #
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise LookupError(f"unknown job_id {job_id!r}") from None
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:
+        """Block until the job finishes (or the timeout passes)."""
+        job = self.get(job_id)
+        job.done_event.wait(timeout)
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Request cancellation: immediate for queued jobs, cooperative
+        (via :class:`RequestBudget`) for running ones."""
+        job = self.get(job_id)
+        job.cancel_event.set()
+        if job.future is not None and job.future.cancel():
+            # Never started: the pool dropped it; finalize here.
+            self._finish(job, "cancelled")
+        return job
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+
+    def list(self) -> List[dict]:
+        with self._lock:
+            return [j.to_dict() for j in self._jobs.values()]
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            counts = {s: 0 for s in STATUSES}
+            for j in self._jobs.values():
+                counts[j.status] += 1
+            counts["submitted"] = self.submitted
+            counts["max_workers"] = self.max_workers
+            return counts
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            self._closed = True
+        for job in list(self._jobs.values()):
+            if not job.finished:
+                job.cancel_event.set()
+        self._pool.shutdown(wait=wait)
+
+    def _prune_locked(self) -> None:
+        # Oldest-first, skipping live jobs (which must never be forgotten):
+        # one long-running straggler must not exempt everything behind it.
+        if len(self._jobs) <= self.max_jobs:
+            return
+        excess = len(self._jobs) - self.max_jobs
+        for job_id in [j.id for j in self._jobs.values() if j.finished][:excess]:
+            del self._jobs[job_id]

@@ -1,0 +1,149 @@
+"""Dataset registry: load a relation once, address it by fingerprint.
+
+Every dataset handed to the mining service — an uploaded CSV body, a row
+payload, or one of the built-in Table 2 surrogates — is factorised into a
+:class:`~repro.data.relation.Relation` exactly once and keyed by the same
+relation fingerprint the persistent entropy cache uses
+(:func:`repro.exec.persist.relation_fingerprint`).  Re-uploading
+byte-identical data therefore dedupes onto the existing entry, and the
+fingerprint doubles as the join key between a registered dataset, its warm
+session (:mod:`repro.serve.session`) and its on-disk entropy cache.
+"""
+
+from __future__ import annotations
+
+import io as _io
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.data import datasets
+from repro.data.loaders import from_csv
+from repro.data.relation import Relation
+from repro.exec.persist import relation_fingerprint
+
+
+@dataclass
+class DatasetEntry:
+    """One registered relation plus bookkeeping for listings."""
+
+    dataset_id: str
+    relation: Relation
+    source: str
+    created_at: float = field(default_factory=time.time)
+    uploads: int = 1  # times this exact data was (re-)registered
+
+    def describe(self) -> dict:
+        return {
+            "dataset_id": self.dataset_id,
+            "name": self.relation.name or "input",
+            "rows": self.relation.n_rows,
+            "cols": self.relation.n_cols,
+            "columns": list(self.relation.columns),
+            "source": self.source,
+            "uploads": self.uploads,
+        }
+
+
+class DatasetRegistry:
+    """Thread-safe, LRU-bounded store of loaded relations.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of distinct datasets kept; the least recently used
+        entry is forgotten when the bound is exceeded (its warm session, if
+        any, is owned and evicted independently by the session cache).
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, DatasetEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+
+    def add(self, relation: Relation, source: str = "api") -> DatasetEntry:
+        """Register a relation; byte-identical data dedupes by fingerprint."""
+        dataset_id = relation_fingerprint(relation)
+        with self._lock:
+            entry = self._entries.get(dataset_id)
+            if entry is not None:
+                entry.uploads += 1
+                self._entries.move_to_end(dataset_id)
+                return entry
+            entry = DatasetEntry(dataset_id=dataset_id, relation=relation, source=source)
+            self._entries[dataset_id] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            return entry
+
+    def add_csv_text(
+        self,
+        text: str,
+        name: str = "",
+        max_rows: Optional[int] = None,
+        delimiter: str = ",",
+    ) -> DatasetEntry:
+        """Parse an in-memory CSV body and register it."""
+        relation = from_csv(
+            _io.StringIO(text), name=name or "upload", max_rows=max_rows,
+            delimiter=delimiter,
+        )
+        return self.add(relation, source="csv")
+
+    def add_rows(self, rows, columns, name: str = "") -> DatasetEntry:
+        """Register an explicit ``rows``/``columns`` payload."""
+        relation = Relation.from_rows(rows, columns, name=name or "rows")
+        return self.add(relation, source="rows")
+
+    def add_builtin(
+        self,
+        name: str,
+        scale: float = 0.01,
+        max_rows: Optional[int] = None,
+    ) -> DatasetEntry:
+        """Register one of the built-in Table 2 surrogates."""
+        relation = datasets.load(name, scale=scale, max_rows=max_rows)
+        return self.add(relation, source=f"builtin:{name}")
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+
+    def entry(self, dataset_id: str) -> DatasetEntry:
+        with self._lock:
+            try:
+                entry = self._entries[dataset_id]
+            except KeyError:
+                raise LookupError(f"unknown dataset_id {dataset_id!r}") from None
+            self._entries.move_to_end(dataset_id)
+            return entry
+
+    def get(self, dataset_id: str) -> Relation:
+        """The registered relation for a fingerprint (LookupError if gone)."""
+        return self.entry(dataset_id).relation
+
+    def list(self) -> List[dict]:
+        with self._lock:
+            return [e.describe() for e in self._entries.values()]
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"datasets": len(self._entries), "evictions": self.evictions}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, dataset_id: str) -> bool:
+        with self._lock:
+            return dataset_id in self._entries

@@ -1,0 +1,209 @@
+"""Stdlib HTTP front-end for the mining service (JSON in, JSON out).
+
+Routes (all bodies and responses are JSON):
+
+====== ======================= ==============================================
+POST   ``/datasets``           register a dataset (``csv`` | ``rows`` |
+                               ``dataset`` builtin); returns ``dataset_id``
+GET    ``/datasets``           list registered datasets
+POST   ``/mine``               phase 1 (full ε-MVDs) on a dataset
+POST   ``/schemas``            both phases + ranking
+POST   ``/profile``            column entropies + minimal FDs
+GET    ``/jobs/<id>``          poll a job (``?wait=SECONDS`` blocks)
+POST   ``/jobs/<id>/cancel``   cancel a queued/running job
+GET    ``/healthz``            liveness + registry/session/job stats
+====== ======================= ==============================================
+
+Mining POSTs accept ``"wait": false`` to return the queued job immediately
+for polling; by default they block until the job finishes (the per-request
+deadline bounds how long that can be).  Responses carry the job envelope
+``{"job_id", "status", "result", ...}``; the ``result`` field is exactly
+the artefact the one-shot CLI writes with ``--json``.
+
+Built on ``http.server.ThreadingHTTPServer`` — one thread per connection,
+no third-party dependencies — which is plenty for an analyst-facing tool;
+the session locks, not the transport, are the concurrency contract.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from contextlib import contextmanager
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.serve.service import MiningService, ServiceError
+
+#: Upper bound on request bodies (a CSV upload), bytes.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Slack added on top of the mining deadline when a handler blocks on a job,
+#: so transport waits never undercut the budget that bounds the work itself.
+WAIT_SLACK_SECONDS = 30.0
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """Maps HTTP routes onto :class:`MiningService` calls."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> MiningService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------ #
+    # HTTP verbs
+    # ------------------------------------------------------------------ #
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
+        path, query = self._split_path()
+        with self._error_envelope():
+            if path == "/healthz":
+                self._reply(200, self.service.health())
+            elif path == "/datasets":
+                self._reply(200, {"datasets": self.service.registry.list()})
+            elif path.startswith("/jobs/"):
+                job_id = path[len("/jobs/"):]
+                wait = self._wait_seconds(query)
+                self._reply(200, self.service.job_payload(job_id, wait=wait))
+            else:
+                self._reply(404, {"error": f"unknown path {path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        path, _ = self._split_path()
+        with self._error_envelope():
+            if path.startswith("/jobs/") and path.endswith("/cancel"):
+                job_id = path[len("/jobs/"):-len("/cancel")]
+                self._reply(200, self.service.cancel(job_id))
+                return
+            payload = self._read_json()
+            if path == "/datasets":
+                self._reply(201, self.service.upload(payload))
+            elif path in ("/mine", "/schemas", "/profile"):
+                submit = getattr(self.service, f"submit_{path[1:]}")
+                job = submit(payload)
+                if payload.get("wait", True):
+                    deadline = self.service.max_request_seconds
+                    wait = None if deadline is None else deadline + WAIT_SLACK_SECONDS
+                    self.service.jobs.wait(job.id, timeout=wait)
+                    self._reply(200, job.to_dict())
+                else:
+                    self._reply(202, job.to_dict())
+            else:
+                self._reply(404, {"error": f"unknown path {path!r}"})
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        path, _ = self._split_path()
+        with self._error_envelope():
+            if path.startswith("/jobs/"):
+                self._reply(200, self.service.cancel(path[len("/jobs/"):]))
+            else:
+                self._reply(404, {"error": f"unknown path {path!r}"})
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def _error_envelope(self):
+        """Every failure becomes a JSON error response, never a dead socket.
+
+        ``ServiceError`` carries its own status; plain ``TypeError`` /
+        ``ValueError`` / ``KeyError`` from payload coercion are the
+        client's fault (400); anything else is a 500 with the exception
+        summary so the curl user sees *something* actionable.
+        """
+        try:
+            yield
+        except ServiceError as exc:
+            self._reply(exc.status, {"error": str(exc)})
+        except (TypeError, ValueError, KeyError) as exc:
+            self._reply(400, {"error": f"bad request: {type(exc).__name__}: {exc}"})
+        except Exception as exc:  # pragma: no cover - defensive
+            self._reply(500, {"error": f"internal error: {type(exc).__name__}: {exc}"})
+
+    def _split_path(self) -> Tuple[str, dict]:
+        parsed = urlparse(self.path)
+        return parsed.path.rstrip("/") or "/", parse_qs(parsed.query)
+
+    @staticmethod
+    def _wait_seconds(query: dict) -> Optional[float]:
+        raw = query.get("wait", [None])[0]
+        if raw is None:
+            return None
+        try:
+            return max(0.0, float(raw))
+        except ValueError:
+            raise ServiceError("'wait' must be a number of seconds") from None
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            # The body is left unread: drop the connection after replying,
+            # or keep-alive would parse the leftover bytes as a request.
+            self.close_connection = True
+            raise ServiceError("request body too large", status=413)
+        body = self.rfile.read(length) if length else b""
+        if not body:
+            return {}
+        try:
+            payload = json.loads(body)
+        except ValueError:
+            raise ServiceError("request body is not valid JSON") from None
+        if not isinstance(payload, dict):
+            raise ServiceError("request body must be a JSON object")
+        return payload
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args) -> None:
+        if getattr(self.server, "verbose", False):  # type: ignore[attr-defined]
+            super().log_message(fmt, *args)
+
+
+class MiningHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server that owns (and closes) a mining service."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service: MiningService, verbose: bool = False):
+        super().__init__(address, ServeHandler)
+        self.service = service
+        self.verbose = verbose
+
+    def close(self) -> None:
+        self.shutdown()
+        self.server_close()
+        self.service.close()
+
+
+def make_server(
+    service: MiningService,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    verbose: bool = False,
+) -> MiningHTTPServer:
+    """Bind a server (``port=0`` picks a free port; see ``server_port``)."""
+    return MiningHTTPServer((host, port), service, verbose=verbose)
+
+
+def start_background(
+    service: MiningService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> Tuple[MiningHTTPServer, threading.Thread]:
+    """Run a server on a daemon thread (tests, benches, notebooks)."""
+    server = make_server(service, host=host, port=port)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread

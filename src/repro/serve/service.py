@@ -1,0 +1,296 @@
+"""The mining service: request validation, session routing, job execution.
+
+``MiningService`` is the transport-independent core of :mod:`repro.serve`
+— the HTTP layer (:mod:`repro.serve.server`) is a thin JSON shim over it,
+and tests drive it directly.  Per request it
+
+1. resolves the dataset (a registered fingerprint, an inline CSV/rows
+   payload, or a built-in surrogate name),
+2. leases the warm session for ``(dataset, engine config)`` from the
+   session cache,
+3. runs the mining call on the job pool under the session lock, with a
+   :class:`~repro.serve.jobs.RequestBudget` enforcing the per-request
+   deadline (the request's own ``budget`` capped by the server-wide
+   ``max_request_seconds``) and cooperative cancellation,
+4. serialises the result with the exact same :mod:`repro.io` builders the
+   one-shot CLI uses, so served payloads match CLI ``--json`` artefacts.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro import io as repro_io
+from repro.core.ranking import OBJECTIVES, rank_schemas
+from repro.serve.jobs import Job, JobManager
+from repro.serve.registry import DatasetRegistry
+from repro.serve.session import SessionCache
+
+#: Default cap on any single request's mining budget, seconds.
+DEFAULT_MAX_REQUEST_SECONDS = 300.0
+
+
+class ServiceError(Exception):
+    """A client-visible request error with an HTTP-ish status code."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+class MiningService:
+    """Long-lived mining state plus the request handlers built on it.
+
+    Parameters
+    ----------
+    max_sessions, max_datasets:
+        LRU capacities of the warm-session and dataset stores.
+    job_workers:
+        Concurrent mining jobs (requests beyond this queue FIFO).
+    max_request_seconds:
+        Hard per-request deadline; request budgets are clamped to it
+        (``None`` disables the cap).
+    engine, workers, persist, cache_dir:
+        Session defaults, overridable per request (see
+        :class:`~repro.core.maimon.Maimon`).
+    """
+
+    def __init__(
+        self,
+        max_sessions: int = 8,
+        max_datasets: int = 64,
+        job_workers: int = 4,
+        max_request_seconds: Optional[float] = DEFAULT_MAX_REQUEST_SECONDS,
+        engine: str = "pli",
+        workers: int = 1,
+        persist: bool = False,
+        cache_dir: Optional[str] = None,
+    ):
+        self.registry = DatasetRegistry(capacity=max_datasets)
+        self.sessions = SessionCache(capacity=max_sessions)
+        self.jobs = JobManager(max_workers=job_workers)
+        self.max_request_seconds = max_request_seconds
+        self.defaults = {
+            "engine": engine,
+            "workers": workers,
+            "persist": persist,
+            "cache_dir": cache_dir,
+        }
+        self.started_at = time.time()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Datasets
+    # ------------------------------------------------------------------ #
+
+    def upload(self, payload: dict) -> dict:
+        """Register a dataset; see :meth:`_register` for accepted shapes."""
+        return self._register(payload).describe()
+
+    def _register(self, payload: dict):
+        if not isinstance(payload, dict):
+            raise ServiceError("request body must be a JSON object")
+        max_rows = payload.get("max_rows")
+        if "csv" in payload:
+            return self.registry.add_csv_text(
+                payload["csv"],
+                name=payload.get("name", ""),
+                max_rows=max_rows,
+                delimiter=payload.get("delimiter", ","),
+            )
+        if "rows" in payload:
+            if "columns" not in payload:
+                raise ServiceError("'rows' uploads require 'columns'")
+            return self.registry.add_rows(
+                payload["rows"], payload["columns"], name=payload.get("name", "")
+            )
+        if "dataset" in payload:
+            try:
+                return self.registry.add_builtin(
+                    payload["dataset"],
+                    scale=float(payload.get("scale", 0.01)),
+                    max_rows=max_rows,
+                )
+            except KeyError as exc:
+                raise ServiceError(str(exc), status=404) from None
+        raise ServiceError("provide one of 'csv', 'rows' or 'dataset'")
+
+    def _resolve(self, payload: dict):
+        """Dataset entry for a request: by id, or inline-registered."""
+        if not isinstance(payload, dict):
+            raise ServiceError("request body must be a JSON object")
+        dataset_id = payload.get("dataset_id")
+        if dataset_id is not None:
+            try:
+                return self.registry.entry(dataset_id)
+            except LookupError as exc:
+                raise ServiceError(str(exc), status=404) from None
+        return self._register(payload)
+
+    # ------------------------------------------------------------------ #
+    # Mining requests
+    # ------------------------------------------------------------------ #
+
+    def submit_mine(self, payload: dict) -> Job:
+        """Phase 1: full ε-MVDs.  Result matches ``repro mine --json``."""
+        entry = self._resolve(payload)
+        eps = self._eps(payload, default=0.0)
+        budget_s = self._budget_seconds(payload)
+        config = self._session_config(payload)
+
+        def run(job: Job) -> dict:
+            with self.sessions.lease(entry.dataset_id, entry.relation, **config) as s:
+                with s.lock:
+                    result = s.maimon.mine_mvds(eps, budget=job.budget(budget_s))
+                return repro_io.miner_result_to_dict(result, s.relation.columns)
+
+        return self.jobs.submit("mine", run, request=payload)
+
+    def submit_schemas(self, payload: dict) -> Job:
+        """Both phases + ranking.  Result matches ``repro schemas --json``."""
+        entry = self._resolve(payload)
+        eps = self._eps(payload, default=0.05)
+        budget_s = self._budget_seconds(payload)
+        top = int(payload.get("top", 10))
+        objective = payload.get("objective", "balanced")
+        if objective not in OBJECTIVES:
+            known = ", ".join(sorted(OBJECTIVES))
+            raise ServiceError(f"unknown objective {objective!r}; known: {known}")
+        with_spurious = not bool(payload.get("no_spurious", False))
+        config = self._session_config(payload)
+
+        def run(job: Job) -> dict:
+            with self.sessions.lease(entry.dataset_id, entry.relation, **config) as s:
+                with s.lock:
+                    ranked = rank_schemas(
+                        s.maimon,
+                        eps,
+                        k=top,
+                        objective=objective,
+                        schema_budget=job.budget(budget_s),
+                        with_spurious=with_spurious,
+                    )
+                return repro_io.schemas_payload(eps, ranked, s.relation.columns)
+
+        return self.jobs.submit("schemas", run, request=payload)
+
+    def submit_profile(self, payload: dict) -> Job:
+        """Column entropies + minimal FDs.  Matches ``repro profile --json``."""
+        entry = self._resolve(payload)
+        fd_lhs = int(payload.get("fd_lhs", 2))
+        budget_s = self._budget_seconds(payload)
+        config = self._session_config(payload)
+
+        def run(job: Job) -> dict:
+            with self.sessions.lease(entry.dataset_id, entry.relation, **config) as s:
+                with s.lock:
+                    # Reuse the session oracle's live pool (if any) so a
+                    # --workers server doesn't spawn one per /profile hit.
+                    return repro_io.profile_to_dict(
+                        s.relation,
+                        s.maimon.oracle,
+                        fd_lhs=fd_lhs,
+                        workers=config["workers"],
+                        budget=job.budget(budget_s),
+                        executor=s.maimon.oracle.evaluator(),
+                    )
+
+        return self.jobs.submit("profile", run, request=payload)
+
+    # ------------------------------------------------------------------ #
+    # Jobs / health
+    # ------------------------------------------------------------------ #
+
+    def job_payload(self, job_id: str, wait: Optional[float] = None) -> dict:
+        try:
+            job = self.jobs.wait(job_id, wait) if wait else self.jobs.get(job_id)
+        except LookupError as exc:
+            raise ServiceError(str(exc), status=404) from None
+        return job.to_dict()
+
+    def cancel(self, job_id: str) -> dict:
+        try:
+            return self.jobs.cancel(job_id).to_dict()
+        except LookupError as exc:
+            raise ServiceError(str(exc), status=404) from None
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "defaults": dict(self.defaults),
+            "max_request_seconds": self.max_request_seconds,
+            "registry": self.registry.stats(),
+            "sessions": self.sessions.stats(),
+            "session_list": self.sessions.list(),
+            "jobs": self.jobs.stats(),
+        }
+
+    def close(self) -> None:
+        """Stop accepting jobs, cancel stragglers, close every session."""
+        if self._closed:
+            return
+        self._closed = True
+        self.jobs.shutdown(wait=True)
+        self.sessions.close()
+
+    def __enter__(self) -> "MiningService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Request parsing
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _eps(payload: dict, default: float) -> float:
+        try:
+            eps = float(payload.get("eps", default))
+        except (TypeError, ValueError):
+            raise ServiceError("'eps' must be a number") from None
+        if eps < 0:
+            raise ServiceError("'eps' must be >= 0")
+        return eps
+
+    def _budget_seconds(self, payload: dict) -> Optional[float]:
+        """Effective deadline: request budget clamped by the server cap.
+
+        An explicit ``budget: 0`` means *no work* — the budget machinery
+        returns an empty truncated result — mirroring the CLI's
+        ``--budget 0`` semantics.
+        """
+        budget = payload.get("budget")
+        if budget is not None:
+            try:
+                budget = float(budget)
+            except (TypeError, ValueError):
+                raise ServiceError("'budget' must be a number of seconds") from None
+            if budget < 0:
+                raise ServiceError("'budget' must be >= 0")
+        cap = self.max_request_seconds
+        if budget is None:
+            return cap
+        if cap is None:
+            return budget
+        return min(budget, cap)
+
+    def _session_config(self, payload: dict) -> dict:
+        engine = payload.get("engine", self.defaults["engine"])
+        if engine not in ("pli", "naive", "sql"):
+            raise ServiceError(
+                f"unknown engine {engine!r}; expected 'pli', 'naive' or 'sql'"
+            )
+        try:
+            workers = int(payload.get("workers", self.defaults["workers"]))
+        except (TypeError, ValueError):
+            raise ServiceError("'workers' must be an integer") from None
+        persist = bool(payload.get("persist", self.defaults["persist"]))
+        return {
+            "engine": engine,
+            "workers": max(1, workers),
+            "persist": persist,
+            "cache_dir": self.defaults["cache_dir"],
+        }

@@ -1,0 +1,212 @@
+"""Warm mining sessions: one long-lived ``Maimon`` per dataset+config.
+
+The whole point of the serving layer is that the expensive state — the
+oracle memo, the PLI block cache, the exec worker pool and the on-disk
+entropy cache — survives across requests.  A :class:`Session` owns exactly
+that state (a configured :class:`~repro.core.maimon.Maimon`), and the
+:class:`SessionCache` hands sessions out keyed by
+``(dataset fingerprint, engine parameters)`` with LRU eviction.
+
+Concurrency contract: the oracle's memo dict and query counters are not
+thread-safe, so every request must run its mining work while holding
+``session.lock`` — concurrent requests over the same dataset serialize on
+the oracle instead of corrupting it.  Requests over *different* datasets
+run fully in parallel (each session has its own lock).  Sessions are
+refcounted while leased, so the evictor never closes a session mid-request.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.core.maimon import Maimon
+from repro.data.relation import Relation
+
+#: Hashable session key: dataset fingerprint + the Maimon knobs that change
+#: oracle state (engine, workers, persistence location).
+SessionKey = Tuple[str, str, int, bool, Optional[str]]
+
+
+class Session:
+    """One warm ``Maimon`` instance plus its serialization lock."""
+
+    def __init__(self, key: SessionKey, relation: Relation, maimon: Maimon):
+        self.key = key
+        self.dataset_id = key[0]
+        self.engine = key[1]
+        self.relation = relation
+        self.maimon = maimon
+        self.lock = threading.Lock()
+        self.created_at = time.time()
+        self.last_used = self.created_at
+        self.requests = 0
+        self._refs = 0  # leases outstanding; guarded by the cache lock
+
+    def describe(self) -> dict:
+        counters = self.maimon.counters()
+        return {
+            "dataset_id": self.dataset_id,
+            "name": self.relation.name or "input",
+            "engine": self.engine,
+            "requests": self.requests,
+            "busy": self.lock.locked(),
+            "age_s": round(time.time() - self.created_at, 3),
+            **counters,
+        }
+
+    def close(self) -> None:
+        self.maimon.close()
+
+
+class SessionCache:
+    """LRU cache of warm sessions with safe concurrent leasing.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of warm sessions.  When exceeded, the least
+        recently used *idle* session is closed; leased sessions are
+        skipped (the cache may transiently exceed capacity while every
+        session is busy).
+    """
+
+    def __init__(self, capacity: int = 8):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._sessions: "OrderedDict[SessionKey, Session]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ #
+    # Leasing
+    # ------------------------------------------------------------------ #
+
+    def acquire(
+        self,
+        dataset_id: str,
+        relation: Relation,
+        engine: str = "pli",
+        workers: int = 1,
+        persist: bool = False,
+        cache_dir: Optional[str] = None,
+    ) -> Session:
+        """Get (or build) the warm session for a dataset+config and pin it.
+
+        Callers must pair this with :meth:`release`; prefer the
+        :meth:`lease` context manager.  Building the ``Maimon`` happens
+        outside any per-session lock, but under the cache lock — sessions
+        are cheap to construct (engines build their caches lazily), and
+        this keeps a concurrent burst of first requests from racing to
+        create duplicate sessions.
+        """
+        key: SessionKey = (dataset_id, engine, int(workers), bool(persist), cache_dir)
+        with self._lock:
+            session = self._sessions.get(key)
+            if session is None:
+                self.misses += 1
+                maimon = Maimon(
+                    relation,
+                    engine=engine,
+                    workers=workers,
+                    persist=persist,
+                    cache_dir=cache_dir,
+                )
+                session = Session(key, relation, maimon)
+                self._sessions[key] = session
+            else:
+                self.hits += 1
+            self._sessions.move_to_end(key)
+            session._refs += 1
+            session.last_used = time.time()
+            evicted = self._evict_locked()
+        self._close_evicted(evicted)
+        return session
+
+    def release(self, session: Session) -> None:
+        with self._lock:
+            session._refs = max(0, session._refs - 1)
+            session.requests += 1
+            evicted = self._evict_locked()
+        self._close_evicted(evicted)
+
+    @contextmanager
+    def lease(self, dataset_id: str, relation: Relation, **config) -> Iterator[Session]:
+        """``with sessions.lease(...) as s:`` — pinned for the block.
+
+        The lease pins the session against eviction; it does NOT take
+        ``s.lock`` (callers hold it only around the actual oracle work so
+        queue time is observable separately from compute time).
+        """
+        session = self.acquire(dataset_id, relation, **config)
+        try:
+            yield session
+        finally:
+            self.release(session)
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+
+    def list(self) -> list:
+        with self._lock:
+            return [s.describe() for s in self._sessions.values()]
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "sessions": len(self._sessions),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def close(self) -> None:
+        """Close every session (stops pools, flushes persistent caches)."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        for s in sessions:
+            s.close()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _evict_locked(self) -> list:
+        """Unlink least-recently-used idle sessions beyond capacity.
+
+        Only the bookkeeping happens under the cache lock; the returned
+        sessions are closed by the caller *after* releasing it — closing a
+        Maimon can mean a process-pool shutdown and a cache flush, and
+        holding the global lock through that would stall every other
+        request (and /healthz) for the duration.
+        """
+        evicted = []
+        if len(self._sessions) <= self.capacity:
+            return evicted
+        for key in list(self._sessions):
+            if len(self._sessions) <= self.capacity:
+                break
+            session = self._sessions[key]
+            if session._refs > 0:
+                continue  # leased: never close a session mid-request
+            del self._sessions[key]
+            self.evictions += 1
+            evicted.append(session)
+        return evicted
+
+    @staticmethod
+    def _close_evicted(evicted: list) -> None:
+        for session in evicted:
+            session.close()

@@ -86,3 +86,61 @@ class TestCommands:
         )
         out = capsys.readouterr().out
         assert "Bridges" in out
+
+
+class TestBugfixRegressions:
+    def test_profile_honours_engine_flag(self, fig1_csv, monkeypatch):
+        """Regression: --engine was silently dropped by cmd_profile."""
+        import repro.entropy.oracle as oracle_mod
+
+        seen = {}
+        original = oracle_mod.make_oracle
+
+        def spy(relation, *args, **kwargs):
+            seen["engine"] = kwargs.get("engine", "pli")
+            return original(relation, *args, **kwargs)
+
+        monkeypatch.setattr(oracle_mod, "make_oracle", spy)
+        assert main(["profile", fig1_csv, "--engine", "naive", "--no-persist"]) == 0
+        assert seen["engine"] == "naive"
+
+    def test_mine_budget_zero_means_no_time(self, fig1_csv, capsys):
+        """Regression: --budget 0 was truth-tested into 'unlimited'."""
+        assert main(["mine", fig1_csv, "--budget", "0", "--no-persist"]) == 0
+        out = capsys.readouterr().out
+        assert "TIMEOUT" in out
+        assert "0 full MVDs" in out
+
+    def test_schemas_budget_zero_means_no_time(self, fig1_csv, capsys):
+        assert main(["schemas", fig1_csv, "--budget", "0", "--no-persist"]) == 1
+        assert "no schemas found" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("engine", ["pli", "naive", "sql"])
+    def test_all_engines_exposed_and_working(self, fig1_csv, engine, capsys):
+        """The CLI must accept every engine make_oracle supports."""
+        assert main(
+            ["mine", fig1_csv, "--engine", engine, "--top", "2", "--no-persist"]
+        ) == 0
+        assert "->>" in capsys.readouterr().out
+
+    def test_profile_json_output(self, fig1_csv, tmp_path):
+        out_path = str(tmp_path / "profile.json")
+        assert main(["profile", fig1_csv, "--no-persist", "--json", out_path]) == 0
+        data = json.loads(open(out_path).read())
+        assert {c["column"] for c in data["columns"]} == set("ABCDEF")
+        assert all(c["distinct"] >= 1 for c in data["columns"])
+        assert data["fds"]
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.func.__name__ == "cmd_serve"
+        assert args.port == 8765
+        assert args.max_sessions == 8
+        assert args.engine == "pli"
+
+    def test_serve_bench_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.func.__name__ == "cmd_serve_bench"
+        assert args.json == "BENCH_serve.json"

@@ -134,3 +134,35 @@ class TestEngines:
         out = maimon.discover(0.0)
         assert len(out) == 1
         assert out[0].schema.m == 1
+
+
+class TestServingHooks:
+    """The reuse/lifecycle hooks long-lived holders (repro.serve) rely on."""
+
+    def test_counters_and_reset(self, fig1):
+        with Maimon(fig1) as maimon:
+            maimon.mine_mvds(0.0)
+            counters = maimon.counters()
+            assert counters["queries"] > 0
+            assert 0 < counters["evals"] <= counters["queries"]
+            maimon.reset_counters()
+            assert maimon.counters() == {"queries": 0, "evals": 0}
+            # The memo survives the counter reset: re-mining is all hits.
+            maimon.clear_cache()
+            maimon.mine_mvds(0.0)
+            after = maimon.counters()
+            assert after["queries"] > 0 and after["evals"] == 0
+
+    def test_clear_cache_forces_remine(self, fig1):
+        maimon = Maimon(fig1)
+        r1 = maimon.mine_mvds(0.0)
+        maimon.clear_cache()
+        r2 = maimon.mine_mvds(0.0)
+        assert r1 is not r2
+        assert r1.mvds == r2.mvds
+
+    def test_budgeted_call_reuses_complete_cached_result(self, fig1):
+        maimon = Maimon(fig1)
+        full = maimon.mine_mvds(0.0)
+        budget = SearchBudget(max_seconds=0).start()
+        assert maimon.mine_mvds(0.0, budget=budget) is full

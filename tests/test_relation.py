@@ -203,3 +203,64 @@ class TestZeroColumnRows:
         r = Relation(np.empty((5, 0), dtype=np.int64), [])
         assert r.rows() == [()] * 5
         assert len(r.rows()) == r.n_rows
+
+
+class TestNonDenseCardinality:
+    """Regression: ``cardinality`` must count distinct values, not codes+1.
+
+    Row subsetting (``take_rows``/``head``/``sample_rows``) keeps the
+    original decode tables, so codes can be non-dense; ``max(code) + 1``
+    then overcounts (user-visible in ``repro profile``'s distinct/H_norm
+    columns).  The dense-radix bound stays internal to ``group_ids``.
+    """
+
+    def test_issue_example(self):
+        r = Relation.from_rows(
+            [(1, "a"), (2, "b"), (3, "a"), (4, "b")], ["id", "x"]
+        ).take_rows([0, 3])
+        assert r.cardinality("id") == 2  # was 4: codes {0, 3}, max+1
+        assert r.cardinality("x") == 2
+
+    def test_head_and_sample(self):
+        r = Relation.from_rows([(i, i % 3) for i in range(9)], ["id", "m"])
+        assert r.head(2).cardinality("id") == 2
+        assert r.sample_rows(4, seed=1).cardinality("id") == 4
+
+    def test_group_ids_unaffected(self):
+        r = Relation.from_rows(
+            [(1, "a"), (2, "b"), (3, "a"), (4, "b")], ["id", "x"]
+        ).take_rows([0, 3])
+        ids, n_groups = r.group_ids(["id", "x"])
+        assert n_groups == 2
+        assert r.distinct_count("x") == 2
+
+    def test_matches_decoded_values(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=50, deadline=None)
+        @given(
+            rows=st.lists(
+                st.tuples(st.integers(0, 9), st.integers(0, 4)),
+                min_size=1,
+                max_size=20,
+            ),
+            data=st.data(),
+        )
+        def check(rows, data):
+            full = Relation.from_rows(rows, ["a", "b"])
+            keep = data.draw(
+                st.lists(
+                    st.integers(0, full.n_rows - 1),
+                    min_size=1,
+                    max_size=full.n_rows,
+                    unique=True,
+                )
+            )
+            sub = full.take_rows(keep)
+            for col in ("a", "b"):
+                truth = len(set(sub.column_values(col)))
+                assert sub.cardinality(col) == truth
+                assert sub.distinct_count(col) == truth
+
+        check()
