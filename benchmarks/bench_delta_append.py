@@ -1,0 +1,66 @@
+"""Delta subsystem — warm append+re-mine vs cold full re-mine.
+
+Not a paper figure: this bench tracks the ``repro.delta`` evolution path
+introduced on top of the serving layer.  For markov-tree surrogates at
+10k and 50k base rows it appends batches of fresh rows and measures, per
+batch:
+
+* **warm** — ``Maimon.append_rows`` (incremental dictionary encoding +
+  entropy-memo patching through evolving partitions) followed by a
+  re-mine on the warm session;
+* **cold** — rebuilding the concatenated relation from raw rows and
+  mining it on a fresh ``Maimon`` (the full bill an evolution-unaware
+  system pays per change).
+
+Expected shape: the warm p50 beats the cold p50 by >= 3x (the append
+path's acceptance bar; observed 10-60x on the reference host), the two
+arms produce byte-identical mvds/min_seps payloads per version
+(``parity``), and the warm arm does strictly fewer engine ``evals``
+(typically zero — everything is patched, nothing recomputed).  The
+payload is written to ``BENCH_delta.json`` so the perf trajectory is
+tracked across PRs.
+"""
+
+import os
+
+from benchmarks.conftest import scaled
+from repro.bench.harness import Table, delta_append_benchmark, write_bench_json
+
+#: The append path must beat the cold re-mine by at least this factor.
+MIN_SPEEDUP = 3.0
+
+
+def test_delta_append(benchmark):
+    payload = benchmark.pedantic(
+        delta_append_benchmark,
+        kwargs=dict(
+            rows_list=(scaled(10_000), scaled(50_000)),
+            n_cols=8,
+            eps=0.0,
+            batch=scaled(200),
+            appends=3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = Table(
+        "Delta append (markov_tree)",
+        ["rows_base", "appends", "warm_p50_s", "cold_p50_s", "speedup_p50",
+         "parity"],
+    )
+    for r in payload["runs"]:
+        table.add(r)
+    table.show()
+    for r in payload["runs"]:
+        assert r["parity"], f"warm/cold results diverged at {r['rows_base']} rows"
+        assert r["speedup_p50"] >= MIN_SPEEDUP, (
+            f"append path only {r['speedup_p50']}x vs cold at "
+            f"{r['rows_base']} rows (bar: {MIN_SPEEDUP}x)"
+        )
+        assert max(r["warm_evals"]) <= min(r["cold_evals"]), (
+            "incremental path must do strictly fewer engine evals"
+        )
+    write_bench_json(
+        payload,
+        os.path.join(os.path.dirname(__file__), "..", "BENCH_delta.json"),
+    )

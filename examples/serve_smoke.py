@@ -74,10 +74,31 @@ def main() -> int:
         resp = client.schemas(ds["dataset_id"], eps=0.0, top=2)
         assert resp["status"] == "done" and resp["result"]["schemas"], resp
 
+        # Evolve the dataset: append rows into the warm session, re-mine,
+        # and assert the diff payload (the repro.delta serve path).
+        resp = client.append_rows(
+            ds["dataset_id"],
+            [["a2", "b2", "c2", "d1", "e4", "f2"],
+             ["a1", "b2", "c2", "d2", "e1", "f1"]],
+            eps=0.0,
+        )
+        assert resp["status"] == "done", resp
+        appended = resp["result"]
+        assert appended["parent_id"] == ds["dataset_id"], appended
+        assert appended["rows"] == 6, appended
+        assert appended["delta"]["n_rows"] == 2, appended["delta"]
+        assert appended["advance"]["warm_session"] is True, appended["advance"]
+        diff = appended["diff"]
+        assert diff is not None and diff["kind"] == "mine", diff
+        assert {"added", "dropped", "n_common"} <= set(diff["mvds"]), diff
+        assert {"added", "dropped", "n_common"} <= set(diff["min_seps"]), diff
+
         health = client.healthz()
-        assert health["jobs"]["done"] == 2, health["jobs"]
+        assert health["jobs"]["done"] == 3, health["jobs"]
         print("serve smoke OK:", len(result["mvds"]), "MVDs,",
-              len(resp["result"]["schemas"]), "schemas")
+              len(appended["result"]["mvds"]), "MVDs after append,",
+              f"diff +{len(diff['mvds']['added'])}"
+              f" -{len(diff['mvds']['dropped'])}")
         return 0
     finally:
         proc.terminate()

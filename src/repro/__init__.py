@@ -26,6 +26,13 @@ from repro.entropy import (
     make_oracle,
 )
 from repro.exec import BatchEntropyOracle, ParallelEvaluator, PersistentEntropyCache
+from repro.delta import (
+    Delta,
+    RelationBuilder,
+    append_rows,
+    chained_fingerprint,
+    diff_payloads,
+)
 from repro.core import (
     MVD,
     ASMiner,
@@ -74,6 +81,11 @@ __all__ = [
     "BatchEntropyOracle",
     "ParallelEvaluator",
     "PersistentEntropyCache",
+    "Delta",
+    "RelationBuilder",
+    "append_rows",
+    "chained_fingerprint",
+    "diff_payloads",
     "MVD",
     "ASMiner",
     "DiscoveredSchema",

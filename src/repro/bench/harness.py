@@ -557,6 +557,107 @@ def serve_benchmark(
     }
 
 
+def delta_append_benchmark(
+    rows_list: Sequence[int] = (10_000, 50_000),
+    n_cols: int = 8,
+    eps: float = 0.0,
+    batch: int = 200,
+    appends: int = 3,
+    seed: int = 7,
+) -> Dict[str, object]:
+    """Warm append+re-mine vs cold full re-mine (the ``repro.delta`` bench).
+
+    For each base size N a markov-tree surrogate of ``N + appends*batch``
+    rows is generated and its head mined once to warm a delta-tracking
+    ``Maimon``.  Then, per arriving batch:
+
+    * **warm** — ``append_rows`` (incremental dictionary encoding + memo
+      patching) followed by a re-mine on the warm session;
+    * **cold** — rebuild the concatenated relation from raw rows and mine
+      it on a fresh ``Maimon`` (the full bill an evolution-unaware system
+      pays per change).
+
+    Both arms' results are compared per version (``parity``), and engine
+    ``evals`` are recorded — the incremental path must do strictly fewer.
+    """
+    from repro import io as repro_io
+    from repro.data.generators import markov_tree
+
+    configs: List[Dict[str, object]] = []
+    for n in rows_list:
+        total = n + appends * batch
+        full = markov_tree(n_cols, total, seed=seed, name=f"delta{n}")
+        rows = full.rows()
+        columns = full.columns
+
+        base = Relation.from_rows(rows[:n], columns, name=full.name)
+        t0 = time.perf_counter()
+        warm = Maimon(base, track_deltas=True)
+        warm.mine_mvds(eps)
+        warm_setup_s = time.perf_counter() - t0
+        warm_times: List[float] = []
+        warm_evals: List[int] = []
+        warm_payloads: List[dict] = []
+        for v in range(appends):
+            lo, hi = n + v * batch, n + (v + 1) * batch
+            warm.reset_counters()
+            t0 = time.perf_counter()
+            warm.append_rows(rows[lo:hi])
+            result = warm.mine_mvds(eps)
+            warm_times.append(time.perf_counter() - t0)
+            warm_evals.append(warm.counters()["evals"])
+            warm_payloads.append(repro_io.miner_result_to_dict(result, columns))
+        warm.close()
+
+        cold_times: List[float] = []
+        cold_evals: List[int] = []
+        parity = True
+        for v in range(appends):
+            hi = n + (v + 1) * batch
+            t0 = time.perf_counter()
+            relation = Relation.from_rows(rows[:hi], columns, name=full.name)
+            cold = Maimon(relation)
+            result = cold.mine_mvds(eps)
+            cold_times.append(time.perf_counter() - t0)
+            cold_evals.append(cold.counters()["evals"])
+            payload = repro_io.miner_result_to_dict(result, columns)
+            parity = parity and (
+                payload["mvds"] == warm_payloads[v]["mvds"]
+                and payload["min_seps"] == warm_payloads[v]["min_seps"]
+            )
+            cold.close()
+
+        warm_p50 = float(np.percentile(np.array(warm_times), 50))
+        cold_p50 = float(np.percentile(np.array(cold_times), 50))
+        configs.append(
+            {
+                "rows_base": n,
+                "batch": batch,
+                "appends": appends,
+                "cols": n_cols,
+                "warm_setup_s": round(warm_setup_s, 4),
+                "warm_p50_s": round(warm_p50, 5),
+                "cold_p50_s": round(cold_p50, 5),
+                "speedup_p50": round(cold_p50 / warm_p50, 2) if warm_p50 > 0 else None,
+                "warm_evals": warm_evals,
+                "cold_evals": cold_evals,
+                "parity": parity,
+            }
+        )
+    return {
+        "bench": "delta_append",
+        "eps": eps,
+        "cpu_count": os.cpu_count(),
+        "runs": configs,
+        "note": (
+            "warm = append_rows (incremental encode + entropy memo patching "
+            "via repro.delta) + re-mine on the warm session; cold = rebuild "
+            "the concatenated relation + mine on a fresh Maimon; parity "
+            "asserts identical mvds/min_seps payloads per version"
+        ),
+    }
+
+
 def write_bench_json(payload: Dict[str, object], path: str = "BENCH_exec.json") -> str:
     """Write a bench payload as machine-readable JSON; returns the path."""
     with open(path, "w") as f:

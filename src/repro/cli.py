@@ -7,8 +7,13 @@ Commands
 ``profile``     quick information profile of a CSV (entropies, near-FDs);
 ``serve``       long-lived mining service: JSON API over warm sessions
                 (see :mod:`repro.serve`);
+``diff``        diff two saved mining artefacts: MVDs / minimal separators /
+                schemas added, dropped and score-shifted (see
+                :mod:`repro.delta.diffing`);
 ``serve-bench`` cold-vs-warm serving latency bench (``BENCH_serve.json``);
 ``bench``       exec-subsystem scalability bench (writes ``BENCH_exec.json``);
+``delta-bench`` warm append+re-mine vs cold full re-mine
+                (``BENCH_delta.json``, see :mod:`repro.delta`);
 ``datasets``    list the built-in dataset surrogates (Table 2 registry).
 
 All data commands take ``--workers N`` (parallel entropy evaluation over a
@@ -196,6 +201,76 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_diff(args) -> int:
+    """Diff two mining artefacts; exit 1 when they differ (like diff(1))."""
+    from repro.delta.diffing import diff_payloads, summarize_diff
+
+    old = repro_io.load_json(args.old)
+    new = repro_io.load_json(args.new)
+    diff = diff_payloads(old, new)
+    print(summarize_diff(diff))
+    if diff["kind"] == "mine":
+        for label, entries in (
+            ("+ mvd", diff["mvds"]["added"]),
+            ("- mvd", diff["mvds"]["dropped"]),
+            ("+ min_sep", diff["min_seps"]["added"]),
+            ("- min_sep", diff["min_seps"]["dropped"]),
+        ):
+            for entry in entries[: args.top]:
+                print(f"  {label} {entry}")
+    else:
+        for label, entries in (
+            ("+ schema", diff["schemas"]["added"]),
+            ("- schema", diff["schemas"]["dropped"]),
+            ("~ schema", diff["schemas"]["shifted"]),
+        ):
+            for entry in entries[: args.top]:
+                print(f"  {label} {entry}")
+    if args.json:
+        repro_io.save_json(diff, args.json)
+        print(f"wrote {args.json}")
+    return 1 if diff["changed"] else 0
+
+
+def cmd_delta_bench(args) -> int:
+    """Append-path bench (repro.delta); writes ``BENCH_delta.json``."""
+    from repro.bench.harness import delta_append_benchmark, write_bench_json
+
+    payload = delta_append_benchmark(
+        rows_list=tuple(args.rows),
+        n_cols=args.cols,
+        eps=args.eps,
+        batch=args.batch,
+        appends=args.appends,
+        seed=args.seed,
+    )
+    table = Table(
+        f"Delta append (markov_tree, eps={args.eps}, batch={args.batch})",
+        ["rows_base", "appends", "warm_p50_s", "cold_p50_s", "speedup_p50",
+         "parity"],
+    )
+    for r in payload["runs"]:
+        table.add(r)
+    table.show()
+    path = write_bench_json(payload, args.json)
+    print(f"wrote {path}")
+    # The correctness invariants are gated here (CI runs this command as
+    # a parity sanity step); the speedup number is reported, not gated —
+    # it is timing- and host-dependent.
+    failed = False
+    for r in payload["runs"]:
+        if not r["parity"]:
+            print(f"PARITY FAILURE: warm/cold results diverged at "
+                  f"{r['rows_base']} rows")
+            failed = True
+        if max(r["warm_evals"]) > min(r["cold_evals"]):
+            print(f"EVALS FAILURE: incremental path did {r['warm_evals']} "
+                  f"engine evals vs cold {r['cold_evals']} at "
+                  f"{r['rows_base']} rows")
+            failed = True
+    return 1 if failed else 0
+
+
 def cmd_serve_bench(args) -> int:
     """Cold-vs-warm serving bench; writes ``BENCH_serve.json``."""
     from repro.bench.harness import serve_benchmark, write_bench_json
@@ -363,6 +438,33 @@ def build_parser() -> argparse.ArgumentParser:
     _engine_arg(p)
     _exec_args(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "diff",
+        help="diff two saved mining artefacts (mine or schemas --json files)",
+    )
+    p.add_argument("old", help="baseline artefact (JSON)")
+    p.add_argument("new", help="new artefact (JSON)")
+    p.add_argument("--top", type=int, default=20,
+                   help="changed entries to print per category")
+    p.add_argument("--json", help="write the structured diff to a JSON file")
+    p.set_defaults(func=cmd_diff)
+
+    p = sub.add_parser(
+        "delta-bench",
+        help="warm append+re-mine vs cold full re-mine (BENCH_delta.json)",
+    )
+    p.add_argument("--rows", type=int, nargs="+", default=[10000, 50000],
+                   help="base row counts of the markov_tree surrogates")
+    p.add_argument("--cols", type=int, default=8)
+    p.add_argument("--batch", type=int, default=200,
+                   help="rows appended per batch")
+    p.add_argument("--appends", type=int, default=3,
+                   help="append batches per base size")
+    p.add_argument("--eps", type=float, default=0.0)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--json", default="BENCH_delta.json")
+    p.set_defaults(func=cmd_delta_bench)
 
     p = sub.add_parser(
         "serve-bench",

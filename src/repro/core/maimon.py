@@ -64,6 +64,11 @@ class Maimon:
         Cache entropies on disk keyed by the relation fingerprint, so
         repeated runs over the same data skip recomputation
         (``cache_dir`` overrides the location).
+    track_deltas:
+        Record delta-maintainable grouping state alongside every entropy
+        evaluation, so :meth:`append_rows` can *patch* the warm oracle
+        instead of recomputing it (see :mod:`repro.delta`).  Costs memory
+        per evaluated attribute set; off by default for one-shot runs.
 
     Example
     -------
@@ -82,6 +87,7 @@ class Maimon:
         workers: int = 1,
         persist: bool = False,
         cache_dir=None,
+        track_deltas: bool = False,
     ):
         self.relation = relation
         self.oracle: EntropyOracle = make_oracle(
@@ -92,9 +98,12 @@ class Maimon:
             persist=persist,
             cache_dir=cache_dir,
         )
+        if track_deltas:
+            self.oracle.enable_delta_tracking()
         self.optimized = optimized
         self._miner = MVDMiner(self.oracle, optimized=optimized)
         self._mvd_cache: dict = {}
+        self._prev_mvd_cache: dict = {}  # results of the pre-append version
 
     # ------------------------------------------------------------------ #
     # Phase 1
@@ -118,6 +127,52 @@ class Maimon:
         if budget is None or not result.timed_out:
             self._mvd_cache[eps] = result
         return result
+
+    def peek_mvds(self, eps: float) -> Optional[MinerResult]:
+        """The cached complete phase-1 result for ``eps``, if any (no work)."""
+        return self._mvd_cache.get(eps)
+
+    def previous_mvds(self, eps: float) -> Optional[MinerResult]:
+        """Phase-1 result of the *previous* dataset version for ``eps``.
+
+        Populated by :meth:`advance` from whatever was cached at
+        append time; this is the baseline the serving layer diffs warm
+        re-mines against."""
+        return self._prev_mvd_cache.get(eps)
+
+    # ------------------------------------------------------------------ #
+    # Dataset evolution (repro.delta)
+    # ------------------------------------------------------------------ #
+
+    def append_rows(self, rows) -> "Delta":
+        """Append decoded rows and advance the warm state (see repro.delta).
+
+        The relation is extended via incremental dictionary encoding, the
+        oracle's memoised entropies are patched in place where delta
+        maintenance can prove them (``track_deltas=True``; otherwise they
+        are invalidated), and cached phase-1 results move to the
+        *previous-version* slot for diffing.  Returns the
+        :class:`~repro.delta.builder.Delta` record.
+        """
+        from repro.delta.builder import append_rows as _append_rows
+
+        new_relation, delta = _append_rows(self.relation, rows)
+        self.advance(new_relation, delta)
+        return delta
+
+    def advance(self, new_relation: Relation, delta=None) -> dict:
+        """Move to an appended version of the relation.
+
+        Lower-level sibling of :meth:`append_rows` for callers that built
+        the new relation (and its delta record) themselves, e.g. the
+        serving layer's dataset registry.  Returns the oracle's advance
+        stats (``patched`` / ``rebuilt`` / ``dropped`` memo entries).
+        """
+        stats = self.oracle.advance(new_relation, delta)
+        self.relation = new_relation
+        self._prev_mvd_cache = self._mvd_cache
+        self._mvd_cache = {}
+        return stats
 
     # ------------------------------------------------------------------ #
     # Phase 2
@@ -202,6 +257,8 @@ class Maimon:
             value = getattr(self.oracle, extra, None)
             if value is not None:
                 out[extra] = value
+        if self.oracle.tracks_deltas:
+            out["patched"] = self.oracle.patched
         return out
 
     def reset_counters(self) -> None:

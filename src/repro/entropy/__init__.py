@@ -18,7 +18,7 @@ relation (Section 6.3 of the paper).  This package provides:
   (conditional mutual information, J-measures) and instrumentation.
 """
 
-from repro.entropy.partitions import StrippedPartition
+from repro.entropy.partitions import EvolvingPartition, StrippedPartition
 from repro.entropy.naive import NaiveEntropyEngine
 from repro.entropy.plicache import PLICacheEngine
 from repro.entropy.sqlengine import SQLEntropyEngine
@@ -26,6 +26,7 @@ from repro.entropy.estimators import ESTIMATORS, EstimatedEntropyEngine
 from repro.entropy.oracle import EntropyOracle, make_oracle
 
 __all__ = [
+    "EvolvingPartition",
     "StrippedPartition",
     "NaiveEntropyEngine",
     "PLICacheEngine",

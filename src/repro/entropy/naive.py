@@ -53,3 +53,8 @@ class NaiveEntropyEngine:
 
     def reset_stats(self) -> None:
         self.scans = 0
+
+    def advance(self, new_relation: Relation) -> None:
+        """Move to a new version of the relation (memo invalidated)."""
+        self.relation = new_relation
+        self._memo.clear()

@@ -62,8 +62,10 @@ class EntropyOracle:
         self.engine = engine if engine is not None else PLICacheEngine(relation)
         self.queries = 0  # logical H() requests (cache hits included)
         self.evals = 0    # requests that reached the engine (memo misses)
+        self.patched = 0  # memo entries updated in place by delta advances
         self._memo: Dict[int, float] = {}  # keyed by AttrSet bitmask
         self._omega = AttrSet.full(relation.n_cols)
+        self._tracker = None  # delta-maintenance state (repro.delta)
 
     # ------------------------------------------------------------------ #
     # Core measures
@@ -96,6 +98,8 @@ class EntropyOracle:
     def _compute(self, attrs: AttrSet) -> float:
         """Evaluate one memo-missing set (hook for batched subclasses)."""
         self.evals += 1
+        if self._tracker is not None:
+            return self._tracker.entropy_of_mask(attrs.mask)
         return self.engine.entropy_of(attrs)
 
     def cond_entropy(self, ys: AttrsLike, xs: AttrsLike) -> float:
@@ -179,9 +183,74 @@ class EntropyOracle:
         """
         return None
 
+    # ------------------------------------------------------------------ #
+    # Dataset evolution (repro.delta)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def tracks_deltas(self) -> bool:
+        """Is delta maintenance recording evolving state for this oracle?"""
+        return self._tracker is not None
+
+    def enable_delta_tracking(self) -> None:
+        """Record evolving grouping state alongside every evaluation.
+
+        From this point on, memo-missing sets are grouped through a
+        :class:`~repro.delta.tracker.DeltaTracker` (bit-identical
+        entropies, see there), which is what lets :meth:`advance` *patch*
+        the memo after an append instead of clearing it.  Costs memory
+        proportional to the distinct groups per evaluated set; one-shot
+        runs should leave it off.
+        """
+        if self._tracker is None:
+            from repro.delta.tracker import DeltaTracker
+
+            self._tracker = DeltaTracker(self.relation)
+
+    def advance(self, new_relation: Relation, delta=None) -> Dict[str, int]:
+        """Move the oracle to an appended version of its relation.
+
+        With delta tracking on and a :class:`~repro.delta.builder.Delta`
+        supplied, every memoised entropy the tracker can maintain is
+        updated in place (``patched``; ``rebuilt`` counts the
+        cardinality-jump fallbacks) and only untrackable or
+        tracker-bypassing entries are dropped.  Otherwise the memo is
+        cleared wholesale.  The engine is advanced too, so either way the
+        oracle never serves a stale value.
+        """
+        if new_relation.n_cols != self.relation.n_cols:
+            raise ValueError(
+                f"cannot advance across a column change "
+                f"({self.relation.n_cols} -> {new_relation.n_cols} columns)"
+            )
+        stats = {"patched": 0, "rebuilt": 0, "dropped": 0}
+        if self._tracker is not None and delta is not None:
+            patched, stats = self._tracker.advance(new_relation, delta)
+            kept = {m: patched[m] for m in self._memo if m in patched}
+            stats = dict(stats)
+            stats["dropped"] = len(self._memo) - len(kept)
+            self._memo = kept
+            self.patched += stats["patched"]
+        else:
+            stats["dropped"] = len(self._memo)
+            self._memo.clear()
+            if self._tracker is not None:
+                # No delta record: the tracker's state is unverifiable.
+                from repro.delta.tracker import DeltaTracker
+
+                self._tracker = DeltaTracker(new_relation)
+        self.relation = new_relation
+        self._omega = AttrSet.full(new_relation.n_cols)
+        if hasattr(self.engine, "advance"):
+            self.engine.advance(new_relation)
+        else:  # pragma: no cover - every shipped engine has advance
+            self.engine = type(self.engine)(new_relation)
+        return stats
+
     def reset_stats(self) -> None:
         self.queries = 0
         self.evals = 0
+        self.patched = 0
         if hasattr(self.engine, "reset_stats"):
             self.engine.reset_stats()
 

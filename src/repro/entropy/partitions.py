@@ -29,11 +29,15 @@ entropy computation — the observation the paper's technique rests on.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.data.relation import Relation
+
+#: Largest mixed-radix key product :class:`EvolvingPartition` will track;
+#: the same int64-overflow bound :meth:`Relation.group_ids` re-densifies at.
+DENSE_RADIX_BOUND = 2**62
 
 
 class StrippedPartition:
@@ -228,6 +232,160 @@ class StrippedPartition:
     def __repr__(self) -> str:
         return (
             f"<StrippedPartition clusters={self.n_clusters} size={self.size} "
+            f"N={self.n_rows} H={self.entropy():.4f}>"
+        )
+
+
+def combine_codes(
+    codes: np.ndarray, idx: Sequence[int], radix: Sequence[int]
+) -> np.ndarray:
+    """Mixed-radix combination of code columns into one int64 key per row.
+
+    The key order is lexicographic in the code vectors (earlier indices
+    most significant) — crucially, *independent of the radix values* as
+    long as every code stays below its radix, which is what lets
+    :class:`EvolvingPartition` keep keys stable across appends.  The
+    caller guarantees the radix product fits in int64.
+    """
+    keys = codes[:, idx[0]].astype(np.int64, copy=True)
+    for pos in range(1, len(idx)):
+        keys *= radix[pos]
+        keys += codes[:, idx[pos]]
+    return keys
+
+
+class EvolvingPartition:
+    """Delta-maintainable grouping state for one attribute set.
+
+    A :class:`StrippedPartition` alone cannot absorb appended rows: the
+    stripped singletons carry no value information, so matching a new row
+    against them needs a full regroup.  This class keeps exactly the extra
+    state that makes appends cheap — the sorted array of distinct
+    mixed-radix group keys plus their multiplicities — and maintains the
+    entropy of Eq. (5) from the counts.
+
+    Appending ``k`` rows costs ``O(k log G + G)`` numpy work (``G`` =
+    number of groups): one key combination, one ``searchsorted`` probe,
+    and a sorted merge for unseen keys.  The ``N`` retained rows are never
+    touched.  Two situations force a full rebuild (the *exact-agreement
+    fallback*): a column's cardinality jumping past the dense-radix bound
+    captured at build time (a new dictionary code would collide in or
+    overflow the key space), handled by :meth:`append_block` returning
+    ``False``; and a key-space product beyond ``DENSE_RADIX_BOUND``, in
+    which case :meth:`build` refuses to track the set at all.
+
+    Float determinism: counts are kept in ascending key order, which is
+    the same order :meth:`Relation.group_ids` yields dense group ids in,
+    so the entropy summation runs over the identical sizes sequence as a
+    from-scratch :class:`StrippedPartition` — the incremental path is not
+    just within tolerance but bit-identical.
+    """
+
+    __slots__ = ("idx", "radix", "keys", "counts", "n_rows", "_entropy")
+
+    def __init__(
+        self,
+        idx: Tuple[int, ...],
+        radix: Tuple[int, ...],
+        keys: np.ndarray,
+        counts: np.ndarray,
+        n_rows: int,
+    ):
+        self.idx = idx
+        self.radix = radix
+        self.keys = keys
+        self.counts = counts
+        self.n_rows = int(n_rows)
+        self._entropy: Optional[float] = None
+
+    @classmethod
+    def build(
+        cls, relation: Relation, attrs: Iterable[int]
+    ) -> Optional["EvolvingPartition"]:
+        """Group ``relation`` by ``attrs``; ``None`` if untrackable.
+
+        Untrackable means the product of the per-column radix bounds
+        exceeds :data:`DENSE_RADIX_BOUND` — stable int64 keys are then
+        impossible and callers must fall back to full recomputation.
+        """
+        idx = tuple(relation.col_indices(attrs))
+        radix = tuple(max(relation.radix[j], 1) for j in idx)
+        product = 1
+        for r in radix:
+            if product > DENSE_RADIX_BOUND // r:
+                return None
+            product *= r
+        n = relation.n_rows
+        if not idx or n == 0:
+            keys = np.zeros(min(1, n), dtype=np.int64)
+            counts = np.full(min(1, n), n, dtype=np.int64)
+            return cls(idx, radix, keys, counts, n)
+        all_keys = combine_codes(relation.codes, idx, radix)
+        keys, counts = np.unique(all_keys, return_counts=True)
+        return cls(idx, radix, keys, counts.astype(np.int64, copy=False), n)
+
+    def append_block(self, codes_block: np.ndarray) -> bool:
+        """Absorb appended rows (full-width code block); False on fallback.
+
+        Returns ``False`` — leaving the partition untouched — when the
+        block carries a code at or past the radix bound captured at build
+        time (a cardinality jump).  The caller must then rebuild from the
+        full relation, which re-captures the grown radix.
+        """
+        k = codes_block.shape[0]
+        if k == 0:
+            return True
+        if not self.idx:
+            if len(self.counts):
+                self.counts = self.counts + k
+            else:
+                self.keys = np.zeros(1, dtype=np.int64)
+                self.counts = np.array([k], dtype=np.int64)
+            self.n_rows += k
+            self._entropy = None
+            return True
+        for pos, j in enumerate(self.idx):
+            if int(codes_block[:, j].max()) >= self.radix[pos]:
+                return False
+        new_keys = combine_codes(codes_block, self.idx, self.radix)
+        uniq, add = np.unique(new_keys, return_counts=True)
+        pos = np.searchsorted(self.keys, uniq)
+        in_range = pos < len(self.keys)
+        found = np.zeros(len(uniq), dtype=bool)
+        found[in_range] = self.keys[pos[in_range]] == uniq[in_range]
+        self.counts[pos[found]] += add[found]
+        if not found.all():
+            missing = ~found
+            self.keys = np.insert(self.keys, pos[missing], uniq[missing])
+            self.counts = np.insert(self.counts, pos[missing], add[missing])
+        self.n_rows += k
+        self._entropy = None
+        return True
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.keys)
+
+    def entropy(self) -> float:
+        """Empirical entropy in bits (Eq. 5), recomputed from the counts.
+
+        Same formula, filter, summation order and clamp as
+        :meth:`StrippedPartition.entropy`, so values agree bit-for-bit
+        with the engines' from-scratch computation.
+        """
+        if self._entropy is None:
+            n = self.n_rows
+            if n == 0:
+                self._entropy = 0.0
+            else:
+                sizes = self.counts[self.counts >= 2].astype(np.float64)
+                s = float(np.dot(sizes, np.log2(sizes))) if len(sizes) else 0.0
+                self._entropy = max(0.0, math.log2(n) - s / n)
+        return self._entropy
+
+    def __repr__(self) -> str:
+        return (
+            f"<EvolvingPartition attrs={list(self.idx)} groups={self.n_groups} "
             f"N={self.n_rows} H={self.entropy():.4f}>"
         )
 

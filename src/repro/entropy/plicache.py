@@ -111,6 +111,24 @@ class PLICacheEngine:
         self.cache_hits = 0
         self.cache_misses = 0
 
+    def advance(self, new_relation: Relation) -> None:
+        """Move to a new version of the relation, invalidating all caches.
+
+        Stripped partitions are row-count-bound state the engine cannot
+        patch (that is :class:`~repro.delta.tracker.DeltaTracker`'s job);
+        the engine's contract under evolution is simply to never serve a
+        stale partition.  Caches repopulate lazily on the new version.
+        """
+        if new_relation.n_cols != self.relation.n_cols:
+            raise ValueError(
+                f"cannot advance across a column change "
+                f"({self.relation.n_cols} -> {new_relation.n_cols} columns)"
+            )
+        self.relation = new_relation
+        self._block_cache.clear()
+        self._cross_cache.clear()
+        self._entropy_memo.clear()
+
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #

@@ -97,6 +97,18 @@ class SQLEntropyEngine:
     def reset_stats(self) -> None:
         self.queries_run = 0
 
+    def advance(self, new_relation: Relation) -> None:
+        """Move to a new version of the relation.
+
+        The CNT/TID tables are rebuilt from scratch — the SQL arm exists
+        for fidelity, not speed, so it takes the simple exact route.
+        """
+        self.__init__(
+            new_relation,
+            block_size=self.block_size,
+            cross_cache_size=self._cross_cache_size,
+        )
+
     # ------------------------------------------------------------------ #
     # Table materialisation
     # ------------------------------------------------------------------ #

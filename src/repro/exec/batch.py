@@ -102,7 +102,10 @@ class BatchEntropyOracle(EntropyOracle):
                 self.persist_hits += 1
                 return cached
         self.evals += 1
-        value = self.engine.entropy_of(attrs)
+        if self._tracker is not None:
+            value = self._tracker.entropy_of_mask(attrs.mask)
+        else:
+            value = self.engine.entropy_of(attrs)
         if self._persist is not None:
             self._persist.put(attrs, value)
         return value
@@ -160,6 +163,40 @@ class BatchEntropyOracle(EntropyOracle):
             return None
         return self._pool()
 
+    def advance(self, new_relation: Relation, delta=None):
+        """Move to an appended version (see base class), plus exec state.
+
+        The worker pool is shut down — workers hold engines over the old
+        relation and respawn lazily against the new one.  The persistent
+        cache forks along the lineage: a new store keyed by the chained
+        fingerprint (``parent + delta digest``, no O(N) re-hash), seeded
+        with every entropy that survived the advance and recording its
+        parent, so on-disk caches of successive versions form a chain
+        instead of unrelated blobs.
+        """
+        stats = super().advance(new_relation, delta)
+        if self._evaluator is not None:
+            self._evaluator.close()
+            self._evaluator = None
+        if self._persist is not None:
+            self._persist.flush()
+            parent_fp = self._persist.fingerprint
+            if delta is not None:
+                from repro.delta.builder import chained_fingerprint
+
+                child_fp = chained_fingerprint(parent_fp, delta.digest)
+            else:
+                child_fp = None  # content-hash the new relation instead
+            self._persist = PersistentEntropyCache(
+                new_relation,
+                cache_dir=self._persist.cache_dir,
+                params=self._persist.params,
+                fingerprint=child_fp,
+                parent=parent_fp,
+            )
+            self._persist.seed(self._memo)
+        return stats
+
     def reset_stats(self) -> None:
         super().reset_stats()
         self.persist_hits = 0
@@ -206,7 +243,13 @@ class BatchEntropyOracle(EntropyOracle):
 
     def _evaluate(self, missing: Sequence[AttrSet]) -> None:
         """Compute missing sets (pool when worthwhile) into the memo."""
-        if self.workers > 1 and len(missing) >= MIN_PARALLEL_BATCH:
+        if self._tracker is not None:
+            # Delta tracking records evolving state per evaluated set;
+            # pool workers cannot contribute to it, so tracked oracles
+            # evaluate batches in-process (serving sessions run workers=1
+            # by default — evolution and fan-out are rarely combined).
+            values = {a: self._tracker.entropy_of_mask(a.mask) for a in missing}
+        elif self.workers > 1 and len(missing) >= MIN_PARALLEL_BATCH:
             values = self._pool().entropies(missing)
             # The evaluator degrades itself to serial when subprocesses are
             # unavailable; mirror that here so prefers_batches flips off

@@ -95,9 +95,21 @@ class PersistentEntropyCache:
         cache_dir: Optional[str] = None,
         params: Iterable[object] = (),
         flush_every: int = 4096,
+        fingerprint: Optional[str] = None,
+        parent: Optional[str] = None,
     ):
         self.cache_dir = cache_dir or default_cache_dir()
-        self.fingerprint = relation_fingerprint(relation, params)
+        self.params = tuple(params)
+        # An explicit fingerprint skips hashing the relation entirely —
+        # the append path derives the child version id from
+        # ``parent fingerprint + delta digest`` in O(k) (see
+        # repro.delta.builder.chained_fingerprint) and identifies its
+        # cache file through this override.
+        self.fingerprint = fingerprint or relation_fingerprint(relation, self.params)
+        #: Parent fingerprint when this cache was forked from a previous
+        #: version by an append — versions form a lineage, not unrelated
+        #: blobs; recorded in the file for introspection.
+        self.parent = parent
         self.path = os.path.join(self.cache_dir, f"entropy-{self.fingerprint}.json")
         self.flush_every = flush_every
         self._data: Dict[int, float] = {}  # keyed by AttrSet bitmask
@@ -118,6 +130,9 @@ class PersistentEntropyCache:
 
     def put(self, attrs, value: float) -> None:
         m = attrs.mask if type(attrs) is AttrSet else mask_of(attrs)
+        self.put_mask(m, value)
+
+    def put_mask(self, m: int, value: float) -> None:
         if m in self._data:
             return
         self._data[m] = float(value)
@@ -129,6 +144,11 @@ class PersistentEntropyCache:
         for attrs, value in items.items():
             self.put(attrs, value)
 
+    def seed(self, entries: Dict[int, float]) -> None:
+        """Bulk-load mask-keyed entropies (used when forking a lineage)."""
+        for m, value in entries.items():
+            self.put_mask(m, value)
+
     def flush(self) -> None:
         """Atomically persist all entries (no-op when nothing changed)."""
         if not self._dirty:
@@ -139,6 +159,8 @@ class PersistentEntropyCache:
             "fingerprint": self.fingerprint,
             "entropies": {_encode_mask(m): v for m, v in self._data.items()},
         }
+        if self.parent is not None:
+            payload["parent"] = self.parent
         fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as f:
@@ -179,3 +201,5 @@ class PersistentEntropyCache:
             return
         entries = payload.get("entropies", {})
         self._data = {_decode_mask(k): float(v) for k, v in entries.items()}
+        if self.parent is None:
+            self.parent = payload.get("parent")

@@ -144,6 +144,30 @@ def discovered_schema_to_dict(
 
 
 # --------------------------------------------------------------------- #
+# Deltas (dataset evolution, repro.delta)
+# --------------------------------------------------------------------- #
+
+def delta_to_dict(delta, columns: Optional[Columns] = None) -> dict:
+    """Serialise a :class:`~repro.delta.builder.Delta` record.
+
+    ``new_domains`` maps only the columns whose dictionary actually grew
+    (the cardinality jumps that force partition-maintenance fallbacks);
+    quiet columns are omitted.
+    """
+    counts = delta.new_domain_counts
+    if columns is not None:
+        new_domains = {columns[j]: c for j, c in enumerate(counts) if c}
+    else:
+        new_domains = {str(j): c for j, c in enumerate(counts) if c}
+    return {
+        "start_row": delta.start_row,
+        "n_rows": delta.n_rows,
+        "digest": delta.digest,
+        "new_domains": new_domains,
+    }
+
+
+# --------------------------------------------------------------------- #
 # Command payloads (shared between the CLI --json outputs and repro.serve)
 # --------------------------------------------------------------------- #
 

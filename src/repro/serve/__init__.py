@@ -29,7 +29,7 @@ or from the command line: ``repro serve --port 8765``.
 """
 
 from repro.serve.client import ServeAPIError, ServeClient
-from repro.serve.jobs import Job, JobManager, RequestBudget
+from repro.serve.jobs import Job, JobFinishedError, JobManager, RequestBudget
 from repro.serve.registry import DatasetRegistry
 from repro.serve.server import MiningHTTPServer, make_server, start_background
 from repro.serve.service import MiningService, ServiceError
@@ -38,6 +38,7 @@ from repro.serve.session import Session, SessionCache
 __all__ = [
     "DatasetRegistry",
     "Job",
+    "JobFinishedError",
     "JobManager",
     "MiningHTTPServer",
     "MiningService",

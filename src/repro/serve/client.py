@@ -98,6 +98,19 @@ class ServeClient:
     def datasets(self) -> dict:
         return self.request("GET", "/datasets")
 
+    def append_rows(
+        self, dataset_id: str, rows, eps: float = 0.0, wait: bool = True, **opts
+    ) -> dict:
+        """Append rows to a dataset version; re-mines and returns the diff.
+
+        The result payload carries the child ``dataset_id`` (a chained
+        lineage fingerprint), the delta record, the re-mined artefact and
+        a ``diff`` against the previous version's result (``None`` when
+        the parent had no warm result at this ``eps``).
+        """
+        payload = {"rows": rows, "eps": eps, "wait": wait, **opts}
+        return self.request("POST", f"/datasets/{dataset_id}/rows", payload)
+
     # ------------------------------------------------------------------ #
     # Mining
     # ------------------------------------------------------------------ #

@@ -27,6 +27,22 @@ from repro.core.budget import SearchBudget
 STATUSES = ("queued", "running", "done", "error", "cancelled")
 
 
+class JobFinishedError(Exception):
+    """Raised when cancelling a job whose lifecycle is already over.
+
+    Setting the cancel event on a finished job would be a silent lie —
+    nothing can unwind, yet ``cancel_requested`` would start reporting
+    ``true`` on a result that completed normally.  The carried ``job``
+    lets transports report the actual terminal status.
+    """
+
+    def __init__(self, job: "Job"):
+        super().__init__(
+            f"job {job.id!r} already finished (status={job.status!r})"
+        )
+        self.job = job
+
+
 class RequestBudget(SearchBudget):
     """A search budget that also honours a cancellation event.
 
@@ -205,8 +221,15 @@ class JobManager:
 
     def cancel(self, job_id: str) -> Job:
         """Request cancellation: immediate for queued jobs, cooperative
-        (via :class:`RequestBudget`) for running ones."""
+        (via :class:`RequestBudget`) for running ones.
+
+        Raises :class:`JobFinishedError` when the job already reached a
+        terminal status — there is nothing left to cancel, and flagging
+        the done result as cancel-requested would misreport it.
+        """
         job = self.get(job_id)
+        if job.finished:
+            raise JobFinishedError(job)
         job.cancel_event.set()
         if job.future is not None and job.future.cancel():
             # Never started: the pool dropped it; finalize here.

@@ -8,6 +8,12 @@ relation fingerprint the persistent entropy cache uses
 byte-identical data therefore dedupes onto the existing entry, and the
 fingerprint doubles as the join key between a registered dataset, its warm
 session (:mod:`repro.serve.session`) and its on-disk entropy cache.
+
+Datasets also *evolve*: :meth:`DatasetRegistry.append_rows` registers the
+appended version under the chained lineage fingerprint of
+:mod:`repro.delta` (parent id + delta digest, an O(k) derivation), with a
+``parent_id`` pointer, so versions of one dataset form a chain the warm
+session layer can follow.
 """
 
 from __future__ import annotations
@@ -17,26 +23,36 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.data import datasets
 from repro.data.loaders import from_csv
 from repro.data.relation import Relation
+from repro.delta.builder import Delta, append_rows as delta_append_rows
 from repro.exec.persist import relation_fingerprint
 
 
 @dataclass
 class DatasetEntry:
-    """One registered relation plus bookkeeping for listings."""
+    """One registered relation plus bookkeeping for listings.
+
+    ``parent_id``/``delta_digest`` are set for entries produced by
+    :meth:`DatasetRegistry.append_rows`: their id is the *chained*
+    fingerprint of the lineage (parent id + delta digest), so successive
+    versions of an evolving dataset are related by construction instead
+    of being unrelated blobs.
+    """
 
     dataset_id: str
     relation: Relation
     source: str
     created_at: float = field(default_factory=time.time)
     uploads: int = 1  # times this exact data was (re-)registered
+    parent_id: Optional[str] = None
+    delta_digest: Optional[str] = None
 
     def describe(self) -> dict:
-        return {
+        out = {
             "dataset_id": self.dataset_id,
             "name": self.relation.name or "input",
             "rows": self.relation.n_rows,
@@ -45,6 +61,9 @@ class DatasetEntry:
             "source": self.source,
             "uploads": self.uploads,
         }
+        if self.parent_id is not None:
+            out["parent_id"] = self.parent_id
+        return out
 
 
 class DatasetRegistry:
@@ -71,15 +90,39 @@ class DatasetRegistry:
     # ------------------------------------------------------------------ #
 
     def add(self, relation: Relation, source: str = "api") -> DatasetEntry:
-        """Register a relation; byte-identical data dedupes by fingerprint."""
+        """Register a relation; byte-identical data dedupes by fingerprint.
+
+        Fingerprinting hashes every code column (O(N)) and therefore runs
+        *before* the registry lock is taken — like CSV parsing in
+        :meth:`add_csv_text`, it must never stall concurrent lookups from
+        in-flight ``/mine`` requests.  Only the O(1) table insert/LRU
+        bookkeeping happens under the lock.
+        """
         dataset_id = relation_fingerprint(relation)
+        return self._insert(dataset_id, relation, source)
+
+    def _insert(
+        self,
+        dataset_id: str,
+        relation: Relation,
+        source: str,
+        parent_id: Optional[str] = None,
+        delta_digest: Optional[str] = None,
+    ) -> DatasetEntry:
+        """Lock-scoped tail of every registration: dedupe, insert, evict."""
         with self._lock:
             entry = self._entries.get(dataset_id)
             if entry is not None:
                 entry.uploads += 1
                 self._entries.move_to_end(dataset_id)
                 return entry
-            entry = DatasetEntry(dataset_id=dataset_id, relation=relation, source=source)
+            entry = DatasetEntry(
+                dataset_id=dataset_id,
+                relation=relation,
+                source=source,
+                parent_id=parent_id,
+                delta_digest=delta_digest,
+            )
             self._entries[dataset_id] = entry
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
@@ -93,12 +136,47 @@ class DatasetRegistry:
         max_rows: Optional[int] = None,
         delimiter: str = ",",
     ) -> DatasetEntry:
-        """Parse an in-memory CSV body and register it."""
+        """Parse an in-memory CSV body and register it.
+
+        Parsing and fingerprinting (the O(N) work) happen outside the
+        registry lock: one large upload must not stall concurrent lookups
+        (there is a slow-parse regression test pinning this).
+        """
         relation = from_csv(
             _io.StringIO(text), name=name or "upload", max_rows=max_rows,
             delimiter=delimiter,
         )
         return self.add(relation, source="csv")
+
+    def append_rows(
+        self,
+        dataset_id: str,
+        rows,
+        name: str = "",
+    ) -> Tuple[DatasetEntry, DatasetEntry, Delta]:
+        """Append decoded rows to a registered dataset, as a new version.
+
+        The child relation is built by incremental dictionary encoding
+        (:func:`repro.delta.builder.append_rows`) *outside* the registry
+        lock, and its id is the chained lineage fingerprint — derived from
+        ``parent id + delta digest`` in O(k), no re-hash of the retained
+        rows.  Returns ``(child entry, parent entry, delta)``; appending
+        an identical batch to the same parent dedupes onto the existing
+        child version.
+        """
+        parent = self.entry(dataset_id)
+        relation, delta = delta_append_rows(
+            parent.relation, rows, name=name or None
+        )
+        child_id = delta.child_fingerprint(parent.dataset_id)
+        child = self._insert(
+            child_id,
+            relation,
+            source=f"delta:{parent.dataset_id[:12]}",
+            parent_id=parent.dataset_id,
+            delta_digest=delta.digest,
+        )
+        return child, parent, delta
 
     def add_rows(self, rows, columns, name: str = "") -> DatasetEntry:
         """Register an explicit ``rows``/``columns`` payload."""

@@ -6,6 +6,9 @@ Routes (all bodies and responses are JSON):
 POST   ``/datasets``           register a dataset (``csv`` | ``rows`` |
                                ``dataset`` builtin); returns ``dataset_id``
 GET    ``/datasets``           list registered datasets
+POST   ``/datasets/<id>/rows`` append rows as a new version: advances the
+                               warm session via delta maintenance,
+                               re-mines, returns the result **diff**
 POST   ``/mine``               phase 1 (full ε-MVDs) on a dataset
 POST   ``/schemas``            both phases + ranking
 POST   ``/profile``            column entropies + minimal FDs
@@ -82,16 +85,13 @@ class ServeHandler(BaseHTTPRequestHandler):
             payload = self._read_json()
             if path == "/datasets":
                 self._reply(201, self.service.upload(payload))
+            elif path.startswith("/datasets/") and path.endswith("/rows"):
+                dataset_id = path[len("/datasets/"):-len("/rows")]
+                job = self.service.submit_append(payload, dataset_id=dataset_id)
+                self._job_reply(job, payload)
             elif path in ("/mine", "/schemas", "/profile"):
                 submit = getattr(self.service, f"submit_{path[1:]}")
-                job = submit(payload)
-                if payload.get("wait", True):
-                    deadline = self.service.max_request_seconds
-                    wait = None if deadline is None else deadline + WAIT_SLACK_SECONDS
-                    self.service.jobs.wait(job.id, timeout=wait)
-                    self._reply(200, job.to_dict())
-                else:
-                    self._reply(202, job.to_dict())
+                self._job_reply(submit(payload), payload)
             else:
                 self._reply(404, {"error": f"unknown path {path!r}"})
 
@@ -107,6 +107,16 @@ class ServeHandler(BaseHTTPRequestHandler):
     # Plumbing
     # ------------------------------------------------------------------ #
 
+    def _job_reply(self, job, payload: dict) -> None:
+        """Reply with a job envelope: blocking (200) or queued (202)."""
+        if payload.get("wait", True):
+            deadline = self.service.max_request_seconds
+            wait = None if deadline is None else deadline + WAIT_SLACK_SECONDS
+            self.service.jobs.wait(job.id, timeout=wait)
+            self._reply(200, job.to_dict())
+        else:
+            self._reply(202, job.to_dict())
+
     @contextmanager
     def _error_envelope(self):
         """Every failure becomes a JSON error response, never a dead socket.
@@ -119,7 +129,9 @@ class ServeHandler(BaseHTTPRequestHandler):
         try:
             yield
         except ServiceError as exc:
-            self._reply(exc.status, {"error": str(exc)})
+            # Structured envelope: the message plus any machine-readable
+            # keys the service attached (code, job_id, job_status, ...).
+            self._reply(exc.status, {"error": str(exc), **exc.extra})
         except (TypeError, ValueError, KeyError) as exc:
             self._reply(400, {"error": f"bad request: {type(exc).__name__}: {exc}"})
         except Exception as exc:  # pragma: no cover - defensive

@@ -23,7 +23,7 @@ from typing import Optional
 
 from repro import io as repro_io
 from repro.core.ranking import OBJECTIVES, rank_schemas
-from repro.serve.jobs import Job, JobManager
+from repro.serve.jobs import Job, JobFinishedError, JobManager
 from repro.serve.registry import DatasetRegistry
 from repro.serve.session import SessionCache
 
@@ -32,11 +32,17 @@ DEFAULT_MAX_REQUEST_SECONDS = 300.0
 
 
 class ServiceError(Exception):
-    """A client-visible request error with an HTTP-ish status code."""
+    """A client-visible request error with an HTTP-ish status code.
 
-    def __init__(self, message: str, status: int = 400):
+    ``extra`` keys are merged into the JSON error envelope next to
+    ``error``, so callers can react structurally (e.g. ``code``,
+    ``job_id``, ``job_status``) instead of parsing the message.
+    """
+
+    def __init__(self, message: str, status: int = 400, **extra):
         super().__init__(message)
         self.status = status
+        self.extra = extra
 
 
 class MiningService:
@@ -198,6 +204,70 @@ class MiningService:
 
         return self.jobs.submit("profile", run, request=payload)
 
+    def submit_append(self, payload: dict, dataset_id: Optional[str] = None) -> Job:
+        """Append rows to a dataset as a new version, re-mine, and diff.
+
+        The child version is registered synchronously (chained lineage
+        fingerprint, see :meth:`DatasetRegistry.append_rows`); the job then
+        advances the warm session through delta maintenance (or starts a
+        cold one), re-mines at ``eps`` under the usual request budget, and
+        reports the result **diff** against the parent session's cached
+        result at the same ``eps`` — what the new rows added, dropped and
+        kept among the MVDs and minimal separators.
+        """
+        if not isinstance(payload, dict):
+            raise ServiceError("request body must be a JSON object")
+        dataset_id = dataset_id or payload.get("dataset_id")
+        if not dataset_id:
+            raise ServiceError("'dataset_id' is required")
+        rows = payload.get("rows")
+        if not isinstance(rows, list) or not rows:
+            raise ServiceError("'rows' must be a non-empty list of rows")
+        try:
+            child, parent, delta = self.registry.append_rows(
+                dataset_id, rows, name=payload.get("name", "")
+            )
+        except LookupError as exc:
+            raise ServiceError(str(exc), status=404, code="unknown_dataset") from None
+        eps = self._eps(payload, default=0.0)
+        budget_s = self._budget_seconds(payload)
+        config = self._session_config(payload)
+        columns = child.relation.columns
+
+        def run(job: Job) -> dict:
+            from repro.delta.diffing import diff_miner_results
+
+            session, warm, stats = self.sessions.advance(
+                parent.dataset_id, child.dataset_id, child.relation, delta, **config
+            )
+            try:
+                with session.lock:
+                    previous = session.maimon.previous_mvds(eps)
+                    result = session.maimon.mine_mvds(eps, budget=job.budget(budget_s))
+                result_dict = repro_io.miner_result_to_dict(result, columns)
+                previous_dict = (
+                    repro_io.miner_result_to_dict(previous, columns)
+                    if previous is not None
+                    else None
+                )
+                return {
+                    "dataset_id": child.dataset_id,
+                    "parent_id": parent.dataset_id,
+                    "rows": child.relation.n_rows,
+                    "delta": repro_io.delta_to_dict(delta, columns),
+                    "advance": {**stats, "warm_session": warm},
+                    "result": result_dict,
+                    "diff": (
+                        diff_miner_results(previous_dict, result_dict)
+                        if previous_dict is not None
+                        else None
+                    ),
+                }
+            finally:
+                self.sessions.release(session)
+
+        return self.jobs.submit("append", run, request=payload)
+
     # ------------------------------------------------------------------ #
     # Jobs / health
     # ------------------------------------------------------------------ #
@@ -206,14 +276,33 @@ class MiningService:
         try:
             job = self.jobs.wait(job_id, wait) if wait else self.jobs.get(job_id)
         except LookupError as exc:
-            raise ServiceError(str(exc), status=404) from None
+            raise ServiceError(
+                str(exc), status=404, code="unknown_job", job_id=job_id
+            ) from None
         return job.to_dict()
 
     def cancel(self, job_id: str) -> dict:
+        """Cancel a job; finished and unknown jobs get structured errors.
+
+        Cancelling a job that already finished is a client-state conflict
+        (409), not a silent success that would mislabel a complete result
+        as cancelled; the envelope carries the job's actual status so
+        clients can resolve the race structurally.
+        """
         try:
             return self.jobs.cancel(job_id).to_dict()
         except LookupError as exc:
-            raise ServiceError(str(exc), status=404) from None
+            raise ServiceError(
+                str(exc), status=404, code="unknown_job", job_id=job_id
+            ) from None
+        except JobFinishedError as exc:
+            raise ServiceError(
+                str(exc),
+                status=409,
+                code="job_finished",
+                job_id=job_id,
+                job_status=exc.job.status,
+            ) from None
 
     def health(self) -> dict:
         return {

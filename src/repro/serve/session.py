@@ -74,10 +74,14 @@ class SessionCache:
         session is busy).
     """
 
-    def __init__(self, capacity: int = 8):
+    def __init__(self, capacity: int = 8, track_deltas: bool = True):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
+        #: Serving sessions are long-lived by definition, so they record
+        #: delta-maintenance state by default: appends then *patch* the
+        #: warm oracle (see :meth:`advance`) instead of discarding it.
+        self.track_deltas = track_deltas
         self._sessions: "OrderedDict[SessionKey, Session]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
@@ -87,6 +91,17 @@ class SessionCache:
     # ------------------------------------------------------------------ #
     # Leasing
     # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _session_key(
+        dataset_id: str,
+        engine: str = "pli",
+        workers: int = 1,
+        persist: bool = False,
+        cache_dir: Optional[str] = None,
+    ) -> SessionKey:
+        """The one place a :data:`SessionKey` (and its defaults) is built."""
+        return (dataset_id, engine, int(workers), bool(persist), cache_dir)
 
     def acquire(
         self,
@@ -106,7 +121,10 @@ class SessionCache:
         this keeps a concurrent burst of first requests from racing to
         create duplicate sessions.
         """
-        key: SessionKey = (dataset_id, engine, int(workers), bool(persist), cache_dir)
+        key = self._session_key(
+            dataset_id, engine=engine, workers=workers, persist=persist,
+            cache_dir=cache_dir,
+        )
         with self._lock:
             session = self._sessions.get(key)
             if session is None:
@@ -117,6 +135,7 @@ class SessionCache:
                     workers=workers,
                     persist=persist,
                     cache_dir=cache_dir,
+                    track_deltas=self.track_deltas,
                 )
                 session = Session(key, relation, maimon)
                 self._sessions[key] = session
@@ -133,8 +152,75 @@ class SessionCache:
         with self._lock:
             session._refs = max(0, session._refs - 1)
             session.requests += 1
+            # A session can be unlinked while leased (displaced by a warm
+            # advance onto its key); the last lease to return closes it —
+            # the evictor only sees linked sessions.
+            unlinked = (
+                session._refs == 0
+                and self._sessions.get(session.key) is not session
+            )
             evicted = self._evict_locked()
+        if unlinked:
+            session.close()
         self._close_evicted(evicted)
+
+    def advance(
+        self,
+        parent_dataset_id: str,
+        child_dataset_id: str,
+        relation: Relation,
+        delta,
+        **config,
+    ) -> Tuple[Session, bool, dict]:
+        """Carry the warm parent session over to an appended version.
+
+        If an *idle* warm session exists for ``(parent dataset, config)``,
+        it is unlinked from the parent key, its ``Maimon`` is advanced
+        through delta maintenance (under the session lock), and it is
+        re-inserted under the child key — the memo, engine and pool state
+        survive the append.  A parent session that is currently leased (a
+        request is mid-flight on the old version) is left alone and the
+        child starts cold; the old version keeps serving consistently.
+
+        Returns ``(session, warm, stats)`` with the session *pinned*
+        (callers must :meth:`release` it) and ``warm`` telling whether the
+        delta path was taken.
+        """
+        key = self._session_key(parent_dataset_id, **config)
+        child_key: SessionKey = (child_dataset_id,) + key[1:]
+        with self._lock:
+            session = self._sessions.get(key)
+            if (
+                child_key in self._sessions  # a warm child already exists
+                or session is None
+                or session._refs > 0
+                or session.lock.locked()
+            ):
+                session = None
+            else:
+                del self._sessions[key]
+        if session is None:
+            return self.acquire(child_dataset_id, relation, **config), False, {}
+        with session.lock:
+            stats = session.maimon.advance(relation, delta)
+        session.key = child_key
+        session.dataset_id = child_dataset_id
+        session.relation = relation
+        with self._lock:
+            # A racing acquire() may have built a cold child session since
+            # the check above; the advanced warm session wins the slot and
+            # the displaced one is closed once idle (never mid-request).
+            displaced = self._sessions.pop(child_key, None)
+            self._sessions[child_key] = session
+            self._sessions.move_to_end(child_key)
+            session._refs += 1
+            session.last_used = time.time()
+            self.hits += 1
+            evicted = self._evict_locked()
+        if displaced is not None and displaced._refs == 0:
+            displaced.close()
+        self._close_evicted(evicted)
+        return session, True, stats
 
     @contextmanager
     def lease(self, dataset_id: str, relation: Relation, **config) -> Iterator[Session]:

@@ -132,6 +132,35 @@ class TestBugfixRegressions:
         assert data["fds"]
 
 
+class TestDiffCommand:
+    def _mine_artefact(self, csv_path, tmp_path, name):
+        out = str(tmp_path / name)
+        assert main(["mine", csv_path, "--eps", "0.0", "--no-persist",
+                     "--json", out]) == 0
+        return out
+
+    def test_identical_artefacts_exit_zero(self, fig1_csv, tmp_path, capsys):
+        a = self._mine_artefact(fig1_csv, tmp_path, "a.json")
+        assert main(["diff", a, a]) == 0
+        out = capsys.readouterr().out
+        assert "mvds: +0 -0" in out
+
+    def test_changed_artefacts_exit_one(self, fig1_csv, tmp_path, capsys):
+        from repro.data.generators import paper_running_example
+        from repro.data.loaders import to_csv
+
+        red_csv = str(tmp_path / "fig1red.csv")
+        to_csv(paper_running_example(with_red_tuple=True), red_csv)
+        a = self._mine_artefact(fig1_csv, tmp_path, "a.json")
+        b = self._mine_artefact(red_csv, tmp_path, "b.json")
+        diff_out = str(tmp_path / "diff.json")
+        assert main(["diff", a, b, "--json", diff_out]) == 1
+        out = capsys.readouterr().out
+        assert "- mvd" in out or "+ mvd" in out
+        diff = json.loads(open(diff_out).read())
+        assert diff["kind"] == "mine" and diff["changed"]
+
+
 class TestServeParser:
     def test_serve_defaults(self):
         args = build_parser().parse_args(["serve"])

@@ -2,8 +2,9 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
-from repro.data.relation import Relation, _factorize
+from repro.data.relation import Relation, _factorize, _factorize_object
 from tests.conftest import random_relation
 
 
@@ -21,6 +22,65 @@ class TestFactorize:
     def test_mixed_hashables(self):
         codes, domain = _factorize([1, "1", 1, (2,)])
         assert list(codes) == [0, 1, 0, 2]
+
+
+class TestFactorizeVectorizedAgreement:
+    """The np.unique fast path must agree with the reference dict walk.
+
+    Agreement means identical codes AND identical domains — values *and*
+    their Python types — so decoded relations are indistinguishable
+    whichever path an input takes (ndarray/numeric inputs vectorise;
+    strings, mixed and otherwise unrepresentable inputs fall back).
+    """
+
+    def _assert_agree(self, values):
+        codes, domain = _factorize(values)
+        ref_codes, ref_domain = _factorize_object(values)
+        assert list(codes) == list(ref_codes)
+        assert domain == ref_domain
+        assert [type(v) for v in domain] == [type(v) for v in ref_domain]
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.text(max_size=4)))
+    def test_strings(self, values):
+        self._assert_agree(values)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(-(2**62), 2**62)))
+    def test_ints(self, values):
+        self._assert_agree(values)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.floats(allow_nan=False)))
+    def test_floats(self, values):
+        self._assert_agree(values)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.one_of(st.text(max_size=3), st.integers(0, 9),
+                              st.booleans())))
+    def test_mixed_type_columns_fall_back(self, values):
+        self._assert_agree(values)
+
+    def test_huge_ints_fall_back(self):
+        self._assert_agree([10**30, 1, 10**30, 2])
+
+    def test_nan_falls_back_to_identity_semantics(self):
+        nan = float("nan")
+        codes, domain = _factorize([nan, 1.0, nan])
+        # Same NaN object: dict semantics give it one code.
+        assert list(codes) == [0, 1, 0]
+
+    def test_bool_vs_int_not_coerced(self):
+        # numpy would collapse True and 1; the dict walk also treats them
+        # equal (hash-equal) but keeps the first-seen *object* in the
+        # domain — the fallback must preserve that.
+        self._assert_agree([True, 1, 0, False])
+
+    def test_ndarray_input_uses_fast_path(self):
+        arr = np.array([3, 1, 3, 2])
+        codes, domain = _factorize(arr)
+        assert list(codes) == [0, 1, 0, 2]
+        assert domain == [3, 1, 2]
 
 
 class TestConstruction:
