@@ -13,8 +13,19 @@ Quickstart::
     mvds = maimon.mine_mvds(eps=0.01)
     for ds in maimon.discover(eps=0.01, limit=10):
         print(ds.format(r.columns))
+
+Or declaratively, through the request contract every front end (CLI,
+HTTP serving, config files) shares — see :mod:`repro.api`::
+
+    from repro import api
+
+    result = api.run(api.TaskRequest(
+        task="mine", spec=api.MineSpec(eps=0.01),
+        data=api.DataSpec(csv="data.csv"),
+    ))
 """
 
+from repro import api
 from repro.common import TOL
 from repro.data.relation import Relation
 from repro.data.loaders import from_csv, from_rows, from_columns
@@ -69,6 +80,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "TOL",
+    "api",
     "Relation",
     "from_csv",
     "from_rows",

@@ -1,0 +1,210 @@
+"""Task envelopes: one serializable request, one provenance-stamped result.
+
+A :class:`TaskRequest` names a task ("mine", "schemas", "profile"), its
+task spec, the :class:`~repro.api.specs.EngineSpec` to run it under and —
+optionally — a :class:`~repro.api.specs.DataSpec` naming the input.  Every
+transport compiles into this envelope: the CLI from argparse namespaces
+(and ``--config`` files), the HTTP layer from JSON bodies, the library
+from plain constructor calls.
+
+A :class:`TaskResult` wraps the artefact the task produced (built by the
+:mod:`repro.io` payload builders) together with timing, the oracle's
+counters, the resolved request and the relation fingerprint.  The artefact
+itself is *stamped* with the request provenance (:func:`stamp_payload`):
+``payload["spec"]`` carries the resolved engine+task spec and
+``payload["fingerprint"]`` the relation fingerprint, so any saved artefact
+answers "what exactly produced this?" and ``repro diff`` can flag
+apples-to-oranges comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Type
+
+from repro.api.specs import (
+    DataSpec,
+    EngineSpec,
+    MineSpec,
+    ProfileSpec,
+    SchemasSpec,
+    Spec,
+    SpecError,
+)
+
+#: Task name -> its spec class; the one registry transports dispatch on.
+TASK_SPECS: Dict[str, Type[Spec]] = {
+    "mine": MineSpec,
+    "schemas": SchemasSpec,
+    "profile": ProfileSpec,
+}
+
+#: Keys :func:`stamp_payload` adds to artefacts (provenance, not results).
+PROVENANCE_KEYS = ("spec", "fingerprint")
+
+
+@dataclass(frozen=True)
+class TaskRequest:
+    """One declarative mining request: task + spec + engine (+ data)."""
+
+    task: str
+    spec: Spec
+    engine: EngineSpec = field(default_factory=EngineSpec)
+    data: Optional[DataSpec] = None
+
+    def validate(self) -> "TaskRequest":
+        if self.task not in TASK_SPECS:
+            raise SpecError(
+                f"unknown task {self.task!r}; known: "
+                + ", ".join(sorted(TASK_SPECS)), field="task",
+            )
+        expected = TASK_SPECS[self.task]
+        if type(self.spec) is not expected:
+            raise SpecError(
+                f"task {self.task!r} takes a {expected.__name__}, "
+                f"got {type(self.spec).__name__}", field="spec",
+            )
+        self.spec.validate()
+        self.engine.validate()
+        if self.data is not None:
+            self.data.validate()
+        return self
+
+    def to_dict(self) -> dict:
+        out = {
+            "task": self.task,
+            "spec": self.spec.to_dict(),
+            "engine": self.engine.to_dict(),
+        }
+        if self.data is not None:
+            out["data"] = self.data.to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TaskRequest":
+        if not isinstance(data, dict):
+            raise SpecError("a task request must be a JSON object")
+        task = data.get("task")
+        if task not in TASK_SPECS:
+            known = ", ".join(sorted(TASK_SPECS))
+            raise SpecError(
+                f"unknown task {task!r}; known: {known}", field="task"
+            )
+        unknown = sorted(set(data) - {"task", "spec", "engine", "data"})
+        if unknown:
+            raise SpecError(
+                f"unknown field(s) for a task request: {', '.join(unknown)}; "
+                f"known: task, spec, engine, data", field=unknown[0],
+            )
+        spec_cls = TASK_SPECS[task]
+        return cls(
+            task=task,
+            spec=spec_cls.from_dict(data.get("spec", {})),
+            engine=EngineSpec.from_dict(data.get("engine", {})),
+            data=(
+                DataSpec.from_dict(data["data"]) if data.get("data") is not None
+                else None
+            ),
+        ).validate()
+
+    def replace(self, **changes) -> "TaskRequest":
+        import dataclasses
+
+        return dataclasses.replace(self, **changes)
+
+    def provenance(self) -> dict:
+        """What gets embedded into result artefacts.
+
+        Transport-independent by construction: the data source is *not*
+        included (a CSV path, an upload and a registry reference naming
+        the same bytes must stamp identically) — the relation fingerprint
+        stands in for it.
+        """
+        return {
+            "task": self.task,
+            "engine": self.engine.provenance(),
+            self.task: self.spec.provenance(),
+        }
+
+    def http_payload(self, dataset_id: Optional[str] = None) -> dict:
+        """The flat JSON body the serve transport expects for this request.
+
+        Inverse of the serving layer's request parsing: POSTing this body
+        to ``/<task>`` runs the same spec server-side (``ServeClient.
+        run_request`` does exactly that).
+        """
+        body = dict(self.spec.to_dict())
+        if self.task == "schemas":
+            body["no_spurious"] = not body.pop("spurious")
+        # Engine knobs minus the server-owned ones — a request carrying
+        # cache_dir or track_deltas is rejected by EngineSpec.from_request.
+        engine = self.engine.to_dict()
+        engine.pop("cache_dir")
+        engine.pop("track_deltas")
+        body.update(engine)
+        if dataset_id is not None:
+            body["dataset_id"] = dataset_id
+        return {k: v for k, v in body.items() if v is not None}
+
+
+@dataclass
+class TaskResult:
+    """A finished task: the stamped artefact plus execution metadata.
+
+    ``payload`` is exactly what ``--json`` writes and what the serve
+    layer returns in a job's ``result`` field.  ``raw`` carries the
+    in-memory result object (a ``MinerResult``, ranked schemas, ...) for
+    same-process callers; it is intentionally absent from
+    :meth:`to_dict`.
+    """
+
+    task: str
+    request: TaskRequest
+    fingerprint: str
+    payload: dict
+    elapsed_s: float = 0.0
+    counters: dict = field(default_factory=dict)
+    raw: object = None
+
+    def to_dict(self) -> dict:
+        return {
+            "task": self.task,
+            "request": self.request.to_dict(),
+            "fingerprint": self.fingerprint,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "counters": dict(self.counters),
+            "payload": self.payload,
+        }
+
+
+def stamp_payload(payload: dict, request: TaskRequest, fingerprint: str) -> dict:
+    """Embed the resolved request + relation fingerprint into an artefact.
+
+    Mutates and returns ``payload``.  Applied by every producer (library
+    runner, CLI ``--json``, serve responses), so identical specs over
+    identical data yield byte-identical artefacts whatever the transport.
+
+    ``fingerprint`` is the producer's identity for the input relation:
+    the content fingerprint (:func:`repro.exec.persist.
+    relation_fingerprint`) for direct runs and uploads — registered
+    datasets are keyed by exactly that hash, so CLI and serve agree byte
+    for byte — and the *chained lineage* fingerprint for appended serve
+    versions (``parent id + delta digest``; :mod:`repro.delta` derives
+    it in O(k) precisely to avoid re-hashing O(N) retained rows on the
+    warm append path).  Diffing a served evolved artefact against a
+    cold CLI run over the equivalent concatenated CSV therefore reports
+    a fingerprint mismatch: the inputs reached their producers through
+    genuinely different histories.
+    """
+    payload["spec"] = request.provenance()
+    payload["fingerprint"] = fingerprint
+    return payload
+
+
+def strip_provenance(payload: dict) -> dict:
+    """A copy of an artefact without the stamped provenance keys.
+
+    For comparisons that only care about mined content (and for diffing
+    artefacts produced before stamping existed).
+    """
+    return {k: v for k, v in payload.items() if k not in PROVENANCE_KEYS}

@@ -1,0 +1,500 @@
+"""Typed, frozen request specs — the one declarative contract of the system.
+
+Every front door of the pipeline — the library (:class:`~repro.core.maimon.
+Maimon` / :func:`~repro.entropy.oracle.make_oracle`), the one-shot CLI, the
+HTTP serving layer and the bench harnesses — used to re-declare the same
+knobs (engine, workers, persist, eps, budget, top, objective, ...) with
+subtly different validation.  This module is now the single place those
+knobs are *defined* and *validated*:
+
+* :class:`EngineSpec` — how entropies are computed (engine arm, block
+  size, worker pool, persistent cache, delta tracking);
+* :class:`DataSpec`   — where the relation comes from (a CSV path or a
+  built-in Table 2 surrogate plus scale/row cap);
+* :class:`MineSpec` / :class:`SchemasSpec` / :class:`ProfileSpec` /
+  :class:`DiffSpec` — per-task parameters.
+
+Every spec is a frozen dataclass with ``validate()`` (raises
+:class:`SpecError` with a message naming the offending field),
+``to_dict()`` / ``from_dict()`` (exact round-trip, unknown keys rejected)
+and a stable JSON form via ``to_json()`` / ``from_json()``.  Transports
+deserialize into these specs and compile them down to the same library
+calls, so a CLI invocation, an HTTP body and a config file that carry the
+same spec produce identical results by construction (see
+:mod:`repro.api.tasks`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Optional, Type, TypeVar
+
+#: The entropy engine arms ``make_oracle`` knows how to build.
+ENGINES = ("pli", "naive", "sql")
+
+S = TypeVar("S", bound="Spec")
+
+
+class SpecError(ValueError):
+    """A request spec failed validation or deserialisation.
+
+    Subclasses :class:`ValueError` so pre-spec call sites that caught
+    ``ValueError`` from ad-hoc validation keep working.  ``field`` names
+    the offending knob when one is identifiable, so transports can build
+    structured error envelopes.
+    """
+
+    def __init__(self, message: str, field: Optional[str] = None):
+        super().__init__(message)
+        self.field = field
+
+
+def _require(condition: bool, message: str, field: Optional[str] = None) -> None:
+    if not condition:
+        raise SpecError(message, field=field)
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _is_int(value) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+@dataclass(frozen=True)
+class Spec:
+    """Base class: dict/JSON round-trip plus strict field handling."""
+
+    def validate(self: S) -> S:
+        """Check every field; returns ``self`` so calls chain."""
+        return self
+
+    def to_dict(self) -> dict:
+        """Plain-dict form with every field present (stable key set)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls: Type[S], data: dict) -> S:
+        """Rebuild a spec from :meth:`to_dict` output (exact round-trip).
+
+        Missing keys take the spec's defaults; unknown keys are an error,
+        not silently dropped — a typoed knob in a config file must not
+        turn into a default-valued run.
+        """
+        if not isinstance(data, dict):
+            raise SpecError(f"{cls.__name__} expects a JSON object, "
+                            f"got {type(data).__name__}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SpecError(
+                f"unknown field(s) for {cls.__name__}: {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}",
+                field=unknown[0],
+            )
+        return cls(**data)
+
+    def provenance(self) -> dict:
+        """The fields embedded in result artefacts (see ``stamp_payload``).
+
+        Defaults to every field; specs override to drop knobs that cannot
+        affect the artefact's content, so identical results never stamp
+        (and ``repro diff``-warn) differently.
+        """
+        return self.to_dict()
+
+    def to_json(self) -> str:
+        """Stable JSON form (sorted keys, no whitespace surprises)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls: Type[S], text: str) -> S:
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise SpecError(f"{cls.__name__}: invalid JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    def replace(self: S, **changes) -> S:
+        return dataclasses.replace(self, **changes)
+
+
+# --------------------------------------------------------------------- #
+# Engine
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class EngineSpec(Spec):
+    """How entropies are computed: the knobs behind ``make_oracle``.
+
+    Fields
+    ------
+    engine:
+        ``"pli"`` (default), ``"naive"`` or ``"sql"`` — see
+        :func:`repro.entropy.oracle.make_oracle`.
+    block_size:
+        PLI/SQL block-cache parameter.
+    workers:
+        Entropy worker processes; ``> 1`` requires the PLI engine (the
+        pool always runs PLI engines, so pairing it with another arm
+        would silently change the engine under the caller).
+    persist, cache_dir:
+        On-disk entropy cache; ``cache_dir`` is only meaningful with
+        ``persist`` on, so setting it with ``persist=False`` is an error
+        instead of a silently dead flag.
+    track_deltas:
+        Record delta-maintenance state so appends patch the warm oracle
+        (see :mod:`repro.delta`).  A session-lifetime knob: it never
+        changes results, so it is excluded from result provenance.
+    """
+
+    engine: str = "pli"
+    block_size: int = 10
+    workers: int = 1
+    persist: bool = False
+    cache_dir: Optional[str] = None
+    track_deltas: bool = False
+
+    def validate(self) -> "EngineSpec":
+        _require(self.engine in ENGINES,
+                 f"unknown engine {self.engine!r}; expected "
+                 + ", ".join(repr(e) for e in ENGINES), field="engine")
+        _require(_is_int(self.block_size) and self.block_size >= 1,
+                 "'block_size' must be an integer >= 1", field="block_size")
+        _require(_is_int(self.workers) and self.workers >= 1,
+                 "'workers' must be an integer >= 1", field="workers")
+        _require(self.workers == 1 or self.engine == "pli",
+                 f"'workers' > 1 runs PLI engines on the worker pool and "
+                 f"cannot be combined with engine {self.engine!r}; use "
+                 f"engine 'pli' or workers=1", field="workers")
+        _require(isinstance(self.persist, bool),
+                 "'persist' must be a boolean", field="persist")
+        _require(self.cache_dir is None or isinstance(self.cache_dir, str),
+                 "'cache_dir' must be a string path or null", field="cache_dir")
+        _require(self.cache_dir is None or self.persist,
+                 "'cache_dir' has no effect with the persistent entropy "
+                 "cache disabled; drop it or enable persist", field="cache_dir")
+        _require(isinstance(self.track_deltas, bool),
+                 "'track_deltas' must be a boolean", field="track_deltas")
+        return self
+
+    @classmethod
+    def from_request(cls, payload: dict, base: "EngineSpec" = None) -> "EngineSpec":
+        """Build from a loosely-typed transport payload (HTTP JSON body).
+
+        Known engine keys are read from ``payload`` with ``base`` (the
+        server's defaults) filling the gaps; numeric strings are coerced
+        with per-field errors.  ``cache_dir`` is server-owned: a remote
+        client must never direct where the service writes cache files, so
+        a payload that carries one is rejected rather than honoured or
+        silently dropped.  The result is validated.
+        """
+        base = base if base is not None else cls()
+        if "cache_dir" in payload:
+            raise SpecError(
+                "'cache_dir' is a server-side setting; start the service "
+                "with --cache-dir instead of sending it per request",
+                field="cache_dir",
+            )
+        if "track_deltas" in payload:
+            raise SpecError(
+                "'track_deltas' is a server-side setting (warm sessions "
+                "always record delta state); drop it from the request",
+                field="track_deltas",
+            )
+        engine = payload.get("engine", base.engine)
+        workers = _int_or_error(payload, "workers", base.workers,
+                                "'workers' must be an integer")
+        block_size = _int_or_error(payload, "block_size", base.block_size,
+                                   "'block_size' must be an integer")
+        persist = payload.get("persist", base.persist)
+        if not isinstance(persist, bool):
+            # No bool() coercion: bool("false") is True, which would
+            # silently *enable* server disk writes on a request that
+            # asked to disable them.
+            raise SpecError("'persist' must be a boolean (JSON true/false)",
+                            field="persist")
+        return cls(
+            engine=engine,
+            block_size=block_size,
+            workers=workers,
+            persist=persist,
+            # Only meaningful when this request actually persists (and
+            # required to be None otherwise by validate()).
+            cache_dir=base.cache_dir if persist else None,
+            track_deltas=base.track_deltas,
+        ).validate()
+
+    def provenance(self) -> dict:
+        """The fields worth embedding in result artefacts.
+
+        Only knobs that can shape the artefact's *content*:
+
+        * ``track_deltas`` is excluded — a holder-lifetime optimisation
+          (bit-identical results by design), so one-shot and warm-serving
+          runs of the same request stay byte-identical;
+        * ``persist`` / ``cache_dir`` are excluded — pure caching knobs
+          (whether and where entropies are cached, never their values);
+          stamping them would make the CLI's persist-by-default artefacts
+          diff-warn against default library/serve runs of identical data.
+        """
+        out = self.to_dict()
+        out.pop("track_deltas")
+        out.pop("persist")
+        out.pop("cache_dir")
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Compilation down to the library
+    # ------------------------------------------------------------------ #
+
+    def make_oracle(self, relation):
+        """Build the entropy oracle this spec describes.
+
+        Goes through :func:`repro.entropy.oracle.make_oracle` *by module
+        attribute* so instrumentation (tests, tracing) that patches that
+        name observes spec-built oracles too.
+        """
+        from repro.entropy import oracle as oracle_module
+
+        self.validate()
+        return oracle_module.make_oracle(
+            relation,
+            engine=self.engine,
+            block_size=self.block_size,
+            workers=self.workers,
+            persist=self.persist,
+            cache_dir=self.cache_dir,
+        )
+
+    def make_maimon(self, relation, optimized: bool = True,
+                    track_deltas: Optional[bool] = None):
+        """Build a :class:`~repro.core.maimon.Maimon` from this spec.
+
+        ``track_deltas`` overrides the spec field (the serving layer turns
+        it on for every warm session regardless of the request).
+        """
+        from repro.core.maimon import Maimon
+
+        spec = self if track_deltas is None else self.replace(
+            track_deltas=track_deltas
+        )
+        return Maimon(relation, optimized=optimized, spec=spec.validate())
+
+
+# --------------------------------------------------------------------- #
+# Data
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class DataSpec(Spec):
+    """Where the input relation comes from: a CSV file or a surrogate.
+
+    Exactly one of ``csv`` (a file path) or ``dataset`` (a built-in
+    Table 2 surrogate name) must be set.  ``scale`` applies to surrogate
+    row counts; ``max_rows`` caps either source.
+    """
+
+    csv: Optional[str] = None
+    dataset: Optional[str] = None
+    scale: float = 0.01
+    max_rows: Optional[int] = None
+
+    def validate(self) -> "DataSpec":
+        _require((self.csv is None) != (self.dataset is None),
+                 "provide exactly one of 'csv' (a file path) or 'dataset' "
+                 "(a built-in surrogate name)", field="csv")
+        _require(self.csv is None or isinstance(self.csv, str),
+                 "'csv' must be a file path string", field="csv")
+        _require(self.dataset is None or isinstance(self.dataset, str),
+                 "'dataset' must be a surrogate name string", field="dataset")
+        _require(_is_number(self.scale) and self.scale > 0,
+                 "'scale' must be a number > 0", field="scale")
+        _require(self.max_rows is None
+                 or (_is_int(self.max_rows) and self.max_rows >= 1),
+                 "'max_rows' must be an integer >= 1 or null", field="max_rows")
+        return self
+
+    def load(self):
+        """Resolve this spec to a :class:`~repro.data.relation.Relation`."""
+        self.validate()
+        if self.dataset is not None:
+            from repro.data import datasets
+
+            return datasets.load(
+                self.dataset, scale=self.scale, max_rows=self.max_rows
+            )
+        from repro.data.loaders import from_csv
+
+        return from_csv(self.csv, max_rows=self.max_rows)
+
+
+# --------------------------------------------------------------------- #
+# Task specs
+# --------------------------------------------------------------------- #
+
+def _check_eps(eps) -> None:
+    _require(_is_number(eps), "'eps' must be a number", field="eps")
+    _require(eps >= 0, "'eps' must be >= 0", field="eps")
+
+
+def _check_budget(budget) -> None:
+    _require(budget is None or _is_number(budget),
+             "'budget' must be a number of seconds or null", field="budget")
+    _require(budget is None or budget >= 0,
+             "'budget' must be >= 0", field="budget")
+
+
+def _check_top(top) -> None:
+    _require(_is_int(top) and top >= 0,
+             "'top' must be an integer >= 0", field="top")
+
+
+def _float_or_error(payload: dict, key: str, default, message: str):
+    value = payload.get(key, default)
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        # float(True) == 1.0 would silently turn a mistyped flag into a
+        # drastically different threshold.
+        raise SpecError(message, field=key)
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise SpecError(message, field=key) from None
+
+
+def _int_or_error(payload: dict, key: str, default, message: str):
+    value = payload.get(key, default)
+    if isinstance(value, bool):
+        raise SpecError(message, field=key)
+    try:
+        coerced = int(value)
+    except (TypeError, ValueError):
+        raise SpecError(message, field=key) from None
+    if isinstance(value, float) and value != coerced:
+        # int(2.9) == 2 would silently truncate, not validate.
+        raise SpecError(message, field=key)
+    return coerced
+
+
+@dataclass(frozen=True)
+class MineSpec(Spec):
+    """Phase 1: mine the full ε-MVDs with minimal separators.
+
+    ``budget=None`` means unlimited; an explicit ``0`` means *no time at
+    all* (an empty, truncated result) — the CLI and serve layers share
+    this reading.  ``top`` only caps human-facing listings; artefacts
+    always carry the full result.
+    """
+
+    eps: float = 0.0
+    budget: Optional[float] = None
+    top: int = 20
+
+    def validate(self) -> "MineSpec":
+        _check_eps(self.eps)
+        _check_budget(self.budget)
+        _check_top(self.top)
+        return self
+
+    def provenance(self) -> dict:
+        """``top`` is a listing cap — the artefact always carries the
+        full result — so it is not part of what produced the content."""
+        out = self.to_dict()
+        out.pop("top")
+        return out
+
+    @classmethod
+    def from_request(cls, payload: dict) -> "MineSpec":
+        base = cls()
+        return cls(
+            eps=_float_or_error(payload, "eps", base.eps,
+                                "'eps' must be a number"),
+            budget=_float_or_error(payload, "budget", base.budget,
+                                   "'budget' must be a number of seconds"),
+            top=_int_or_error(payload, "top", base.top,
+                              "'top' must be an integer"),
+        ).validate()
+
+
+@dataclass(frozen=True)
+class SchemasSpec(Spec):
+    """Both phases plus ranking: top-k approximate acyclic schemas."""
+
+    eps: float = 0.05
+    budget: Optional[float] = None
+    top: int = 10
+    objective: str = "balanced"
+    spurious: bool = True
+
+    def validate(self) -> "SchemasSpec":
+        _check_eps(self.eps)
+        _check_budget(self.budget)
+        _check_top(self.top)
+        from repro.core.ranking import OBJECTIVES
+
+        _require(self.objective in OBJECTIVES,
+                 f"unknown objective {self.objective!r}; known: "
+                 + ", ".join(sorted(OBJECTIVES)), field="objective")
+        _require(isinstance(self.spurious, bool),
+                 "'spurious' must be a boolean", field="spurious")
+        return self
+
+    @classmethod
+    def from_request(cls, payload: dict) -> "SchemasSpec":
+        base = cls()
+        spurious = not bool(payload.get("no_spurious", False))
+        if "spurious" in payload:
+            spurious = bool(payload["spurious"])
+        return cls(
+            eps=_float_or_error(payload, "eps", base.eps,
+                                "'eps' must be a number"),
+            budget=_float_or_error(payload, "budget", base.budget,
+                                   "'budget' must be a number of seconds"),
+            top=_int_or_error(payload, "top", base.top,
+                              "'top' must be an integer"),
+            objective=payload.get("objective", base.objective),
+            spurious=spurious,
+        ).validate()
+
+
+@dataclass(frozen=True)
+class ProfileSpec(Spec):
+    """Column entropies plus minimal exact FDs up to ``fd_lhs`` attributes."""
+
+    fd_lhs: int = 2
+    budget: Optional[float] = None
+
+    def validate(self) -> "ProfileSpec":
+        _require(_is_int(self.fd_lhs) and self.fd_lhs >= 1,
+                 "'fd_lhs' must be an integer >= 1", field="fd_lhs")
+        _check_budget(self.budget)
+        return self
+
+    @classmethod
+    def from_request(cls, payload: dict) -> "ProfileSpec":
+        base = cls()
+        return cls(
+            fd_lhs=_int_or_error(payload, "fd_lhs", base.fd_lhs,
+                                 "'fd_lhs' must be an integer"),
+            budget=_float_or_error(payload, "budget", base.budget,
+                                   "'budget' must be a number of seconds"),
+        ).validate()
+
+
+@dataclass(frozen=True)
+class DiffSpec(Spec):
+    """Diff two saved artefacts: listing cap and score tolerance."""
+
+    top: int = 20
+    tol: float = 1e-9
+
+    def validate(self) -> "DiffSpec":
+        _check_top(self.top)
+        _require(_is_number(self.tol) and self.tol >= 0,
+                 "'tol' must be a number >= 0", field="tol")
+        return self

@@ -17,13 +17,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.budget import SearchBudget
-from repro.core.maimon import Maimon
 from repro.core.miner import MVDMiner
 from repro.core.minsep import mine_all_min_seps
 from repro.core.fullmvd import get_full_mvds
 from repro.data import datasets
 from repro.data.relation import Relation
-from repro.entropy.oracle import make_oracle
+from repro.api.specs import EngineSpec
 from repro.quality.metrics import pareto_front
 
 
@@ -108,7 +107,7 @@ def run_nursery_sweep(
     Fig. 10 the pareto-optimal subset.  ``mvd_budget_s`` bounds phase 1 per
     threshold (the paper's timeout-then-enumerate mode, Section 4).
     """
-    maimon = Maimon(relation)
+    maimon = EngineSpec().make_maimon(relation)
     rows: List[Dict[str, object]] = []
     seen = set()
     for eps in thresholds:
@@ -157,7 +156,7 @@ def spurious_vs_j_buckets(
     mvd_budget_s: Optional[float] = 20.0,
 ) -> List[Dict[str, object]]:
     """Quantiles of spurious-tuple %% per J-measure bucket (one box each)."""
-    maimon = Maimon(relation)
+    maimon = EngineSpec().make_maimon(relation)
     samples: List[Tuple[float, float]] = []
     seen = set()
     for eps in thresholds:
@@ -232,7 +231,7 @@ def row_scalability(
         k = max(32, int(round(full.n_rows * frac)))
         sub = full.sample_rows(k, seed=seed)
         for eps in eps_values:
-            oracle = make_oracle(sub)
+            oracle = EngineSpec().make_oracle(sub)
             budget = SearchBudget(max_seconds=time_limit_s).start()
             t0 = time.perf_counter()
             seps = mine_all_min_seps(oracle, eps, budget=budget)
@@ -272,7 +271,7 @@ def column_scalability(
         cols = min(n_cols, spec.n_cols)
         relation = datasets.load(name, scale=1.0, max_rows=max_rows, max_cols=cols)
         for eps in eps_values:
-            oracle = make_oracle(relation)
+            oracle = EngineSpec().make_oracle(relation)
             budget = SearchBudget(max_seconds=time_limit_s).start()
             t0 = time.perf_counter()
             seps = mine_all_min_seps(oracle, eps, budget=budget)
@@ -325,7 +324,7 @@ def exec_scalability(
         sub = full.sample_rows(k, seed=seed)
         baseline = None  # the full pair -> separators map of the serial run
         for w in workers:
-            oracle = make_oracle(sub, workers=w)
+            oracle = EngineSpec(workers=w).make_oracle(sub)
             budget = SearchBudget(max_seconds=time_limit_s).start()
             t0 = time.perf_counter()
             seps = mine_all_min_seps(oracle, eps, budget=budget)
@@ -360,7 +359,7 @@ def exec_scalability(
         if persist_dir is not None:
             # Cold run fills the on-disk cache, warm run measures the skip.
             for attempt in ("persist_cold", "persist_warm"):
-                oracle = make_oracle(sub, persist=True, cache_dir=persist_dir)
+                oracle = EngineSpec(persist=True, cache_dir=persist_dir).make_oracle(sub)
                 budget = SearchBudget(max_seconds=time_limit_s).start()
                 t0 = time.perf_counter()
                 seps = mine_all_min_seps(oracle, eps, budget=budget)
@@ -455,7 +454,7 @@ def serve_benchmark(
     for _ in range(max(1, cold_runs)):
         t0 = time.perf_counter()
         fresh = datasets.load(name, scale=scale, max_rows=max_rows, max_cols=max_cols)
-        maimon = Maimon(fresh)
+        maimon = EngineSpec().make_maimon(fresh)
         maimon.mine_mvds(eps, budget=SearchBudget(max_seconds=budget_s))
         maimon.close()
         cold_times.append(time.perf_counter() - t0)
@@ -592,7 +591,7 @@ def delta_append_benchmark(
 
         base = Relation.from_rows(rows[:n], columns, name=full.name)
         t0 = time.perf_counter()
-        warm = Maimon(base, track_deltas=True)
+        warm = EngineSpec(track_deltas=True).make_maimon(base)
         warm.mine_mvds(eps)
         warm_setup_s = time.perf_counter() - t0
         warm_times: List[float] = []
@@ -616,7 +615,7 @@ def delta_append_benchmark(
             hi = n + (v + 1) * batch
             t0 = time.perf_counter()
             relation = Relation.from_rows(rows[:hi], columns, name=full.name)
-            cold = Maimon(relation)
+            cold = EngineSpec().make_maimon(relation)
             result = cold.mine_mvds(eps)
             cold_times.append(time.perf_counter() - t0)
             cold_evals.append(cold.counters()["evals"])
@@ -678,7 +677,7 @@ def quality_sweep(
     mvd_budget_s: Optional[float] = 20.0,
 ) -> List[Dict[str, object]]:
     """Per threshold: #schemes, max #relations, min width, min intWidth."""
-    maimon = Maimon(relation)
+    maimon = EngineSpec().make_maimon(relation)
     rows = []
     for eps in thresholds:
         budget = SearchBudget(max_seconds=schema_budget_s)  # lazy start: clock begins after phase 1
@@ -736,7 +735,7 @@ def full_mvd_rates(
     """
     rows = []
     for eps in thresholds:
-        oracle = make_oracle(relation)
+        oracle = EngineSpec().make_oracle(relation)
         seps_budget = SearchBudget(max_seconds=time_limit_s * 3).start()
         seps_by_pair = mine_all_min_seps(oracle, eps, budget=seps_budget)
         budget = SearchBudget(max_seconds=time_limit_s).start()

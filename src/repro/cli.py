@@ -20,10 +20,20 @@ All data commands take ``--workers N`` (parallel entropy evaluation over a
 process pool), ``--no-persist`` (disable the on-disk entropy cache) and
 ``--cache-dir`` (cache location); see :mod:`repro.exec`.
 
+Every data command compiles its argparse namespace into a
+:class:`repro.api.TaskRequest` — the same typed request contract the HTTP
+serving layer and the library use — and routes through
+:func:`repro.api.run`, so a CLI ``--json`` artefact, a served response and
+a library result for the same spec are byte-identical.  ``--dump-config``
+writes the compiled request as JSON instead of running it, and
+``--config job.json`` runs a previously dumped (or hand-written) request.
+
 Examples
 --------
     python -m repro mine data.csv --eps 0.05 --json out.json
     python -m repro schemas data.csv --eps 0.1 --top 5 --objective savings
+    python -m repro schemas data.csv --eps 0.1 --dump-config job.json
+    python -m repro schemas --config job.json
     python -m repro profile data.csv --workers 4
     python -m repro serve --port 8765
     python -m repro bench --dataset Image --workers 1 2 4
@@ -33,81 +43,173 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
+from repro import api
 from repro import io as repro_io
 from repro.bench.harness import Table
-from repro.core.budget import SearchBudget
-from repro.core.maimon import Maimon
-from repro.core.ranking import OBJECTIVES, rank_schemas
+from repro.core.ranking import OBJECTIVES
 from repro.data import datasets
-from repro.data.loaders import from_csv
 
 
-def _load(args) -> "Relation":
-    if args.dataset:
-        return datasets.load(args.dataset, scale=args.scale, max_rows=args.max_rows)
-    if not args.csv:
-        raise SystemExit("either a CSV path or --dataset is required")
-    return from_csv(args.csv, max_rows=args.max_rows)
+def _default(value, fallback):
+    """CLI default application: request flags parse as None = not given.
+
+    Keeping argparse defaults at ``None`` is what lets ``--config`` tell
+    "flag explicitly passed" apart from "default" and reject the
+    combination instead of silently ignoring the flag.
+    """
+    return fallback if value is None else value
 
 
-def _make_maimon(relation, args) -> Maimon:
-    return Maimon(
-        relation,
-        engine=args.engine,
-        workers=args.workers,
+def _engine_spec(args) -> api.EngineSpec:
+    return api.EngineSpec(
+        engine=_default(args.engine, "pli"),
+        workers=_default(args.workers, 1),
         persist=not args.no_persist,
         cache_dir=args.cache_dir,
     )
 
 
-def cmd_mine(args) -> int:
-    relation = _load(args)
-    print(f"{relation.name or 'input'}: {relation.n_rows} rows x {relation.n_cols} cols")
-    maimon = _make_maimon(relation, args)
+def _data_spec(args) -> api.DataSpec:
+    return api.DataSpec(
+        csv=args.csv,
+        dataset=args.dataset,
+        scale=_default(args.scale, 0.01),
+        max_rows=args.max_rows,
+    )
+
+
+#: Namespace entries that shape *output*, not the request — combinable
+#: with --config.  Everything else defaults to None/False, so any other
+#: non-default value means a request-shaping flag was explicitly passed.
+_DISPLAY_DESTS = frozenset({"command", "func", "config", "dump_config", "json"})
+
+
+def _flags_given(args) -> List[str]:
+    """Request-shaping flags the user explicitly passed (for --config).
+
+    Derived from the parsed namespace rather than a hand-kept flag list,
+    so a future request flag cannot silently escape the conflict check.
+    """
+    return sorted(
+        dest.replace("_", "-")
+        for dest, value in vars(args).items()
+        if dest not in _DISPLAY_DESTS and value is not None and value is not False
+    )
+
+
+def _compile_request(task: str, args, spec) -> api.TaskRequest:
+    """Argparse namespace -> TaskRequest (or load one from ``--config``).
+
+    Spec validation errors become clean ``SystemExit`` messages instead
+    of tracebacks — they are usage errors, not crashes.  ``--config``
+    *replaces* the request: combining it with request-shaping flags is
+    an error, not a silent override in either direction.
+    """
     try:
-        # `is not None`: an explicit --budget 0 means "no time at all"
-        # (empty truncated result), not "unlimited".
-        budget = SearchBudget(max_seconds=args.budget) if args.budget is not None else None
-        result = maimon.mine_mvds(args.eps, budget=budget)
-        print(result.summary())
-        for phi in result.mvds[: args.top]:
-            print(f"  {phi.format(relation.columns)}")
-        if len(result.mvds) > args.top:
-            print(f"  ... ({len(result.mvds) - args.top} more)")
-        if args.json:
-            repro_io.save_json(
-                repro_io.miner_result_to_dict(result, relation.columns), args.json
-            )
-            print(f"wrote {args.json}")
-    finally:
-        maimon.close()
+        if getattr(args, "config", None):
+            conflicting = _flags_given(args)
+            if conflicting:
+                raise SystemExit(
+                    "--config replaces the data/engine/task flags; remove: "
+                    + ", ".join(conflicting)
+                )
+            try:
+                data = repro_io.load_json(args.config)
+            except OSError as exc:
+                raise SystemExit(f"cannot read --config: {exc}") from None
+            except ValueError as exc:
+                raise SystemExit(
+                    f"--config {args.config} is not valid JSON: {exc}"
+                ) from None
+            request = api.TaskRequest.from_dict(data)
+            if request.task != task:
+                raise SystemExit(
+                    f"{args.config} is a {request.task!r} request; "
+                    f"run 'repro {request.task} --config {args.config}'"
+                )
+            return request
+        return api.TaskRequest(
+            task=task, spec=spec, engine=_engine_spec(args), data=_data_spec(args)
+        ).validate()
+    except api.SpecError as exc:
+        raise SystemExit(f"invalid request: {exc}") from None
+
+
+def _maybe_dump_config(args, request: api.TaskRequest) -> bool:
+    """Handle ``--dump-config``: write the compiled request, skip the run."""
+    path = getattr(args, "dump_config", None)
+    if not path:
+        return False
+    if path == "-":
+        print(json.dumps(request.to_dict(), indent=2, sort_keys=True))
+    else:
+        repro_io.save_json(request.to_dict(), path)
+        print(f"wrote {path}")
+    return True
+
+
+def _run(request: api.TaskRequest):
+    """Resolve the data spec, announce the input, execute the request."""
+    if request.data is None:
+        raise SystemExit(
+            "invalid request: the config carries no 'data' spec; add one "
+            "(a 'csv' path or a built-in 'dataset' name)"
+        )
+    relation = request.data.load()
+    print(f"{relation.name or 'input'}: {relation.n_rows} rows x {relation.n_cols} cols")
+    return relation, api.run(request, relation=relation)
+
+
+def cmd_mine(args) -> int:
+    request = _compile_request(
+        "mine", args, api.MineSpec(
+            eps=_default(args.eps, 0.0),
+            budget=args.budget,
+            top=_default(args.top, 20),
+        )
+    )
+    if _maybe_dump_config(args, request):
+        return 0
+    relation, result = _run(request)
+    mined = result.raw
+    print(mined.summary())
+    top = request.spec.top
+    for phi in mined.mvds[:top]:
+        print(f"  {phi.format(relation.columns)}")
+    if len(mined.mvds) > top:
+        print(f"  ... ({len(mined.mvds) - top} more)")
+    if args.json:
+        repro_io.save_json(result.payload, args.json)
+        print(f"wrote {args.json}")
     return 0
 
 
 def cmd_schemas(args) -> int:
-    relation = _load(args)
-    print(f"{relation.name or 'input'}: {relation.n_rows} rows x {relation.n_cols} cols")
-    maimon = _make_maimon(relation, args)
-    try:
-        budget = SearchBudget(max_seconds=args.budget) if args.budget is not None else None
-        ranked = rank_schemas(
-            maimon,
-            args.eps,
-            k=args.top,
-            objective=args.objective,
-            schema_budget=budget,
-            with_spurious=not args.no_spurious,
-        )
-    finally:
-        maimon.close()
+    request = _compile_request(
+        "schemas",
+        args,
+        api.SchemasSpec(
+            eps=_default(args.eps, 0.05),
+            budget=_default(args.budget, 20.0),
+            top=_default(args.top, 10),
+            objective=_default(args.objective, "balanced"),
+            spurious=not args.no_spurious,
+        ),
+    )
+    if _maybe_dump_config(args, request):
+        return 0
+    relation, result = _run(request)
+    ranked = result.raw
     if not ranked:
         print("no schemas found at this threshold")
         return 1
+    spec = request.spec
     table = Table(
-        f"Top {len(ranked)} schemas (eps={args.eps}, objective={args.objective})",
+        f"Top {len(ranked)} schemas (eps={spec.eps}, objective={spec.objective})",
         ["rank", "score", "J", "m", "width", "S%", "E%", "schema"],
     )
     for rs in ranked:
@@ -127,36 +229,24 @@ def cmd_schemas(args) -> int:
         )
     table.show()
     if args.json:
-        repro_io.save_json(
-            repro_io.schemas_payload(args.eps, ranked, relation.columns), args.json
-        )
+        repro_io.save_json(result.payload, args.json)
         print(f"wrote {args.json}")
     return 0
 
 
 def cmd_profile(args) -> int:
-    relation = _load(args)
-    from repro.entropy.oracle import make_oracle
-
-    oracle = make_oracle(
-        relation,
-        engine=args.engine,  # honour --engine (was silently always PLI)
-        workers=args.workers,
-        persist=not args.no_persist,
-        cache_dir=args.cache_dir,
+    request = _compile_request(
+        "profile", args, api.ProfileSpec(fd_lhs=_default(args.fd_lhs, 2))
     )
-    print(f"{relation.name or 'input'}: {relation.n_rows} rows x {relation.n_cols} cols")
-    try:
-        payload = repro_io.profile_to_dict(
-            relation, oracle, fd_lhs=args.fd_lhs, workers=args.workers
-        )
-    finally:
-        oracle.close()
+    if _maybe_dump_config(args, request):
+        return 0
+    _, result = _run(request)
+    payload = result.payload
     table = Table("Column profile", ["column", "distinct", "H_bits", "H_norm"])
     for row in payload["columns"]:
         table.add(row)
     table.show()
-    table = Table(f"Minimal exact FDs (lhs <= {args.fd_lhs})", ["fd"])
+    table = Table(f"Minimal exact FDs (lhs <= {request.spec.fd_lhs})", ["fd"])
     for fd in payload["fds"][:20]:
         table.add({"fd": fd})
     table.show()
@@ -172,22 +262,24 @@ def cmd_serve(args) -> int:
     """Run the long-lived mining service (see :mod:`repro.serve`)."""
     from repro.serve import MiningService, make_server
 
+    try:
+        defaults = _engine_spec(args).validate()
+    except api.SpecError as exc:
+        raise SystemExit(f"invalid request: {exc}") from None
     service = MiningService(
         max_sessions=args.max_sessions,
         job_workers=args.job_workers,
         max_request_seconds=args.max_request_seconds,
-        engine=args.engine,
-        workers=args.workers,
-        persist=not args.no_persist,
-        cache_dir=args.cache_dir,
+        defaults=defaults,
     )
     for name in args.preload or []:
-        entry = service.upload({"dataset": name, "scale": args.scale})
+        entry = service.upload({"dataset": name,
+                                "scale": _default(args.scale, 0.01)})
         print(f"preloaded {name}: dataset_id={entry['dataset_id']}")
     server = make_server(service, host=args.host, port=args.port, verbose=args.verbose)
     print(
         f"repro serve listening on http://{args.host}:{server.server_port} "
-        f"(engine={args.engine}, sessions<={args.max_sessions}, "
+        f"(engine={defaults.engine}, sessions<={args.max_sessions}, "
         f"jobs<={args.job_workers}, deadline={args.max_request_seconds}s)"
     )
     print("endpoints: POST /datasets /mine /schemas /profile; "
@@ -202,13 +294,29 @@ def cmd_serve(args) -> int:
 
 
 def cmd_diff(args) -> int:
-    """Diff two mining artefacts; exit 1 when they differ (like diff(1))."""
-    from repro.delta.diffing import diff_payloads, summarize_diff
+    """Diff two mining artefacts; exit 1 when they differ (like diff(1)).
 
+    Artefacts stamped with their request provenance (every artefact
+    produced since :mod:`repro.api`) are additionally checked for *spec*
+    mismatches — comparing results mined under different engines, eps or
+    inputs is flagged loudly instead of read as a clean data diff.
+    """
+    from repro.delta.diffing import (
+        diff_payloads,
+        format_provenance_mismatch,
+        summarize_diff,
+    )
+
+    try:
+        spec = api.DiffSpec(top=_default(args.top, 20)).validate()
+    except api.SpecError as exc:
+        raise SystemExit(f"invalid request: {exc}") from None
     old = repro_io.load_json(args.old)
     new = repro_io.load_json(args.new)
-    diff = diff_payloads(old, new)
+    diff = diff_payloads(old, new, tol=spec.tol)
     print(summarize_diff(diff))
+    for line in format_provenance_mismatch(diff.get("provenance")):
+        print(f"  ! {line}")
     if diff["kind"] == "mine":
         for label, entries in (
             ("+ mvd", diff["mvds"]["added"]),
@@ -216,7 +324,7 @@ def cmd_diff(args) -> int:
             ("+ min_sep", diff["min_seps"]["added"]),
             ("- min_sep", diff["min_seps"]["dropped"]),
         ):
-            for entry in entries[: args.top]:
+            for entry in entries[: spec.top]:
                 print(f"  {label} {entry}")
     else:
         for label, entries in (
@@ -224,7 +332,7 @@ def cmd_diff(args) -> int:
             ("- schema", diff["schemas"]["dropped"]),
             ("~ schema", diff["schemas"]["shifted"]),
         ):
-            for entry in entries[: args.top]:
+            for entry in entries[: spec.top]:
                 print(f"  {label} {entry}")
     if args.json:
         repro_io.save_json(diff, args.json)
@@ -363,22 +471,36 @@ def cmd_datasets(args) -> int:
 def _common_input_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("csv", nargs="?", help="input CSV file")
     p.add_argument("--dataset", help="built-in surrogate name instead of a CSV")
-    p.add_argument("--scale", type=float, default=0.01,
+    p.add_argument("--scale", type=float, default=None,
                    help="row scale for --dataset (default 0.01)")
     p.add_argument("--max-rows", type=int, default=None)
     _engine_arg(p)
     _exec_args(p)
+    _config_args(p)
+
+
+def _config_args(p: argparse.ArgumentParser) -> None:
+    """The declarative-request round-trip flags (see :mod:`repro.api`)."""
+    p.add_argument("--config", metavar="JSON",
+                   help="run a saved task request instead of compiling one "
+                        "from the flags (see --dump-config)")
+    p.add_argument("--dump-config", metavar="PATH",
+                   help="write the compiled task request as JSON ('-' for "
+                        "stdout) and exit without running")
 
 
 def _engine_arg(p: argparse.ArgumentParser) -> None:
     # All three make_oracle engines, including the Section 6.3 SQL arm.
-    p.add_argument("--engine", choices=["pli", "naive", "sql"], default="pli")
+    # Request flags default to None ("not given") so --config can reject
+    # explicitly-passed flags; the real defaults live at the compile step.
+    p.add_argument("--engine", choices=["pli", "naive", "sql"], default=None,
+                   help="entropy engine (default pli)")
 
 
 def _exec_args(p: argparse.ArgumentParser, include_workers: bool = True) -> None:
     """Flags of the repro.exec entropy execution subsystem."""
     if include_workers:
-        p.add_argument("--workers", type=int, default=1,
+        p.add_argument("--workers", type=int, default=None,
                        help="entropy worker processes (1 = serial, the default)")
     p.add_argument("--no-persist", action="store_true",
                    help="disable the on-disk entropy cache")
@@ -396,18 +518,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("mine", help="mine full eps-MVDs (phase 1)")
     _common_input_args(p)
-    p.add_argument("--eps", type=float, default=0.0)
+    p.add_argument("--eps", type=float, default=None, help="threshold (default 0.0)")
     p.add_argument("--budget", type=float, default=None, help="seconds limit")
-    p.add_argument("--top", type=int, default=20, help="MVDs to print")
+    p.add_argument("--top", type=int, default=None,
+                   help="MVDs to print (default 20)")
     p.add_argument("--json", help="write the full result to a JSON file")
     p.set_defaults(func=cmd_mine)
 
     p = sub.add_parser("schemas", help="discover acyclic schemas (both phases)")
     _common_input_args(p)
-    p.add_argument("--eps", type=float, default=0.05)
-    p.add_argument("--budget", type=float, default=20.0, help="seconds limit")
-    p.add_argument("--top", type=int, default=10)
-    p.add_argument("--objective", choices=sorted(OBJECTIVES), default="balanced")
+    p.add_argument("--eps", type=float, default=None,
+                   help="threshold (default 0.05)")
+    p.add_argument("--budget", type=float, default=None,
+                   help="seconds limit (default 20)")
+    p.add_argument("--top", type=int, default=None, help="schemas (default 10)")
+    p.add_argument("--objective", choices=sorted(OBJECTIVES), default=None,
+                   help="ranking objective (default balanced)")
     p.add_argument("--no-spurious", action="store_true",
                    help="skip spurious-tuple counting (faster)")
     p.add_argument("--json", help="write the schemas to a JSON file")
@@ -415,7 +541,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("profile", help="entropy / FD profile of the input")
     _common_input_args(p)
-    p.add_argument("--fd-lhs", type=int, default=2, help="max FD lhs size")
+    p.add_argument("--fd-lhs", type=int, default=None,
+                   help="max FD lhs size (default 2)")
     p.add_argument("--json", help="write the profile to a JSON file")
     p.set_defaults(func=cmd_profile)
 

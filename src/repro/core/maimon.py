@@ -21,7 +21,7 @@ from repro.core.miner import MinerResult, MVDMiner
 from repro.core.mvd import MVD
 from repro.core.schema import Schema
 from repro.data.relation import Relation
-from repro.entropy.oracle import EntropyOracle, make_oracle
+from repro.entropy.oracle import EntropyOracle
 from repro.quality.metrics import SchemaQuality, evaluate_schema
 
 
@@ -48,27 +48,28 @@ class DiscoveredSchema:
 class Maimon:
     """End-to-end discovery of approximate acyclic schemas.
 
+    The engine-shaped keyword arguments (``engine``, ``block_size``,
+    ``workers``, ``persist``, ``cache_dir``, ``track_deltas``) are a thin
+    shim over :class:`repro.api.specs.EngineSpec` — the system-wide
+    declarative engine contract shared by the CLI, the HTTP serving layer
+    and config files.  Passing ``spec=EngineSpec(...)`` directly is
+    equivalent and preferred for new code; either way the spec is
+    validated in one place (e.g. ``workers > 1`` with a non-PLI engine is
+    rejected instead of silently running PLI workers) and recorded as
+    ``self.spec``.
+
     Parameters
     ----------
     relation:
         The input relation R.
-    engine:
-        Entropy engine name (``"pli"`` default, ``"naive"`` for the
-        ablation baseline).
     optimized:
         Use the pairwise-consistency pruning in the full-MVD search.
-    workers:
-        With ``workers > 1`` entropy batches are evaluated on a process
-        pool (see :mod:`repro.exec`); results agree within ``TOL``.
-    persist:
-        Cache entropies on disk keyed by the relation fingerprint, so
-        repeated runs over the same data skip recomputation
-        (``cache_dir`` overrides the location).
-    track_deltas:
-        Record delta-maintainable grouping state alongside every entropy
-        evaluation, so :meth:`append_rows` can *patch* the warm oracle
-        instead of recomputing it (see :mod:`repro.delta`).  Costs memory
-        per evaluated attribute set; off by default for one-shot runs.
+    spec:
+        An :class:`~repro.api.specs.EngineSpec`; overrides the individual
+        engine keyword arguments below when given.
+    engine, block_size, workers, persist, cache_dir, track_deltas:
+        See :class:`~repro.api.specs.EngineSpec` for meanings, defaults
+        and the validation rules.
 
     Example
     -------
@@ -88,17 +89,24 @@ class Maimon:
         persist: bool = False,
         cache_dir=None,
         track_deltas: bool = False,
+        spec=None,
     ):
+        # Imported here: repro.api builds on this module (io -> maimon).
+        from repro.api.specs import EngineSpec
+
+        if spec is None:
+            spec = EngineSpec(
+                engine=engine,
+                block_size=block_size,
+                workers=workers,
+                persist=persist,
+                cache_dir=cache_dir,
+                track_deltas=track_deltas,
+            )
+        self.spec: "EngineSpec" = spec.validate()
         self.relation = relation
-        self.oracle: EntropyOracle = make_oracle(
-            relation,
-            engine=engine,
-            block_size=block_size,
-            workers=workers,
-            persist=persist,
-            cache_dir=cache_dir,
-        )
-        if track_deltas:
+        self.oracle: EntropyOracle = self.spec.make_oracle(relation)
+        if self.spec.track_deltas:
             self.oracle.enable_delta_tracking()
         self.optimized = optimized
         self._miner = MVDMiner(self.oracle, optimized=optimized)

@@ -35,6 +35,8 @@ from repro.delta.diffing import (
     diff_miner_results,
     diff_payloads,
     diff_schemas_payloads,
+    format_provenance_mismatch,
+    provenance_mismatch,
     summarize_diff,
 )
 from repro.delta.tracker import DeltaTracker
@@ -48,5 +50,7 @@ __all__ = [
     "diff_miner_results",
     "diff_payloads",
     "diff_schemas_payloads",
+    "format_provenance_mismatch",
+    "provenance_mismatch",
     "summarize_diff",
 ]

@@ -139,6 +139,68 @@ def _payload_kind(payload: dict) -> Optional[str]:
     return None
 
 
+# --------------------------------------------------------------------- #
+# Provenance (the repro.api spec/fingerprint stamp)
+# --------------------------------------------------------------------- #
+
+def _flatten_spec(spec, prefix: str = "") -> Dict[str, object]:
+    """``{"engine": {"workers": 4}}`` -> ``{"engine.workers": 4}``."""
+    flat: Dict[str, object] = {}
+    if not isinstance(spec, dict):
+        return flat
+    for key, value in spec.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten_spec(value, prefix=name + "."))
+        else:
+            flat[name] = value
+    return flat
+
+
+def provenance_mismatch(old: Optional[dict], new: dict) -> dict:
+    """Where the two artefacts' stamped requests disagree.
+
+    Artefacts produced through :mod:`repro.api` carry ``spec`` (the
+    resolved engine + task spec) and ``fingerprint`` (the input relation)
+    — see :func:`repro.api.stamp_payload`.  A result diff between
+    mismatched specs is usually comparing apples to oranges, so the
+    mismatch is reported field by field (dotted keys, e.g.
+    ``engine.workers``); unstamped artefacts (pre-provenance files)
+    compare as absent fields.  Empty dict = no mismatch detected.
+    """
+    out: Dict[str, object] = {}
+    old = old or {}
+    old_spec, new_spec = old.get("spec"), new.get("spec")
+    if old_spec is not None or new_spec is not None:
+        flat_old = _flatten_spec(old_spec)
+        flat_new = _flatten_spec(new_spec)
+        fields = {
+            key: {"old": flat_old.get(key), "new": flat_new.get(key)}
+            for key in sorted(set(flat_old) | set(flat_new))
+            if flat_old.get(key) != flat_new.get(key)
+        }
+        if fields:
+            out["spec"] = fields
+    old_fp, new_fp = old.get("fingerprint"), new.get("fingerprint")
+    if (old_fp is not None or new_fp is not None) and old_fp != new_fp:
+        out["fingerprint"] = {"old": old_fp, "new": new_fp}
+    return out
+
+
+def format_provenance_mismatch(mismatch: Optional[dict]) -> List[str]:
+    """Human lines for a :func:`provenance_mismatch` result (may be [])."""
+    if not mismatch:
+        return []
+    lines = []
+    for field, change in mismatch.get("spec", {}).items():
+        lines.append(f"spec {field}: {change['old']!r} -> {change['new']!r}")
+    fp = mismatch.get("fingerprint")
+    if fp:
+        short = {k: (v[:12] if isinstance(v, str) else v) for k, v in fp.items()}
+        lines.append(f"input fingerprint: {short['old']} -> {short['new']}")
+    return lines
+
+
 def diff_payloads(old: Optional[dict], new: dict, tol: float = SCORE_TOL) -> dict:
     """Diff two artefacts of the same kind, dispatching on their shape.
 
@@ -160,21 +222,34 @@ def diff_payloads(old: Optional[dict], new: dict, tol: float = SCORE_TOL) -> dic
                 f"{old_kind or 'unrecognised'} vs {kind}"
             )
     if kind == "schemas":
-        return diff_schemas_payloads(old, new, tol=tol)
-    return diff_miner_results(old, new)
+        diff = diff_schemas_payloads(old, new, tol=tol)
+    else:
+        diff = diff_miner_results(old, new)
+    mismatch = provenance_mismatch(old, new)
+    if mismatch:
+        # Surfaced, not folded into ``changed``: a provenance mismatch is
+        # a warning about the comparison itself, not a result change.
+        diff["provenance"] = mismatch
+    return diff
 
 
 def summarize_diff(diff: dict) -> str:
     """One-line human summary, used by the CLI and smoke scripts."""
     if diff["kind"] == "mine":
         m, s = diff["mvds"], diff["min_seps"]
-        return (
+        summary = (
             f"mvds: +{len(m['added'])} -{len(m['dropped'])} "
             f"={m['n_common']} | min_seps: +{len(s['added'])} "
             f"-{len(s['dropped'])} ={s['n_common']}"
         )
-    s = diff["schemas"]
-    return (
-        f"schemas: +{len(s['added'])} -{len(s['dropped'])} "
-        f"~{len(s['shifted'])} ={s['n_unchanged']}"
-    )
+    else:
+        s = diff["schemas"]
+        summary = (
+            f"schemas: +{len(s['added'])} -{len(s['dropped'])} "
+            f"~{len(s['shifted'])} ={s['n_unchanged']}"
+        )
+    mismatch = diff.get("provenance")
+    if mismatch:
+        n = len(mismatch.get("spec", {})) + (1 if "fingerprint" in mismatch else 0)
+        summary += f" | WARNING: {n} spec/provenance mismatch(es)"
+    return summary

@@ -283,6 +283,12 @@ def make_oracle(
     ``"sql"`` — the Section 6.3 CNT/TID queries on the mini SQL engine
     (row-store speeds; fidelity/ablation arm).
 
+    The keyword arguments are a shim over
+    :class:`repro.api.specs.EngineSpec` (minus ``cross_cache_size``, an
+    expert tuning knob): the spec is where engine/knob combinations are
+    validated system-wide, so e.g. ``workers > 1`` with a non-PLI engine
+    raises here with the same message the CLI and the serving layer give.
+
     Parameters
     ----------
     workers:
@@ -295,6 +301,16 @@ def make_oracle(
         overrides the default cache location (see
         :mod:`repro.exec.persist`).
     """
+    # Imported lazily: repro.api.specs compiles back down to this function.
+    from repro.api.specs import EngineSpec
+
+    EngineSpec(
+        engine=engine,
+        block_size=block_size,
+        workers=workers,
+        persist=persist,
+        cache_dir=cache_dir,
+    ).validate()
     if engine == "pli":
         eng = PLICacheEngine(relation, block_size=block_size, cross_cache_size=cross_cache_size)
     elif engine == "naive":

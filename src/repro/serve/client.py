@@ -115,6 +115,19 @@ class ServeClient:
     # Mining
     # ------------------------------------------------------------------ #
 
+    def run_request(self, request, dataset_id: str, wait: bool = True) -> dict:
+        """Execute a typed :class:`repro.api.TaskRequest` on the server.
+
+        The request's specs are compiled to the flat JSON body the serve
+        transport expects (``TaskRequest.http_payload``) and POSTed to
+        the task's endpoint; the job envelope's ``result`` is then the
+        same stamped artefact ``repro.api.run`` produces locally for the
+        same spec over the same data.
+        """
+        payload = request.http_payload(dataset_id=dataset_id)
+        payload["wait"] = wait
+        return self.request("POST", f"/{request.task}", payload)
+
     def mine(self, dataset_id: str, eps: float = 0.0, wait: bool = True, **opts) -> dict:
         payload = {"dataset_id": dataset_id, "eps": eps, "wait": wait, **opts}
         return self.request("POST", "/mine", payload)

@@ -6,23 +6,37 @@ and tests drive it directly.  Per request it
 
 1. resolves the dataset (a registered fingerprint, an inline CSV/rows
    payload, or a built-in surrogate name),
-2. leases the warm session for ``(dataset, engine config)`` from the
+2. parses the JSON body into the system-wide typed request
+   (:class:`repro.api.TaskRequest` — the same specs the CLI compiles its
+   flags into; invalid specs become structured 400s with
+   ``code: "invalid_spec"``),
+3. leases the warm session for ``(dataset, engine spec)`` from the
    session cache,
-3. runs the mining call on the job pool under the session lock, with a
-   :class:`~repro.serve.jobs.RequestBudget` enforcing the per-request
-   deadline (the request's own ``budget`` capped by the server-wide
-   ``max_request_seconds``) and cooperative cancellation,
-4. serialises the result with the exact same :mod:`repro.io` builders the
-   one-shot CLI uses, so served payloads match CLI ``--json`` artefacts.
+4. executes through the shared task registry
+   (:func:`repro.api.execute_task`) on the job pool under the session
+   lock, with a :class:`~repro.serve.jobs.RequestBudget` enforcing the
+   per-request deadline (the request's own ``budget`` capped by the
+   server-wide ``max_request_seconds``) and cooperative cancellation,
+5. stamps the artefact with the resolved spec + dataset fingerprint —
+   served payloads are byte-identical to CLI ``--json`` artefacts for
+   the same spec, because they are the same code path.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import Optional
 
 from repro import io as repro_io
-from repro.core.ranking import OBJECTIVES, rank_schemas
+from repro.api import (
+    TASK_SPECS,
+    EngineSpec,
+    SpecError,
+    TaskRequest,
+    execute_task,
+    stamp_payload,
+)
 from repro.serve.jobs import Job, JobFinishedError, JobManager
 from repro.serve.registry import DatasetRegistry
 from repro.serve.session import SessionCache
@@ -57,9 +71,11 @@ class MiningService:
     max_request_seconds:
         Hard per-request deadline; request budgets are clamped to it
         (``None`` disables the cap).
-    engine, workers, persist, cache_dir:
-        Session defaults, overridable per request (see
-        :class:`~repro.core.maimon.Maimon`).
+    defaults:
+        The server's default :class:`~repro.api.specs.EngineSpec`;
+        requests override its fields per call.  The legacy keyword
+        arguments (``engine``, ``workers``, ``persist``, ``cache_dir``)
+        build one when ``defaults`` is not given.
     """
 
     def __init__(
@@ -72,17 +88,21 @@ class MiningService:
         workers: int = 1,
         persist: bool = False,
         cache_dir: Optional[str] = None,
+        defaults: Optional[EngineSpec] = None,
     ):
         self.registry = DatasetRegistry(capacity=max_datasets)
         self.sessions = SessionCache(capacity=max_sessions)
         self.jobs = JobManager(max_workers=job_workers)
         self.max_request_seconds = max_request_seconds
-        self.defaults = {
-            "engine": engine,
-            "workers": workers,
-            "persist": persist,
-            "cache_dir": cache_dir,
-        }
+        if defaults is None:
+            defaults = EngineSpec(
+                engine=engine, workers=workers, persist=persist,
+                cache_dir=cache_dir,
+            )
+        try:
+            self.defaults = defaults.validate()
+        except SpecError as exc:
+            raise ServiceError(str(exc), code="invalid_spec") from None
         self.started_at = time.time()
         self._closed = False
 
@@ -138,71 +158,50 @@ class MiningService:
     # Mining requests
     # ------------------------------------------------------------------ #
 
-    def submit_mine(self, payload: dict) -> Job:
-        """Phase 1: full ε-MVDs.  Result matches ``repro mine --json``."""
+    def _submit_task(self, task: str, payload: dict) -> Job:
+        """The one request path every mining task flows through.
+
+        Parses the transport payload into the same typed
+        :class:`~repro.api.TaskRequest` the CLI compiles its flags into,
+        leases the warm session for ``(dataset, engine spec)``, executes
+        via :func:`repro.api.execute_task` and stamps the artefact with
+        the resolved spec + dataset fingerprint — so a served result and
+        a CLI ``--json`` artefact for the same spec are the same bytes.
+        """
         entry = self._resolve(payload)
-        eps = self._eps(payload, default=0.0)
-        budget_s = self._budget_seconds(payload)
-        config = self._session_config(payload)
+        request = self._task_request(task, payload)
+        budget_s = self._budget_seconds(request.spec.budget)
 
         def run(job: Job) -> dict:
-            with self.sessions.lease(entry.dataset_id, entry.relation, **config) as s:
-                with s.lock:
-                    result = s.maimon.mine_mvds(eps, budget=job.budget(budget_s))
-                return repro_io.miner_result_to_dict(result, s.relation.columns)
+            with self.sessions.lease(
+                entry.dataset_id, entry.relation, spec=request.engine
+            ) as s:
+                # The session lock covers only the oracle-touching work
+                # (execute_task takes it around that); payload building
+                # and stamping never block concurrent requests.
+                result_payload, _ = execute_task(
+                    task,
+                    s.maimon,
+                    request.spec,
+                    engine=request.engine,
+                    budget=job.budget(budget_s),
+                    lock=s.lock,
+                )
+                return stamp_payload(result_payload, request, entry.dataset_id)
 
-        return self.jobs.submit("mine", run, request=payload)
+        return self.jobs.submit(task, run, request=payload)
+
+    def submit_mine(self, payload: dict) -> Job:
+        """Phase 1: full ε-MVDs.  Result matches ``repro mine --json``."""
+        return self._submit_task("mine", payload)
 
     def submit_schemas(self, payload: dict) -> Job:
         """Both phases + ranking.  Result matches ``repro schemas --json``."""
-        entry = self._resolve(payload)
-        eps = self._eps(payload, default=0.05)
-        budget_s = self._budget_seconds(payload)
-        top = int(payload.get("top", 10))
-        objective = payload.get("objective", "balanced")
-        if objective not in OBJECTIVES:
-            known = ", ".join(sorted(OBJECTIVES))
-            raise ServiceError(f"unknown objective {objective!r}; known: {known}")
-        with_spurious = not bool(payload.get("no_spurious", False))
-        config = self._session_config(payload)
-
-        def run(job: Job) -> dict:
-            with self.sessions.lease(entry.dataset_id, entry.relation, **config) as s:
-                with s.lock:
-                    ranked = rank_schemas(
-                        s.maimon,
-                        eps,
-                        k=top,
-                        objective=objective,
-                        schema_budget=job.budget(budget_s),
-                        with_spurious=with_spurious,
-                    )
-                return repro_io.schemas_payload(eps, ranked, s.relation.columns)
-
-        return self.jobs.submit("schemas", run, request=payload)
+        return self._submit_task("schemas", payload)
 
     def submit_profile(self, payload: dict) -> Job:
         """Column entropies + minimal FDs.  Matches ``repro profile --json``."""
-        entry = self._resolve(payload)
-        fd_lhs = int(payload.get("fd_lhs", 2))
-        budget_s = self._budget_seconds(payload)
-        config = self._session_config(payload)
-
-        def run(job: Job) -> dict:
-            with self.sessions.lease(entry.dataset_id, entry.relation, **config) as s:
-                with s.lock:
-                    # Reuse the session oracle's live pool (if any) so a
-                    # --workers server doesn't spawn one per /profile hit.
-                    return repro_io.profile_to_dict(
-                        s.relation,
-                        s.maimon.oracle,
-                        fd_lhs=fd_lhs,
-                        workers=config["workers"],
-                        budget=job.budget(budget_s),
-                        executor=s.maimon.oracle.evaluator(),
-                    )
-
-        return self.jobs.submit("profile", run, request=payload)
+        return self._submit_task("profile", payload)
 
     def submit_append(self, payload: dict, dataset_id: Optional[str] = None) -> Job:
         """Append rows to a dataset as a new version, re-mine, and diff.
@@ -229,22 +228,33 @@ class MiningService:
             )
         except LookupError as exc:
             raise ServiceError(str(exc), status=404, code="unknown_dataset") from None
-        eps = self._eps(payload, default=0.0)
-        budget_s = self._budget_seconds(payload)
-        config = self._session_config(payload)
+        request = self._task_request("mine", payload)
+        eps = request.spec.eps
+        budget_s = self._budget_seconds(request.spec.budget)
         columns = child.relation.columns
 
         def run(job: Job) -> dict:
             from repro.delta.diffing import diff_miner_results
 
             session, warm, stats = self.sessions.advance(
-                parent.dataset_id, child.dataset_id, child.relation, delta, **config
+                parent.dataset_id, child.dataset_id, child.relation, delta,
+                spec=request.engine,
             )
             try:
+                # One lock acquisition across baseline read + re-mine: a
+                # concurrent append must not advance this session between
+                # previous_mvds() and the mine, or the diff would compare
+                # across the wrong pair of versions.
                 with session.lock:
                     previous = session.maimon.previous_mvds(eps)
-                    result = session.maimon.mine_mvds(eps, budget=job.budget(budget_s))
-                result_dict = repro_io.miner_result_to_dict(result, columns)
+                    result_dict, _ = execute_task(
+                        "mine",
+                        session.maimon,
+                        request.spec,
+                        engine=request.engine,
+                        budget=job.budget(budget_s),
+                    )
+                stamp_payload(result_dict, request, child.dataset_id)
                 previous_dict = (
                     repro_io.miner_result_to_dict(previous, columns)
                     if previous is not None
@@ -308,7 +318,7 @@ class MiningService:
         return {
             "status": "ok",
             "uptime_s": round(time.time() - self.started_at, 3),
-            "defaults": dict(self.defaults),
+            "defaults": self.defaults.to_dict(),
             "max_request_seconds": self.max_request_seconds,
             "registry": self.registry.stats(),
             "sessions": self.sessions.stats(),
@@ -331,55 +341,72 @@ class MiningService:
         self.close()
 
     # ------------------------------------------------------------------ #
-    # Request parsing
+    # Request parsing (transport payload -> typed repro.api specs)
     # ------------------------------------------------------------------ #
 
-    @staticmethod
-    def _eps(payload: dict, default: float) -> float:
-        try:
-            eps = float(payload.get("eps", default))
-        except (TypeError, ValueError):
-            raise ServiceError("'eps' must be a number") from None
-        if eps < 0:
-            raise ServiceError("'eps' must be >= 0")
-        return eps
+    #: Payload keys owned by the transport itself (dataset addressing,
+    #: inline uploads, job control) rather than by any spec.
+    TRANSPORT_KEYS = frozenset({
+        "dataset_id", "wait", "csv", "rows", "columns", "name", "delimiter",
+        "dataset", "scale", "max_rows",
+    })
 
-    def _budget_seconds(self, payload: dict) -> Optional[float]:
-        """Effective deadline: request budget clamped by the server cap.
+    #: Engine keys a request may carry (cache_dir / track_deltas are
+    #: server-owned and rejected inside ``EngineSpec.from_request``).
+    ENGINE_KEYS = frozenset({
+        "engine", "workers", "persist", "block_size", "cache_dir",
+        "track_deltas",
+    })
+
+    #: Spec-key aliases the transport accepts beyond the dataclass fields.
+    SPEC_KEY_ALIASES = {"schemas": frozenset({"no_spurious"})}
+
+    def _task_request(self, task: str, payload: dict) -> TaskRequest:
+        """Parse a JSON body into the system-wide typed request.
+
+        All knob validation lives in the specs themselves
+        (:mod:`repro.api.specs`); failures surface as structured 400s
+        (``code: "invalid_spec"`` plus the offending ``field``) instead
+        of silently ignored flags.  Unknown keys are part of that
+        contract: a typoed knob (``"epz"``, ``"worker"``) is a 400, not
+        a silently default-valued run — mirroring the strictness of
+        ``Spec.from_dict`` for config files.
+        """
+        spec_cls = TASK_SPECS[task]
+        allowed = (
+            self.TRANSPORT_KEYS
+            | self.ENGINE_KEYS
+            | {f.name for f in dataclasses.fields(spec_cls)}
+            | self.SPEC_KEY_ALIASES.get(task, frozenset())
+        )
+        unknown = sorted(set(payload) - allowed)
+        if unknown:
+            raise ServiceError(
+                f"unknown request field(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(allowed))}",
+                code="invalid_spec",
+                field=unknown[0],
+            )
+        try:
+            spec = spec_cls.from_request(payload)
+            engine = EngineSpec.from_request(payload, base=self.defaults)
+            return TaskRequest(task=task, spec=spec, engine=engine).validate()
+        except SpecError as exc:
+            extra = {"code": "invalid_spec"}
+            if exc.field is not None:
+                extra["field"] = exc.field
+            raise ServiceError(str(exc), **extra) from None
+
+    def _budget_seconds(self, budget: Optional[float]) -> Optional[float]:
+        """Effective deadline: the spec's budget clamped by the server cap.
 
         An explicit ``budget: 0`` means *no work* — the budget machinery
         returns an empty truncated result — mirroring the CLI's
         ``--budget 0`` semantics.
         """
-        budget = payload.get("budget")
-        if budget is not None:
-            try:
-                budget = float(budget)
-            except (TypeError, ValueError):
-                raise ServiceError("'budget' must be a number of seconds") from None
-            if budget < 0:
-                raise ServiceError("'budget' must be >= 0")
         cap = self.max_request_seconds
         if budget is None:
             return cap
         if cap is None:
             return budget
         return min(budget, cap)
-
-    def _session_config(self, payload: dict) -> dict:
-        engine = payload.get("engine", self.defaults["engine"])
-        if engine not in ("pli", "naive", "sql"):
-            raise ServiceError(
-                f"unknown engine {engine!r}; expected 'pli', 'naive' or 'sql'"
-            )
-        try:
-            workers = int(payload.get("workers", self.defaults["workers"]))
-        except (TypeError, ValueError):
-            raise ServiceError("'workers' must be an integer") from None
-        persist = bool(payload.get("persist", self.defaults["persist"]))
-        return {
-            "engine": engine,
-            "workers": max(1, workers),
-            "persist": persist,
-            "cache_dir": self.defaults["cache_dir"],
-        }

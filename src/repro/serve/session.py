@@ -23,18 +23,18 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional, Tuple
 
-from repro.core.maimon import Maimon
+from repro.api.specs import EngineSpec
 from repro.data.relation import Relation
 
-#: Hashable session key: dataset fingerprint + the Maimon knobs that change
-#: oracle state (engine, workers, persistence location).
-SessionKey = Tuple[str, str, int, bool, Optional[str]]
+#: Hashable session key: dataset fingerprint + the EngineSpec knobs that
+#: change oracle state (engine, workers, persistence location, block size).
+SessionKey = Tuple[str, str, int, bool, Optional[str], int]
 
 
 class Session:
     """One warm ``Maimon`` instance plus its serialization lock."""
 
-    def __init__(self, key: SessionKey, relation: Relation, maimon: Maimon):
+    def __init__(self, key: SessionKey, relation: Relation, maimon):
         self.key = key
         self.dataset_id = key[0]
         self.engine = key[1]
@@ -93,49 +93,51 @@ class SessionCache:
     # ------------------------------------------------------------------ #
 
     @staticmethod
-    def _session_key(
-        dataset_id: str,
-        engine: str = "pli",
-        workers: int = 1,
-        persist: bool = False,
-        cache_dir: Optional[str] = None,
-    ) -> SessionKey:
-        """The one place a :data:`SessionKey` (and its defaults) is built."""
-        return (dataset_id, engine, int(workers), bool(persist), cache_dir)
+    def _session_key(dataset_id: str, spec: EngineSpec) -> SessionKey:
+        """The one place a :data:`SessionKey` is built (from an EngineSpec)."""
+        return (dataset_id, spec.engine, spec.workers, spec.persist,
+                spec.cache_dir, spec.block_size)
+
+    @staticmethod
+    def _spec_of(spec: Optional[EngineSpec], config: dict) -> EngineSpec:
+        """Accept either a validated spec or legacy keyword config.
+
+        The kwargs path delegates straight to the ``EngineSpec``
+        constructor so its defaults stay the single source of truth
+        (unknown keys raise ``TypeError`` from the dataclass itself).
+        """
+        if spec is None:
+            spec = EngineSpec(**config)
+        elif config:
+            raise TypeError(f"unknown session config keys: {sorted(config)}")
+        return spec.validate()
 
     def acquire(
         self,
         dataset_id: str,
         relation: Relation,
-        engine: str = "pli",
-        workers: int = 1,
-        persist: bool = False,
-        cache_dir: Optional[str] = None,
+        spec: Optional[EngineSpec] = None,
+        **config,
     ) -> Session:
         """Get (or build) the warm session for a dataset+config and pin it.
 
-        Callers must pair this with :meth:`release`; prefer the
-        :meth:`lease` context manager.  Building the ``Maimon`` happens
-        outside any per-session lock, but under the cache lock — sessions
-        are cheap to construct (engines build their caches lazily), and
-        this keeps a concurrent burst of first requests from racing to
-        create duplicate sessions.
+        The config is an :class:`~repro.api.specs.EngineSpec` (preferred)
+        or the equivalent keyword arguments (``engine``, ``workers``,
+        ``persist``, ``cache_dir``, ``block_size``).  Callers must pair
+        this with :meth:`release`; prefer the :meth:`lease` context
+        manager.  Building the ``Maimon`` happens outside any per-session
+        lock, but under the cache lock — sessions are cheap to construct
+        (engines build their caches lazily), and this keeps a concurrent
+        burst of first requests from racing to create duplicate sessions.
         """
-        key = self._session_key(
-            dataset_id, engine=engine, workers=workers, persist=persist,
-            cache_dir=cache_dir,
-        )
+        spec = self._spec_of(spec, config)
+        key = self._session_key(dataset_id, spec)
         with self._lock:
             session = self._sessions.get(key)
             if session is None:
                 self.misses += 1
-                maimon = Maimon(
-                    relation,
-                    engine=engine,
-                    workers=workers,
-                    persist=persist,
-                    cache_dir=cache_dir,
-                    track_deltas=self.track_deltas,
+                maimon = spec.make_maimon(
+                    relation, track_deltas=self.track_deltas
                 )
                 session = Session(key, relation, maimon)
                 self._sessions[key] = session
@@ -170,6 +172,7 @@ class SessionCache:
         child_dataset_id: str,
         relation: Relation,
         delta,
+        spec: Optional[EngineSpec] = None,
         **config,
     ) -> Tuple[Session, bool, dict]:
         """Carry the warm parent session over to an appended version.
@@ -186,7 +189,8 @@ class SessionCache:
         (callers must :meth:`release` it) and ``warm`` telling whether the
         delta path was taken.
         """
-        key = self._session_key(parent_dataset_id, **config)
+        spec = self._spec_of(spec, config)
+        key = self._session_key(parent_dataset_id, spec)
         child_key: SessionKey = (child_dataset_id,) + key[1:]
         with self._lock:
             session = self._sessions.get(key)
@@ -200,7 +204,7 @@ class SessionCache:
             else:
                 del self._sessions[key]
         if session is None:
-            return self.acquire(child_dataset_id, relation, **config), False, {}
+            return self.acquire(child_dataset_id, relation, spec=spec), False, {}
         with session.lock:
             stats = session.maimon.advance(relation, delta)
         session.key = child_key
@@ -223,14 +227,20 @@ class SessionCache:
         return session, True, stats
 
     @contextmanager
-    def lease(self, dataset_id: str, relation: Relation, **config) -> Iterator[Session]:
+    def lease(
+        self,
+        dataset_id: str,
+        relation: Relation,
+        spec: Optional[EngineSpec] = None,
+        **config,
+    ) -> Iterator[Session]:
         """``with sessions.lease(...) as s:`` — pinned for the block.
 
         The lease pins the session against eviction; it does NOT take
         ``s.lock`` (callers hold it only around the actual oracle work so
         queue time is observable separately from compute time).
         """
-        session = self.acquire(dataset_id, relation, **config)
+        session = self.acquire(dataset_id, relation, spec=spec, **config)
         try:
             yield session
         finally:

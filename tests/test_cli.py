@@ -22,9 +22,18 @@ class TestParser:
             build_parser().parse_args([])
 
     def test_mine_defaults(self):
+        """Request flags parse as None; defaults apply at spec compile time
+        (which is what lets --config reject explicitly-passed flags)."""
+        from repro import api
+        from repro.cli import _compile_request, _engine_spec
+
         args = build_parser().parse_args(["mine", "x.csv"])
-        assert args.eps == 0.0
-        assert args.engine == "pli"
+        assert args.eps is None and args.engine is None
+        assert _engine_spec(args).engine == "pli"
+        request = _compile_request("mine", args, api.MineSpec())
+        assert request.spec.eps == 0.0
+        assert request.engine.engine == "pli"
+        assert request.engine.persist is True  # CLI persists by default
 
 
 class TestCommands:
@@ -163,11 +172,13 @@ class TestDiffCommand:
 
 class TestServeParser:
     def test_serve_defaults(self):
+        from repro.cli import _engine_spec
+
         args = build_parser().parse_args(["serve"])
         assert args.func.__name__ == "cmd_serve"
         assert args.port == 8765
         assert args.max_sessions == 8
-        assert args.engine == "pli"
+        assert _engine_spec(args).engine == "pli"
 
     def test_serve_bench_defaults(self):
         args = build_parser().parse_args(["serve-bench"])

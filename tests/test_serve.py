@@ -15,9 +15,7 @@ import urllib.request
 
 import pytest
 
-from repro import io as repro_io
-from repro.core.maimon import Maimon
-from repro.core.ranking import rank_schemas
+from repro import api
 from repro.data.loaders import from_csv
 from repro.data.relation import Relation
 from repro.serve import (
@@ -48,16 +46,28 @@ def fig1_csv_text(fig1):
 
 @pytest.fixture(scope="module")
 def fig1_reference(fig1_csv_text):
-    """What a one-shot run over the uploaded bytes produces."""
+    """What a one-shot ``repro.api.run`` over the uploaded bytes produces.
+
+    Served responses must match these payloads byte for byte (modulo the
+    wall-clock field): the serving layer routes through the exact same
+    task registry and stamps the exact same resolved spec + fingerprint.
+    """
     relation = from_csv(io.StringIO(fig1_csv_text), name="fig1")
-    with Maimon(relation) as maimon:
-        mine = repro_io.miner_result_to_dict(maimon.mine_mvds(0.0), relation.columns)
-        schemas = repro_io.schemas_payload(
-            0.0,
-            rank_schemas(maimon, 0.0, k=3, objective="relations"),
-            relation.columns,
-        )
-        profile = repro_io.profile_to_dict(relation, maimon.oracle)
+    mine = api.run(
+        api.TaskRequest(task="mine", spec=api.MineSpec(eps=0.0)),
+        relation=relation,
+    ).payload
+    schemas = api.run(
+        api.TaskRequest(
+            task="schemas",
+            spec=api.SchemasSpec(eps=0.0, top=3, objective="relations"),
+        ),
+        relation=relation,
+    ).payload
+    profile = api.run(
+        api.TaskRequest(task="profile", spec=api.ProfileSpec()),
+        relation=relation,
+    ).payload
     return {"relation": relation, "mine": mine, "schemas": schemas, "profile": profile}
 
 
