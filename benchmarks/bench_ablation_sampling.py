@@ -14,6 +14,15 @@ This bench quantifies both effects on a planted-structure relation:
 * the mean absolute error of H(Ω) under the MLE vs Miller–Madow vs
   jackknife estimators across samples — the corrections shrink the bias
   that causes the fabrication.
+
+The mitigation lives in :mod:`repro.approx` (``--engine approx``): instead
+of mining on a sample and inheriting the fabricated dependencies measured
+here, the sampled engine answers *decision questions* with confidence
+intervals (signed Miller–Madow centring cancels exactly this bias) and
+escalates every near-boundary comparison to an exact tier — identical
+output to exact mining, with the sample deciding only the clear-cut
+comparisons.  ``benchmarks/bench_approx_scale.py`` / ``repro approx-bench``
+measure that path.
 """
 
 import numpy as np

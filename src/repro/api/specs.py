@@ -32,7 +32,10 @@ from dataclasses import dataclass
 from typing import Optional, Type, TypeVar
 
 #: The entropy engine arms ``make_oracle`` knows how to build.
-ENGINES = ("pli", "naive", "sql")
+ENGINES = ("pli", "naive", "sql", "estimated", "approx")
+
+#: Engines that accept a non-MLE ``estimator`` knob.
+ESTIMATOR_ENGINES = ("estimated", "approx")
 
 S = TypeVar("S", bound="Spec")
 
@@ -133,14 +136,15 @@ class EngineSpec(Spec):
     Fields
     ------
     engine:
-        ``"pli"`` (default), ``"naive"`` or ``"sql"`` — see
-        :func:`repro.entropy.oracle.make_oracle`.
+        ``"pli"`` (default), ``"naive"``, ``"sql"``, ``"estimated"`` or
+        ``"approx"`` — see :func:`repro.entropy.oracle.make_oracle`.
     block_size:
         PLI/SQL block-cache parameter.
     workers:
-        Entropy worker processes; ``> 1`` requires the PLI engine (the
+        Entropy worker processes; ``> 1`` requires a PLI-backed arm (the
         pool always runs PLI engines, so pairing it with another arm
-        would silently change the engine under the caller).
+        would silently change the engine under the caller).  For
+        ``"approx"`` the pool serves the exact escalation tier.
     persist, cache_dir:
         On-disk entropy cache; ``cache_dir`` is only meaningful with
         ``persist`` on, so setting it with ``persist=False`` is an error
@@ -149,6 +153,18 @@ class EngineSpec(Spec):
         Record delta-maintenance state so appends patch the warm oracle
         (see :mod:`repro.delta`).  A session-lifetime knob: it never
         changes results, so it is excluded from result provenance.
+        Oracles whose values are not plug-in entropies (``estimated`` with
+        a corrected estimator, ``approx``) decline tracking and rebuild
+        on advance instead.
+    estimator:
+        Entropy estimator for the ``estimated`` / ``approx`` arms
+        (:data:`repro.entropy.estimators.ESTIMATORS`); must stay ``"mle"``
+        for exact engines, whose values *are* the plug-in estimate.
+    sample_rows, confidence, sample_seed:
+        ``approx``-only sampling knobs: sample size, decision confidence
+        level in ``(0, 1)`` and sampling seed.  ``None`` means the engine
+        defaults (see :mod:`repro.approx.engine`); setting any of them
+        with another engine is an error, not a silently dead knob.
     """
 
     engine: str = "pli"
@@ -157,6 +173,10 @@ class EngineSpec(Spec):
     persist: bool = False
     cache_dir: Optional[str] = None
     track_deltas: bool = False
+    estimator: str = "mle"
+    sample_rows: Optional[int] = None
+    confidence: Optional[float] = None
+    sample_seed: Optional[int] = None
 
     def validate(self) -> "EngineSpec":
         _require(self.engine in ENGINES,
@@ -166,10 +186,10 @@ class EngineSpec(Spec):
                  "'block_size' must be an integer >= 1", field="block_size")
         _require(_is_int(self.workers) and self.workers >= 1,
                  "'workers' must be an integer >= 1", field="workers")
-        _require(self.workers == 1 or self.engine == "pli",
+        _require(self.workers == 1 or self.engine in ("pli", "approx"),
                  f"'workers' > 1 runs PLI engines on the worker pool and "
                  f"cannot be combined with engine {self.engine!r}; use "
-                 f"engine 'pli' or workers=1", field="workers")
+                 f"engine 'pli'/'approx' or workers=1", field="workers")
         _require(isinstance(self.persist, bool),
                  "'persist' must be a boolean", field="persist")
         _require(self.cache_dir is None or isinstance(self.cache_dir, str),
@@ -179,6 +199,35 @@ class EngineSpec(Spec):
                  "cache disabled; drop it or enable persist", field="cache_dir")
         _require(isinstance(self.track_deltas, bool),
                  "'track_deltas' must be a boolean", field="track_deltas")
+        from repro.entropy.estimators import ESTIMATORS
+
+        _require(self.estimator in ESTIMATORS,
+                 f"unknown estimator {self.estimator!r}; known: "
+                 + ", ".join(sorted(ESTIMATORS)), field="estimator")
+        _require(self.estimator == "mle" or self.engine in ESTIMATOR_ENGINES,
+                 f"'estimator' {self.estimator!r} only applies to engines "
+                 + "/".join(repr(e) for e in ESTIMATOR_ENGINES)
+                 + f"; engine {self.engine!r} computes plug-in entropies",
+                 field="estimator")
+        _require(self.sample_rows is None
+                 or (_is_int(self.sample_rows) and self.sample_rows >= 1),
+                 "'sample_rows' must be an integer >= 1 or null",
+                 field="sample_rows")
+        _require(self.confidence is None
+                 or (_is_number(self.confidence) and 0 < self.confidence < 1),
+                 "'confidence' must be a number in (0, 1) or null",
+                 field="confidence")
+        _require(self.sample_seed is None
+                 or (_is_int(self.sample_seed) and self.sample_seed >= 0),
+                 "'sample_seed' must be an integer >= 0 or null",
+                 field="sample_seed")
+        for name, value in (("sample_rows", self.sample_rows),
+                            ("confidence", self.confidence),
+                            ("sample_seed", self.sample_seed)):
+            _require(value is None or self.engine == "approx",
+                     f"'{name}' only applies to engine 'approx'; engine "
+                     f"{self.engine!r} always evaluates the full relation",
+                     field=name)
         return self
 
     @classmethod
@@ -217,6 +266,10 @@ class EngineSpec(Spec):
             # asked to disable them.
             raise SpecError("'persist' must be a boolean (JSON true/false)",
                             field="persist")
+        estimator = payload.get("estimator", base.estimator)
+        if not isinstance(estimator, str):
+            raise SpecError("'estimator' must be an estimator name string",
+                            field="estimator")
         return cls(
             engine=engine,
             block_size=block_size,
@@ -226,6 +279,13 @@ class EngineSpec(Spec):
             # required to be None otherwise by validate()).
             cache_dir=base.cache_dir if persist else None,
             track_deltas=base.track_deltas,
+            estimator=estimator,
+            sample_rows=_int_or_error(payload, "sample_rows", base.sample_rows,
+                                      "'sample_rows' must be an integer"),
+            confidence=_float_or_error(payload, "confidence", base.confidence,
+                                       "'confidence' must be a number"),
+            sample_seed=_int_or_error(payload, "sample_seed", base.sample_seed,
+                                      "'sample_seed' must be an integer"),
         ).validate()
 
     def provenance(self) -> dict:
@@ -239,12 +299,39 @@ class EngineSpec(Spec):
         * ``persist`` / ``cache_dir`` are excluded — pure caching knobs
           (whether and where entropies are cached, never their values);
           stamping them would make the CLI's persist-by-default artefacts
-          diff-warn against default library/serve runs of identical data.
+          diff-warn against default library/serve runs of identical data;
+        * the sampling knobs (``estimator``, ``sample_rows``,
+          ``confidence``, ``sample_seed``) are stamped only for the
+          engines they apply to — on exact engines they are pinned to
+          their inert defaults by ``validate()``, and stamping them there
+          would diff-warn every pre-existing artefact.  For ``approx``
+          the *resolved* defaults are stamped (not ``None``), so the
+          artefact records the actual sample configuration that produced
+          it even if engine defaults change later.
         """
         out = self.to_dict()
         out.pop("track_deltas")
         out.pop("persist")
         out.pop("cache_dir")
+        if self.engine not in ESTIMATOR_ENGINES:
+            out.pop("estimator")
+        if self.engine == "approx":
+            from repro.approx.engine import (
+                DEFAULT_CONFIDENCE,
+                DEFAULT_SAMPLE_ROWS,
+                DEFAULT_SAMPLE_SEED,
+            )
+
+            if out["sample_rows"] is None:
+                out["sample_rows"] = DEFAULT_SAMPLE_ROWS
+            if out["confidence"] is None:
+                out["confidence"] = DEFAULT_CONFIDENCE
+            if out["sample_seed"] is None:
+                out["sample_seed"] = DEFAULT_SAMPLE_SEED
+        else:
+            out.pop("sample_rows")
+            out.pop("confidence")
+            out.pop("sample_seed")
         return out
 
     # ------------------------------------------------------------------ #
@@ -268,6 +355,10 @@ class EngineSpec(Spec):
             workers=self.workers,
             persist=self.persist,
             cache_dir=self.cache_dir,
+            estimator=self.estimator,
+            sample_rows=self.sample_rows,
+            confidence=self.confidence,
+            sample_seed=self.sample_seed,
         )
 
     def make_maimon(self, relation, optimized: bool = True,
@@ -295,13 +386,18 @@ class DataSpec(Spec):
 
     Exactly one of ``csv`` (a file path) or ``dataset`` (a built-in
     Table 2 surrogate name) must be set.  ``scale`` applies to surrogate
-    row counts; ``max_rows`` caps either source.
+    row counts; ``max_rows`` caps either source (a *prefix* of the rows).
+    ``sample`` instead draws a uniform row sample without replacement,
+    deterministic in ``seed`` — spec-driven sampling is reproducible end
+    to end (``Relation.sample_rows`` takes the seed straight through).
     """
 
     csv: Optional[str] = None
     dataset: Optional[str] = None
     scale: float = 0.01
     max_rows: Optional[int] = None
+    sample: Optional[int] = None
+    seed: int = 0
 
     def validate(self) -> "DataSpec":
         _require((self.csv is None) != (self.dataset is None),
@@ -316,6 +412,14 @@ class DataSpec(Spec):
         _require(self.max_rows is None
                  or (_is_int(self.max_rows) and self.max_rows >= 1),
                  "'max_rows' must be an integer >= 1 or null", field="max_rows")
+        _require(self.sample is None
+                 or (_is_int(self.sample) and self.sample >= 1),
+                 "'sample' must be an integer >= 1 or null", field="sample")
+        _require(_is_int(self.seed) and self.seed >= 0,
+                 "'seed' must be an integer >= 0", field="seed")
+        _require(self.seed == 0 or self.sample is not None,
+                 "'seed' has no effect without 'sample'; drop it or set a "
+                 "sample size", field="seed")
         return self
 
     def load(self):
@@ -324,12 +428,16 @@ class DataSpec(Spec):
         if self.dataset is not None:
             from repro.data import datasets
 
-            return datasets.load(
+            relation = datasets.load(
                 self.dataset, scale=self.scale, max_rows=self.max_rows
             )
-        from repro.data.loaders import from_csv
+        else:
+            from repro.data.loaders import from_csv
 
-        return from_csv(self.csv, max_rows=self.max_rows)
+            relation = from_csv(self.csv, max_rows=self.max_rows)
+        if self.sample is not None and self.sample < relation.n_rows:
+            relation = relation.sample_rows(self.sample, seed=self.seed)
+        return relation
 
 
 # --------------------------------------------------------------------- #
@@ -369,6 +477,8 @@ def _float_or_error(payload: dict, key: str, default, message: str):
 
 def _int_or_error(payload: dict, key: str, default, message: str):
     value = payload.get(key, default)
+    if value is None:
+        return None
     if isinstance(value, bool):
         raise SpecError(message, field=key)
     try:

@@ -1,0 +1,124 @@
+"""Deterministic row samples for the approximate entropy engine.
+
+One sample per ``(relation, size, seed, method)`` serves *every* entropy
+query of a mining run — re-sampling per query would both cost more than it
+saves and break the coherence of the interval arithmetic (all H terms of a
+measure must come from the same rows, or the deviations no longer cancel).
+
+Samples are cached in a small module-level LRU keyed by the relation's
+content fingerprint (:func:`repro.exec.persist.relation_fingerprint`), so
+several oracles over the same data — a CLI run plus its verification pass,
+or warm serving sessions with different ε — share one materialised sample
+instead of re-drawing it.
+
+Two draw methods:
+
+* ``uniform`` — :meth:`~repro.data.relation.Relation.sample_rows`: uniform
+  without replacement, deterministic in the seed.  This is the default and
+  the one the bounds in :mod:`repro.approx.bounds` are stated for.
+* ``stratified`` — proportional allocation over the groups of one column
+  (the highest-cardinality one by default).  Guarantees every frequent
+  stratum is represented, which stabilises estimates on heavily skewed
+  relations; allocation is largest-remainder so the total is exactly ``k``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.data.relation import Relation
+from repro.exec.persist import relation_fingerprint
+
+#: Materialised samples kept warm; each is ``sample_rows`` rows, so the
+#: cap bounds memory at a few samples' worth regardless of caller count.
+_CACHE_CAPACITY = 4
+
+_cache: "OrderedDict[Tuple[str, int, int, str], Relation]" = OrderedDict()
+
+
+def clear_sample_cache() -> None:
+    """Drop every cached sample (tests; memory pressure)."""
+    _cache.clear()
+
+
+def stratified_sample(
+    relation: Relation,
+    k: int,
+    seed: int = 0,
+    column: Optional[int] = None,
+) -> Relation:
+    """Proportionally stratified row sample over one column's groups.
+
+    Each group of rows agreeing on ``column`` contributes rows in
+    proportion to its size (largest-remainder rounding, so exactly ``k``
+    rows come back); within a group the draw is uniform without
+    replacement, deterministic in ``seed``.  Row order is preserved, like
+    :meth:`Relation.sample_rows`.
+    """
+    n = relation.n_rows
+    if k >= n or relation.n_cols == 0:
+        return relation.sample_rows(k, seed=seed)
+    if column is None:
+        # Highest-cardinality column: the most structure to preserve.
+        column = max(
+            range(relation.n_cols), key=lambda j: relation.distinct_count({j})
+        )
+    ids, n_groups = relation.group_ids({column})
+    sizes = np.bincount(ids, minlength=n_groups)
+    exact = sizes * (k / n)
+    alloc = np.floor(exact).astype(np.int64)
+    shortfall = k - int(alloc.sum())
+    if shortfall > 0:
+        # Largest remainders get the leftover rows (ties by group id).
+        order = np.argsort(-(exact - alloc), kind="stable")
+        alloc[order[:shortfall]] += 1
+    alloc = np.minimum(alloc, sizes)
+    rng = np.random.default_rng(seed)
+    picked = []
+    row_idx = np.argsort(ids, kind="stable")  # rows grouped by stratum
+    bounds = np.concatenate(([0], np.cumsum(sizes)))
+    for g in range(n_groups):
+        take = int(alloc[g])
+        if take == 0:
+            continue
+        members = row_idx[bounds[g]:bounds[g + 1]]
+        if take >= len(members):
+            picked.append(members)
+        else:
+            picked.append(rng.choice(members, size=take, replace=False))
+    sel = np.concatenate(picked) if picked else np.empty(0, dtype=np.int64)
+    sel.sort()
+    return relation.take_rows(sel)
+
+
+def get_sample(
+    relation: Relation,
+    k: int,
+    seed: int = 0,
+    method: str = "uniform",
+) -> Relation:
+    """The shared sample of ``relation`` (cached per content fingerprint).
+
+    ``k >= n_rows`` returns a full copy (and is still cached: the engine
+    treats that case as exact, but callers shouldn't pay the copy twice).
+    """
+    if method not in ("uniform", "stratified"):
+        raise ValueError(
+            f"unknown sample method {method!r}; expected 'uniform' or 'stratified'"
+        )
+    key = (relation_fingerprint(relation), int(k), int(seed), method)
+    cached = _cache.get(key)
+    if cached is not None:
+        _cache.move_to_end(key)
+        return cached
+    if method == "stratified":
+        sample = stratified_sample(relation, k, seed=seed)
+    else:
+        sample = relation.sample_rows(k, seed=seed)
+    _cache[key] = sample
+    while len(_cache) > _CACHE_CAPACITY:
+        _cache.popitem(last=False)
+    return sample

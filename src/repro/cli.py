@@ -14,6 +14,8 @@ Commands
 ``bench``       exec-subsystem scalability bench (writes ``BENCH_exec.json``);
 ``delta-bench`` warm append+re-mine vs cold full re-mine
                 (``BENCH_delta.json``, see :mod:`repro.delta`);
+``approx-bench`` approx (sampled + escalation) vs exact mining at scale
+                (``BENCH_scale.json``, see :mod:`repro.approx`);
 ``datasets``    list the built-in dataset surrogates (Table 2 registry).
 
 All data commands take ``--workers N`` (parallel entropy evaluation over a
@@ -70,6 +72,10 @@ def _engine_spec(args) -> api.EngineSpec:
         workers=_default(args.workers, 1),
         persist=not args.no_persist,
         cache_dir=args.cache_dir,
+        estimator=_default(getattr(args, "estimator", None), "mle"),
+        sample_rows=getattr(args, "sample_rows", None),
+        confidence=getattr(args, "confidence", None),
+        sample_seed=getattr(args, "sample_seed", None),
     )
 
 
@@ -79,6 +85,8 @@ def _data_spec(args) -> api.DataSpec:
         dataset=args.dataset,
         scale=_default(args.scale, 0.01),
         max_rows=args.max_rows,
+        sample=getattr(args, "sample", None),
+        seed=_default(getattr(args, "seed", None), 0),
     )
 
 
@@ -379,6 +387,46 @@ def cmd_delta_bench(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_approx_bench(args) -> int:
+    """Approx-vs-exact scaling bench (repro.approx); ``BENCH_scale.json``."""
+    from repro.bench.harness import approx_scale_benchmark, write_bench_json
+
+    payload = approx_scale_benchmark(
+        rows_list=tuple(args.rows),
+        n_cols=args.cols,
+        eps=args.eps,
+        sample_rows=args.sample_rows,
+        confidence=args.confidence,
+        seed=args.seed,
+    )
+    table = Table(
+        f"Approx vs exact mining (markov_tree, eps={args.eps}, "
+        f"sample={args.sample_rows})",
+        ["rows", "approx_s", "exact_s", "speedup", "approx_rows_per_s",
+         "escalations", "exact_evals", "agreement"],
+    )
+    for r in payload["runs"]:
+        table.add(r)
+    table.show()
+    path = write_bench_json(payload, args.json)
+    print(f"wrote {path}")
+    # Correctness is gated (CI runs this with small sizes): the approx arm
+    # must reproduce the exact arm's output, and must actually have used
+    # the escalation path (zero escalations would mean the intervals were
+    # never exercised at the boundary — a silently degenerate run).
+    # Speedup is reported, not gated: timing- and host-dependent.
+    failed = False
+    for r in payload["runs"]:
+        if not r["agreement"]:
+            print(f"AGREEMENT FAILURE: approx and exact mining diverged at "
+                  f"{r['rows']} rows")
+            failed = True
+    if all(r["escalations"] == 0 for r in payload["runs"]):
+        print("ESCALATION FAILURE: no run escalated a single decision")
+        failed = True
+    return 1 if failed else 0
+
+
 def cmd_serve_bench(args) -> int:
     """Cold-vs-warm serving bench; writes ``BENCH_serve.json``."""
     from repro.bench.harness import serve_benchmark, write_bench_json
@@ -474,6 +522,11 @@ def _common_input_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--scale", type=float, default=None,
                    help="row scale for --dataset (default 0.01)")
     p.add_argument("--max-rows", type=int, default=None)
+    p.add_argument("--sample", type=int, default=None,
+                   help="mine a uniform row sample of this size (unsound for "
+                        "MVDs — prefer --engine approx; see repro.approx)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="seed for --sample (default 0)")
     _engine_arg(p)
     _exec_args(p)
     _config_args(p)
@@ -490,11 +543,24 @@ def _config_args(p: argparse.ArgumentParser) -> None:
 
 
 def _engine_arg(p: argparse.ArgumentParser) -> None:
-    # All three make_oracle engines, including the Section 6.3 SQL arm.
+    # All make_oracle engines, including the Section 6.3 SQL arm and the
+    # sampled approx arm (repro.approx).
     # Request flags default to None ("not given") so --config can reject
     # explicitly-passed flags; the real defaults live at the compile step.
-    p.add_argument("--engine", choices=["pli", "naive", "sql"], default=None,
-                   help="entropy engine (default pli)")
+    p.add_argument("--engine",
+                   choices=["pli", "naive", "sql", "estimated", "approx"],
+                   default=None, help="entropy engine (default pli)")
+    p.add_argument("--estimator",
+                   choices=["mle", "miller_madow", "jackknife"], default=None,
+                   help="entropy estimator for --engine estimated/approx "
+                        "(default mle)")
+    p.add_argument("--sample-rows", type=int, default=None,
+                   help="--engine approx: sample size (default 100000)")
+    p.add_argument("--confidence", type=float, default=None,
+                   help="--engine approx: per-decision confidence in (0,1) "
+                        "(default 0.95)")
+    p.add_argument("--sample-seed", type=int, default=None,
+                   help="--engine approx: sampling seed (default 0)")
 
 
 def _exec_args(p: argparse.ArgumentParser, include_workers: bool = True) -> None:
@@ -592,6 +658,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--json", default="BENCH_delta.json")
     p.set_defaults(func=cmd_delta_bench)
+
+    p = sub.add_parser(
+        "approx-bench",
+        help="approx vs exact mining at scale (BENCH_scale.json)",
+    )
+    p.add_argument("--rows", type=int, nargs="+",
+                   default=[100000, 1000000, 10000000],
+                   help="row counts of the markov_tree surrogates")
+    p.add_argument("--cols", type=int, default=8)
+    p.add_argument("--eps", type=float, default=0.1)
+    p.add_argument("--sample-rows", type=int, default=50000,
+                   help="approx engine sample size")
+    p.add_argument("--confidence", type=float, default=0.95)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--json", default="BENCH_scale.json")
+    p.set_defaults(func=cmd_approx_bench)
 
     p = sub.add_parser(
         "serve-bench",

@@ -27,9 +27,9 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Tuple
 
-from repro.common import TOL, attrset
+from repro.common import attrset
 from repro.core.budget import SearchBudget, ensure_budget
-from repro.core.measures import j_measure
+from repro.core.measures import satisfies
 from repro.core.mvd import MVD
 from repro.entropy.oracle import EntropyOracle
 
@@ -85,16 +85,16 @@ def pairwise_consistent(
             index_pairs = [
                 (i, j) for i in range(len(deps)) for j in range(i + 1, len(deps))
             ]
-            mis = oracle.mutual_informations(
-                [(deps[i], deps[j], key) for i, j in index_pairs]
+            verdicts = oracle.mis_exceed(
+                [(deps[i], deps[j], key) for i, j in index_pairs], eps
             )
             violating = next(
-                (ij for ij, mi in zip(index_pairs, mis) if mi > eps + TOL), None
+                (ij for ij, v in zip(index_pairs, verdicts) if v), None
             )
         else:
             for i in range(len(deps)):
                 for j in range(i + 1, len(deps)):
-                    if oracle.mutual_information(deps[i], deps[j], key) > eps + TOL:
+                    if oracle.mi_exceeds(deps[i], deps[j], key, eps):
                         violating = (i, j)
                         break
                 if violating:
@@ -173,7 +173,7 @@ def get_full_mvds(
             break
         phi = stack.pop()
         budget.tick()
-        if j_measure(oracle, phi) <= eps + TOL:
+        if satisfies(oracle, phi, eps):
             out.append(phi)
             continue
         for nbr in neighbors(phi, pair):

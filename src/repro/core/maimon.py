@@ -261,7 +261,7 @@ class Maimon:
         oracle tracks them.
         """
         out = {"queries": self.oracle.queries, "evals": self.oracle.evals}
-        for extra in ("persist_hits", "prefetched"):
+        for extra in ("persist_hits", "prefetched", "escalations", "exact_evals"):
             value = getattr(self.oracle, extra, None)
             if value is not None:
                 out[extra] = value

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, Iterable, Sequence, Tuple
 
-from repro.common import TOL, attrset
+from repro.common import attrset
 from repro.core.mvd import MVD
 from repro.entropy.oracle import EntropyOracle
 
@@ -48,8 +48,14 @@ def j_measure(oracle: EntropyOracle, mvd: MVD) -> float:
 
 
 def satisfies(oracle: EntropyOracle, mvd: MVD, eps: float) -> bool:
-    """``R |=ε phi``: the J-measure is within the threshold (plus tolerance)."""
-    return j_measure(oracle, mvd) <= eps + TOL
+    """``R |=ε phi``: the J-measure is within the threshold (plus tolerance).
+
+    Routed through the oracle's decision interface so engines that answer
+    from estimates (:mod:`repro.approx`) can escalate boundary cases to an
+    exact evaluation; exact oracles compute ``j_measure(...) <= eps + TOL``
+    verbatim.
+    """
+    return oracle.j_le(mvd, eps)
 
 
 def j_of_join_tree(

@@ -26,7 +26,6 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.common import TOL
 from repro.core.budget import SearchBudget, ensure_budget
 from repro.core.fullmvd import key_separates
 from repro.entropy.oracle import EntropyOracle
@@ -116,9 +115,11 @@ def iter_min_seps(
         return
     # Fast gate (Fig. 5 line 3): the most favourable key is Omega - {A,B};
     # J(Omega-AB ->> A|B) = I(A; B | Omega-AB).  If even that exceeds eps,
-    # no separator exists (Eq. 8).  The batched form ships the four H
-    # terms together on a parallel oracle.
-    if oracle.mutual_informations([({a}, {b}, universe)])[0] > eps + TOL:
+    # no separator exists (Eq. 8).  The decision routes through the oracle
+    # (exact compare, or interval + escalation on the approx engine); the
+    # batched form still ships the four H terms together on a parallel
+    # oracle.
+    if oracle.mis_exceed([({a}, {b}, universe)], eps)[0]:
         return
     found: set = set()
     first = reduce_min_sep(oracle, eps, universe, pair, optimized=optimized, budget=budget)

@@ -130,6 +130,36 @@ class _FragmentOracle:
             ]
         )
 
+    # Decision interface: clip and delegate, so estimate-answering engines
+    # (repro.approx) keep their interval/escalation behaviour on fragments.
+
+    def mi_exceeds(self, ys, zs, xs, eps: float) -> bool:
+        return self._base.mi_exceeds(
+            attrset(ys) & self._fragment,
+            attrset(zs) & self._fragment,
+            attrset(xs) & self._fragment,
+            eps,
+        )
+
+    def mis_exceed(self, triples, eps: float):
+        return self._base.mis_exceed(
+            [
+                (
+                    attrset(ys) & self._fragment,
+                    attrset(zs) & self._fragment,
+                    attrset(xs) & self._fragment,
+                )
+                for ys, zs, xs in triples
+            ],
+            eps,
+        )
+
+    def j_le(self, mvd, eps: float) -> bool:
+        # MVDs searched over this view live inside the fragment universe
+        # (their key and dependents partition subsets of it), so no
+        # clipping is needed — delegate the decision wholesale.
+        return self._base.j_le(mvd, eps)
+
     def prefetch(self, requests) -> int:
         return self._base.prefetch(attrset(a) & self._fragment for a in requests)
 

@@ -409,9 +409,14 @@ class Relation:
         return self.take_rows(range(min(k, self.n_rows)))
 
     def sample_rows(self, k: int, seed: int = 0) -> "Relation":
-        """Uniform row sample without replacement."""
+        """Uniform row sample without replacement, deterministic in ``seed``.
+
+        Always returns a *new* relation, never ``self`` — callers mutate or
+        cache samples independently of the source (``k >= n_rows`` yields a
+        full copy in row order).
+        """
         if k >= self.n_rows:
-            return self
+            return self.take_rows(np.arange(self.n_rows, dtype=np.int64))
         rng = np.random.default_rng(seed)
         sel = rng.choice(self.n_rows, size=k, replace=False)
         sel.sort()

@@ -20,20 +20,23 @@ measured and mitigated:
   ``N * H_mle - (N - 1) * mean(H_loo)``, computed in closed form from the
   count vector.
 
-:class:`EstimatedEntropyEngine` exposes any of them through the standard
-engine interface, so an oracle (and thus the whole miner) can run on
-bias-corrected entropies.
+:class:`EstimatedEntropyEngine` exposes any of them through the modern
+engine interface (mask-keyed memo, batch evaluation, ``advance`` /
+``reset_stats``), so an oracle (and thus the whole miner) can run on
+bias-corrected entropies — reachable as ``EngineSpec(engine="estimated",
+estimator=...)`` — and the approximate subsystem (:mod:`repro.approx`) can
+run it over a row sample as its estimate tier.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, FrozenSet
+from typing import Callable, Dict, Iterable, NamedTuple
 
 import numpy as np
 
-from repro.common import attrset
 from repro.data.relation import Relation
+from repro.lattice import AttrSet, mask_of
 
 LN2 = math.log(2.0)
 
@@ -92,14 +95,54 @@ ESTIMATORS: Dict[str, Callable[[np.ndarray, int], float]] = {
 }
 
 
+class EntropySample(NamedTuple):
+    """One estimated entropy plus the count-vector statistics bounds need.
+
+    ``value`` is the chosen estimator's output; ``h_mle`` the plain plug-in
+    estimate on the same counts; ``support`` the observed number of
+    distinct values ``K``; ``n`` the rows the counts were taken over; and
+    ``var`` the plug-in variance proxy ``sum p*log2(p)^2 - H_mle^2`` that
+    the CLT-style deviation radius in :mod:`repro.approx.bounds` uses.
+    """
+
+    value: float
+    h_mle: float
+    support: int
+    n: int
+    var: float
+
+
+def sample_moments(counts: np.ndarray, n: int, estimator: str = "mle") -> EntropySample:
+    """Full :class:`EntropySample` of a count vector under an estimator."""
+    fn = ESTIMATORS[estimator]
+    if n <= 0:
+        return EntropySample(0.0, 0.0, 0, 0, 0.0)
+    positive = counts[counts > 0].astype(np.float64)
+    p = positive / n
+    log2p = np.log2(p)
+    h_mle = float(max(0.0, -np.dot(p, log2p)))
+    var = float(max(0.0, np.dot(p, log2p * log2p) - h_mle * h_mle))
+    value = h_mle if estimator == "mle" else fn(counts, n)
+    return EntropySample(value, h_mle, int(len(positive)), int(n), var)
+
+
 class EstimatedEntropyEngine:
     """Entropy engine applying a bias-corrected estimator per query.
 
     Groups rows like the naive engine but feeds the full count vector
     (singletons included — the corrections need the observed support size)
-    to the chosen estimator.  Intended for studying sampling effects; the
-    mining theory (Shannon inequalities) holds exactly only for the MLE
-    estimate, so corrected engines are for diagnostics, not guarantees.
+    to the chosen estimator.  Implements the modern engine interface
+    (mask-keyed memo, :meth:`entropies_of` batch, ``advance`` /
+    ``reset_stats``), so it is a first-class ``make_oracle`` arm
+    (``engine="estimated"``) and the sampled estimate tier of
+    :class:`repro.approx.engine.ApproxEntropyEngine`.
+
+    The mining theory (Shannon inequalities) holds exactly only for the
+    MLE estimate, so corrected engines are for diagnostics and for
+    interval centring, not guarantees.  A non-MLE engine also declares
+    ``tracker_compatible = False`` — the delta tracker maintains *plug-in*
+    entropies, so patching a corrected memo with it would silently change
+    the estimator under the caller.
     """
 
     def __init__(self, relation: Relation, estimator: str = "miller_madow"):
@@ -110,18 +153,47 @@ class EstimatedEntropyEngine:
             raise ValueError(f"unknown estimator {estimator!r}; known: {known}") from None
         self.relation = relation
         self.estimator = estimator
-        self._memo: Dict[FrozenSet[int], float] = {}
+        #: Delta tracking maintains plug-in entropies; only the MLE arm
+        #: matches them (see repro.entropy.oracle.enable_delta_tracking).
+        self.tracker_compatible = estimator == "mle"
+        self._memo: Dict[int, EntropySample] = {}  # keyed by AttrSet bitmask
+        self.evals = 0  # count-vector evaluations (memo misses)
 
-    def entropy_of(self, attrs: FrozenSet[int]) -> float:
-        attrs = attrset(attrs)
-        cached = self._memo.get(attrs)
+    def estimate_of(self, attrs) -> EntropySample:
+        """Estimate plus count statistics for ``attrs`` (memoised)."""
+        m = attrs.mask if type(attrs) is AttrSet else mask_of(attrs)
+        cached = self._memo.get(m)
         if cached is not None:
             return cached
+        self.evals += 1
         n = self.relation.n_rows
-        if n == 0 or not attrs:
-            value = 0.0
+        if n == 0 or m == 0:
+            sample = EntropySample(0.0, 0.0, 1 if n else 0, n, 0.0)
         else:
-            counts = self.relation.group_sizes(attrs)
-            value = self._fn(counts, n)
-        self._memo[attrs] = value
-        return value
+            counts = self.relation.group_sizes(AttrSet.from_mask(m))
+            sample = sample_moments(counts, n, self.estimator)
+        self._memo[m] = sample
+        return sample
+
+    def entropy_of(self, attrs) -> float:
+        """Estimated entropy in bits of the attribute set ``attrs``."""
+        return self.estimate_of(attrs).value
+
+    def entropies_of(self, requests: Iterable) -> Dict[AttrSet, float]:
+        """Batch form of :meth:`entropy_of` (one dict, duplicates collapse)."""
+        out: Dict[AttrSet, float] = {}
+        for attrs in requests:
+            a = attrs if type(attrs) is AttrSet else AttrSet.from_mask(mask_of(attrs))
+            out[a] = self.estimate_of(a).value
+        return out
+
+    def reset_stats(self) -> None:
+        self.evals = 0
+
+    def advance(self, new_relation: Relation) -> None:
+        """Move to a new version of the relation, dropping every estimate.
+
+        Count vectors are row-bound state; the contract under evolution is
+        simply to never serve a stale estimate."""
+        self.relation = new_relation
+        self._memo.clear()

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence, Tuple, Union
 
+from repro.common import TOL
 from repro.data.relation import Relation
 from repro.entropy.naive import NaiveEntropyEngine
 from repro.entropy.plicache import PLICacheEngine
@@ -122,6 +123,42 @@ class EntropyOracle:
         )
 
     # ------------------------------------------------------------------ #
+    # Decision interface (threshold comparisons)
+    # ------------------------------------------------------------------ #
+    #
+    # The miners never consume raw measure *values* on their control
+    # paths — they compare against ε.  Routing those comparisons through
+    # the oracle lets engines that answer from estimates (repro.approx)
+    # decide confidently where they can and re-evaluate exactly where
+    # they cannot, while every exact engine keeps the bit-identical
+    # semantics of the inline comparison these methods replace.
+
+    def mi_exceeds(self, ys: AttrsLike, zs: AttrsLike, xs: AttrsLike, eps: float) -> bool:
+        """Decide ``I(Y; Z | X) > eps`` (with the shared TOL slack)."""
+        return self.mutual_information(ys, zs, xs) > eps + TOL
+
+    def mis_exceed(self, triples: Sequence[MITriple], eps: float) -> List[bool]:
+        """Batched :meth:`mi_exceeds`, one verdict per triple, in order."""
+        return [mi > eps + TOL for mi in self.mutual_informations(triples)]
+
+    def j_le(self, mvd, eps: float) -> bool:
+        """Decide ``R |=ε mvd``: is ``J(X ->> Y1|...|Ym) <= eps`` (+TOL)?
+
+        Same formula as :func:`repro.core.measures.j_measure`, inlined on
+        raw masks (this is the innermost decision of the full-MVD DFS).
+        """
+        key_mask = mvd.key.mask
+        total = 0.0
+        everything = key_mask
+        for d in mvd.dependents:
+            dm = d.mask
+            total += self.entropy_mask(key_mask | dm)
+            everything |= dm
+        total -= (mvd.m - 1) * self.entropy_mask(key_mask)
+        total -= self.entropy_mask(everything)
+        return total <= eps + TOL
+
+    # ------------------------------------------------------------------ #
     # Batched interface (serial reference implementations)
     # ------------------------------------------------------------------ #
 
@@ -201,7 +238,15 @@ class EntropyOracle:
         the memo after an append instead of clearing it.  Costs memory
         proportional to the distinct groups per evaluated set; one-shot
         runs should leave it off.
+
+        Engines whose values are not the plug-in entropy (bias-corrected
+        estimators, sampled estimates) decline tracking: the tracker
+        maintains *plug-in* entropies, so patching their memo with it
+        would silently change the estimator.  Appends on such oracles
+        fall back to rebuild-on-advance.
         """
+        if not getattr(self.engine, "tracker_compatible", True):
+            return
         if self._tracker is None:
             from repro.delta.tracker import DeltaTracker
 
@@ -275,13 +320,21 @@ def make_oracle(
     workers: int = 1,
     persist: bool = False,
     cache_dir=None,
+    estimator: str = "mle",
+    sample_rows=None,
+    confidence=None,
+    sample_seed=None,
 ) -> EntropyOracle:
     """Construct an oracle with a named engine.
 
     ``"pli"`` (default) — numpy stripped partitions with the block cache;
     ``"naive"`` — fresh group-by per query;
     ``"sql"`` — the Section 6.3 CNT/TID queries on the mini SQL engine
-    (row-store speeds; fidelity/ablation arm).
+    (row-store speeds; fidelity/ablation arm);
+    ``"estimated"`` — bias-corrected estimators on the full relation
+    (:mod:`repro.entropy.estimators`; diagnostics arm);
+    ``"approx"`` — sampled estimates with confidence intervals and exact
+    escalation at decision boundaries (:mod:`repro.approx`).
 
     The keyword arguments are a shim over
     :class:`repro.api.specs.EngineSpec` (minus ``cross_cache_size``, an
@@ -295,11 +348,21 @@ def make_oracle(
         With ``workers > 1`` a :class:`repro.exec.batch.BatchEntropyOracle`
         is returned whose batch calls fan out over a process pool (results
         agree with the serial oracle within :data:`repro.common.TOL`).
+        For ``engine="approx"`` the pool serves the exact escalation tier.
     persist:
         Cache entropies on disk keyed by a fingerprint of the relation, so
         repeated runs on the same data skip recomputation.  ``cache_dir``
         overrides the default cache location (see
-        :mod:`repro.exec.persist`).
+        :mod:`repro.exec.persist`).  For ``engine="approx"`` persistence
+        applies to the exact escalation tier (sampled estimates are cheap
+        and never cached on disk).
+    estimator:
+        Estimator name for the ``estimated`` / ``approx`` arms (see
+        :data:`repro.entropy.estimators.ESTIMATORS`).
+    sample_rows, confidence, sample_seed:
+        ``approx``-only knobs: sample size, decision confidence level and
+        sampling seed (see :class:`repro.approx.engine.ApproxEntropyEngine`
+        for defaults).
     """
     # Imported lazily: repro.api.specs compiles back down to this function.
     from repro.api.specs import EngineSpec
@@ -310,7 +373,28 @@ def make_oracle(
         workers=workers,
         persist=persist,
         cache_dir=cache_dir,
+        estimator=estimator,
+        sample_rows=sample_rows,
+        confidence=confidence,
+        sample_seed=sample_seed,
     ).validate()
+    if engine == "approx":
+        # The approx engine is itself an oracle (it owns a sampled tier
+        # plus an exact escalation tier built through this function).
+        from repro.approx.engine import ApproxEntropyEngine
+
+        return ApproxEntropyEngine(
+            relation,
+            sample_rows=sample_rows,
+            confidence=confidence,
+            estimator=estimator,
+            sample_seed=sample_seed,
+            block_size=block_size,
+            cross_cache_size=cross_cache_size,
+            workers=workers,
+            persist=persist,
+            cache_dir=cache_dir,
+        )
     if engine == "pli":
         eng = PLICacheEngine(relation, block_size=block_size, cross_cache_size=cross_cache_size)
     elif engine == "naive":
@@ -319,9 +403,14 @@ def make_oracle(
         from repro.entropy.sqlengine import SQLEntropyEngine
 
         eng = SQLEntropyEngine(relation, block_size=block_size)
+    elif engine == "estimated":
+        from repro.entropy.estimators import EstimatedEntropyEngine
+
+        eng = EstimatedEntropyEngine(relation, estimator=estimator)
     else:
         raise ValueError(
-            f"unknown engine {engine!r}; expected 'pli', 'naive' or 'sql'"
+            f"unknown engine {engine!r}; expected 'pli', 'naive', 'sql', "
+            f"'estimated' or 'approx'"
         )
     if workers > 1 or persist:
         # Imported lazily: repro.exec builds on this module.

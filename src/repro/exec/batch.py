@@ -83,10 +83,15 @@ class BatchEntropyOracle(EntropyOracle):
         if persist:
             # Fingerprint by the *actual* front-end engine so e.g. naive-
             # and pli-engine caches never mix (they agree only within TOL).
+            # Engines that carry an estimator (repro.entropy.estimators)
+            # fold it in too — MLE and corrected caches must never mix.
+            params = (type(engine).__name__, block_size, cross_cache_size)
+            if getattr(engine, "estimator", None) is not None:
+                params += (engine.estimator,)
             self._persist = PersistentEntropyCache(
                 relation,
                 cache_dir=cache_dir,
-                params=(type(engine).__name__, block_size, cross_cache_size),
+                params=params,
             )
         self.persist_hits = 0
         self.prefetched = 0

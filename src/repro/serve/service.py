@@ -355,7 +355,8 @@ class MiningService:
     #: server-owned and rejected inside ``EngineSpec.from_request``).
     ENGINE_KEYS = frozenset({
         "engine", "workers", "persist", "block_size", "cache_dir",
-        "track_deltas",
+        "track_deltas", "estimator", "sample_rows", "confidence",
+        "sample_seed",
     })
 
     #: Spec-key aliases the transport accepts beyond the dataclass fields.

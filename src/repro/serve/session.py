@@ -27,8 +27,14 @@ from repro.api.specs import EngineSpec
 from repro.data.relation import Relation
 
 #: Hashable session key: dataset fingerprint + the EngineSpec knobs that
-#: change oracle state (engine, workers, persistence location, block size).
-SessionKey = Tuple[str, str, int, bool, Optional[str], int]
+#: change oracle state (engine, workers, persistence location, block size,
+#: and — for estimate-answering engines — estimator and sampling knobs;
+#: two configs that could return different numbers must never share a
+#: warm oracle).
+SessionKey = Tuple[
+    str, str, int, bool, Optional[str], int,
+    str, Optional[int], Optional[float], Optional[int],
+]
 
 
 class Session:
@@ -96,7 +102,8 @@ class SessionCache:
     def _session_key(dataset_id: str, spec: EngineSpec) -> SessionKey:
         """The one place a :data:`SessionKey` is built (from an EngineSpec)."""
         return (dataset_id, spec.engine, spec.workers, spec.persist,
-                spec.cache_dir, spec.block_size)
+                spec.cache_dir, spec.block_size, spec.estimator,
+                spec.sample_rows, spec.confidence, spec.sample_seed)
 
     @staticmethod
     def _spec_of(spec: Optional[EngineSpec], config: dict) -> EngineSpec:

@@ -218,9 +218,24 @@ class TestRelationalOps:
         assert s1.rows() == s2.rows()
         assert s1.n_rows == 10
 
-    def test_sample_rows_all(self):
+    def test_sample_rows_all_copies(self):
+        # k >= n_rows must return a full *copy*, never alias self: callers
+        # (repro.approx's sampler cache) mutate/cache samples independently.
         r = random_relation(3, 10, seed=1)
-        assert r.sample_rows(100, seed=0) is r
+        sample = r.sample_rows(100, seed=0)
+        assert sample is not r
+        assert sample.n_rows == r.n_rows
+        assert (sample.codes == r.codes).all()
+        assert sample.codes is not r.codes
+
+    def test_sample_rows_seed_deterministic(self):
+        r = random_relation(3, 200, seed=1)
+        a = r.sample_rows(50, seed=9)
+        b = r.sample_rows(50, seed=9)
+        c = r.sample_rows(50, seed=10)
+        assert (a.codes == b.codes).all()
+        assert a.n_rows == c.n_rows == 50
+        assert not (a.codes == c.codes).all()
 
     def test_rename(self, fig1):
         renamed = fig1.rename({"A": "alpha"})
