@@ -32,7 +32,7 @@ discussion in ``benchmarks/bench_ablation_sampling.py``).
 import pytest
 
 from benchmarks.conftest import scaled
-from repro.bench.harness import Table, approx_scale_benchmark
+from repro.bench.harness import Table, approx_scale_benchmark, kernel_benchmark
 
 
 @pytest.fixture(scope="module")
@@ -73,3 +73,43 @@ def test_approx_scale(benchmark, payload):
     # exact arm did (else sampling bought nothing).
     for r in runs:
         assert r["exact_evals"] < r["exact_engine_evals"]
+
+
+@pytest.fixture(scope="module")
+def kernel_payload():
+    return kernel_benchmark(
+        rows_list=(scaled(30_000), scaled(100_000)),
+        n_cols=8,
+        eps=0.1,
+        seed=7,
+    )
+
+
+def test_kernel_scale(benchmark, kernel_payload):
+    """Counts-first kernels: parity + no-regression vs the legacy path.
+
+    The committed 100k/1M numbers live under the ``kernels`` key of
+    ``BENCH_scale.json`` (``python -m repro kernel-bench``); this wrapper
+    re-runs the same harness at CI-sized row counts so the bit-parity and
+    regression gates fire on every run.
+    """
+    runs = benchmark.pedantic(lambda: kernel_payload["runs"], rounds=1,
+                              iterations=1)
+    table = Table(
+        "repro.kernels - dispatched counts vs legacy partitions (scaled)",
+        ["rows", "dispatch_evals_s", "legacy_evals_s", "eval_speedup",
+         "mine_fast_s", "mine_legacy_s", "mine_speedup", "parity"],
+    )
+    for r in runs:
+        table.add(r)
+    table.show()
+
+    assert runs, "benchmark produced no runs"
+    # Contract: identical mined output and bit-identical entropies per size.
+    gate = kernel_payload["gate"]
+    assert gate["passed"], f"kernel gate failures: {gate['failures']}"
+    for r in runs:
+        assert r["parity"], f"mined output diverged at {r['rows']} rows"
+        # The dispatcher must actually be choosing the O(n + K) kernel on
+        # this dense surrogate, not silently falling back to the sort path.
+        assert r["kernels"].get("bincount", 0) > 0

@@ -206,8 +206,11 @@ class ApproxEntropyEngine(EntropyOracle):
             counts = np.full(1 if n else 0, n, dtype=np.int64)
             ids = np.zeros(n, dtype=np.int64)
         else:
-            ids, n_groups = self.sample.group_ids(AttrSet.from_mask(m))
-            counts = np.bincount(ids, minlength=n_groups)
+            # Fused kernel call: dense ids and group counts from one
+            # grouping pass (the counts are needed for the moments, the
+            # ids for the per-row info vector — no separate bincount).
+            idx = self.sample.col_indices(AttrSet.from_mask(m))
+            ids, counts = self.sample.kernels.ids_and_counts(idx)
         info = -np.log2(counts[ids] / n) if n else np.zeros(0)
         if stats is None:
             stats = sample_moments(counts, n, self.engine.estimator)
@@ -423,9 +426,22 @@ class ApproxEntropyEngine(EntropyOracle):
             self._exact.advance(new_relation, delta)
         return stats
 
+    def kernel_stats(self) -> Dict[str, int]:
+        """Merged kernel-dispatch counters of both tiers.
+
+        The sampled tier groups the sample relation, the exact
+        escalation tier groups the full relation — both through
+        :mod:`repro.kernels`; their counters are summed key-wise."""
+        stats = dict(self.sample.kernels.snapshot())
+        if self._exact is not None:
+            for k, v in self._exact.kernel_stats().items():
+                stats[k] = stats.get(k, 0) + v
+        return stats
+
     def reset_stats(self) -> None:
         super().reset_stats()
         self.escalations = 0
+        self.sample.kernels.reset_stats()
         if self._exact is not None:
             self._exact.reset_stats()
 

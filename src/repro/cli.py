@@ -16,6 +16,9 @@ Commands
                 (``BENCH_delta.json``, see :mod:`repro.delta`);
 ``approx-bench`` approx (sampled + escalation) vs exact mining at scale
                 (``BENCH_scale.json``, see :mod:`repro.approx`);
+``kernel-bench`` counts-first kernel dispatch vs the legacy partition path,
+                with a parity + no-regression gate (merged into
+                ``BENCH_scale.json``, see :mod:`repro.kernels`);
 ``datasets``    list the built-in dataset surrogates (Table 2 registry).
 
 All data commands take ``--workers N`` (parallel entropy evaluation over a
@@ -427,6 +430,47 @@ def cmd_approx_bench(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_kernel_bench(args) -> int:
+    """Counts-first kernel vs legacy partition bench; merges BENCH_scale.json."""
+    import json as _json
+    import os as _os
+
+    from repro.bench.harness import kernel_benchmark, write_bench_json
+
+    payload = kernel_benchmark(
+        rows_list=tuple(args.rows),
+        n_cols=args.cols,
+        eps=args.eps,
+        seed=args.seed,
+    )
+    table = Table(
+        f"Kernel dispatch vs legacy partitions (markov_tree, eps={args.eps}, "
+        f"numba={'on' if payload['numba'] else 'off'})",
+        ["rows", "dispatch_evals_s", "legacy_evals_s", "eval_speedup",
+         "mine_fast_s", "mine_legacy_s", "mine_speedup", "exact_rows_per_s",
+         "parity"],
+    )
+    for r in payload["runs"]:
+        table.add(r)
+    table.show()
+    # The scale-bench JSON is shared with approx-bench: fold this payload in
+    # under a "kernels" key so the existing approx trajectory fields stay
+    # byte-for-byte comparable across runs, rather than replacing the file.
+    if _os.path.exists(args.json):
+        with open(args.json) as fh:
+            merged = _json.load(fh)
+        merged["kernels"] = payload
+        path = write_bench_json(merged, args.json)
+    else:
+        path = write_bench_json(payload, args.json)
+    print(f"wrote {path}")
+    # Gate: mined outputs must be identical across paths and the dispatcher
+    # must never lose to the legacy sort kernel on the reference workload.
+    for failure in payload["gate"]["failures"]:
+        print(f"KERNEL GATE FAILURE: {failure}")
+    return 0 if payload["gate"]["passed"] else 1
+
+
 def cmd_serve_bench(args) -> int:
     """Cold-vs-warm serving bench; writes ``BENCH_serve.json``."""
     from repro.bench.harness import serve_benchmark, write_bench_json
@@ -674,6 +718,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--json", default="BENCH_scale.json")
     p.set_defaults(func=cmd_approx_bench)
+
+    p = sub.add_parser(
+        "kernel-bench",
+        help="counts-first kernels vs legacy partition path (BENCH_scale.json)",
+    )
+    p.add_argument("--rows", type=int, nargs="+", default=[100000, 1000000],
+                   help="row counts of the markov_tree surrogates")
+    p.add_argument("--cols", type=int, default=8)
+    p.add_argument("--eps", type=float, default=0.1)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--json", default="BENCH_scale.json")
+    p.set_defaults(func=cmd_kernel_bench)
 
     p = sub.add_parser(
         "serve-bench",

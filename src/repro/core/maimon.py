@@ -70,6 +70,14 @@ class Maimon:
     engine, block_size, workers, persist, cache_dir, track_deltas:
         See :class:`~repro.api.specs.EngineSpec` for meanings, defaults
         and the validation rules.
+    oracle:
+        A pre-built :class:`~repro.entropy.oracle.EntropyOracle` to mine
+        with, bypassing ``spec.make_oracle``.  For callers that need
+        engine knobs the spec does not model — e.g. a
+        :class:`~repro.entropy.plicache.PLICacheEngine` with
+        ``counts_fast_path=False`` for kernel-parity runs.  The spec (or
+        the engine keywords) is still validated and recorded, so sessions
+        report a coherent configuration.
 
     Example
     -------
@@ -90,6 +98,7 @@ class Maimon:
         cache_dir=None,
         track_deltas: bool = False,
         spec=None,
+        oracle: Optional[EntropyOracle] = None,
     ):
         # Imported here: repro.api builds on this module (io -> maimon).
         from repro.api.specs import EngineSpec
@@ -105,7 +114,9 @@ class Maimon:
             )
         self.spec: "EngineSpec" = spec.validate()
         self.relation = relation
-        self.oracle: EntropyOracle = self.spec.make_oracle(relation)
+        self.oracle: EntropyOracle = (
+            oracle if oracle is not None else self.spec.make_oracle(relation)
+        )
         if self.spec.track_deltas:
             self.oracle.enable_delta_tracking()
         self.optimized = optimized
@@ -267,6 +278,9 @@ class Maimon:
                 out[extra] = value
         if self.oracle.tracks_deltas:
             out["patched"] = self.oracle.patched
+        kernels = self.oracle.kernel_stats()
+        if kernels and sum(kernels.values()):
+            out["kernels"] = kernels
         return out
 
     def reset_counters(self) -> None:

@@ -134,7 +134,9 @@ class Relation:
         Optional human-readable dataset name (used in benches and reports).
     """
 
-    __slots__ = ("codes", "columns", "domains", "name", "_col_index", "_radix", "_cards")
+    __slots__ = (
+        "codes", "columns", "domains", "name", "_col_index", "_radix", "_cards", "_kernel"
+    )
 
     def __init__(
         self,
@@ -174,6 +176,8 @@ class Relation:
         # :meth:`cardinality` call (an np.unique per column is too costly
         # for the many short-lived relations created during mining).
         self._cards: List[Optional[int]] = [None] * len(self.columns)
+        # Lazy counts-first grouping dispatcher (see :attr:`kernels`).
+        self._kernel = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -333,6 +337,26 @@ class Relation:
     # Grouping primitives
     # ------------------------------------------------------------------ #
 
+    @property
+    def kernels(self):
+        """The counts-first grouping dispatcher for this relation.
+
+        A lazily built :class:`repro.kernels.GroupCounter` over the code
+        matrix and radix bounds.  It answers counts/ids/entropy queries by
+        composing mixed-radix keys with smallest-sufficient dtypes and
+        dispatching to a bincount, hash (optional numba) or sort kernel —
+        all bit-identical; see :mod:`repro.kernels.dispatch` for the
+        selection rules.  Shared by :meth:`group_ids`,
+        :meth:`group_sizes`, :meth:`distinct_count` and the entropy
+        engines, so its ``stats`` counters aggregate every grouping this
+        relation served.
+        """
+        if self._kernel is None:
+            from repro.kernels import GroupCounter
+
+            self._kernel = GroupCounter(self.codes, self._radix)
+        return self._kernel
+
     def group_ids(self, attrs: AttrSetSpec) -> Tuple[np.ndarray, int]:
         """Group rows by a set of attributes.
 
@@ -340,35 +364,31 @@ class Relation:
         ``0..n_groups-1`` shared by all rows agreeing on ``attrs``.  Group ids
         follow the lexicographic order of the code vectors.
 
-        The combination is done pairwise with overflow-safe re-densification:
-        combining two dense id vectors with cardinalities ``a`` and ``b``
-        yields ids in ``0..a*b-1``; whenever ``a*b`` risks exceeding int64 the
-        ids are re-densified through ``np.unique`` first.
+        Evaluation is delegated to :attr:`kernels`: mixed-radix key
+        composition (pairwise, with overflow-safe eager re-densification)
+        followed by a dispatched densify — an O(n + K) bincount rank when
+        the key bound ``K`` is within :func:`repro.kernels.bincount_limit`
+        of the row count, the legacy ``np.unique`` sort otherwise.  Both
+        yield the identical dense ids (the rank of each key in ascending
+        key order).
         """
         idx = self.col_indices(attrs)
-        if not idx:
-            return np.zeros(self.n_rows, dtype=np.int64), min(1, self.n_rows)
-        ids = self.codes[:, idx[0]]
-        card = max(self._radix[idx[0]], 1)
-        for j in idx[1:]:
-            cj = max(self._radix[j], 1)
-            if card > (2**62) // max(cj, 1):
-                uniq, ids = np.unique(ids, return_inverse=True)
-                card = len(uniq)
-            ids = ids * cj + self.codes[:, j]
-            card = card * cj
-        uniq, dense = np.unique(ids, return_inverse=True)
-        return dense.astype(np.int64, copy=False), len(uniq)
+        return self.kernels.ids(idx)
 
     def group_sizes(self, attrs: AttrSetSpec) -> np.ndarray:
-        """Sizes of the groups of rows agreeing on ``attrs``."""
-        ids, n_groups = self.group_ids(attrs)
-        return np.bincount(ids, minlength=n_groups)
+        """Sizes of the groups of rows agreeing on ``attrs``.
+
+        Counts-first: equals ``np.bincount(group_ids(attrs))`` but is
+        answered by the dispatched counting kernel without materializing
+        the ids (counts in ascending key order == dense-id order).
+        """
+        idx = self.col_indices(attrs)
+        return self.kernels.counts(idx)
 
     def distinct_count(self, attrs: AttrSetSpec) -> int:
         """Number of distinct tuples in the projection onto ``attrs``."""
-        __, n_groups = self.group_ids(attrs)
-        return n_groups
+        idx = self.col_indices(attrs)
+        return len(self.kernels.counts(idx))
 
     # ------------------------------------------------------------------ #
     # Relational operations
@@ -463,6 +483,16 @@ class Relation:
         """Set of code tuples over ``attrs`` (defaults to all columns)."""
         idx = self.col_indices(attrs) if attrs is not None else tuple(range(self.n_cols))
         return {tuple(int(v) for v in row) for row in self.codes[:, idx]}
+
+    def __getstate__(self):
+        # The kernel dispatcher holds cached composed-key arrays; rebuild
+        # it lazily on the other side instead of shipping the cache.
+        return {s: getattr(self, s) for s in self.__slots__ if s != "_kernel"}
+
+    def __setstate__(self, state):
+        for k, v in state.items():
+            setattr(self, k, v)
+        self._kernel = None
 
     def __len__(self) -> int:
         return self.n_rows

@@ -187,8 +187,18 @@ class EstimatedEntropyEngine:
             out[a] = self.estimate_of(a).value
         return out
 
+    @property
+    def kernel_stats(self) -> Dict[str, int]:
+        """Dispatch counters of the kernel layer grouping this relation.
+
+        Count vectors come from :meth:`Relation.group_sizes`, which runs
+        counts-first through :mod:`repro.kernels`; exposed so oracle
+        stats show which kernels served the estimates."""
+        return self.relation.kernels.snapshot()
+
     def reset_stats(self) -> None:
         self.evals = 0
+        self.relation.kernels.reset_stats()
 
     def advance(self, new_relation: Relation) -> None:
         """Move to a new version of the relation, dropping every estimate.

@@ -9,10 +9,7 @@ such computation requires a full scan over the data").  It is kept as:
 
 from __future__ import annotations
 
-import math
 from typing import Dict
-
-import numpy as np
 
 from repro.data.relation import Relation
 from repro.lattice import AttrSet, mask_of
@@ -43,16 +40,22 @@ class NaiveEntropyEngine:
             value = 0.0
         else:
             self.scans += 1
-            sizes = self.relation.group_sizes(attrs).astype(np.float64)
-            sizes = sizes[sizes > 1]  # singletons contribute 0
-            s = float(np.dot(sizes, np.log2(sizes))) if len(sizes) else 0.0
-            # Clamp tiny negative float residue (H is mathematically >= 0).
-            value = max(0.0, math.log2(n) - s / n)
+            # Counts-first: the dispatched kernel groups the code matrix
+            # and Eq. (5) is evaluated straight from the counts — same
+            # filter/summation order/clamp as before, bit-identical.
+            idx = self.relation.col_indices(attrs)
+            value = self.relation.kernels.entropy(idx)
         self._memo[m] = value
         return value
 
+    @property
+    def kernel_stats(self) -> Dict[str, int]:
+        """Dispatch counters of the kernel layer serving this engine."""
+        return self.relation.kernels.snapshot()
+
     def reset_stats(self) -> None:
         self.scans = 0
+        self.relation.kernels.reset_stats()
 
     def advance(self, new_relation: Relation) -> None:
         """Move to a new version of the relation (memo invalidated)."""

@@ -292,6 +292,21 @@ class EntropyOracle:
             self.engine = type(self.engine)(new_relation)
         return stats
 
+    def kernel_stats(self) -> Dict[str, int]:
+        """Dispatch counters of the counts-first kernel layer, if any.
+
+        Engines that route entropies through :mod:`repro.kernels`
+        (PLI fast path, naive, the approx exact tier) expose the
+        relation's :class:`~repro.kernels.GroupCounter` counters —
+        which kernel answered how many queries, densifications, prefix
+        cache hits.  Engines that never touch the kernel layer yield
+        an empty dict.
+        """
+        stats = getattr(self.engine, "kernel_stats", None)
+        if stats is None:
+            return {}
+        return dict(stats)
+
     def reset_stats(self) -> None:
         self.queries = 0
         self.evals = 0

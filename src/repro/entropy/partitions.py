@@ -34,6 +34,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.data.relation import Relation
+from repro.kernels import grouping_order, key_counts
 
 #: Largest mixed-radix key product :class:`EvolvingPartition` will track;
 #: the same int64-overflow bound :meth:`Relation.group_ids` re-densifies at.
@@ -69,11 +70,19 @@ class StrippedPartition:
 
     @classmethod
     def from_group_ids(cls, ids: np.ndarray, n_groups: int, n_rows: int) -> "StrippedPartition":
-        """Build from dense group ids (``ids[t]`` in ``0..n_groups-1``)."""
+        """Build from dense group ids (``ids[t]`` in ``0..n_groups-1``).
+
+        The grouping permutation is a counting sort
+        (:func:`repro.kernels.grouping_order`): the group counts are
+        already in hand, so rows can be placed into cluster slots in
+        ``O(n + K)`` instead of the comparison ``argsort`` — with the
+        identical stable (group id, row index) order, so ``tids`` and
+        ``offsets`` match the legacy build element-for-element.
+        """
         if len(ids) == 0:
             return cls(np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64), n_rows)
         counts = np.bincount(ids, minlength=n_groups)
-        order = np.argsort(ids, kind="stable")
+        order = grouping_order(ids, counts)
         sorted_ids = ids[order]
         # Sorting groups tuple ids by cluster (ascending cluster id), so the
         # kept clusters stay contiguous after masking out singletons.
@@ -246,12 +255,25 @@ def combine_codes(
     long as every code stays below its radix, which is what lets
     :class:`EvolvingPartition` keep keys stable across appends.  The
     caller guarantees the radix product fits in int64.
+
+    Copy-free: a single column comes back as a view of ``codes``, and
+    the multi-column case allocates exactly one output array on the
+    first extension step (the legacy implementation started with an
+    unconditional ``astype(int64, copy=True)``).  Callers must not
+    mutate the single-column result.  Keys stay raw int64 mixed-radix
+    values — never densified, never narrowed — because
+    :class:`EvolvingPartition`'s append stability depends on key values
+    being reproducible across appends.
     """
-    keys = codes[:, idx[0]].astype(np.int64, copy=True)
-    for pos in range(1, len(idx)):
-        keys *= radix[pos]
-        keys += codes[:, idx[pos]]
-    return keys
+    keys = codes[:, idx[0]]
+    if len(idx) == 1:
+        return keys
+    out = np.multiply(keys, radix[1])
+    np.add(out, codes[:, idx[1]], out=out)
+    for pos in range(2, len(idx)):
+        out *= radix[pos]
+        out += codes[:, idx[pos]]
+    return out
 
 
 class EvolvingPartition:
@@ -321,8 +343,11 @@ class EvolvingPartition:
             counts = np.full(min(1, n), n, dtype=np.int64)
             return cls(idx, radix, keys, counts, n)
         all_keys = combine_codes(relation.codes, idx, radix)
-        keys, counts = np.unique(all_keys, return_counts=True)
-        return cls(idx, radix, keys, counts.astype(np.int64, copy=False), n)
+        # Kernel-dispatched counting (bincount when the radix product is
+        # small, sort otherwise) — the key *values* stay raw mixed-radix,
+        # which append stability depends on; only the counting is routed.
+        keys, counts = key_counts(all_keys, product, n)
+        return cls(idx, radix, keys, counts, n)
 
     def append_block(self, codes_block: np.ndarray) -> bool:
         """Absorb appended rows (full-width code block); False on fallback.

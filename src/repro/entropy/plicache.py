@@ -52,6 +52,15 @@ class PLICacheEngine:
         at most this size; all subsets of one block may be cached.
     cross_cache_size:
         Capacity of the LRU cache for partitions spanning several blocks.
+    counts_fast_path:
+        When True (default), :meth:`entropy_of` answers pure-entropy
+        queries counts-first through the relation's kernel dispatcher
+        (:mod:`repro.kernels`) without materialising any partition; PLIs
+        are still built — lazily, as before — on the refinement paths
+        that genuinely need tuple ids (:meth:`partition_of` and the
+        products it feeds).  Set False to force every entropy through
+        the partition-product path (the pre-kernel behaviour, kept for
+        parity tests and products/cache-hit instrumentation).
     """
 
     def __init__(
@@ -59,6 +68,7 @@ class PLICacheEngine:
         relation: Relation,
         block_size: int = 10,
         cross_cache_size: int = 4096,
+        counts_fast_path: bool = True,
     ):
         if block_size < 1:
             raise ValueError("block_size must be >= 1")
@@ -76,10 +86,12 @@ class PLICacheEngine:
         self._cross_cache: "OrderedDict[AttrSet, StrippedPartition]" = OrderedDict()
         self._cross_cache_size = cross_cache_size
         self._entropy_memo: Dict[int, float] = {}
+        self.counts_fast_path = counts_fast_path
         # Instrumentation.
         self.products = 0       # partition products performed
         self.cache_hits = 0
         self.cache_misses = 0
+        self.fast_entropies = 0  # entropies answered counts-first (no PLI)
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -91,12 +103,28 @@ class PLICacheEngine:
         return [tuple(bits_of(m)) for m in self.block_masks]
 
     def entropy_of(self, attrs) -> float:
-        """Entropy in bits of the attribute set ``attrs`` (column indices)."""
+        """Entropy in bits of the attribute set ``attrs`` (column indices).
+
+        With :attr:`counts_fast_path` on, the answer comes straight from
+        the dispatched counting kernel (Eq. 5 over group counts) — no
+        stripped partition, no product chain.  The memo keeps whichever
+        value was computed first, so within one engine instance every
+        repeat query returns the identical float.
+        """
         m = attrs.mask if type(attrs) is AttrSet else mask_of(attrs)
         cached = self._entropy_memo.get(m)
         if cached is not None:
             return cached
-        value = self._partition_of_mask(m).entropy()
+        if self.counts_fast_path:
+            if m >> self.relation.n_cols:
+                raise IndexError(
+                    f"attribute index {m.bit_length() - 1} out of range "
+                    f"0..{self.relation.n_cols - 1}"
+                )
+            self.fast_entropies += 1
+            value = self.relation.kernels.entropy(tuple(bits_of(m)))
+        else:
+            value = self._partition_of_mask(m).entropy()
         self._entropy_memo[m] = value
         return value
 
@@ -110,6 +138,13 @@ class PLICacheEngine:
         self.products = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.fast_entropies = 0
+        self.relation.kernels.reset_stats()
+
+    @property
+    def kernel_stats(self) -> Dict[str, int]:
+        """Dispatch counters of the underlying kernel layer (copy)."""
+        return self.relation.kernels.snapshot()
 
     def advance(self, new_relation: Relation) -> None:
         """Move to a new version of the relation, invalidating all caches.

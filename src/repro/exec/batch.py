@@ -247,7 +247,15 @@ class BatchEntropyOracle(EntropyOracle):
         return missing
 
     def _evaluate(self, missing: Sequence[AttrSet]) -> None:
-        """Compute missing sets (pool when worthwhile) into the memo."""
+        """Compute missing sets (pool when worthwhile) into the memo.
+
+        ``missing`` preserves the plan's containment order (size, then
+        lexicographic), so the serial loop below walks lattice-adjacent
+        sets back to back — exactly the access pattern the kernel
+        dispatcher's composed-prefix LRU (:mod:`repro.kernels.dispatch`)
+        is keyed for: each set re-uses the composed key column of the
+        sibling before it and only extends by the trailing attribute.
+        """
         if self._tracker is not None:
             # Delta tracking records evolving state per evaluated set;
             # pool workers cannot contribute to it, so tracked oracles

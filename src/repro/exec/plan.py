@@ -12,9 +12,13 @@ sees the batch:
   cheapest dedup structure CPython has;
 * **containment ordering** — unique sets are ordered by size, then
   lexicographically, so subsets are evaluated before their supersets and
-  neighbouring sets share long prefixes.  The PLI-cache engine memoises
-  running unions per block prefix, so this ordering turns the batch into
-  a cache-friendly sweep of the lattice;
+  neighbouring sets share long prefixes.  Two caches feed off this
+  ordering downstream: the PLI-cache engine memoises running unions per
+  block prefix, and the kernel dispatcher (:mod:`repro.kernels.dispatch`)
+  keeps an LRU of composed mixed-radix prefix keys — siblings like
+  ``{0,1,2}`` then ``{0,1,3}`` re-use the composed ``(0,1)`` key column
+  instead of recomposing it, which is the batch-aware sharing the
+  counts-first fast path banks on;
 * **sharding** — for the process pool, the ordered list is cut into
   *contiguous* chunks of roughly equal estimated cost.  Contiguity keeps
   lattice-adjacent sets on the same worker, where they share that worker's

@@ -44,7 +44,16 @@ def _init_worker(
     block_size: int,
     cross_cache_size: int,
 ) -> None:
-    """Build the worker-local relation and PLI engine (runs in the worker)."""
+    """Build the worker-local relation and PLI engine (runs in the worker).
+
+    The engine keeps its default ``counts_fast_path=True``: each worker's
+    entropies run counts-first through the worker-local kernel dispatcher
+    (:mod:`repro.kernels`), and since shards are contiguous slices of the
+    containment-ordered plan, the dispatcher's composed-prefix cache is
+    as effective per worker as it is serially.  Worker-side kernel
+    counters stay in the worker (not aggregated into the parent's
+    ``kernel_stats``).
+    """
     global _WORKER_RELATION, _WORKER_ENGINE
     _WORKER_RELATION = Relation(np.asarray(codes, dtype=np.int64), columns)
     _WORKER_ENGINE = PLICacheEngine(

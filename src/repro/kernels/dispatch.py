@@ -1,0 +1,250 @@
+"""Runtime kernel dispatch: per-relation counts-first grouping engine.
+
+:class:`GroupCounter` is the one object the rest of the codebase talks
+to.  It owns a relation's code matrix plus radix bounds and answers the
+grouping questions every entropy engine reduces to — group counts,
+dense ids, entropy — by composing mixed-radix keys
+(:mod:`repro.kernels.compose`) and routing them to the cheapest counting
+kernel (:mod:`repro.kernels.count`):
+
+* ``bincount`` when the composed key bound fits the O(n + K) counter
+  table (:func:`count.bincount_limit` — the common case for the paper's
+  low-domain workloads, made more common by eager densification during
+  composition);
+* ``hash`` (optional numba tier) for wide/sparse key spaces when numba
+  is importable;
+* ``sort`` (``np.unique``, the legacy path) otherwise — always
+  available, always the parity reference.
+
+All kernels return counts in ascending key order, so every choice is
+bit-identical; dispatch affects time, never values.
+
+**Prefix sharing.**  The planner (:mod:`repro.exec.plan`) orders batch
+requests by (size, lexicographic), so consecutive attribute sets share
+long composed-key prefixes — ``{0,1,2}`` then ``{0,1,3}`` differ in one
+trailing attribute.  The dispatcher keeps an LRU of composed prefix key
+arrays keyed by the index tuple and extends the longest cached prefix
+instead of recomposing from scratch.  Cached arrays are never mutated
+(:func:`compose.extend_keys` always allocates), and the cache is bounded
+by an element budget so memory stays proportional to a handful of key
+columns.
+
+Per-instance counters (``stats``) record every kernel choice and cache
+event; the oracles surface them (``Maimon.counters()["kernels"]``) so
+dispatch decisions are observable in benchmarks and tests.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.kernels import compose, count, native
+
+#: Default element budget for the composed-prefix LRU (int32/int64 key
+#: arrays; 2^24 elements is 16 one-million-row prefixes, <= 128 MB).
+PREFIX_BUDGET = 1 << 24
+
+_STAT_KEYS = (
+    "bincount",
+    "sort",
+    "hash",
+    "densify_bincount",
+    "densify_sort",
+    "prefix_hits",
+    "composed",
+)
+
+
+class GroupCounter:
+    """Counts-first grouping engine over one code matrix.
+
+    Parameters
+    ----------
+    codes:
+        ``(N, n)`` integer code matrix (column ``j`` bounded by
+        ``radix[j]``).
+    radix:
+        Per-column exclusive code bounds (``Relation.radix``).
+    prefix_budget:
+        Element budget of the composed-prefix LRU; ``0`` disables
+        prefix caching (every call composes from scratch).
+    """
+
+    __slots__ = ("codes", "radix", "n_rows", "limit", "stats", "prefix_budget", "_prefix", "_prefix_elems")
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        radix: Sequence[int],
+        prefix_budget: int = PREFIX_BUDGET,
+    ):
+        self.codes = codes
+        self.radix = tuple(int(r) for r in radix)
+        self.n_rows = int(codes.shape[0])
+        self.limit = count.bincount_limit(self.n_rows)
+        self.prefix_budget = int(prefix_budget)
+        self.stats: Dict[str, int] = dict.fromkeys(_STAT_KEYS, 0)
+        self._prefix: "OrderedDict[Tuple[int, ...], Tuple[np.ndarray, int]]" = OrderedDict()
+        self._prefix_elems = 0
+
+    # ------------------------------------------------------------------ #
+    # Composition with prefix sharing
+    # ------------------------------------------------------------------ #
+
+    def _remember(self, idx: Tuple[int, ...], keys: np.ndarray, bound: int) -> None:
+        if self.prefix_budget <= 0 or len(idx) < 2 or idx in self._prefix:
+            return
+        self._prefix[idx] = (keys, bound)
+        self._prefix_elems += keys.size
+        while self._prefix_elems > self.prefix_budget and self._prefix:
+            _, (old, _b) = self._prefix.popitem(last=False)
+            self._prefix_elems -= old.size
+
+    def compose_keys(self, idx: Tuple[int, ...]) -> Tuple[np.ndarray, int]:
+        """Composed mixed-radix keys and their exclusive bound for ``idx``.
+
+        ``idx`` must be a sorted tuple of in-range column indices.  Starts
+        from the longest cached prefix when one exists; caches every
+        intermediate prefix of length >= 2 it produces along the way.
+        """
+        keys = None
+        bound = 1
+        start = 0
+        if self.prefix_budget > 0:
+            for k in range(len(idx), 1, -1):
+                hit = self._prefix.get(idx[:k])
+                if hit is not None:
+                    self._prefix.move_to_end(idx[:k])
+                    keys, bound = hit
+                    start = k
+                    self.stats["prefix_hits"] += 1
+                    break
+        if start == 0:
+            j = idx[0]
+            keys = self.codes[:, j]
+            bound = max(self.radix[j], 1)
+            start = 1
+        for pos in range(start, len(idx)):
+            j = idx[pos]
+            keys, bound = compose.extend_keys(
+                keys, bound, self.codes[:, j], self.radix[j], self.limit, self.stats
+            )
+            self.stats["composed"] += 1
+            self._remember(idx[: pos + 1], keys, bound)
+        return keys, bound
+
+    # ------------------------------------------------------------------ #
+    # Kernel-dispatched answers
+    # ------------------------------------------------------------------ #
+
+    def counts(self, idx: Tuple[int, ...]) -> np.ndarray:
+        """Group sizes for ``idx``, in ascending composed-key order.
+
+        This ordering equals dense-group-id order, so the result is
+        element-for-element what ``np.bincount(group_ids)`` yields on the
+        legacy path.
+        """
+        if not idx:
+            n = self.n_rows
+            return np.full(min(1, n), n, dtype=np.int64)
+        keys, bound = self.compose_keys(idx)
+        if 0 <= bound <= self.limit:
+            self.stats["bincount"] += 1
+            return count.bincount_counts(keys)
+        if native.HAVE_NUMBA:  # pragma: no cover - exercised in the CI numba leg
+            self.stats["hash"] += 1
+            return native.hash_key_counts(
+                np.ascontiguousarray(keys, dtype=np.int64)
+            )[1]
+        self.stats["sort"] += 1
+        return count.sort_counts(keys)
+
+    def entropy(self, idx: Tuple[int, ...]) -> float:
+        """Plug-in entropy H(idx) in bits — no partition materialized."""
+        if not idx:
+            return 0.0
+        return count.entropy_from_counts(self.counts(idx), self.n_rows)
+
+    def ids_and_counts(self, idx: Tuple[int, ...]) -> Tuple[np.ndarray, np.ndarray]:
+        """Fused ``(dense group ids, group counts)`` for ``idx``."""
+        if not idx:
+            n = self.n_rows
+            return (
+                np.zeros(n, dtype=np.int64),
+                np.full(min(1, n), n, dtype=np.int64),
+            )
+        keys, bound = self.compose_keys(idx)
+        if 0 <= bound <= self.limit:
+            self.stats["bincount"] += 1
+            return count.bincount_ids_and_counts(keys)
+        self.stats["sort"] += 1
+        return count.sort_ids_and_counts(keys)
+
+    def ids(self, idx: Tuple[int, ...]) -> Tuple[np.ndarray, int]:
+        """Dense group ids and group count for ``idx``.
+
+        Bit-identical to the legacy ``np.unique(..., return_inverse=True)``
+        densification in :meth:`Relation.group_ids`.
+        """
+        if not idx:
+            return np.zeros(self.n_rows, dtype=np.int64), min(1, self.n_rows)
+        keys, bound = self.compose_keys(idx)
+        if 0 <= bound <= self.limit:
+            self.stats["bincount"] += 1
+            return count.bincount_ids(keys)
+        self.stats["sort"] += 1
+        return count.sort_ids(keys)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def predicted_kernel(self, idx: Tuple[int, ...]) -> str:
+        """Which counting kernel dispatch would pick for ``idx``.
+
+        Simulates the composition bounds without touching row data; after
+        a simulated densify the bound is taken as ``min(bound, n_rows)``
+        (an upper bound on the true group count), so the prediction is an
+        upper bound on cost — the real run can only do better.  Purely
+        informational (benchmarks, docs); the real choice happens inside
+        :meth:`counts`.
+        """
+        if not idx:
+            return "bincount"
+        bound = 1
+        first = True
+        for j in idx:
+            r = max(self.radix[j], 1)
+            if first:
+                bound = r
+                first = False
+                continue
+            if bound > self.limit // r:
+                bound = min(bound, self.n_rows)
+            bound *= r
+        if 0 <= bound <= self.limit:
+            return "bincount"
+        return "hash" if native.HAVE_NUMBA else "sort"
+
+    def reset_stats(self) -> None:
+        """Zero all dispatch counters (cache contents are kept)."""
+        for k in _STAT_KEYS:
+            self.stats[k] = 0
+
+    def clear_cache(self) -> None:
+        """Drop all cached prefix key arrays."""
+        self._prefix.clear()
+        self._prefix_elems = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Copy of the dispatch counters (for oracle/bench stats)."""
+        return dict(self.stats)
+
+    def __repr__(self) -> str:
+        return (
+            f"<GroupCounter N={self.n_rows} limit={self.limit} "
+            f"stats={self.snapshot()}>"
+        )

@@ -1,0 +1,104 @@
+"""Optional numba tier: single-pass hash counting and counting sort.
+
+Everything here is strictly optional.  When numba is importable (and
+``REPRO_DISABLE_NATIVE`` is unset), :data:`HAVE_NUMBA` is True and the
+dispatcher may route wide/sparse key spaces through the open-addressing
+hash counter and partition builds through the true O(n) counting sort.
+When it is not, the pure-numpy kernels in :mod:`repro.kernels.count`
+carry every workload — the native tier is a speedup, never a dependency,
+and CI runs the full parity suite both ways to keep it that way.
+
+Bit-parity contract: :func:`hash_key_counts` sorts its *groups* (not the
+rows) by key before returning, so counts arrive in ascending key order
+exactly like ``np.unique`` / ``np.bincount``; :func:`counting_sort_order`
+reproduces ``np.argsort(ids, kind="stable")`` element-for-element.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Tuple
+
+import numpy as np
+
+HAVE_NUMBA = False
+if not os.environ.get("REPRO_DISABLE_NATIVE"):
+    try:  # pragma: no cover - exercised only where numba is installed
+        from numba import njit
+
+        HAVE_NUMBA = True
+    except ImportError:  # pragma: no cover - the default in bare installs
+        pass
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only in the CI numba leg
+
+    @njit(cache=True)
+    def _hash_count(keys):  # pragma: no cover
+        n = keys.shape[0]
+        # Open addressing at <= 50% load; power-of-two table for mask probing.
+        cap = 1
+        while cap < 2 * n:
+            cap <<= 1
+        mask = cap - 1
+        table_keys = np.empty(cap, dtype=np.int64)
+        table_counts = np.zeros(cap, dtype=np.int64)
+        used = np.zeros(cap, dtype=np.uint8)
+        n_groups = 0
+        for i in range(n):
+            k = keys[i]
+            # Fibonacci hashing spreads consecutive mixed-radix keys.
+            h = (k * 0x9E3779B97F4A7C15) & mask
+            while True:
+                if used[h] == 0:
+                    used[h] = 1
+                    table_keys[h] = k
+                    table_counts[h] = 1
+                    n_groups += 1
+                    break
+                if table_keys[h] == k:
+                    table_counts[h] += 1
+                    break
+                h = (h + 1) & mask
+        out_keys = np.empty(n_groups, dtype=np.int64)
+        out_counts = np.empty(n_groups, dtype=np.int64)
+        j = 0
+        for h in range(cap):
+            if used[h]:
+                out_keys[j] = table_keys[h]
+                out_counts[j] = table_counts[h]
+                j += 1
+        return out_keys, out_counts
+
+    @njit(cache=True)
+    def _counting_sort(ids, starts):  # pragma: no cover
+        n = ids.shape[0]
+        cursor = starts[:-1].copy()
+        order = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            g = ids[i]
+            order[cursor[g]] = i
+            cursor[g] += 1
+        return order
+
+    def hash_key_counts(keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """``(distinct keys, counts)`` in ascending key order, one pass + group sort."""
+        uniq, counts = _hash_count(keys)
+        order = np.argsort(uniq, kind="stable")
+        return uniq[order], counts[order]
+
+    def counting_sort_order(ids: np.ndarray, starts: np.ndarray) -> np.ndarray:
+        """Stable grouping permutation via one O(n) placement pass.
+
+        ``starts`` is the exclusive prefix sum of the group counts
+        (``len(counts) + 1`` entries); rows land in their cluster slots
+        in original row order, matching ``np.argsort(ids, kind="stable")``.
+        """
+        return _counting_sort(ids, starts)
+
+else:
+
+    def hash_key_counts(keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        raise RuntimeError("native tier unavailable: numba is not installed")
+
+    def counting_sort_order(ids: np.ndarray, starts: np.ndarray) -> np.ndarray:
+        raise RuntimeError("native tier unavailable: numba is not installed")

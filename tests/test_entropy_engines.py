@@ -92,14 +92,36 @@ class TestEntropyLaws:
 
 class TestCaching:
     def test_pli_cache_hits_grow(self):
+        # counts_fast_path=False pins the partition-product machinery;
+        # with the fast path on, entropy_of never touches partitions.
         r = random_relation(6, 100, seed=4)
-        eng = PLICacheEngine(r, block_size=3)
+        eng = PLICacheEngine(r, block_size=3, counts_fast_path=False)
         eng.entropy_of(frozenset({0, 1, 4}))
         misses_first = eng.cache_misses
         eng._entropy_memo.clear()  # force partition path again
         eng.entropy_of(frozenset({0, 1, 4}))
         assert eng.cache_hits > 0
         assert eng.cache_misses == misses_first  # no new partition work
+
+    def test_fast_path_skips_partitions(self):
+        r = random_relation(6, 100, seed=4)
+        eng = PLICacheEngine(r, block_size=3)
+        eng.entropy_of(frozenset({0, 1, 4}))
+        assert eng.fast_entropies == 1
+        assert eng.products == 0 and not eng._block_cache
+        # partition_of still builds (and caches) PLIs on demand.
+        part = eng.partition_of(frozenset({0, 1}))
+        assert part.n_rows == 100
+        assert eng._block_cache
+
+    def test_fast_path_matches_partition_path_memo(self):
+        r = random_relation(5, 80, seed=9)
+        fast = PLICacheEngine(r, block_size=2)
+        slow = PLICacheEngine(r, block_size=2, counts_fast_path=False)
+        for attrs in all_subsets(5):
+            assert fast.entropy_of(attrs) == pytest.approx(
+                slow.entropy_of(attrs), abs=1e-9
+            )
 
     def test_cross_cache_eviction(self):
         r = random_relation(8, 60, seed=5)
@@ -145,11 +167,21 @@ class TestCaching:
 
     def test_reset_stats(self):
         r = random_relation(3, 20, seed=6)
-        eng = PLICacheEngine(r)
+        eng = PLICacheEngine(r, counts_fast_path=False)
         eng.entropy_of(frozenset({0, 1, 2}))
         assert eng.products > 0
         eng.reset_stats()
         assert eng.products == 0
+
+    def test_reset_stats_clears_fast_and_kernel_counters(self):
+        r = random_relation(3, 20, seed=6)
+        eng = PLICacheEngine(r)
+        eng.entropy_of(frozenset({0, 1, 2}))
+        assert eng.fast_entropies == 1
+        assert sum(eng.kernel_stats.values()) > 0
+        eng.reset_stats()
+        assert eng.fast_entropies == 0
+        assert sum(eng.kernel_stats.values()) == 0
 
 
 class TestMakeOracle:
