@@ -431,17 +431,21 @@ class ApproxEntropyEngine(EntropyOracle):
 
         The sampled tier groups the sample relation, the exact
         escalation tier groups the full relation — both through
-        :mod:`repro.kernels`; their counters are summed key-wise."""
-        stats = dict(self.sample.kernels.snapshot())
+        :mod:`repro.kernels`; their counters are summed key-wise.
+        Each tier reports per-engine deltas, so other holders of the
+        same relations keep independent stats."""
+        stats = dict(self.engine.kernel_stats)
         if self._exact is not None:
             for k, v in self._exact.kernel_stats().items():
                 stats[k] = stats.get(k, 0) + v
         return stats
 
     def reset_stats(self) -> None:
+        # super() re-baselines the sampled tier's kernel deltas via
+        # self.engine.reset_stats(); the shared dispatcher counters are
+        # deliberately left untouched.
         super().reset_stats()
         self.escalations = 0
-        self.sample.kernels.reset_stats()
         if self._exact is not None:
             self._exact.reset_stats()
 

@@ -158,6 +158,9 @@ class EstimatedEntropyEngine:
         self.tracker_compatible = estimator == "mle"
         self._memo: Dict[int, EntropySample] = {}  # keyed by AttrSet bitmask
         self.evals = 0  # count-vector evaluations (memo misses)
+        # Kernel counters are relation-level and shared across engines;
+        # this engine reports deltas against a private baseline.
+        self._kernel_baseline = relation.kernels.snapshot()
 
     def estimate_of(self, attrs) -> EntropySample:
         """Estimate plus count statistics for ``attrs`` (memoised)."""
@@ -193,12 +196,14 @@ class EstimatedEntropyEngine:
 
         Count vectors come from :meth:`Relation.group_sizes`, which runs
         counts-first through :mod:`repro.kernels`; exposed so oracle
-        stats show which kernels served the estimates."""
-        return self.relation.kernels.snapshot()
+        stats show which kernels served the estimates.  Reported as
+        deltas since construction / :meth:`reset_stats` — the counters
+        themselves are shared per relation."""
+        return self.relation.kernels.snapshot_since(self._kernel_baseline)
 
     def reset_stats(self) -> None:
         self.evals = 0
-        self.relation.kernels.reset_stats()
+        self._kernel_baseline = self.relation.kernels.snapshot()
 
     def advance(self, new_relation: Relation) -> None:
         """Move to a new version of the relation, dropping every estimate.
@@ -207,3 +212,4 @@ class EstimatedEntropyEngine:
         simply to never serve a stale estimate."""
         self.relation = new_relation
         self._memo.clear()
+        self._kernel_baseline = new_relation.kernels.snapshot()

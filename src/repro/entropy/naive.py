@@ -27,6 +27,9 @@ class NaiveEntropyEngine:
         self.relation = relation
         self._memo: Dict[int, float] = {}
         self.scans = 0  # instrumentation: number of full-data group-bys
+        # Kernel counters are relation-level and shared across engines;
+        # this engine reports deltas against a private baseline.
+        self._kernel_baseline = relation.kernels.snapshot()
 
     def entropy_of(self, attrs) -> float:
         """Entropy in bits of the attribute set ``attrs`` (column indices)."""
@@ -50,14 +53,17 @@ class NaiveEntropyEngine:
 
     @property
     def kernel_stats(self) -> Dict[str, int]:
-        """Dispatch counters of the kernel layer serving this engine."""
-        return self.relation.kernels.snapshot()
+        """Kernel dispatch counters accrued by *this* engine (deltas
+        since construction / :meth:`reset_stats`; the counters themselves
+        are shared per relation)."""
+        return self.relation.kernels.snapshot_since(self._kernel_baseline)
 
     def reset_stats(self) -> None:
         self.scans = 0
-        self.relation.kernels.reset_stats()
+        self._kernel_baseline = self.relation.kernels.snapshot()
 
     def advance(self, new_relation: Relation) -> None:
         """Move to a new version of the relation (memo invalidated)."""
         self.relation = new_relation
         self._memo.clear()
+        self._kernel_baseline = new_relation.kernels.snapshot()

@@ -92,6 +92,9 @@ class PLICacheEngine:
         self.cache_hits = 0
         self.cache_misses = 0
         self.fast_entropies = 0  # entropies answered counts-first (no PLI)
+        # Kernel counters are relation-level and shared across engines;
+        # this engine reports deltas against a private baseline.
+        self._kernel_baseline = relation.kernels.snapshot()
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -139,12 +142,17 @@ class PLICacheEngine:
         self.cache_hits = 0
         self.cache_misses = 0
         self.fast_entropies = 0
-        self.relation.kernels.reset_stats()
+        self._kernel_baseline = self.relation.kernels.snapshot()
 
     @property
     def kernel_stats(self) -> Dict[str, int]:
-        """Dispatch counters of the underlying kernel layer (copy)."""
-        return self.relation.kernels.snapshot()
+        """Kernel dispatch counters accrued by *this* engine.
+
+        Deltas since construction / :meth:`reset_stats` — the underlying
+        counters live on the shared relation-level dispatcher, so other
+        engines over the same relation keep their own independent view.
+        """
+        return self.relation.kernels.snapshot_since(self._kernel_baseline)
 
     def advance(self, new_relation: Relation) -> None:
         """Move to a new version of the relation, invalidating all caches.
@@ -163,6 +171,7 @@ class PLICacheEngine:
         self._block_cache.clear()
         self._cross_cache.clear()
         self._entropy_memo.clear()
+        self._kernel_baseline = new_relation.kernels.snapshot()
 
     # ------------------------------------------------------------------ #
     # Internals

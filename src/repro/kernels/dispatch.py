@@ -180,6 +180,14 @@ class GroupCounter:
         if 0 <= bound <= self.limit:
             self.stats["bincount"] += 1
             return count.bincount_ids_and_counts(keys)
+        if native.HAVE_NUMBA:  # pragma: no cover - exercised in the CI numba leg
+            self.stats["hash"] += 1
+            keys = np.ascontiguousarray(keys, dtype=np.int64)
+            uniq, counts = native.hash_key_counts(keys)
+            # Densify by rank among the sorted distinct keys — exactly the
+            # np.unique inverse, without sorting the rows.
+            ids = np.searchsorted(uniq, keys).astype(np.int64, copy=False)
+            return ids, counts
         self.stats["sort"] += 1
         return count.sort_ids_and_counts(keys)
 
@@ -195,6 +203,12 @@ class GroupCounter:
         if 0 <= bound <= self.limit:
             self.stats["bincount"] += 1
             return count.bincount_ids(keys)
+        if native.HAVE_NUMBA:  # pragma: no cover - exercised in the CI numba leg
+            self.stats["hash"] += 1
+            keys = np.ascontiguousarray(keys, dtype=np.int64)
+            uniq, _counts = native.hash_key_counts(keys)
+            ids = np.searchsorted(uniq, keys).astype(np.int64, copy=False)
+            return ids, len(uniq)
         self.stats["sort"] += 1
         return count.sort_ids(keys)
 
@@ -230,7 +244,14 @@ class GroupCounter:
         return "hash" if native.HAVE_NUMBA else "sort"
 
     def reset_stats(self) -> None:
-        """Zero all dispatch counters (cache contents are kept)."""
+        """Zero all dispatch counters (cache contents are kept).
+
+        The counters are per *relation*, shared by every engine/oracle
+        grouping through the same :class:`GroupCounter`.  Engines must
+        not call this to reset their own view — they snapshot a baseline
+        and report deltas via :meth:`snapshot_since` instead, so one
+        engine's reset never clobbers another's stats.
+        """
         for k in _STAT_KEYS:
             self.stats[k] = 0
 
@@ -242,6 +263,17 @@ class GroupCounter:
     def snapshot(self) -> Dict[str, int]:
         """Copy of the dispatch counters (for oracle/bench stats)."""
         return dict(self.stats)
+
+    def snapshot_since(self, baseline: Dict[str, int]) -> Dict[str, int]:
+        """Counters accrued since ``baseline`` (a prior :meth:`snapshot`).
+
+        This is how engines report per-engine kernel stats over the
+        shared relation-level counters: snapshot at construction/reset,
+        read deltas here.  A direct :meth:`reset_stats` on the dispatcher
+        between baseline and read makes deltas meaningless (negative);
+        callers own one convention or the other, never both.
+        """
+        return {k: v - baseline.get(k, 0) for k, v in self.stats.items()}
 
     def __repr__(self) -> str:
         return (

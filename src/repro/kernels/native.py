@@ -40,6 +40,11 @@ if HAVE_NUMBA:  # pragma: no cover - exercised only in the CI numba leg
         while cap < 2 * n:
             cap <<= 1
         mask = cap - 1
+        # The Fibonacci constant exceeds int64, so the multiply must stay
+        # entirely in uint64: int64 * uint64 promotes to float64 under
+        # numba's numpy-style rules and the mask would then fail to type.
+        fib = np.uint64(0x9E3779B97F4A7C15)
+        umask = np.uint64(mask)
         table_keys = np.empty(cap, dtype=np.int64)
         table_counts = np.zeros(cap, dtype=np.int64)
         used = np.zeros(cap, dtype=np.uint8)
@@ -47,7 +52,7 @@ if HAVE_NUMBA:  # pragma: no cover - exercised only in the CI numba leg
         for i in range(n):
             k = keys[i]
             # Fibonacci hashing spreads consecutive mixed-radix keys.
-            h = (k * 0x9E3779B97F4A7C15) & mask
+            h = np.int64((np.uint64(k) * fib) & umask)
             while True:
                 if used[h] == 0:
                     used[h] = 1

@@ -183,6 +183,25 @@ class TestCaching:
         assert eng.fast_entropies == 0
         assert sum(eng.kernel_stats.values()) == 0
 
+    def test_kernel_stats_are_per_engine(self):
+        # The dispatch counters live on the shared relation-level
+        # GroupCounter; each engine reports deltas against its own
+        # baseline, so resetting one engine never clobbers another's
+        # view — and never zeroes the shared counters themselves.
+        r = random_relation(3, 30, seed=7)
+        a = PLICacheEngine(r)
+        b = NaiveEntropyEngine(r)
+        a.entropy_of(frozenset({0, 1}))
+        shared_before = sum(r.kernels.snapshot().values())
+        b_before = b.kernel_stats
+        a.reset_stats()
+        assert sum(a.kernel_stats.values()) == 0
+        assert b.kernel_stats == b_before
+        assert sum(r.kernels.snapshot().values()) == shared_before
+        b.entropy_of(frozenset({1, 2}))
+        assert sum(b.kernel_stats.values()) > sum(b_before.values())
+        assert sum(a.kernel_stats.values()) > 0  # shared accrual is visible
+
 
 class TestMakeOracle:
     def test_engine_selection(self, fig1):

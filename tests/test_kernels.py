@@ -295,6 +295,27 @@ class TestDispatcher:
             gc.counts(idx)
         assert gc._prefix_elems <= 150
 
+    def test_wide_key_ids_and_counts_match_sort(self):
+        # A single sparse column keeps the composed bound above the
+        # bincount limit, forcing the fallback lane: hash when numba is
+        # installed, sort otherwise.  Either way the fused ids/counts
+        # (and the ids-only form) must equal the legacy sort kernel
+        # bit-for-bit.
+        rng = np.random.default_rng(6)
+        codes = rng.integers(0, 10**6, size=(700, 1)).astype(np.int64)
+        gc = GroupCounter(codes, [int(codes[:, 0].max()) + 1])
+        keys, bound = gc.compose_keys((0,))
+        assert bound > gc.limit
+        ref_ids, ref_counts = sort_ids_and_counts(keys)
+        got_ids, got_counts = gc.ids_and_counts((0,))
+        assert np.array_equal(got_ids, ref_ids)
+        assert np.array_equal(got_counts, ref_counts)
+        got_ids2, got_n = gc.ids((0,))
+        assert np.array_equal(got_ids2, ref_ids)
+        assert got_n == len(ref_counts)
+        lane = "hash" if native.HAVE_NUMBA else "sort"
+        assert gc.stats[lane] == 2 and gc.stats["bincount"] == 0
+
     def test_bincount_limit_scales(self):
         assert bincount_limit(10) == 1 << 16
         assert bincount_limit(10**6) == 4 * 10**6
@@ -309,6 +330,18 @@ class TestDispatcher:
         snap["bincount"] = 999  # copies do not alias
         gc.reset_stats()
         assert sum(gc.snapshot().values()) == 0
+
+    def test_snapshot_since_reports_deltas(self):
+        r = random_relation(3, 50, seed=4)
+        gc = r.kernels
+        gc.counts((0, 1))
+        baseline = gc.snapshot()
+        assert sum(gc.snapshot_since(baseline).values()) == 0
+        gc.counts((0, 2))
+        delta = gc.snapshot_since(baseline)
+        assert sum(delta.values()) > 0
+        # Absolute counters include the pre-baseline activity.
+        assert sum(gc.snapshot().values()) > sum(delta.values())
 
 
 class TestEnginesUseKernels:
