@@ -1,0 +1,65 @@
+"""Findings: the one record every rule emits and every reporter consumes.
+
+A finding is ``(rule, path, line, col, message)`` with ``path`` always
+root-relative and ``/``-separated, so the textual form
+``path:line:col: RPRxxx message`` is stable across platforms and usable
+as an editor jump target.  Baselines key on ``rule:path`` (line numbers
+churn with unrelated edits; a baseline that rots on every refactor is a
+baseline nobody trusts).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List
+
+#: Meta rule ids used by the framework itself (not pluggable checkers).
+UNUSED_PRAGMA_RULE = "RPR000"
+PARSE_ERROR_RULE = "RPR900"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule id anchored to a file position."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def baseline_key(self) -> str:
+        """Line-insensitive identity used by the baseline mechanism."""
+        return f"{self.rule}:{self.path}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def load_baseline(path: str) -> List[str]:
+    """Read a baseline file: ``{"findings": ["RPRxxx:path", ...]}``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    entries = data.get("findings", []) if isinstance(data, dict) else data
+    if not isinstance(entries, list) or not all(
+        isinstance(e, str) for e in entries
+    ):
+        raise ValueError(f"baseline {path!r} must hold a list of rule:path strings")
+    return entries
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Write the ``rule:path`` keys of ``findings``; returns the entry count."""
+    keys = sorted({f.baseline_key() for f in findings})
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"findings": keys}, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return len(keys)

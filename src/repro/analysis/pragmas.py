@@ -1,0 +1,127 @@
+"""Inline suppressions: ``# repro: allow[RPRxxx] reason``.
+
+A pragma names the rule(s) it waives (comma-separated inside the
+brackets) and should carry a reason after the bracket — the pragma is the
+documentation of a *deliberate* exception, not an off switch.  Placement:
+
+* trailing the flagged line — suppresses findings on that line;
+* on its own comment line — suppresses findings on the next line (and on
+  the comment line itself, for multi-line statements that start there).
+
+Unused pragmas are themselves reported (rule ``RPR000``) when
+``warn_unused_pragmas`` is on, so stale waivers cannot silently
+accumulate after the code they excused is fixed or deleted.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.analysis.findings import UNUSED_PRAGMA_RULE, Finding
+
+PRAGMA_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_\s,]+)\]")
+
+
+@dataclass
+class Pragma:
+    """One ``allow[...]`` comment: the rules it waives and where it sits."""
+
+    line: int
+    rules: FrozenSet[str]
+    covers: Tuple[int, ...]
+    used: bool = field(default=False, compare=False)
+
+
+def collect_pragmas(source: str) -> List[Pragma]:
+    """Pragmas from *comment tokens* only.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps pragma
+    examples inside docstrings and string literals from being treated as
+    live suppressions.
+    """
+    pragmas: List[Pragma] = []
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return pragmas  # unparseable files are reported elsewhere (RPR900)
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = PRAGMA_RE.search(tok.string)
+        if match is None:
+            continue
+        rules = frozenset(
+            part.strip().upper()
+            for part in match.group(1).split(",")
+            if part.strip()
+        )
+        if not rules:
+            continue
+        lineno, col = tok.start
+        before = lines[lineno - 1][:col] if lineno - 1 < len(lines) else ""
+        standalone = not before.strip()
+        covers = (lineno, lineno + 1) if standalone else (lineno,)
+        pragmas.append(Pragma(line=lineno, rules=rules, covers=covers))
+    return pragmas
+
+
+def apply_pragmas(
+    findings: Iterable[Finding],
+    pragmas: List[Pragma],
+) -> Tuple[List[Finding], int]:
+    """Split findings into (kept, suppressed-count), marking used pragmas."""
+    by_line: Dict[int, List[Pragma]] = {}
+    for pragma in pragmas:
+        for line in pragma.covers:
+            by_line.setdefault(line, []).append(pragma)
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        hit = None
+        for pragma in by_line.get(finding.line, ()):
+            if finding.rule.upper() in pragma.rules:
+                hit = pragma
+                break
+        if hit is None:
+            kept.append(finding)
+        else:
+            hit.used = True
+            suppressed += 1
+    return kept, suppressed
+
+
+def unused_pragma_findings(
+    pragmas: List[Pragma],
+    enabled_rules: Set[str],
+    path: str,
+) -> List[Finding]:
+    """``RPR000`` findings for pragmas that suppressed nothing.
+
+    Pragmas naming only rules that are currently *disabled* are skipped —
+    a narrowed ``--rules`` invocation must not condemn every waiver for
+    the rules it did not run.
+    """
+    out: List[Finding] = []
+    enabled = {r.upper() for r in enabled_rules}
+    for pragma in pragmas:
+        if pragma.used or not (pragma.rules & enabled):
+            continue
+        names = ",".join(sorted(pragma.rules & enabled))
+        out.append(
+            Finding(
+                rule=UNUSED_PRAGMA_RULE,
+                path=path,
+                line=pragma.line,
+                col=1,
+                message=(
+                    f"unused suppression pragma for {names}: nothing on the "
+                    "covered line triggers it — remove the stale waiver"
+                ),
+            )
+        )
+    return out

@@ -1,0 +1,129 @@
+"""Rule plumbing: parsed modules, path scoping, AST helpers."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+
+
+@dataclass
+class ParsedModule:
+    """One source file, parsed once and shared by every rule."""
+
+    path: str  # root-relative, "/"-separated
+    abspath: str
+    source: str
+    tree: ast.Module
+
+
+def norm_path(path: str) -> str:
+    return path.replace("\\", "/").lstrip("./") if path not in (".", "") else ""
+
+
+def path_matches(path: str, prefixes: Sequence[str]) -> bool:
+    """Does a root-relative path fall under any of the prefix strings?
+
+    A prefix of ``""`` or ``"."`` matches everything; ``a/b`` matches the
+    directory subtree; ``a/b.py`` matches that file exactly.
+    """
+    p = norm_path(path)
+    for prefix in prefixes:
+        q = norm_path(prefix)
+        if not q or p == q or p.startswith(q.rstrip("/") + "/"):
+            return True
+    return False
+
+
+class Rule:
+    """Base checker: subclass, set the metadata, implement a check hook.
+
+    ``default_paths = None`` means the rule looks at every analyzed file;
+    a list scopes it to those root-relative prefixes (overridable per
+    checkout via ``[tool.repro-analysis.<rule id>] paths = [...]``).
+    Project-wide rules (``project_wide = True``) see all modules at once
+    instead of one file at a time — for cross-file invariants.
+    """
+
+    rule_id = "RPR000"
+    name = "base"
+    summary = ""
+    default_paths: Optional[List[str]] = None
+    project_wide = False
+
+    def scope(self, config: AnalysisConfig) -> Optional[List[str]]:
+        paths = config.options_for(self.rule_id).get("paths")
+        if isinstance(paths, list):
+            return [str(p) for p in paths]
+        return self.default_paths
+
+    def applies_to(self, module: ParsedModule, config: AnalysisConfig) -> bool:
+        paths = self.scope(config)
+        return paths is None or path_matches(module.path, paths)
+
+    def check_module(
+        self, module: ParsedModule, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(
+        self, modules: List[ParsedModule], config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        return iter(())
+
+    def finding(self, module_path: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            path=module_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    return dotted_name(node.func)
+
+
+def decorator_names(fn: ast.AST) -> List[str]:
+    names: List[str] = []
+    for dec in getattr(fn, "decorator_list", []):
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = dotted_name(target)
+        if name:
+            names.append(name)
+    return names
+
+
+def walk_skipping_functions(body: Sequence[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statements without descending into nested function/class scopes.
+
+    Lock-scope reasoning must not attribute a closure's body to the
+    enclosing critical section — the closure runs later, elsewhere.
+    """
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+            ):
+                continue
+            stack.append(child)

@@ -1,0 +1,98 @@
+"""RPR003 — no per-call frozenset churn on hot paths.
+
+The lattice layer exists precisely so the miner's inner loops never
+materialize Python sets: ``AttrSet`` carries a 64-bit mask, hashes like
+the equivalent ``frozenset`` and interoperates with one, so
+``frozenset(...)`` inside a hot function is almost always a leftover
+from before the bitmask refactor — it allocates, re-hashes every
+element, and defeats the mask fast paths in ``entropy``/``kernels``.
+
+Two shapes are flagged inside the hot directories (``core``,
+``entropy``, ``lattice``, ``kernels``):
+
+* a ``frozenset(...)`` call inside any function body (module-level
+  constants are exempt — built once at import);
+* a set comprehension inside ``__eq__`` / ``__ne__`` / ``__hash__`` —
+  identity dunders run once per dict/set probe, the worst place to churn.
+
+Legitimate boundary conversions (``AttrSet.to_frozenset`` itself, a
+cached one-time identity key) are waived inline with
+``# repro: allow[RPR003]`` and a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import ParsedModule, Rule
+
+IDENTITY_DUNDERS = {"__eq__", "__ne__", "__hash__"}
+
+
+class HotSetRule(Rule):
+    rule_id = "RPR003"
+    name = "hot-path-set-discipline"
+    summary = (
+        "ban per-call frozenset(...) construction and identity-dunder set "
+        "comprehensions in the hot core/entropy/lattice/kernels directories"
+    )
+    default_paths = [
+        "src/repro/core",
+        "src/repro/entropy",
+        "src/repro/lattice",
+        "src/repro/kernels",
+    ]
+
+    def check_module(
+        self, module: ParsedModule, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            in_dunder = fn.name in IDENTITY_DUNDERS
+            # Walk this function's own body only: nested defs are visited
+            # by the module walk themselves — descending here would
+            # double-report their findings.
+            stack: List[ast.AST] = list(ast.iter_child_nodes(fn))
+            nodes: List[ast.AST] = []
+            while stack:
+                node = stack.pop()
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                nodes.append(node)
+                stack.extend(ast.iter_child_nodes(node))
+            for node in nodes:
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "frozenset"
+                ):
+                    findings.append(
+                        self.finding(
+                            module.path,
+                            node,
+                            f"frozenset(...) constructed per call in hot-path "
+                            f"function '{fn.name}': use the AttrSet bitmask "
+                            f"layer (attrset()/AttrSet.from_mask) — it hashes "
+                            f"and compares like the frozenset without "
+                            f"allocating one; waive deliberate boundary "
+                            f"conversions with a pragma",
+                        )
+                    )
+                elif in_dunder and isinstance(node, ast.SetComp):
+                    findings.append(
+                        self.finding(
+                            module.path,
+                            node,
+                            f"set comprehension inside identity dunder "
+                            f"'{fn.name}': __eq__/__hash__ run once per "
+                            f"dict/set probe, so per-probe set construction "
+                            f"multiplies across the lattice search — compute "
+                            f"a cached identity key once instead",
+                        )
+                    )
+        return iter(findings)

@@ -1,0 +1,253 @@
+"""RPR002 — lock discipline in the warm-serve layer.
+
+The serve layer (``repro/serve``) mixes worker threads, a session
+registry and per-session oracles behind small critical sections.  Three
+shapes have bitten or nearly bitten it:
+
+* **nested cross-lock acquisition** — taking lock B while holding lock A
+  establishes a lock order; any other path taking them in the opposite
+  order deadlocks under load and never in a unit test;
+* **blocking work inside a private lock** — building a Maimon oracle,
+  touching a file or socket, or sleeping inside ``with self._lock``
+  serializes every other thread on what should be a microsecond section;
+* **guarded state escaping the lock** — ``return self._jobs[job_id]``
+  hands the caller a mutable object whose invariants were only ever
+  protected by the lock that was just released.
+
+The checks reason syntactically over ``with`` statements whose context
+expression ends in ``lock``.  Module-private locks (attribute starting
+with ``_``, e.g. ``self._lock``) get all three checks; public
+per-session locks (``session.lock``) only the nesting check, since
+handing out the lock *is* their contract.  Closure bodies defined inside
+a critical section are skipped — they run later, off the lock.
+
+Deliberate exceptions (a handle-object contract, a documented
+build-under-lock) are waived inline with ``# repro: allow[RPR002]`` and
+a reason, which is exactly the documentation such exceptions need.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import (
+    ParsedModule,
+    Rule,
+    call_name,
+    dotted_name,
+)
+
+#: Call-name last segments treated as blocking / expensive under a lock.
+BLOCKING_SUFFIXES = {
+    "make_maimon",
+    "make_oracle",
+    "execute_task",
+    "mine_mvds",
+    "rank_schemas",
+    "mine_fds",
+    "mine_min_seps",
+    "previous_mvds",
+    "advance",
+    "close",
+    "shutdown",
+    "sleep",
+    "wait",
+    "join",
+}
+
+#: Fully-dotted call names that block regardless of suffix.
+BLOCKING_EXACT = {"open", "time.sleep", "subprocess.run", "subprocess.Popen"}
+
+
+def _lock_name(expr: ast.expr) -> Optional[str]:
+    name = dotted_name(expr)
+    if name and name.split(".")[-1].lower().endswith("lock"):
+        return name
+    return None
+
+
+def _is_private_lock(name: str) -> bool:
+    return name.split(".")[-1].startswith("_")
+
+
+def _guarded_expr(expr: ast.expr, tainted: Set[str]) -> Optional[str]:
+    """A short description if ``expr`` reads lock-guarded private state."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and expr.attr.startswith("_")
+    ):
+        return f"self.{expr.attr}"
+    if isinstance(expr, ast.Subscript):
+        inner = _guarded_expr(expr.value, tainted)
+        return f"{inner}[...]" if inner else None
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr == "get"
+    ):
+        inner = _guarded_expr(expr.func.value, tainted)
+        return f"{inner}.get(...)" if inner else None
+    if isinstance(expr, ast.Name) and expr.id in tainted:
+        return expr.id
+    return None
+
+
+class _LockScanner:
+    def __init__(self, rule: "LockDisciplineRule", path: str):
+        self.rule = rule
+        self.path = path
+        self.findings: List[Finding] = []
+
+    # locks: stack of (name, is_private); tainted: names assigned from
+    # guarded state inside the innermost private-lock scope.
+    def scan(
+        self,
+        stmts: Sequence[ast.stmt],
+        locks: Tuple[Tuple[str, bool], ...],
+        tainted: Set[str],
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue  # separate scope; scanned on its own
+            if isinstance(stmt, ast.With):
+                self._scan_with(stmt, locks, tainted)
+            elif isinstance(stmt, (ast.If, ast.While)):
+                self._check_blocking(stmt.test, locks)
+                self.scan(stmt.body, locks, tainted)
+                self.scan(stmt.orelse, locks, tainted)
+            elif isinstance(stmt, ast.For):
+                self._check_blocking(stmt.iter, locks)
+                self.scan(stmt.body, locks, tainted)
+                self.scan(stmt.orelse, locks, tainted)
+            elif isinstance(stmt, ast.Try):
+                self.scan(stmt.body, locks, tainted)
+                for handler in stmt.handlers:
+                    self.scan(handler.body, locks, tainted)
+                self.scan(stmt.orelse, locks, tainted)
+                self.scan(stmt.finalbody, locks, tainted)
+            else:
+                self._check_blocking(stmt, locks)
+                if self._in_private(locks):
+                    if isinstance(stmt, ast.Assign):
+                        desc = _guarded_expr(stmt.value, tainted)
+                        for target in stmt.targets:
+                            if isinstance(target, ast.Name):
+                                if desc:
+                                    tainted.add(target.id)
+                                else:
+                                    tainted.discard(target.id)
+                    elif isinstance(stmt, ast.Return) and stmt.value is not None:
+                        desc = _guarded_expr(stmt.value, tainted)
+                        if desc:
+                            lock = self._innermost_private(locks)
+                            self.findings.append(
+                                self.rule.finding(
+                                    self.path,
+                                    stmt,
+                                    f"returns lock-guarded mutable state "
+                                    f"({desc}) from inside `with {lock}`: the "
+                                    f"caller keeps the object after the lock "
+                                    f"is released, so its invariants are no "
+                                    f"longer protected — return a copy or an "
+                                    f"immutable view, or waive with a pragma "
+                                    f"documenting the handle contract",
+                                )
+                            )
+
+    def _scan_with(
+        self,
+        stmt: ast.With,
+        locks: Tuple[Tuple[str, bool], ...],
+        tainted: Set[str],
+    ) -> None:
+        new_locks = locks
+        entered_private = False
+        for item in stmt.items:
+            name = _lock_name(item.context_expr)
+            if name is None:
+                self._check_blocking(item.context_expr, new_locks)
+                continue
+            held = [outer for outer, _ in new_locks if outer != name]
+            if held:
+                self.findings.append(
+                    self.rule.finding(
+                        self.path,
+                        stmt,
+                        f"acquires {name} while holding {held[-1]}: nested "
+                        f"cross-lock acquisition fixes a lock order that any "
+                        f"opposite-order path turns into a deadlock — snapshot "
+                        f"under one lock, release, then take the other",
+                    )
+                )
+            private = _is_private_lock(name)
+            entered_private = entered_private or private
+            new_locks = new_locks + ((name, private),)
+        body_tainted = set() if entered_private else tainted
+        self.scan(stmt.body, new_locks, body_tainted)
+
+    def _in_private(self, locks: Tuple[Tuple[str, bool], ...]) -> bool:
+        return any(private for _, private in locks)
+
+    def _innermost_private(self, locks: Tuple[Tuple[str, bool], ...]) -> str:
+        for name, private in reversed(locks):
+            if private:
+                return name
+        return "<lock>"
+
+    def _check_blocking(
+        self, node: ast.AST, locks: Tuple[Tuple[str, bool], ...]
+    ) -> None:
+        if not self._in_private(locks):
+            return
+        stack: List[ast.AST] = [node]
+        while stack:
+            current = stack.pop()
+            if isinstance(
+                current,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+            ):
+                continue
+            if isinstance(current, ast.Call):
+                name = call_name(current)
+                if name is not None:
+                    last = name.split(".")[-1]
+                    if name in BLOCKING_EXACT or last in BLOCKING_SUFFIXES:
+                        lock = self._innermost_private(locks)
+                        self.findings.append(
+                            self.rule.finding(
+                                self.path,
+                                current,
+                                f"blocking call {name}() inside `with {lock}`"
+                                f": oracle construction, I/O and sleeps under "
+                                f"a private lock serialize every other thread "
+                                f"on this section — move the expensive work "
+                                f"outside the critical region",
+                            )
+                        )
+            stack.extend(ast.iter_child_nodes(current))
+
+
+class LockDisciplineRule(Rule):
+    rule_id = "RPR002"
+    name = "serve-lock-discipline"
+    summary = (
+        "flag nested lock acquisition, blocking work inside private locks, "
+        "and guarded mutable state returned out of a lock scope"
+    )
+    default_paths = ["src/repro/serve"]
+
+    def check_module(
+        self, module: ParsedModule, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        scanner = _LockScanner(self, module.path)
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scanner.scan(node.body, (), set())
+        return iter(scanner.findings)

@@ -1,0 +1,349 @@
+"""RPR001 — dtype discipline inside ``@njit`` kernels.
+
+Motivating bug (PR 7): the native hash kernel computed
+``h = (k * fib) & mask`` with ``fib = np.uint64(...)`` and ``k`` read
+from an int64 key array.  Under numba's numpy-style promotion rules
+``int64 * uint64`` is **float64**, so the kernel failed to type at first
+JIT — on the one CI leg that installs numba, never locally.  The fix
+kept the whole expression unsigned (``np.uint64(k) * fib``) and cast
+back once.
+
+This rule abstractly interprets each ``@njit``/``@jit`` function body,
+tracking a coarse dtype category per local — ``int`` / ``uint`` /
+``float`` / untyped-literal / unknown — through casts
+(``np.uint64(...)``), array constructors (``np.empty(..., dtype=...)``)
+and element reads.  It flags arithmetic/bitwise expressions that
+
+* mix known-signed with known-unsigned integers,
+* combine an unsigned operand with a value of *unknown* signedness
+  (the exact pre-fix shape: array-element times uint64 constant), or
+* mix typed ints with typed floats outside true division.
+
+Comparisons never flag (``used[h] == 0`` against a uint8 array is fine),
+and bare literals combine with anything — numba types them in context —
+*except* integer literals too large for int64, which numba types as
+uint64 (the pre-fix kernel's bare Fibonacci constant).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import (
+    ParsedModule,
+    Rule,
+    call_name,
+    decorator_names,
+    dotted_name,
+)
+
+#: Decorator names (last dotted segment) that mark a jitted function.
+JIT_DECORATORS = {"njit", "jit"}
+
+UINT_CASTS = {"uint8", "uint16", "uint32", "uint64", "uintp"}
+INT_CASTS = {"int8", "int16", "int32", "int64", "intp", "int"}
+FLOAT_CASTS = {"float32", "float64", "float"}
+ARRAY_CTORS = {"empty", "zeros", "ones", "full"}
+
+_OP_SYMBOL = {
+    "Add": "+", "Sub": "-", "Mult": "*", "Div": "/", "FloorDiv": "//",
+    "Mod": "%", "Pow": "**", "LShift": "<<", "RShift": ">>",
+    "BitOr": "|", "BitXor": "^", "BitAnd": "&",
+}
+
+#: Scalar categories.  Arrays are carried as ("arr", <scalar category>).
+Cat = Optional[Union[str, Tuple[str, Optional[str]]]]
+_LIT = "lit"
+
+
+def _is_jitted(fn: ast.FunctionDef) -> bool:
+    return any(
+        name.split(".")[-1] in JIT_DECORATORS for name in decorator_names(fn)
+    )
+
+
+def _cast_category(name: Optional[str]) -> Optional[str]:
+    if name is None:
+        return None
+    last = name.split(".")[-1]
+    if last in UINT_CASTS:
+        return "uint"
+    if last in INT_CASTS:
+        return "int"
+    if last in FLOAT_CASTS:
+        return "float"
+    if last == "bool_" or last == "bool":
+        return "uint"  # bool arrays behave like 0/1 unsigned for our purposes
+    return None
+
+
+def _describe(cat: Cat) -> str:
+    if cat is None:
+        return "a value of unknown dtype"
+    if isinstance(cat, tuple):
+        return f"an array of {_describe(cat[1])}"
+    return {
+        "int": "a signed integer",
+        "uint": "an unsigned integer",
+        "float": "a float",
+        _LIT: "a literal",
+    }.get(cat, cat)
+
+
+class _DtypeChecker:
+    """One pass over a jitted function body, in statement order."""
+
+    def __init__(self, rule: "NumbaDtypeRule", path: str, fn_name: str):
+        self.rule = rule
+        self.path = path
+        self.fn_name = fn_name
+        self.env: Dict[str, Cat] = {}
+        self.findings: List[Finding] = []
+
+    # -- statements ---------------------------------------------------- #
+
+    def run(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self.stmt(stmt)
+
+    def stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Assign):
+            cat = self.infer(node.value)
+            for target in node.targets:
+                self.bind(target, cat)
+        elif isinstance(node, ast.AnnAssign):
+            cat = self.infer(node.value) if node.value is not None else None
+            self.bind(node.target, cat)
+        elif isinstance(node, ast.AugAssign):
+            tcat = self.target_category(node.target)
+            vcat = self.infer(node.value)
+            result = self.combine(tcat, vcat, node.op, node)
+            if isinstance(node.target, ast.Name):
+                self.env[node.target.id] = result
+        elif isinstance(node, ast.For):
+            self.bind(node.target, self.iter_category(node.iter))
+            self.run(node.body)
+            self.run(node.orelse)
+        elif isinstance(node, ast.While):
+            self.infer(node.test)
+            self.run(node.body)
+            self.run(node.orelse)
+        elif isinstance(node, ast.If):
+            self.infer(node.test)
+            self.run(node.body)
+            self.run(node.orelse)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                self.infer(node.value)
+        elif isinstance(node, ast.Expr):
+            self.infer(node.value)
+        elif isinstance(node, ast.With):
+            for item in node.items:
+                self.infer(item.context_expr)
+            self.run(node.body)
+        elif isinstance(node, ast.Try):
+            self.run(node.body)
+            for handler in node.handlers:
+                self.run(handler.body)
+            self.run(node.orelse)
+            self.run(node.finalbody)
+        # pass/break/continue/etc.: nothing to track
+
+    # -- expressions ---------------------------------------------------- #
+
+    def bind(self, target: ast.expr, cat: Cat) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = cat
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self.bind(elt, None)
+        # subscript/attribute stores don't retype anything we track
+
+    def target_category(self, target: ast.expr) -> Cat:
+        if isinstance(target, ast.Name):
+            return self.env.get(target.id)
+        if isinstance(target, ast.Subscript):
+            return self.element_of(self.infer(target.value), target)
+        return None
+
+    def iter_category(self, iter_expr: ast.expr) -> Cat:
+        if isinstance(iter_expr, ast.Call):
+            name = call_name(iter_expr)
+            if name and name.split(".")[-1] == "range":
+                for arg in iter_expr.args:
+                    self.infer(arg)
+                return "int"
+        cat = self.infer(iter_expr)
+        if isinstance(cat, tuple):
+            return cat[1]
+        return None
+
+    def element_of(self, cat: Cat, node: ast.Subscript) -> Cat:
+        if isinstance(node.slice, ast.Slice):
+            return cat  # a slice of an array is still that array
+        if isinstance(cat, tuple):
+            return cat[1]
+        return None
+
+    def infer(self, node: Optional[ast.expr]) -> Cat:
+        if node is None:
+            return None
+        if isinstance(node, ast.Constant):
+            value = node.value
+            if (
+                isinstance(value, int)
+                and not isinstance(value, bool)
+                and value > 0x7FFFFFFFFFFFFFFF
+            ):
+                # Doesn't fit int64, so numba types the literal as uint64 —
+                # the exact mechanism of the PR 7 bug, where a bare Fibonacci
+                # constant made `k * 0x9E3779B97F4A7C15` unsigned.
+                return "uint"
+            return _LIT
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id)
+        if isinstance(node, ast.BinOp):
+            left = self.infer(node.left)
+            right = self.infer(node.right)
+            return self.combine(left, right, node.op, node)
+        if isinstance(node, ast.UnaryOp):
+            return self.infer(node.operand)
+        if isinstance(node, ast.Compare):
+            # Comparisons are deliberately exempt: mixed-width equality
+            # checks against literals/arrays are idiomatic and safe.
+            self.infer(node.left)
+            for comparator in node.comparators:
+                self.infer(comparator)
+            return None
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self.infer(value)
+            return None
+        if isinstance(node, ast.Call):
+            return self.infer_call(node)
+        if isinstance(node, ast.Subscript):
+            cat = self.infer(node.value)
+            if not isinstance(node.slice, ast.Slice):
+                self.infer(node.slice)
+            return self.element_of(cat, node)
+        if isinstance(node, ast.Attribute):
+            self.infer(node.value)
+            return None
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for elt in node.elts:
+                self.infer(elt)
+            return None
+        if isinstance(node, ast.IfExp):
+            self.infer(node.test)
+            a = self.infer(node.body)
+            b = self.infer(node.orelse)
+            return a if a == b else None
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.infer(child)
+        return None
+
+    def infer_call(self, node: ast.Call) -> Cat:
+        for arg in node.args:
+            self.infer(arg)
+        for kw in node.keywords:
+            self.infer(kw.value)
+        name = call_name(node)
+        cast = _cast_category(name)
+        if cast is not None:
+            return cast
+        last = name.split(".")[-1] if name else ""
+        if last in ARRAY_CTORS:
+            dtype_node = None
+            for kw in node.keywords:
+                if kw.arg == "dtype":
+                    dtype_node = kw.value
+            if dtype_node is None and len(node.args) >= 2:
+                dtype_node = node.args[1]
+            elem = _cast_category(
+                dotted_name(dtype_node) if dtype_node is not None else None
+            )
+            # numpy's constructor default is float64
+            return ("arr", elem if elem is not None else "float")
+        if last == "copy" and isinstance(node.func, ast.Attribute):
+            return self.infer(node.func.value)
+        return None
+
+    # -- hazard detection ----------------------------------------------- #
+
+    def combine(self, left: Cat, right: Cat, op: ast.operator, node: ast.AST) -> Cat:
+        opname = type(op).__name__
+        if opname not in _OP_SYMBOL:
+            return None
+        # Arrays combine elementwise under numba: reason about elements.
+        lcat = left[1] if isinstance(left, tuple) else left
+        rcat = right[1] if isinstance(right, tuple) else right
+        if lcat == _LIT:
+            return rcat
+        if rcat == _LIT:
+            return lcat
+        if lcat is None and rcat is None:
+            return None
+        symbol = _OP_SYMBOL[opname]
+        cats = {lcat, rcat}
+        if cats == {"int", "uint"}:
+            self.flag(
+                node,
+                f"mixed signed/unsigned integer arithmetic "
+                f"({_describe(left)} {symbol} {_describe(right)}) inside @njit "
+                f"function '{self.fn_name}': int64 {symbol} uint64 promotes to "
+                f"float64 under numba's numpy rules — keep the expression in "
+                f"one signedness (wrap operands with np.uint64/np.int64)",
+            )
+            return None
+        if "uint" in cats and None in cats:
+            self.flag(
+                node,
+                f"unsigned operand combined with {_describe(None)} "
+                f"({_describe(left)} {symbol} {_describe(right)}) inside @njit "
+                f"function '{self.fn_name}': if the unknown operand is a "
+                f"signed int64 the result silently promotes to float64 under "
+                f"numba — cast it explicitly (np.uint64(...)) so the whole "
+                f"expression stays unsigned",
+            )
+            return None
+        if opname != "Div" and "float" in cats and ("int" in cats or "uint" in cats):
+            self.flag(
+                node,
+                f"int/float promotion ({_describe(left)} {symbol} "
+                f"{_describe(right)}) inside @njit function '{self.fn_name}': "
+                f"the integer operand is promoted to float64, which breaks "
+                f"indexing/bit operations downstream — cast one side "
+                f"explicitly to make the promotion (or its absence) visible",
+            )
+            return "float"
+        if lcat == rcat:
+            return lcat
+        return None
+
+    def flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append(self.rule.finding(self.path, node, message))
+
+
+class NumbaDtypeRule(Rule):
+    rule_id = "RPR001"
+    name = "numba-dtype-discipline"
+    summary = (
+        "flag signed/unsigned and int/float promotion hazards inside "
+        "@njit-decorated functions"
+    )
+    default_paths = None  # jitted code may live anywhere
+
+    def check_module(
+        self, module: ParsedModule, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.FunctionDef) and _is_jitted(node):
+                checker = _DtypeChecker(self, module.path, node.name)
+                checker.run(node.body)
+                findings.extend(checker.findings)
+        return iter(findings)

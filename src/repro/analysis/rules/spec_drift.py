@@ -1,0 +1,257 @@
+"""RPR004 — spec and task-registry drift.
+
+Two cross-file invariants the API layer relies on but nothing enforced:
+
+* **Spec completeness** — every field of a ``*Spec`` / ``*Request``
+  dataclass must be mentioned by its locally-defined ``validate``,
+  ``to_dict`` and ``from_dict``.  A field added to the dataclass but
+  forgotten in ``to_dict`` silently drops from every fingerprint and
+  serve round-trip; forgotten in ``validate`` it is accepted unchecked.
+* **Task registry parity** — every entry in the task registry
+  (``TASK_SPECS``) must have a CLI subcommand (``add_parser("<name>")``
+  in ``cli.py``) and an HTTP route (``"/<name>"`` literal in
+  ``server.py``).  A task reachable from one surface but not the others
+  is exactly the drift this repo hit when ``profile`` grew a spec before
+  it grew a route.
+
+Both checks are syntactic: a field "appears" in a method if the method
+body contains an attribute access, string literal or keyword argument
+with that name.  That is loose on purpose — the rule exists to catch
+*forgotten* fields, not to parse serialization logic.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import (
+    ParsedModule,
+    Rule,
+    decorator_names,
+    norm_path,
+)
+
+SPEC_METHODS = ("validate", "to_dict", "from_dict")
+
+DEFAULT_SPEC_FILES = ["src/repro/api/specs.py", "src/repro/api/envelope.py"]
+DEFAULT_REGISTRY_FILE = "src/repro/api/envelope.py"
+DEFAULT_REGISTRY_NAME = "TASK_SPECS"
+DEFAULT_CLI_FILE = "src/repro/cli.py"
+DEFAULT_ROUTES_FILE = "src/repro/serve/server.py"
+DEFAULT_SPEC_SUFFIXES = ["Spec", "Request"]
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    return any(
+        name.split(".")[-1] == "dataclass" for name in decorator_names(node)
+    )
+
+
+def _spec_fields(node: ast.ClassDef) -> List[str]:
+    fields: List[str] = []
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        target = stmt.target
+        if not isinstance(target, ast.Name) or target.id.startswith("_"):
+            continue
+        annotation = ast.dump(stmt.annotation)
+        if "ClassVar" in annotation:
+            continue
+        fields.append(target.id)
+    return fields
+
+
+def _mentioned_names(fn: ast.FunctionDef) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            names.add(node.value)
+        elif isinstance(node, ast.keyword) and node.arg:
+            names.add(node.arg)
+        elif isinstance(node, ast.Name):
+            names.add(node.id)
+    return names
+
+
+def _registry_tasks(
+    tree: ast.Module, registry_name: str
+) -> Optional[ast.Dict]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == registry_name
+                and isinstance(value, ast.Dict)
+            ):
+                return value
+    return None
+
+
+def _cli_subcommands(tree: ast.Module) -> Set[str]:
+    commands: Set[str] = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "add_parser"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            commands.add(node.args[0].value)
+    return commands
+
+
+def _route_literals(tree: ast.Module) -> Set[str]:
+    routes: Set[str] = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and node.value.startswith("/")
+        ):
+            routes.add(node.value)
+    return routes
+
+
+class SpecDriftRule(Rule):
+    rule_id = "RPR004"
+    name = "spec-registry-drift"
+    summary = (
+        "every *Spec field must appear in validate/to_dict/from_dict; every "
+        "task-registry entry must have a CLI subcommand and a serve route"
+    )
+    project_wide = True
+
+    def check_project(
+        self, modules: List[ParsedModule], config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        options = config.options_for(self.rule_id)
+        spec_files = [
+            norm_path(p)
+            for p in options.get("spec_files", DEFAULT_SPEC_FILES)
+        ]
+        suffixes = tuple(options.get("spec_suffixes", DEFAULT_SPEC_SUFFIXES))
+        by_path: Dict[str, ParsedModule] = {
+            norm_path(m.path): m for m in modules
+        }
+        findings: List[Finding] = []
+        for path in spec_files:
+            module = by_path.get(path)
+            if module is not None:
+                findings.extend(self._check_specs(module, suffixes))
+        findings.extend(self._check_registry(by_path, options))
+        return iter(findings)
+
+    def _check_specs(
+        self, module: ParsedModule, suffixes: tuple
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith(suffixes) or not _is_dataclass(node):
+                continue
+            fields = _spec_fields(node)
+            if not fields:
+                continue
+            methods = {
+                stmt.name: stmt
+                for stmt in node.body
+                if isinstance(stmt, ast.FunctionDef)
+                and stmt.name in SPEC_METHODS
+            }
+            for method_name in SPEC_METHODS:
+                fn = methods.get(method_name)
+                if fn is None:
+                    continue  # inherited implementations are out of scope
+                mentioned = _mentioned_names(fn)
+                for field in fields:
+                    if field not in mentioned:
+                        findings.append(
+                            self.finding(
+                                module.path,
+                                fn,
+                                f"{node.name}.{field} never appears in "
+                                f"{method_name}(): a spec field missing from "
+                                f"{method_name} silently drops out of "
+                                f"validation/serialization round-trips — "
+                                f"handle the field or rename it with a "
+                                f"leading underscore if it is derived state",
+                            )
+                        )
+        return findings
+
+    def _check_registry(
+        self, by_path: Dict[str, ParsedModule], options: Dict[str, object]
+    ) -> List[Finding]:
+        registry_file = norm_path(
+            str(options.get("registry_file", DEFAULT_REGISTRY_FILE))
+        )
+        registry_name = str(options.get("registry_name", DEFAULT_REGISTRY_NAME))
+        cli_file = norm_path(str(options.get("cli_file", DEFAULT_CLI_FILE)))
+        routes_file = norm_path(
+            str(options.get("routes_file", DEFAULT_ROUTES_FILE))
+        )
+        registry = by_path.get(registry_file)
+        cli = by_path.get(cli_file)
+        routes = by_path.get(routes_file)
+        if registry is None or cli is None or routes is None:
+            return []  # narrowed scope: parity needs all three surfaces
+        registry_dict = _registry_tasks(registry.tree, registry_name)
+        if registry_dict is None:
+            return [
+                self.finding(
+                    registry.path,
+                    registry.tree,
+                    f"task registry {registry_name!r} not found as a literal "
+                    f"dict in {registry.path}: the parity check cannot run — "
+                    f"keep the registry a module-level dict literal",
+                )
+            ]
+        subcommands = _cli_subcommands(cli.tree)
+        route_literals = _route_literals(routes.tree)
+        findings: List[Finding] = []
+        for key in registry_dict.keys:
+            if not (
+                isinstance(key, ast.Constant) and isinstance(key.value, str)
+            ):
+                continue
+            task = key.value
+            if task not in subcommands:
+                findings.append(
+                    self.finding(
+                        registry.path,
+                        key,
+                        f"task {task!r} is registered in {registry_name} but "
+                        f"has no add_parser({task!r}) subcommand in "
+                        f"{cli.path}: every registered task must be runnable "
+                        f"from the CLI",
+                    )
+                )
+            if f"/{task}" not in route_literals:
+                findings.append(
+                    self.finding(
+                        registry.path,
+                        key,
+                        f"task {task!r} is registered in {registry_name} but "
+                        f"no '/{task}' route literal exists in {routes.path}: "
+                        f"every registered task must be reachable over the "
+                        f"serve API",
+                    )
+                )
+        return findings

@@ -1,0 +1,156 @@
+"""RPR005 — strict parsing of request payloads.
+
+The serve/API boundary receives untrusted JSON dicts (``payload``,
+``body``, ``data``, ``request``).  Two lax-parsing shapes have produced
+real bugs here:
+
+* ``bool(payload.get("spurious"))`` — ``bool("false")`` is ``True``, so
+  a client sending the string ``"false"`` silently *enables* the flag;
+* ``float(payload.get("scale", 0.01))`` — a client sending ``null``
+  makes ``float(None)`` raise ``TypeError`` deep in the handler, which
+  surfaces as an opaque HTTP 500 instead of a typed ``invalid_spec``.
+
+The rule flags, on the request-parsing paths (``api/``, ``serve/``):
+
+1. ``int()/float()/bool()`` applied directly to an untrusted access
+   (``payload.get(...)`` or ``payload[...]``);
+2. ``bool()`` applied to any non-literal argument (the
+   string-inversion hazard is not limited to payload reads);
+3. an untrusted access passed straight as an argument into any call
+   whose name is not a sanctioned strict parser/validator
+   (``from_dict``, ``_int_or_error`` and friends, ``isinstance`` …).
+
+At most one finding is emitted per call, in that priority order.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import ParsedModule, Rule, call_name
+
+DEFAULT_UNTRUSTED_NAMES = ["payload", "body", "data", "request"]
+
+#: Callee last segments allowed to receive a raw untrusted access: these
+#: ARE the validators.
+DEFAULT_SANCTIONED = [
+    "from_dict",
+    "from_request",
+    "_int_or_error",
+    "_float_or_error",
+    "_str_or_error",
+    "_bool_or_error",
+    "isinstance",
+    "len",
+    "_require",
+]
+
+COERCIONS = {"int", "float", "bool"}
+
+
+def _render(node: ast.AST, limit: int = 48) -> str:
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse failure is cosmetic
+        text = "<expr>"
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def _untrusted_access(
+    expr: ast.expr, untrusted: Set[str]
+) -> Optional[ast.expr]:
+    """The ``payload.get(...)`` / ``payload[...]`` node, if ``expr`` is one."""
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr == "get"
+        and isinstance(expr.func.value, ast.Name)
+        and expr.func.value.id in untrusted
+    ):
+        return expr
+    if (
+        isinstance(expr, ast.Subscript)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id in untrusted
+    ):
+        return expr
+    return None
+
+
+class StrictParseRule(Rule):
+    rule_id = "RPR005"
+    name = "strict-parse-discipline"
+    summary = (
+        "flag bool(str)-shaped coercions and unvalidated request-field "
+        "accesses on the api/ and serve/ parsing paths"
+    )
+    default_paths = ["src/repro/api", "src/repro/serve"]
+
+    def check_module(
+        self, module: ParsedModule, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        options = config.options_for(self.rule_id)
+        untrusted = {
+            str(n)
+            for n in options.get("untrusted_names", DEFAULT_UNTRUSTED_NAMES)
+        }
+        sanctioned = {
+            str(n) for n in options.get("sanctioned_callees", DEFAULT_SANCTIONED)
+        }
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            last = name.split(".")[-1] if name else ""
+            if last in COERCIONS and len(node.args) == 1 and not node.keywords:
+                arg = node.args[0]
+                access = _untrusted_access(arg, untrusted)
+                if access is not None:
+                    findings.append(
+                        self.finding(
+                            module.path,
+                            node,
+                            f"{last}({_render(arg)}) coerces an unvalidated "
+                            f"request field directly: a missing or "
+                            f"wrong-typed value becomes a deep TypeError "
+                            f"(HTTP 500) or a silently-wrong default — parse "
+                            f"it with a strict helper that raises a typed "
+                            f"SpecError instead",
+                        )
+                    )
+                    continue
+                if last == "bool" and not isinstance(arg, ast.Constant):
+                    findings.append(
+                        self.finding(
+                            module.path,
+                            node,
+                            f"bool({_render(arg)}) on a non-literal: "
+                            f"bool('false') is True, so string-carrying "
+                            f"fields silently invert — require an actual "
+                            f"bool (isinstance check) or compare against an "
+                            f"explicit literal set",
+                        )
+                    )
+                    continue
+            if last in sanctioned:
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                access = _untrusted_access(arg, untrusted)
+                if access is not None:
+                    callee = name or "<call>"
+                    findings.append(
+                        self.finding(
+                            module.path,
+                            access,
+                            f"raw request field ({_render(access)}) passed "
+                            f"straight into {callee}(): validate it first "
+                            f"(isinstance or a *_or_error helper) so a "
+                            f"malformed payload fails with a typed error at "
+                            f"the boundary, not a TypeError five frames deep",
+                        )
+                    )
+        return iter(findings)

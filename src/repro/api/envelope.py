@@ -20,7 +20,7 @@ apples-to-oranges comparisons.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Type
+from typing import Any, Dict, Optional, Type
 
 from repro.api.specs import (
     DataSpec,
@@ -70,8 +70,8 @@ class TaskRequest:
             self.data.validate()
         return self
 
-    def to_dict(self) -> dict:
-        out = {
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
             "task": self.task,
             "spec": self.spec.to_dict(),
             "engine": self.engine.to_dict(),
@@ -81,7 +81,7 @@ class TaskRequest:
         return out
 
     @classmethod
-    def from_dict(cls, data: dict) -> "TaskRequest":
+    def from_dict(cls, data: Dict[str, Any]) -> "TaskRequest":
         if not isinstance(data, dict):
             raise SpecError("a task request must be a JSON object")
         task = data.get("task")
@@ -107,12 +107,12 @@ class TaskRequest:
             ),
         ).validate()
 
-    def replace(self, **changes) -> "TaskRequest":
+    def replace(self, **changes: Any) -> "TaskRequest":
         import dataclasses
 
         return dataclasses.replace(self, **changes)
 
-    def provenance(self) -> dict:
+    def provenance(self) -> Dict[str, Any]:
         """What gets embedded into result artefacts.
 
         Transport-independent by construction: the data source is *not*
@@ -126,7 +126,7 @@ class TaskRequest:
             self.task: self.spec.provenance(),
         }
 
-    def http_payload(self, dataset_id: Optional[str] = None) -> dict:
+    def http_payload(self, dataset_id: Optional[str] = None) -> Dict[str, Any]:
         """The flat JSON body the serve transport expects for this request.
 
         Inverse of the serving layer's request parsing: POSTing this body
@@ -161,12 +161,12 @@ class TaskResult:
     task: str
     request: TaskRequest
     fingerprint: str
-    payload: dict
+    payload: Dict[str, Any]
     elapsed_s: float = 0.0
-    counters: dict = field(default_factory=dict)
+    counters: Dict[str, Any] = field(default_factory=dict)
     raw: object = None
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         return {
             "task": self.task,
             "request": self.request.to_dict(),
@@ -177,7 +177,8 @@ class TaskResult:
         }
 
 
-def stamp_payload(payload: dict, request: TaskRequest, fingerprint: str) -> dict:
+def stamp_payload(payload: Dict[str, Any], request: TaskRequest,
+                  fingerprint: str) -> Dict[str, Any]:
     """Embed the resolved request + relation fingerprint into an artefact.
 
     Mutates and returns ``payload``.  Applied by every producer (library
@@ -201,7 +202,7 @@ def stamp_payload(payload: dict, request: TaskRequest, fingerprint: str) -> dict
     return payload
 
 
-def strip_provenance(payload: dict) -> dict:
+def strip_provenance(payload: Dict[str, Any]) -> Dict[str, Any]:
     """A copy of an artefact without the stamped provenance keys.
 
     For comparisons that only care about mined content (and for diffing

@@ -29,7 +29,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass
-from typing import Optional, Type, TypeVar
+from typing import Any, Dict, Optional, Type, TypeVar
 
 #: The entropy engine arms ``make_oracle`` knows how to build.
 ENGINES = ("pli", "naive", "sql", "estimated", "approx")
@@ -49,7 +49,7 @@ class SpecError(ValueError):
     structured error envelopes.
     """
 
-    def __init__(self, message: str, field: Optional[str] = None):
+    def __init__(self, message: str, field: Optional[str] = None) -> None:
         super().__init__(message)
         self.field = field
 
@@ -59,11 +59,11 @@ def _require(condition: bool, message: str, field: Optional[str] = None) -> None
         raise SpecError(message, field=field)
 
 
-def _is_number(value) -> bool:
+def _is_number(value: Any) -> bool:
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
-def _is_int(value) -> bool:
+def _is_int(value: Any) -> bool:
     return isinstance(value, int) and not isinstance(value, bool)
 
 
@@ -75,12 +75,12 @@ class Spec:
         """Check every field; returns ``self`` so calls chain."""
         return self
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """Plain-dict form with every field present (stable key set)."""
         return dataclasses.asdict(self)
 
     @classmethod
-    def from_dict(cls: Type[S], data: dict) -> S:
+    def from_dict(cls: Type[S], data: Dict[str, Any]) -> S:
         """Rebuild a spec from :meth:`to_dict` output (exact round-trip).
 
         Missing keys take the spec's defaults; unknown keys are an error,
@@ -100,7 +100,7 @@ class Spec:
             )
         return cls(**data)
 
-    def provenance(self) -> dict:
+    def provenance(self) -> Dict[str, Any]:
         """The fields embedded in result artefacts (see ``stamp_payload``).
 
         Defaults to every field; specs override to drop knobs that cannot
@@ -121,7 +121,7 @@ class Spec:
             raise SpecError(f"{cls.__name__}: invalid JSON: {exc}") from None
         return cls.from_dict(data)
 
-    def replace(self: S, **changes) -> S:
+    def replace(self: S, **changes: Any) -> S:
         return dataclasses.replace(self, **changes)
 
 
@@ -231,7 +231,8 @@ class EngineSpec(Spec):
         return self
 
     @classmethod
-    def from_request(cls, payload: dict, base: "EngineSpec" = None) -> "EngineSpec":
+    def from_request(cls, payload: Dict[str, Any],
+                     base: Optional["EngineSpec"] = None) -> "EngineSpec":
         """Build from a loosely-typed transport payload (HTTP JSON body).
 
         Known engine keys are read from ``payload`` with ``base`` (the
@@ -288,7 +289,7 @@ class EngineSpec(Spec):
                                       "'sample_seed' must be an integer"),
         ).validate()
 
-    def provenance(self) -> dict:
+    def provenance(self) -> Dict[str, Any]:
         """The fields worth embedding in result artefacts.
 
         Only knobs that can shape the artefact's *content*:
@@ -338,7 +339,7 @@ class EngineSpec(Spec):
     # Compilation down to the library
     # ------------------------------------------------------------------ #
 
-    def make_oracle(self, relation):
+    def make_oracle(self, relation: Any) -> Any:
         """Build the entropy oracle this spec describes.
 
         Goes through :func:`repro.entropy.oracle.make_oracle` *by module
@@ -361,8 +362,8 @@ class EngineSpec(Spec):
             sample_seed=self.sample_seed,
         )
 
-    def make_maimon(self, relation, optimized: bool = True,
-                    track_deltas: Optional[bool] = None):
+    def make_maimon(self, relation: Any, optimized: bool = True,
+                    track_deltas: Optional[bool] = None) -> Any:
         """Build a :class:`~repro.core.maimon.Maimon` from this spec.
 
         ``track_deltas`` overrides the spec field (the serving layer turns
@@ -422,7 +423,7 @@ class DataSpec(Spec):
                  "sample size", field="seed")
         return self
 
-    def load(self):
+    def load(self) -> Any:
         """Resolve this spec to a :class:`~repro.data.relation.Relation`."""
         self.validate()
         if self.dataset is not None:
@@ -444,24 +445,25 @@ class DataSpec(Spec):
 # Task specs
 # --------------------------------------------------------------------- #
 
-def _check_eps(eps) -> None:
+def _check_eps(eps: Any) -> None:
     _require(_is_number(eps), "'eps' must be a number", field="eps")
     _require(eps >= 0, "'eps' must be >= 0", field="eps")
 
 
-def _check_budget(budget) -> None:
+def _check_budget(budget: Any) -> None:
     _require(budget is None or _is_number(budget),
              "'budget' must be a number of seconds or null", field="budget")
     _require(budget is None or budget >= 0,
              "'budget' must be >= 0", field="budget")
 
 
-def _check_top(top) -> None:
+def _check_top(top: Any) -> None:
     _require(_is_int(top) and top >= 0,
              "'top' must be an integer >= 0", field="top")
 
 
-def _float_or_error(payload: dict, key: str, default, message: str):
+def _float_or_error(payload: Dict[str, Any], key: str, default: Any,
+                    message: str) -> Any:
     value = payload.get(key, default)
     if value is None:
         return None
@@ -475,7 +477,8 @@ def _float_or_error(payload: dict, key: str, default, message: str):
         raise SpecError(message, field=key) from None
 
 
-def _int_or_error(payload: dict, key: str, default, message: str):
+def _int_or_error(payload: Dict[str, Any], key: str, default: Any,
+                  message: str) -> Any:
     value = payload.get(key, default)
     if value is None:
         return None
@@ -489,6 +492,24 @@ def _int_or_error(payload: dict, key: str, default, message: str):
         # int(2.9) == 2 would silently truncate, not validate.
         raise SpecError(message, field=key)
     return coerced
+
+
+def _str_or_error(payload: Dict[str, Any], key: str, default: Any,
+                  message: str) -> str:
+    value = payload.get(key, default)
+    if not isinstance(value, str):
+        raise SpecError(message, field=key)
+    return value
+
+
+def _bool_or_error(payload: Dict[str, Any], key: str, default: Any,
+                   message: str) -> bool:
+    value = payload.get(key, default)
+    if not isinstance(value, bool):
+        # bool("false") is True: request flags must be actual JSON booleans,
+        # never coerced from whatever string the client sent.
+        raise SpecError(message, field=key)
+    return value
 
 
 @dataclass(frozen=True)
@@ -519,7 +540,7 @@ class MineSpec(Spec):
         return out
 
     @classmethod
-    def from_request(cls, payload: dict) -> "MineSpec":
+    def from_request(cls, payload: Dict[str, Any]) -> "MineSpec":
         base = cls()
         return cls(
             eps=_float_or_error(payload, "eps", base.eps,
@@ -555,11 +576,13 @@ class SchemasSpec(Spec):
         return self
 
     @classmethod
-    def from_request(cls, payload: dict) -> "SchemasSpec":
+    def from_request(cls, payload: Dict[str, Any]) -> "SchemasSpec":
         base = cls()
-        spurious = not bool(payload.get("no_spurious", False))
+        spurious = not _bool_or_error(payload, "no_spurious", False,
+                                      "'no_spurious' must be a boolean")
         if "spurious" in payload:
-            spurious = bool(payload["spurious"])
+            spurious = _bool_or_error(payload, "spurious", base.spurious,
+                                      "'spurious' must be a boolean")
         return cls(
             eps=_float_or_error(payload, "eps", base.eps,
                                 "'eps' must be a number"),
@@ -567,7 +590,8 @@ class SchemasSpec(Spec):
                                    "'budget' must be a number of seconds"),
             top=_int_or_error(payload, "top", base.top,
                               "'top' must be an integer"),
-            objective=payload.get("objective", base.objective),
+            objective=_str_or_error(payload, "objective", base.objective,
+                                    "'objective' must be a string"),
             spurious=spurious,
         ).validate()
 
@@ -586,7 +610,7 @@ class ProfileSpec(Spec):
         return self
 
     @classmethod
-    def from_request(cls, payload: dict) -> "ProfileSpec":
+    def from_request(cls, payload: Dict[str, Any]) -> "ProfileSpec":
         base = cls()
         return cls(
             fd_lhs=_int_or_error(payload, "fd_lhs", base.fd_lhs,

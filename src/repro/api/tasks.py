@@ -20,7 +20,7 @@ from __future__ import annotations
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple, Type
 
 from repro import io as repro_io
 from repro.api.envelope import TASK_SPECS, TaskRequest, TaskResult, stamp_payload
@@ -35,7 +35,7 @@ from repro.api.specs import (
 from repro.core.budget import SearchBudget
 
 
-def _locked(lock) -> "nullcontext":
+def _locked(lock: Any) -> Any:
     """The caller's mutex, or a no-op context for single-owner callers."""
     return lock if lock is not None else nullcontext()
 
@@ -50,7 +50,8 @@ def search_budget(seconds: Optional[float]) -> Optional[SearchBudget]:
     return SearchBudget(max_seconds=seconds) if seconds is not None else None
 
 
-def _effective_budget(spec, budget: Optional[SearchBudget]) -> Optional[SearchBudget]:
+def _effective_budget(spec: Any,
+                      budget: Optional[SearchBudget]) -> Optional[SearchBudget]:
     return budget if budget is not None else search_budget(spec.budget)
 
 
@@ -58,9 +59,9 @@ def _effective_budget(spec, budget: Optional[SearchBudget]) -> Optional[SearchBu
 # Execute functions: (maimon, spec, engine, budget) -> (payload, raw)
 # --------------------------------------------------------------------- #
 
-def _execute_mine(maimon, spec: MineSpec, engine: EngineSpec,
+def _execute_mine(maimon: Any, spec: MineSpec, engine: EngineSpec,
                   budget: Optional[SearchBudget] = None,
-                  lock=None) -> Tuple[dict, object]:
+                  lock: Any = None) -> Tuple[Dict[str, Any], object]:
     # Only the oracle work runs under a shared session's lock; payload
     # serialisation happens after release so concurrent requests queue on
     # mining time, not on dict building.
@@ -69,9 +70,9 @@ def _execute_mine(maimon, spec: MineSpec, engine: EngineSpec,
     return repro_io.miner_result_to_dict(result, maimon.relation.columns), result
 
 
-def _execute_schemas(maimon, spec: SchemasSpec, engine: EngineSpec,
+def _execute_schemas(maimon: Any, spec: SchemasSpec, engine: EngineSpec,
                      budget: Optional[SearchBudget] = None,
-                     lock=None) -> Tuple[dict, object]:
+                     lock: Any = None) -> Tuple[Dict[str, Any], object]:
     from repro.core.ranking import rank_schemas
 
     with _locked(lock):
@@ -87,9 +88,9 @@ def _execute_schemas(maimon, spec: SchemasSpec, engine: EngineSpec,
     return payload, ranked
 
 
-def _execute_profile(maimon, spec: ProfileSpec, engine: EngineSpec,
+def _execute_profile(maimon: Any, spec: ProfileSpec, engine: EngineSpec,
                      budget: Optional[SearchBudget] = None,
-                     lock=None) -> Tuple[dict, object]:
+                     lock: Any = None) -> Tuple[Dict[str, Any], object]:
     # Profiling interleaves oracle queries with payload building, so the
     # whole call stays under the lock (as the serving layer always did).
     with _locked(lock):
@@ -111,28 +112,31 @@ class TaskDef:
     """One registered task: its name, spec class and execute function."""
 
     name: str
-    spec_cls: type
-    execute: Callable[..., Tuple[dict, object]]
+    spec_cls: Type[Spec]
+    execute: Callable[..., Tuple[Dict[str, Any], object]]
 
 
 #: The system-wide task registry; transports dispatch on these names.
 #: Spec classes come from the one task->spec mapping (``TASK_SPECS``) so
 #: the two registries cannot drift.
+_EXECUTORS: Tuple[
+    Tuple[str, Callable[..., Tuple[Dict[str, Any], object]]], ...
+] = (
+    ("mine", _execute_mine),
+    ("schemas", _execute_schemas),
+    ("profile", _execute_profile),
+)
+
 TASKS: Dict[str, TaskDef] = {
-    name: TaskDef(name, TASK_SPECS[name], fn)
-    for name, fn in (
-        ("mine", _execute_mine),
-        ("schemas", _execute_schemas),
-        ("profile", _execute_profile),
-    )
+    name: TaskDef(name, TASK_SPECS[name], fn) for name, fn in _EXECUTORS
 }
 assert set(TASKS) == set(TASK_SPECS), "task registries out of sync"
 
 
-def execute_task(task: str, maimon, spec: Spec,
+def execute_task(task: str, maimon: Any, spec: Spec,
                  engine: Optional[EngineSpec] = None,
                  budget: Optional[SearchBudget] = None,
-                 lock=None) -> Tuple[dict, object]:
+                 lock: Any = None) -> Tuple[Dict[str, Any], object]:
     """Run one task against an existing (possibly warm) ``Maimon``.
 
     Returns ``(payload, raw)`` — the unstamped artefact dict and the
@@ -159,7 +163,7 @@ def execute_task(task: str, maimon, spec: Spec,
     )
 
 
-def run(request: TaskRequest, relation=None) -> TaskResult:
+def run(request: TaskRequest, relation: Any = None) -> TaskResult:
     """Execute one declarative request end to end (the library front door).
 
     Validates the request, resolves the relation (from ``request.data``

@@ -19,7 +19,10 @@ Commands
 ``kernel-bench`` counts-first kernel dispatch vs the legacy partition path,
                 with a parity + no-regression gate (merged into
                 ``BENCH_scale.json``, see :mod:`repro.kernels`);
-``datasets``    list the built-in dataset surrogates (Table 2 registry).
+``datasets``    list the built-in dataset surrogates (Table 2 registry);
+``check``       run the repo's static analyzer (:mod:`repro.analysis`) —
+                numba dtype discipline, serve lock discipline, hot-path
+                set churn, spec/registry drift, strict request parsing.
 
 All data commands take ``--workers N`` (parallel entropy evaluation over a
 process pool), ``--no-persist`` (disable the on-disk entropy cache) and
@@ -560,6 +563,60 @@ def cmd_datasets(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    # Imported lazily: the analyzer is a dev-facing subsystem and must not
+    # tax `repro mine` startup.
+    from repro import analysis
+
+    config = analysis.load_config(args.root)
+    if args.paths:
+        config.paths = list(args.paths)
+    if args.baseline is not None:
+        config.baseline = args.baseline or None
+    only = None
+    if args.rules:
+        only = [r.strip() for r in args.rules.split(",") if r.strip()]
+
+    if args.list_rules:
+        for cls in analysis.ALL_RULES:
+            print(f"{cls.rule_id}  {cls.name}: {cls.summary}")
+        print(
+            f"{analysis.UNUSED_PRAGMA_RULE}  unused-pragma: stale "
+            f"`# repro: allow[...]` waivers (framework)"
+        )
+        print(
+            f"{analysis.PARSE_ERROR_RULE}  parse-error: files that failed "
+            f"to parse (framework)"
+        )
+        return 0
+
+    if args.write_baseline:
+        # Capture the *full* current finding set: ignore any existing
+        # baseline so re-baselining is idempotent.
+        config.baseline = None
+        report = analysis.run_analysis(config, only_rules=only)
+        count = analysis.write_baseline(args.write_baseline, report.findings)
+        print(f"wrote {count} baseline entr{'y' if count == 1 else 'ies'} "
+              f"to {args.write_baseline}")
+        return 0
+
+    report = analysis.run_analysis(config, only_rules=only)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            print(finding.format())
+        summary = (
+            f"{len(report.findings)} finding"
+            f"{'' if len(report.findings) == 1 else 's'} "
+            f"({report.suppressed} suppressed, {report.baselined} baselined) "
+            f"across {report.files} files "
+            f"[rules: {', '.join(report.rules)}]"
+        )
+        print(summary)
+    return 0 if report.ok else 1
+
+
 def _common_input_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("csv", nargs="?", help="input CSV file")
     p.add_argument("--dataset", help="built-in surrogate name instead of a CSV")
@@ -766,6 +823,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("datasets", help="list built-in dataset surrogates")
     p.set_defaults(func=cmd_datasets)
+
+    p = sub.add_parser(
+        "check",
+        help="run the repro static analyzer (repro.analysis rules RPR001-005)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to analyze (default: "
+                        "[tool.repro-analysis] paths, else 'src')")
+    p.add_argument("--root", default=".",
+                   help="project root holding pyproject.toml (default: .)")
+    p.add_argument("--rules", default=None,
+                   help="comma-separated rule ids to run (default: all)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalogue and exit")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON")
+    p.add_argument("--baseline", default=None,
+                   help="baseline file of accepted rule:path findings "
+                        "('' to ignore a configured baseline)")
+    p.add_argument("--write-baseline", metavar="PATH", default=None,
+                   help="write the current findings as a baseline and exit")
+    p.set_defaults(func=cmd_check)
     return parser
 
 

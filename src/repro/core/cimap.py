@@ -20,11 +20,13 @@ from __future__ import annotations
 
 from typing import List, Optional, Set, Tuple
 
+from repro.common import attrset
 from repro.core.budget import SearchBudget
 from repro.core.minsep import mine_min_seps
 from repro.core.schema import Schema
 from repro.entropy.oracle import EntropyOracle
 from repro.hypergraph.gyo import _UnionFind
+from repro.lattice import AttrSet
 
 
 def independence_graph(
@@ -81,9 +83,9 @@ def tree_schema(edges: List[Tuple[int, int]], n: int) -> Schema:
     Isolated attributes (n == 1, or nodes without edges when the tree is a
     forest) become singleton bags so the schema covers everything.
     """
-    bags = [frozenset(e) for e in edges]
+    bags = [attrset(e) for e in edges]
     covered = {a for e in edges for a in e}
-    bags.extend(frozenset((a,)) for a in range(n) if a not in covered)
+    bags.extend(AttrSet.singleton(a) for a in range(n) if a not in covered)
     return Schema(bags)
 
 

@@ -13,7 +13,7 @@ approximate setting by Theorem 5.1 / Corollary 5.2).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.common import attrset, fmt_attrs
 from repro.lattice import AttrSet
@@ -30,7 +30,7 @@ from repro.hypergraph.gyo import (
 class JoinTree:
     """An immutable join tree: bags plus tree edges over bag indices."""
 
-    __slots__ = ("bags", "edges")
+    __slots__ = ("bags", "edges", "_key")
 
     def __init__(
         self,
@@ -44,6 +44,7 @@ class JoinTree:
         )
         if validate and not check_running_intersection(self.bags, self.edges):
             raise ValueError("not a join tree: running intersection violated")
+        self._key: Optional[Tuple[FrozenSet[int], FrozenSet[Tuple[int, int]]]] = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -133,16 +134,32 @@ class JoinTree:
     # Dunder / display
     # ------------------------------------------------------------------ #
 
+    def _identity_key(self) -> Tuple[FrozenSet[int], FrozenSet[Tuple[int, int]]]:
+        """Identity: the bag-mask set plus the set of (ordered) edge mask pairs.
+
+        AttrSet equality/hash is mask-determined, and an unordered bag pair
+        is equivalent to the (min, max) tuple of the two masks, so this key
+        matches the old per-probe frozenset-of-frozensets comparison.
+        """
+        if self._key is None:
+            bag_masks = frozenset(b.mask for b in self.bags)  # repro: allow[RPR003] built once per tree, cached
+            edge_masks = frozenset(  # repro: allow[RPR003] built once per tree, cached
+                (
+                    min(self.bags[u].mask, self.bags[v].mask),
+                    max(self.bags[u].mask, self.bags[v].mask),
+                )
+                for u, v in self.edges
+            )
+            self._key = (bag_masks, edge_masks)
+        return self._key
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, JoinTree):
             return NotImplemented
-        return set(self.bags) == set(other.bags) and self._edge_bags() == other._edge_bags()
-
-    def _edge_bags(self) -> set:
-        return {frozenset((self.bags[u], self.bags[v])) for u, v in self.edges}
+        return self._identity_key() == other._identity_key()
 
     def __hash__(self) -> int:
-        return hash((frozenset(self.bags), frozenset(self._edge_bags())))
+        return hash(self._identity_key())
 
     def format(self, columns: Sequence[str] = ()) -> str:
         cols = tuple(columns)

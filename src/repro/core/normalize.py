@@ -46,7 +46,7 @@ def _fragment_violation(
         for key in itertools.combinations(attrs, size):
             if budget.exhausted:
                 return None
-            key_set = frozenset(key)
+            key_set = attrset(key)
             if oracle.entropy(key_set) >= h_fragment - 1e-9:
                 continue  # superkey: not a 4NF violation
             found = _full_mvds_within(oracle, fragment, key_set, eps, budget)
@@ -185,7 +185,7 @@ def fourNF_decompose(
     """
     oracle = oracle if oracle is not None else make_oracle(relation)
     budget = ensure_budget(budget)
-    omega = frozenset(range(relation.n_cols))
+    omega = AttrSet.full(relation.n_cols)
     work: List[FrozenSet[int]] = [omega]
     done: List[FrozenSet[int]] = []
     while work:
@@ -198,5 +198,5 @@ def fourNF_decompose(
             done.append(fragment)
             continue
         for dep in phi.dependents:
-            work.append(frozenset(phi.key | dep))
+            work.append(phi.key | dep)
     return Schema(done)

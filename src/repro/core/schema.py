@@ -7,7 +7,7 @@ dependency ``AJD(S)`` when ``J(S) <= ε`` (Definition 4.1).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.common import attrset, fmt_attrs
 from repro.core.jointree import JoinTree
@@ -38,7 +38,7 @@ def normalize_bags(bags: Iterable[Iterable[int]]) -> Tuple[AttrSet, ...]:
 class Schema:
     """An immutable schema (antichain of attribute bags)."""
 
-    __slots__ = ("bags", "_jt_cache")
+    __slots__ = ("bags", "_jt_cache", "_key")
 
     def __init__(self, bags: Iterable[Iterable[int]], normalize: bool = True):
         if normalize:
@@ -55,6 +55,7 @@ class Schema:
         if not self.bags:
             raise ValueError("a schema needs at least one bag")
         self._jt_cache: Optional[JoinTree] = None
+        self._key: Optional[FrozenSet[int]] = None
 
     # ------------------------------------------------------------------ #
     # Structure
@@ -122,13 +123,20 @@ class Schema:
     # Dunder / display
     # ------------------------------------------------------------------ #
 
+    def _mask_key(self) -> FrozenSet[int]:
+        """Identity of a schema: the (unordered) set of bag masks."""
+        if self._key is None:
+            # repro: allow[RPR003] built once per Schema, then reused by every probe
+            self._key = frozenset(b.mask for b in self.bags)
+        return self._key
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Schema):
             return NotImplemented
-        return {b.mask for b in self.bags} == {b.mask for b in other.bags}
+        return self._mask_key() == other._mask_key()
 
     def __hash__(self) -> int:
-        return hash(frozenset(b.mask for b in self.bags))
+        return hash(self._mask_key())
 
     def __len__(self) -> int:
         return self.m

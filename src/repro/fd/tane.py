@@ -243,7 +243,7 @@ def _filter_minimal(fds: List[FD]) -> List[FD]:
     for fd in fds:
         by_rhs.setdefault(fd.rhs, []).append(fd)
     out: List[FD] = []
-    for rhs, group in by_rhs.items():
+    for group in by_rhs.values():
         group.sort(key=lambda f: len(f.lhs))
         kept: List[FD] = []
         for fd in group:

@@ -35,15 +35,16 @@ representation change remain valid (``CACHE_FORMAT`` is unchanged).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Tuple
+import sys
+from typing import Any, FrozenSet, Iterable, Iterator, Optional, Tuple
 
 __all__ = ["AttrSet", "attrset", "bits_of", "fmt_attrs", "mask_of", "popcount"]
 
 _M64 = (1 << 64) - 1
 
-try:  # int.bit_count is Python 3.10+; fall back to bin() counting on 3.9.
+if sys.version_info >= (3, 10):
     popcount = int.bit_count
-except AttributeError:  # pragma: no cover - exercised only on Python 3.9
+else:  # pragma: no cover - exercised only on Python 3.9
     def popcount(mask: int) -> int:
         return bin(mask).count("1")
 
@@ -75,7 +76,7 @@ def _frozenset_hash_from_mask(mask: int) -> int:
     return h
 
 
-def mask_of(attrs) -> int:
+def mask_of(attrs: Iterable[int]) -> int:
     """Bitmask of any attribute-set-like value (``AttrSet``, iterable of ints)."""
     if type(attrs) is AttrSet:
         return attrs.mask
@@ -108,7 +109,10 @@ class AttrSet:
 
     __slots__ = ("mask", "_hash")
 
-    def __init__(self, attrs: Iterable[int] = ()):
+    mask: int
+    _hash: Optional[int]
+
+    def __init__(self, attrs: Iterable[int] = ()) -> None:
         self.mask = mask_of(attrs)
         self._hash = None
 
@@ -143,7 +147,7 @@ class AttrSet:
     def __bool__(self) -> bool:
         return self.mask != 0
 
-    def __contains__(self, j) -> bool:
+    def __contains__(self, j: Any) -> bool:
         if type(j) is not int:
             # Frozenset semantics: membership is equality with a member, so
             # "A" is absent (not an error) and 2.5 is absent (no truncation),
@@ -155,7 +159,7 @@ class AttrSet:
             if i != j:
                 return False
             j = i
-        return j >= 0 and (self.mask >> j) & 1 == 1
+        return bool(j >= 0 and (self.mask >> j) & 1)
 
     def __iter__(self) -> Iterator[int]:
         m = self.mask
@@ -184,7 +188,7 @@ class AttrSet:
     # Equality / hashing (frozenset-compatible)
     # ------------------------------------------------------------------ #
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if type(other) is AttrSet:
             return self.mask == other.mask
         if isinstance(other, (frozenset, set)):
@@ -194,7 +198,7 @@ class AttrSet:
                 return False
         return NotImplemented
 
-    def __ne__(self, other) -> bool:
+    def __ne__(self, other: object) -> bool:
         eq = self.__eq__(other)
         return eq if eq is NotImplemented else not eq
 
@@ -208,14 +212,14 @@ class AttrSet:
     # Set algebra (operators require set-like operands, as frozenset does)
     # ------------------------------------------------------------------ #
 
-    def _coerce(self, other):
+    def _coerce(self, other: object) -> Optional[int]:
         if type(other) is AttrSet:
             return other.mask
         if isinstance(other, (frozenset, set)):
             return mask_of(other)
         return None
 
-    def __and__(self, other):
+    def __and__(self, other: object) -> "AttrSet":
         m = self._coerce(other)
         if m is None:
             return NotImplemented
@@ -223,7 +227,7 @@ class AttrSet:
 
     __rand__ = __and__
 
-    def __or__(self, other):
+    def __or__(self, other: object) -> "AttrSet":
         m = self._coerce(other)
         if m is None:
             return NotImplemented
@@ -231,7 +235,7 @@ class AttrSet:
 
     __ror__ = __or__
 
-    def __xor__(self, other):
+    def __xor__(self, other: object) -> "AttrSet":
         m = self._coerce(other)
         if m is None:
             return NotImplemented
@@ -239,13 +243,13 @@ class AttrSet:
 
     __rxor__ = __xor__
 
-    def __sub__(self, other):
+    def __sub__(self, other: object) -> "AttrSet":
         m = self._coerce(other)
         if m is None:
             return NotImplemented
         return AttrSet.from_mask(self.mask & ~m)
 
-    def __rsub__(self, other):
+    def __rsub__(self, other: object) -> "AttrSet":
         m = self._coerce(other)
         if m is None:
             return NotImplemented
@@ -253,25 +257,25 @@ class AttrSet:
 
     # Subset order (matches frozenset comparison semantics).
 
-    def __le__(self, other) -> bool:
+    def __le__(self, other: object) -> bool:
         m = self._coerce(other)
         if m is None:
             return NotImplemented
         return self.mask & ~m == 0
 
-    def __lt__(self, other) -> bool:
+    def __lt__(self, other: object) -> bool:
         m = self._coerce(other)
         if m is None:
             return NotImplemented
         return self.mask != m and self.mask & ~m == 0
 
-    def __ge__(self, other) -> bool:
+    def __ge__(self, other: object) -> bool:
         m = self._coerce(other)
         if m is None:
             return NotImplemented
         return m & ~self.mask == 0
 
-    def __gt__(self, other) -> bool:
+    def __gt__(self, other: object) -> bool:
         m = self._coerce(other)
         if m is None:
             return NotImplemented
@@ -279,34 +283,34 @@ class AttrSet:
 
     # Named methods accept arbitrary iterables, like frozenset's do.
 
-    def union(self, *others) -> "AttrSet":
+    def union(self, *others: Iterable[int]) -> "AttrSet":
         m = self.mask
         for o in others:
             m |= mask_of(o)
         return AttrSet.from_mask(m)
 
-    def intersection(self, *others) -> "AttrSet":
+    def intersection(self, *others: Iterable[int]) -> "AttrSet":
         m = self.mask
         for o in others:
             m &= mask_of(o)
         return AttrSet.from_mask(m)
 
-    def difference(self, *others) -> "AttrSet":
+    def difference(self, *others: Iterable[int]) -> "AttrSet":
         m = self.mask
         for o in others:
             m &= ~mask_of(o)
         return AttrSet.from_mask(m)
 
-    def symmetric_difference(self, other) -> "AttrSet":
+    def symmetric_difference(self, other: Iterable[int]) -> "AttrSet":
         return AttrSet.from_mask(self.mask ^ mask_of(other))
 
-    def issubset(self, other) -> bool:
+    def issubset(self, other: Iterable[int]) -> bool:
         return self.mask & ~mask_of(other) == 0
 
-    def issuperset(self, other) -> bool:
+    def issuperset(self, other: Iterable[int]) -> bool:
         return mask_of(other) & ~self.mask == 0
 
-    def isdisjoint(self, other) -> bool:
+    def isdisjoint(self, other: Iterable[int]) -> bool:
         return self.mask & mask_of(other) == 0
 
     def with_attr(self, j: int) -> "AttrSet":
@@ -320,14 +324,15 @@ class AttrSet:
     def copy(self) -> "AttrSet":
         return self
 
-    def to_frozenset(self) -> frozenset:
+    def to_frozenset(self) -> FrozenSet[int]:
+        # repro: allow[RPR003] this IS the sanctioned boundary conversion
         return frozenset(self)
 
     # ------------------------------------------------------------------ #
     # Misc protocol
     # ------------------------------------------------------------------ #
 
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[Any, ...]:
         return (AttrSet.from_mask, (self.mask,))
 
     def __repr__(self) -> str:

@@ -58,7 +58,7 @@ def pack_masks(masks: Sequence[int], n_words: int = 0) -> np.ndarray:
 
 def unpack_masks(packed: np.ndarray) -> List[int]:
     """Inverse of :func:`pack_masks`."""
-    out = []
+    out: List[int] = []
     for row in packed:
         m = 0
         for j in range(packed.shape[1] - 1, -1, -1):

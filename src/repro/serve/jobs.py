@@ -209,6 +209,7 @@ class JobManager:
     def get(self, job_id: str) -> Job:
         with self._lock:
             try:
+                # repro: allow[RPR002] Job is a handle by contract: callers only touch its done_event and the immutable result/error set before the event fires
                 return self._jobs[job_id]
             except KeyError:
                 raise LookupError(f"unknown job_id {job_id!r}") from None

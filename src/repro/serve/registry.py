@@ -115,6 +115,7 @@ class DatasetRegistry:
             if entry is not None:
                 entry.uploads += 1
                 self._entries.move_to_end(dataset_id)
+                # repro: allow[RPR002] DatasetEntry is a read-mostly handle by contract: its relation/source never mutate after insert
                 return entry
             entry = DatasetEntry(
                 dataset_id=dataset_id,
@@ -204,6 +205,7 @@ class DatasetRegistry:
             except KeyError:
                 raise LookupError(f"unknown dataset_id {dataset_id!r}") from None
             self._entries.move_to_end(dataset_id)
+            # repro: allow[RPR002] DatasetEntry is a read-mostly handle by contract: its relation/source never mutate after insert
             return entry
 
     def get(self, dataset_id: str) -> Relation:

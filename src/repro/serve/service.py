@@ -37,6 +37,7 @@ from repro.api import (
     execute_task,
     stamp_payload,
 )
+from repro.api.specs import _float_or_error, _int_or_error, _str_or_error
 from repro.serve.jobs import Job, JobFinishedError, JobManager
 from repro.serve.registry import DatasetRegistry
 from repro.serve.session import SessionCache
@@ -117,26 +118,55 @@ class MiningService:
     def _register(self, payload: dict):
         if not isinstance(payload, dict):
             raise ServiceError("request body must be a JSON object")
-        max_rows = payload.get("max_rows")
+        try:
+            return self._register_validated(payload)
+        except SpecError as exc:
+            extra = {"field": exc.field} if exc.field else {}
+            raise ServiceError(
+                str(exc), code="invalid_spec", **extra
+            ) from None
+
+    def _register_validated(self, payload: dict):
+        """Strictly-parsed upload shapes; raises SpecError on bad fields."""
+        max_rows = _int_or_error(payload, "max_rows", None,
+                                 "'max_rows' must be an integer >= 1")
+        if max_rows is not None and max_rows < 1:
+            raise SpecError("'max_rows' must be an integer >= 1",
+                            field="max_rows")
+        name = _str_or_error(payload, "name", "", "'name' must be a string")
         if "csv" in payload:
+            csv_text = payload["csv"]
+            if not isinstance(csv_text, str):
+                raise SpecError("'csv' must be a string of CSV text",
+                                field="csv")
+            delimiter = _str_or_error(payload, "delimiter", ",",
+                                      "'delimiter' must be a string")
             return self.registry.add_csv_text(
-                payload["csv"],
-                name=payload.get("name", ""),
-                max_rows=max_rows,
-                delimiter=payload.get("delimiter", ","),
+                csv_text, name=name, max_rows=max_rows, delimiter=delimiter,
             )
         if "rows" in payload:
             if "columns" not in payload:
                 raise ServiceError("'rows' uploads require 'columns'")
-            return self.registry.add_rows(
-                payload["rows"], payload["columns"], name=payload.get("name", "")
-            )
+            rows = payload["rows"]
+            columns = payload["columns"]
+            if not isinstance(rows, list):
+                raise SpecError("'rows' must be a list of rows", field="rows")
+            if not isinstance(columns, list):
+                raise SpecError("'columns' must be a list of column names",
+                                field="columns")
+            return self.registry.add_rows(rows, columns, name=name)
         if "dataset" in payload:
+            dataset = _str_or_error(payload, "dataset", "",
+                                    "'dataset' must be a string")
+            scale = _float_or_error(payload, "scale", 0.01,
+                                    "'scale' must be a number > 0")
+            if scale is None or scale <= 0:
+                # A JSON null (or 0) would otherwise crash deep in the
+                # surrogate generator as an opaque 500.
+                raise SpecError("'scale' must be a number > 0", field="scale")
             try:
                 return self.registry.add_builtin(
-                    payload["dataset"],
-                    scale=float(payload.get("scale", 0.01)),
-                    max_rows=max_rows,
+                    dataset, scale=scale, max_rows=max_rows,
                 )
             except KeyError as exc:
                 raise ServiceError(str(exc), status=404) from None
@@ -223,8 +253,13 @@ class MiningService:
         if not isinstance(rows, list) or not rows:
             raise ServiceError("'rows' must be a non-empty list of rows")
         try:
+            name = _str_or_error(payload, "name", "",
+                                 "'name' must be a string")
+        except SpecError as exc:
+            raise ServiceError(str(exc), code="invalid_spec") from None
+        try:
             child, parent, delta = self.registry.append_rows(
-                dataset_id, rows, name=payload.get("name", "")
+                dataset_id, rows, name=name
             )
         except LookupError as exc:
             raise ServiceError(str(exc), status=404, code="unknown_dataset") from None

@@ -143,6 +143,7 @@ class SessionCache:
             session = self._sessions.get(key)
             if session is None:
                 self.misses += 1
+                # repro: allow[RPR002] deliberate (docstring above): construction is cheap, and holding the lock stops a first-request burst from racing to build duplicates
                 maimon = spec.make_maimon(
                     relation, track_deltas=self.track_deltas
                 )

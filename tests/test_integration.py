@@ -93,7 +93,7 @@ class TestTradeoffShape:
                 )
         assert rows
         singles = [row for row in rows if row[0] == 1]
-        for m, s, e in singles:
+        for _m, s, e in singles:
             assert s == pytest.approx(0.0)
             assert e == pytest.approx(0.0)
         multis = [row for row in rows if row[0] >= 3]

@@ -10,7 +10,6 @@ native tier can never become load-bearing.
 from __future__ import annotations
 
 import itertools
-import math
 
 import numpy as np
 import pytest
