@@ -1,0 +1,174 @@
+"""Smoke-test the observability surface through the real CLI entry point.
+
+Starts ``repro serve --slow-ms 0`` as a subprocess on a free port, runs a
+couple of requests (one traced) and then asserts the full telemetry loop:
+
+* ``GET /metrics`` serves Prometheus text and **every** registered family
+  appears with its ``# HELP``/``# TYPE`` header — sample-less families
+  included, so a missing family is a hard failure, not a silent gap;
+* request counters, per-task latency histograms, the session-lock wait
+  histogram and the ``--slow-ms`` slow-request counter all moved;
+* job payloads carry ``queued_ms``/``running_ms`` and ``/healthz``
+  reports session/dataset cache occupancy against capacity;
+* a ``trace=true`` request embeds a span tree and is otherwise identical
+  to the untraced artefact;
+* the server's structured JSON request log (stderr-bound, captured from
+  the child's combined output) carries request ids and slow markers.
+
+Used as the CI obs smoke step; exits non-zero on any failure.
+
+Run with: ``PYTHONPATH=src python examples/obs_smoke.py``
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.serve import ServeClient  # noqa: E402
+
+CSV = """A,B,C,D
+a1,b1,c1,d1
+a1,b1,c2,d1
+a2,b2,c1,d2
+a2,b2,c2,d2
+"""
+
+TIMEOUT_S = 60
+
+# Families the service registers up front; /metrics must expose each one
+# even before it has samples (headers render eagerly by design).
+EXPECTED_FAMILIES = (
+    "repro_requests_total",
+    "repro_request_queued_seconds",
+    "repro_request_running_seconds",
+    "repro_session_lock_wait_seconds",
+    "repro_slow_requests_total",
+    "repro_jobs",
+    "repro_jobs_queue_depth",
+    "repro_sessions",
+    "repro_sessions_capacity",
+    "repro_session_cache_events_total",
+    "repro_datasets",
+    "repro_datasets_capacity",
+    "repro_dataset_evictions_total",
+    "repro_uptime_seconds",
+    "repro_session_counter",
+)
+
+
+def _metric_value(text: str, line_prefix: str) -> float:
+    for line in text.splitlines():
+        if line.startswith(line_prefix):
+            return float(line.rsplit(" ", 1)[1])
+    raise AssertionError(f"no metric line starts with {line_prefix!r}")
+
+
+def main() -> int:
+    # -u: unbuffered child output — with a pipe the startup banner would
+    # otherwise sit in a block buffer and the readline() below would hang.
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", "serve", "--port", "0",
+         "--no-persist", "--max-request-seconds", "30", "--slow-ms", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={**os.environ, "PYTHONPATH": "src"},
+        cwd=os.path.join(os.path.dirname(__file__), ".."),
+    )
+    try:
+        deadline = time.time() + TIMEOUT_S
+        port = None
+        while port is None:
+            if proc.poll() is not None or time.time() > deadline:
+                raise RuntimeError("server did not start")
+            line = proc.stdout.readline()
+            m = re.search(r"listening on http://[\d.]+:(\d+)", line)
+            if m:
+                port = int(m.group(1))
+
+        client = ServeClient(f"http://127.0.0.1:{port}", timeout=TIMEOUT_S)
+        for _ in range(100):
+            try:
+                assert client.healthz()["status"] == "ok"
+                break
+            except OSError:
+                time.sleep(0.1)
+        else:
+            raise RuntimeError("healthz never came up")
+
+        ds = client.upload_csv(text=CSV, name="obs-smoke")["dataset_id"]
+
+        # One plain request, one traced: same artefact modulo the block.
+        plain = client.mine(ds, eps=0.0)
+        assert plain["status"] == "done", plain
+        assert plain["queued_ms"] >= 0 and plain["running_ms"] >= 0, plain
+        traced = client.mine(ds, eps=0.0, trace=True)
+        assert traced["status"] == "done", traced
+        block = dict(traced["result"]).pop("trace")
+        assert block["name"] == "mine" and block["count"] == 1, block
+        stripped = {k: v for k, v in traced["result"].items() if k != "trace"}
+        assert json.dumps(stripped, sort_keys=True) == \
+               json.dumps(plain["result"], sort_keys=True)
+
+        # /metrics: Prometheus text, every registered family present.
+        text = client.metrics()
+        for family in EXPECTED_FAMILIES:
+            assert f"# TYPE {family} " in text, f"family missing: {family}"
+        assert _metric_value(
+            text, 'repro_requests_total{task="mine",status="done"}') == 2
+        assert _metric_value(
+            text, "repro_session_lock_wait_seconds_count") == 2
+        assert _metric_value(text, "repro_sessions ") == 1
+        assert _metric_value(text, "repro_datasets ") == 1
+        # --slow-ms 0 marks every request slow.
+        assert _metric_value(
+            text, 'repro_slow_requests_total{task="mine"}') == 2
+        # Per-session mining counters republished as labelled series.
+        assert 'counter="oracle.queries"' in text, "no session counter series"
+
+        # /healthz occupancy against capacity.
+        health = client.healthz()
+        assert health["sessions"]["sessions"] == 1, health["sessions"]
+        assert health["sessions"]["capacity"] >= 1, health["sessions"]
+        assert health["registry"]["datasets"] == 1, health["registry"]
+        assert health["registry"]["capacity"] >= 1, health["registry"]
+
+        # Structured JSON request log on the server's stderr (merged into
+        # stdout here): one "request" line per job, with request ids, and
+        # "slow_request" markers from --slow-ms 0.
+        proc.terminate()
+        tail = proc.stdout.read()
+        events = []
+        for line in tail.splitlines():
+            try:
+                events.append(json.loads(line))
+            except ValueError:
+                continue  # banner / non-JSON noise
+        requests = [e for e in events if e.get("event") == "request"]
+        slow = [e for e in events if e.get("event") == "slow_request"]
+        assert len(requests) == 2, events
+        assert {plain["job_id"], traced["job_id"]} == \
+               {e["request_id"] for e in requests}, requests
+        assert all(e["task"] == "mine" and e["status"] == "done"
+                   for e in requests), requests
+        assert len(slow) == 2, events
+
+        print("obs smoke OK:", len(EXPECTED_FAMILIES), "families,",
+              len(requests), "request log lines,",
+              f"{block['total_ms']:.3f} ms traced")
+        return 0
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

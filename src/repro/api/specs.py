@@ -165,6 +165,12 @@ class EngineSpec(Spec):
         level in ``(0, 1)`` and sampling seed.  ``None`` means the engine
         defaults (see :mod:`repro.approx.engine`); setting any of them
         with another engine is an error, not a silently dead knob.
+    trace:
+        Record a hierarchical span tree for the request and embed it as
+        ``payload["trace"]`` (see :mod:`repro.obs.trace`).  Pure
+        telemetry: it never changes results, so — like ``persist`` — it
+        is excluded from result provenance, and artefacts produced with
+        it off are byte-identical to pre-trace output.
     """
 
     engine: str = "pli"
@@ -177,6 +183,7 @@ class EngineSpec(Spec):
     sample_rows: Optional[int] = None
     confidence: Optional[float] = None
     sample_seed: Optional[int] = None
+    trace: bool = False
 
     def validate(self) -> "EngineSpec":
         _require(self.engine in ENGINES,
@@ -228,6 +235,8 @@ class EngineSpec(Spec):
                      f"'{name}' only applies to engine 'approx'; engine "
                      f"{self.engine!r} always evaluates the full relation",
                      field=name)
+        _require(isinstance(self.trace, bool),
+                 "'trace' must be a boolean", field="trace")
         return self
 
     @classmethod
@@ -287,6 +296,8 @@ class EngineSpec(Spec):
                                        "'confidence' must be a number"),
             sample_seed=_int_or_error(payload, "sample_seed", base.sample_seed,
                                       "'sample_seed' must be an integer"),
+            trace=_bool_or_error(payload, "trace", base.trace,
+                                 "'trace' must be a boolean (JSON true/false)"),
         ).validate()
 
     def provenance(self) -> Dict[str, Any]:
@@ -301,6 +312,8 @@ class EngineSpec(Spec):
           (whether and where entropies are cached, never their values);
           stamping them would make the CLI's persist-by-default artefacts
           diff-warn against default library/serve runs of identical data;
+        * ``trace`` is excluded for the same reason — telemetry about
+          the run, never part of what the run computed;
         * the sampling knobs (``estimator``, ``sample_rows``,
           ``confidence``, ``sample_seed``) are stamped only for the
           engines they apply to — on exact engines they are pinned to
@@ -314,6 +327,7 @@ class EngineSpec(Spec):
         out.pop("track_deltas")
         out.pop("persist")
         out.pop("cache_dir")
+        out.pop("trace")
         if self.engine not in ESTIMATOR_ENGINES:
             out.pop("estimator")
         if self.engine == "approx":

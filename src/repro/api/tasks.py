@@ -33,6 +33,7 @@ from repro.api.specs import (
     SpecError,
 )
 from repro.core.budget import SearchBudget
+from repro.obs.trace import span, start_trace
 
 
 def _locked(lock: Any) -> Any:
@@ -66,8 +67,13 @@ def _execute_mine(maimon: Any, spec: MineSpec, engine: EngineSpec,
     # serialisation happens after release so concurrent requests queue on
     # mining time, not on dict building.
     with _locked(lock):
-        result = maimon.mine_mvds(spec.eps, budget=_effective_budget(spec, budget))
-    return repro_io.miner_result_to_dict(result, maimon.relation.columns), result
+        with span("mine"):
+            result = maimon.mine_mvds(
+                spec.eps, budget=_effective_budget(spec, budget)
+            )
+    with span("serialize"):
+        payload = repro_io.miner_result_to_dict(result, maimon.relation.columns)
+    return payload, result
 
 
 def _execute_schemas(maimon: Any, spec: SchemasSpec, engine: EngineSpec,
@@ -76,15 +82,19 @@ def _execute_schemas(maimon: Any, spec: SchemasSpec, engine: EngineSpec,
     from repro.core.ranking import rank_schemas
 
     with _locked(lock):
-        ranked = rank_schemas(
-            maimon,
-            spec.eps,
-            k=spec.top,
-            objective=spec.objective,
-            schema_budget=_effective_budget(spec, budget),
-            with_spurious=spec.spurious,
+        with span("schemas"):
+            ranked = rank_schemas(
+                maimon,
+                spec.eps,
+                k=spec.top,
+                objective=spec.objective,
+                schema_budget=_effective_budget(spec, budget),
+                with_spurious=spec.spurious,
+            )
+    with span("serialize"):
+        payload = repro_io.schemas_payload(
+            spec.eps, ranked, maimon.relation.columns
         )
-    payload = repro_io.schemas_payload(spec.eps, ranked, maimon.relation.columns)
     return payload, ranked
 
 
@@ -93,7 +103,7 @@ def _execute_profile(maimon: Any, spec: ProfileSpec, engine: EngineSpec,
                      lock: Any = None) -> Tuple[Dict[str, Any], object]:
     # Profiling interleaves oracle queries with payload building, so the
     # whole call stays under the lock (as the serving layer always did).
-    with _locked(lock):
+    with _locked(lock), span("profile"):
         payload = repro_io.profile_to_dict(
             maimon.relation,
             maimon.oracle,
@@ -145,6 +155,13 @@ def execute_task(task: str, maimon: Any, spec: Spec,
     the relation by.  ``lock`` is for shared holders (warm serving
     sessions): the oracle-touching work runs inside it, while payload
     serialisation happens outside wherever the task allows.
+
+    When the engine spec asks for tracing, the whole execution runs
+    under a fresh request trace and the finished span tree is embedded
+    as ``payload["trace"]`` — the same block whichever transport called
+    (the CLI pretty-prints it, serve returns it in the job result).
+    With tracing off this path adds nothing to the payload, keeping
+    trace-less artefacts byte-identical to pre-trace output.
     """
     try:
         definition = TASKS[task]
@@ -157,10 +174,15 @@ def execute_task(task: str, maimon: Any, spec: Spec,
             f"task {task!r} takes a {definition.spec_cls.__name__}, "
             f"got {type(spec).__name__}", field="spec",
         )
-    return definition.execute(
-        maimon, spec, engine if engine is not None else EngineSpec(), budget,
-        lock=lock,
-    )
+    resolved = engine if engine is not None else EngineSpec()
+    if not resolved.trace:
+        return definition.execute(maimon, spec, resolved, budget, lock=lock)
+    with start_trace(task) as trace:
+        payload, raw = definition.execute(
+            maimon, spec, resolved, budget, lock=lock
+        )
+    payload["trace"] = trace.to_dict()
+    return payload, raw
 
 
 def run(request: TaskRequest, relation: Any = None) -> TaskResult:

@@ -530,6 +530,8 @@ def serve_benchmark(
                     "speedup_vs_cold": round(cold_mean / p50, 2) if p50 > 0 else None,
                 }
             )
+
+        obs = _serve_obs_section(client, dataset_id, eps, n_requests)
     finally:
         server.close()
 
@@ -547,12 +549,85 @@ def serve_benchmark(
         },
         "warm": warm_rows,
         "warm_speedup_vs_cold": one_client["speedup_vs_cold"],
+        "obs": obs,
         "note": (
             "cold = load dataset + fresh Maimon + mine + teardown per request "
             "(the one-shot CLI bill); warm = end-to-end HTTP request latency "
             "against one warm repro.serve session (shared oracle memo, PLI "
-            "caches and phase-1 result cache)"
+            "caches and phase-1 result cache); obs = observability overhead "
+            "(disabled-span micro-bench, traced vs plain warm p50) and the "
+            "session-lock wait histogram scraped from /metrics"
         ),
+    }
+
+
+def _noop_span_overhead_ns(iterations: int = 200_000) -> float:
+    """Per-call cost of ``span()`` while tracing is disabled, nanoseconds.
+
+    The obs layer's contract is that disabled spans are near-free; this
+    measures the actual bill (thread-local read + None check + shared
+    no-op context manager) against an empty loop baseline.
+    """
+    from repro.obs.trace import span as _span
+
+    r = range(iterations)
+    t0 = time.perf_counter()
+    for _ in r:
+        pass
+    baseline = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in r:
+        with _span("x"):
+            pass
+    elapsed = time.perf_counter() - t0
+    return max(0.0, elapsed - baseline) / iterations * 1e9
+
+
+def _serve_obs_section(client, dataset_id: str, eps: float,
+                       n_requests: int) -> Dict[str, object]:
+    """Observability-cost arm of the serve bench (metrics + tracing on).
+
+    Runs back-to-back single-client warm sweeps with tracing off and on
+    (same session, same cached result — the delta is pure span overhead),
+    measures the disabled-span fast path, and scrapes ``/metrics`` for
+    the session-lock wait histogram the multi-client sweep just filled.
+    """
+    def sweep(**opts) -> float:
+        times: List[float] = []
+        for _ in range(max(4, n_requests)):
+            t0 = time.perf_counter()
+            resp = client.mine(dataset_id, eps=eps, **opts)
+            dt = time.perf_counter() - t0
+            if resp.get("status") != "done":
+                raise RuntimeError(f"obs-arm request failed: {resp}")
+            times.append(dt)
+        return float(np.percentile(np.array(times), 50))
+
+    plain_p50 = sweep()
+    traced_p50 = sweep(trace=True)
+
+    lock_count = 0.0
+    lock_sum = 0.0
+    for line in client.metrics().splitlines():
+        if line.startswith("repro_session_lock_wait_seconds_count"):
+            lock_count = float(line.split()[-1])
+        elif line.startswith("repro_session_lock_wait_seconds_sum"):
+            lock_sum = float(line.split()[-1])
+    return {
+        "noop_span_ns": round(_noop_span_overhead_ns(), 1),
+        "warm_p50_ms": round(plain_p50 * 1000, 3),
+        "traced_warm_p50_ms": round(traced_p50 * 1000, 3),
+        "trace_overhead_pct": (
+            round((traced_p50 / plain_p50 - 1.0) * 100.0, 2)
+            if plain_p50 > 0 else None
+        ),
+        "lock_wait": {
+            "count": lock_count,
+            "sum_s": round(lock_sum, 6),
+            "mean_ms": (
+                round(lock_sum / lock_count * 1000, 3) if lock_count else None
+            ),
+        },
     }
 
 
@@ -604,7 +679,7 @@ def delta_append_benchmark(
             warm.append_rows(rows[lo:hi])
             result = warm.mine_mvds(eps)
             warm_times.append(time.perf_counter() - t0)
-            warm_evals.append(warm.counters()["evals"])
+            warm_evals.append(warm.counters()["oracle.evals"])
             warm_payloads.append(repro_io.miner_result_to_dict(result, columns))
         warm.close()
 
@@ -618,7 +693,7 @@ def delta_append_benchmark(
             cold = EngineSpec().make_maimon(relation)
             result = cold.mine_mvds(eps)
             cold_times.append(time.perf_counter() - t0)
-            cold_evals.append(cold.counters()["evals"])
+            cold_evals.append(cold.counters()["oracle.evals"])
             payload = repro_io.miner_result_to_dict(result, columns)
             parity = parity and (
                 payload["mvds"] == warm_payloads[v]["mvds"]
@@ -726,10 +801,10 @@ def approx_scale_benchmark(
                 "mvds": len(approx_result.mvds),
                 "min_seps": sum(len(v) for v in approx_result.min_seps.values()),
                 "agreement": agreement,
-                "escalations": counters.get("escalations", 0),
-                "exact_evals": counters.get("exact_evals", 0),
-                "sampled_evals": counters["evals"],
-                "exact_engine_evals": exact_counters["evals"],
+                "escalations": counters.get("approx.escalations", 0),
+                "exact_evals": counters.get("approx.exact_evals", 0),
+                "sampled_evals": counters["oracle.evals"],
+                "exact_engine_evals": exact_counters["oracle.evals"],
             }
         )
     return {
@@ -864,7 +939,11 @@ def kernel_benchmark(
         fast = Maimon(relation)
         fast_result = fast.mine_mvds(eps)
         fast_s = time.perf_counter() - t0
-        kernel_counters = fast.counters().get("kernels", {})
+        kernel_counters = {
+            k[len("kernel."):]: v
+            for k, v in fast.counters().items()
+            if k.startswith("kernel.")
+        }
         fast.close()
 
         t0 = time.perf_counter()
@@ -947,8 +1026,36 @@ def kernel_benchmark(
     }
 
 
+#: Version of the shared BENCH_*.json envelope (the ``meta`` block below).
+BENCH_SCHEMA_VERSION = 1
+
+
+def bench_meta() -> Dict[str, object]:
+    """The provenance block stamped into every BENCH_*.json.
+
+    One shape for every bench file, so cross-bench tooling can tell *when*
+    and *on what* a number was measured without per-bench parsing.
+    """
+    import platform
+
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "written_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def write_bench_json(payload: Dict[str, object], path: str = "BENCH_exec.json") -> str:
-    """Write a bench payload as machine-readable JSON; returns the path."""
+    """Write a bench payload as machine-readable JSON; returns the path.
+
+    Every payload is stamped with the shared :func:`bench_meta` block
+    (schema version, timestamp, python/numpy versions, CPU count) — the
+    one place all BENCH_*.json provenance comes from.
+    """
+    payload = dict(payload)
+    payload["meta"] = bench_meta()
     with open(path, "w") as f:
         json.dump(payload, f, indent=2, sort_keys=False)
         f.write("\n")

@@ -82,6 +82,7 @@ def _engine_spec(args) -> api.EngineSpec:
         sample_rows=getattr(args, "sample_rows", None),
         confidence=getattr(args, "confidence", None),
         sample_seed=getattr(args, "sample_seed", None),
+        trace=bool(getattr(args, "trace", False)),
     )
 
 
@@ -178,6 +179,17 @@ def _run(request: api.TaskRequest):
     return relation, api.run(request, relation=relation)
 
 
+def _print_trace(result) -> None:
+    """Pretty-print the span tree of a ``--trace`` run, if one was recorded."""
+    block = result.payload.get("trace")
+    if not block:
+        return
+    from repro.obs.trace import format_trace
+
+    print()
+    print(format_trace(block, top=5))
+
+
 def cmd_mine(args) -> int:
     request = _compile_request(
         "mine", args, api.MineSpec(
@@ -196,6 +208,7 @@ def cmd_mine(args) -> int:
         print(f"  {phi.format(relation.columns)}")
     if len(mined.mvds) > top:
         print(f"  ... ({len(mined.mvds) - top} more)")
+    _print_trace(result)
     if args.json:
         repro_io.save_json(result.payload, args.json)
         print(f"wrote {args.json}")
@@ -242,6 +255,7 @@ def cmd_schemas(args) -> int:
             }
         )
     table.show()
+    _print_trace(result)
     if args.json:
         repro_io.save_json(result.payload, args.json)
         print(f"wrote {args.json}")
@@ -266,6 +280,7 @@ def cmd_profile(args) -> int:
     table.show()
     if len(payload["fds"]) > 20:
         print(f"... ({len(payload['fds']) - 20} more FDs)")
+    _print_trace(result)
     if args.json:
         repro_io.save_json(payload, args.json)
         print(f"wrote {args.json}")
@@ -274,6 +289,7 @@ def cmd_profile(args) -> int:
 
 def cmd_serve(args) -> int:
     """Run the long-lived mining service (see :mod:`repro.serve`)."""
+    from repro.obs.logs import JsonLogger
     from repro.serve import MiningService, make_server
 
     try:
@@ -285,6 +301,8 @@ def cmd_serve(args) -> int:
         job_workers=args.job_workers,
         max_request_seconds=args.max_request_seconds,
         defaults=defaults,
+        slow_ms=args.slow_ms,
+        logger=JsonLogger(component="serve"),
     )
     for name in args.preload or []:
         entry = service.upload({"dataset": name,
@@ -297,7 +315,7 @@ def cmd_serve(args) -> int:
         f"jobs<={args.job_workers}, deadline={args.max_request_seconds}s)"
     )
     print("endpoints: POST /datasets /mine /schemas /profile; "
-          "GET /jobs/<id> /healthz; Ctrl-C to stop")
+          "GET /jobs/<id> /healthz /metrics; Ctrl-C to stop")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -628,6 +646,9 @@ def _common_input_args(p: argparse.ArgumentParser) -> None:
                         "MVDs — prefer --engine approx; see repro.approx)")
     p.add_argument("--seed", type=int, default=None,
                    help="seed for --sample (default 0)")
+    p.add_argument("--trace", action="store_true",
+                   help="record a span tree for the run (embedded in --json "
+                        "artefacts, pretty-printed to the terminal)")
     _engine_arg(p)
     _exec_args(p)
     _config_args(p)
@@ -728,6 +749,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="built-in surrogates to register at startup")
     p.add_argument("--scale", type=float, default=0.01,
                    help="row scale for --preload datasets")
+    p.add_argument("--slow-ms", type=float, default=None,
+                   help="log (and count) requests whose running time "
+                        "exceeds this many milliseconds")
     p.add_argument("--verbose", action="store_true", help="log HTTP requests")
     _engine_arg(p)
     _exec_args(p)

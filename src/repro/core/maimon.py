@@ -123,6 +123,10 @@ class Maimon:
         self._miner = MVDMiner(self.oracle, optimized=optimized)
         self._mvd_cache: dict = {}
         self._prev_mvd_cache: dict = {}  # results of the pre-append version
+        # Cumulative delta-advance totals; the oracle keeps "patched"
+        # itself but reports rebuilt/dropped only per advance.
+        self._delta_rebuilt = 0
+        self._delta_dropped = 0
 
     # ------------------------------------------------------------------ #
     # Phase 1
@@ -191,6 +195,8 @@ class Maimon:
         self.relation = new_relation
         self._prev_mvd_cache = self._mvd_cache
         self._mvd_cache = {}
+        self._delta_rebuilt += stats.get("rebuilt", 0)
+        self._delta_dropped += stats.get("dropped", 0)
         return stats
 
     # ------------------------------------------------------------------ #
@@ -265,23 +271,25 @@ class Maimon:
     # ------------------------------------------------------------------ #
 
     def counters(self) -> dict:
-        """Current oracle instrumentation as a plain dict.
+        """Current instrumentation in the flat ``group.counter`` namespace.
 
-        Warm serving sessions expose these per session (``/healthz``);
-        keys beyond ``queries``/``evals`` appear only when the underlying
-        oracle tracks them.
+        One key shape for every engine — ``oracle.queries``,
+        ``exec.persist_hits``, ``approx.escalations``, ``kernel.bincount``
+        and so on; the full catalogue lives in :mod:`repro.obs.counters`.
+        ``oracle.*`` is always present; other groups appear only when the
+        underlying oracle/engine tracks them.  Warm serving sessions
+        expose these per session (``/healthz``) and republish them on
+        ``/metrics`` as the ``counter`` label of ``repro_session_counter``.
         """
-        out = {"queries": self.oracle.queries, "evals": self.oracle.evals}
-        for extra in ("persist_hits", "prefetched", "escalations", "exact_evals"):
-            value = getattr(self.oracle, extra, None)
-            if value is not None:
-                out[extra] = value
+        from repro.obs.counters import flatten_counters
+
+        extra = None
         if self.oracle.tracks_deltas:
-            out["patched"] = self.oracle.patched
-        kernels = self.oracle.kernel_stats()
-        if kernels and sum(kernels.values()):
-            out["kernels"] = kernels
-        return out
+            extra = {
+                "delta.rebuilt": self._delta_rebuilt,
+                "delta.dropped": self._delta_dropped,
+            }
+        return flatten_counters(self.oracle, extra=extra)
 
     def reset_counters(self) -> None:
         """Zero the oracle's query/eval counters (memo contents are kept).
@@ -289,6 +297,8 @@ class Maimon:
         For long-lived holders that want per-window stats instead of
         lifetime totals."""
         self.oracle.reset_stats()
+        self._delta_rebuilt = 0
+        self._delta_dropped = 0
 
     def clear_cache(self) -> None:
         """Drop cached phase-1 results (oracle memo stays warm).

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional
 from repro.data.relation import Relation
 from repro.entropy.partitions import StrippedPartition
 from repro.lattice import AttrSet, bits_of, mask_of
+from repro.obs.trace import span
 
 
 class PLICacheEngine:
@@ -185,25 +186,28 @@ class PLICacheEngine:
             )
         if not m:
             return StrippedPartition.single_cluster(self.relation.n_rows)
-        pieces = [m & bm for bm in self.block_masks if m & bm]
-        if len(pieces) == 1:
-            return self._block_partition(pieces[0])
-        hit = self._cross_lookup(m)
-        if hit is not None:
-            return hit
-        # Assemble across blocks, caching running unions so subsequent
-        # queries sharing a prefix of blocks reuse the work.
-        acc_mask = pieces[0]
-        acc = self._block_partition(acc_mask)
-        for piece in pieces[1:]:
-            acc_mask |= piece
-            cached = self._cross_lookup(acc_mask)
-            if cached is not None:
-                acc = cached
-                continue
-            acc = self._product(acc, self._block_partition(piece))
-            self._cross_store(acc_mask, acc)
-        return acc
+        # Spanned only on memo/cache misses; cache hits never reach here,
+        # so the span count doubles as a PLI-build counter in the tree.
+        with span("pli"):
+            pieces = [m & bm for bm in self.block_masks if m & bm]
+            if len(pieces) == 1:
+                return self._block_partition(pieces[0])
+            hit = self._cross_lookup(m)
+            if hit is not None:
+                return hit
+            # Assemble across blocks, caching running unions so subsequent
+            # queries sharing a prefix of blocks reuse the work.
+            acc_mask = pieces[0]
+            acc = self._block_partition(acc_mask)
+            for piece in pieces[1:]:
+                acc_mask |= piece
+                cached = self._cross_lookup(acc_mask)
+                if cached is not None:
+                    acc = cached
+                    continue
+                acc = self._product(acc, self._block_partition(piece))
+                self._cross_store(acc_mask, acc)
+            return acc
 
     def _block_partition(self, m: int) -> StrippedPartition:
         """Partition of a subset living inside one block (permanent cache).

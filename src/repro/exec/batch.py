@@ -33,6 +33,7 @@ from repro.exec.persist import PersistentEntropyCache
 from repro.exec.plan import mi_entropy_sets, plan_entropy_requests
 from repro.exec.pool import ParallelEvaluator
 from repro.lattice import AttrSet
+from repro.obs.trace import span
 
 #: Smallest number of *missing* sets worth a round-trip to the pool; tiny
 #: batches are cheaper on the local engine than on the wire.
@@ -126,12 +127,13 @@ class BatchEntropyOracle(EntropyOracle):
 
     def entropies(self, requests: Iterable[AttrsLike]) -> Dict[AttrSet, float]:
         """``H`` of every requested set (see base class for accounting)."""
-        plan = plan_entropy_requests(requests)
-        self.queries += plan.logical
-        missing = self._resolve_missing(plan.unique)
-        if missing:
-            self._evaluate(missing)
-        return {a: self._memo[a.mask] for a in plan.unique}
+        with span("batch"):
+            plan = plan_entropy_requests(requests)
+            self.queries += plan.logical
+            missing = self._resolve_missing(plan.unique)
+            if missing:
+                self._evaluate(missing)
+            return {a: self._memo[a.mask] for a in plan.unique}
 
     def mutual_informations(self, triples: Sequence[MITriple]) -> List[float]:
         """``I(Y; Z | X)`` per triple, through one planned entropy batch."""
@@ -150,13 +152,14 @@ class BatchEntropyOracle(EntropyOracle):
         """
         if self.workers <= 1:
             return 0
-        plan = plan_entropy_requests(requests)
-        missing = self._resolve_missing(plan.unique)
-        if len(missing) < MIN_PARALLEL_BATCH:
-            return 0
-        self._evaluate(missing)
-        self.prefetched += len(missing)
-        return len(missing)
+        with span("prefetch"):
+            plan = plan_entropy_requests(requests)
+            missing = self._resolve_missing(plan.unique)
+            if len(missing) < MIN_PARALLEL_BATCH:
+                return 0
+            self._evaluate(missing)
+            self.prefetched += len(missing)
+            return len(missing)
 
     # ------------------------------------------------------------------ #
     # Lifecycle / stats

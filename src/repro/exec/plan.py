@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
 
 from repro.lattice import AttrSet, mask_of
+from repro.obs.trace import span
 
 
 def containment_key(attrs) -> Tuple[int, Tuple[int, ...]]:
@@ -68,15 +69,16 @@ class ExecutionPlan:
 
 def plan_entropy_requests(requests: Iterable[Iterable[int]]) -> ExecutionPlan:
     """Normalise, dedupe and order a batch of entropy requests."""
-    logical = 0
-    unique = set()
-    for attrs in requests:
-        logical += 1
-        unique.add(attrs.mask if type(attrs) is AttrSet else mask_of(attrs))
-    ordered = tuple(
-        sorted(map(AttrSet.from_mask, unique), key=containment_key)
-    )
-    return ExecutionPlan(logical=logical, unique=ordered)
+    with span("plan"):
+        logical = 0
+        unique = set()
+        for attrs in requests:
+            logical += 1
+            unique.add(attrs.mask if type(attrs) is AttrSet else mask_of(attrs))
+        ordered = tuple(
+            sorted(map(AttrSet.from_mask, unique), key=containment_key)
+        )
+        return ExecutionPlan(logical=logical, unique=ordered)
 
 
 def estimated_cost(attrs) -> int:

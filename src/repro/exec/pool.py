@@ -30,6 +30,7 @@ from repro.data.relation import Relation
 from repro.entropy.plicache import PLICacheEngine
 from repro.exec.plan import shard
 from repro.lattice import AttrSet
+from repro.obs.trace import span
 
 G3Request = Tuple[Tuple[int, ...], int]  # (lhs, rhs)
 
@@ -135,7 +136,10 @@ class ParallelEvaluator:
             [tuple(a) if type(a) is AttrSet else tuple(sorted(a)) for a in piece]
             for piece in shards
         ]
-        results = self._map(_entropy_shard, payloads)
+        # Worker wall time shows up under the parent's "pool" span; the
+        # workers are separate interpreters and keep no traces of their own.
+        with span("pool"):
+            results = self._map(_entropy_shard, payloads)
         if results is None:  # pool unavailable: degrade to serial
             return self.entropies(attr_sets)
         self.parallel_batches += 1
@@ -156,7 +160,8 @@ class ParallelEvaluator:
             return {p: g3_error(self.relation, p[0], p[1]) for p in pairs}
         chunk = max(1, (len(pairs) + self.workers - 1) // self.workers)
         shards = [pairs[i : i + chunk] for i in range(0, len(pairs), chunk)]
-        results = self._map(_g3_shard, shards)
+        with span("pool"):
+            results = self._map(_g3_shard, shards)
         if results is None:
             return self.g3_errors(pairs)
         self.parallel_batches += 1

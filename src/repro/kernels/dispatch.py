@@ -30,8 +30,16 @@ by an element budget so memory stays proportional to a handful of key
 columns.
 
 Per-instance counters (``stats``) record every kernel choice and cache
-event; the oracles surface them (``Maimon.counters()["kernels"]``) so
-dispatch decisions are observable in benchmarks and tests.
+event; the oracles surface them as the flat ``kernel.*`` keys of
+``Maimon.counters()`` (see :mod:`repro.obs.counters`) so dispatch
+decisions are observable in benchmarks and tests.
+
+**Tracing.**  The grouping entry points participate in request tracing
+(:mod:`repro.obs.trace`) as ``span("kernel")``.  These are the hottest
+call sites in the system, so they do not go through the generic
+``span()`` helper: each checks the thread-local ``ACTIVE.trace`` once
+and takes the untraced path with no other work — the guaranteed no-op
+fast path the obs layer promises.
 """
 
 from __future__ import annotations
@@ -42,6 +50,7 @@ from typing import Dict, Sequence, Tuple
 import numpy as np
 
 from repro.kernels import compose, count, native
+from repro.obs.trace import ACTIVE as _TRACE
 
 #: Default element budget for the composed-prefix LRU (int32/int64 key
 #: arrays; 2^24 elements is 16 one-million-row prefixes, <= 128 MB).
@@ -147,6 +156,13 @@ class GroupCounter:
         element-for-element what ``np.bincount(group_ids)`` yields on the
         legacy path.
         """
+        trace = _TRACE.trace
+        if trace is None:
+            return self._counts(idx)
+        with trace.span("kernel"):
+            return self._counts(idx)
+
+    def _counts(self, idx: Tuple[int, ...]) -> np.ndarray:
         if not idx:
             n = self.n_rows
             return np.full(min(1, n), n, dtype=np.int64)
@@ -170,6 +186,13 @@ class GroupCounter:
 
     def ids_and_counts(self, idx: Tuple[int, ...]) -> Tuple[np.ndarray, np.ndarray]:
         """Fused ``(dense group ids, group counts)`` for ``idx``."""
+        trace = _TRACE.trace
+        if trace is None:
+            return self._ids_and_counts(idx)
+        with trace.span("kernel"):
+            return self._ids_and_counts(idx)
+
+    def _ids_and_counts(self, idx: Tuple[int, ...]) -> Tuple[np.ndarray, np.ndarray]:
         if not idx:
             n = self.n_rows
             return (
@@ -197,6 +220,13 @@ class GroupCounter:
         Bit-identical to the legacy ``np.unique(..., return_inverse=True)``
         densification in :meth:`Relation.group_ids`.
         """
+        trace = _TRACE.trace
+        if trace is None:
+            return self._ids(idx)
+        with trace.span("kernel"):
+            return self._ids(idx)
+
+    def _ids(self, idx: Tuple[int, ...]) -> Tuple[np.ndarray, int]:
         if not idx:
             return np.zeros(self.n_rows, dtype=np.int64), min(1, self.n_rows)
         keys, bound = self.compose_keys(idx)

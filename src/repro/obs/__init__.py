@@ -1,0 +1,44 @@
+"""repro.obs: one instrument set for the whole stack.
+
+Three small, dependency-free pieces (see the README's "Observability"
+section for the architecture box and metric catalogue):
+
+- :mod:`repro.obs.registry` — process-wide metrics (counters, gauges,
+  fixed-bucket histograms) with Prometheus text exposition and the
+  :class:`~repro.obs.registry.TimedLock` wait-time instrument.
+- :mod:`repro.obs.trace` — hierarchical request tracing with a
+  guaranteed no-op fast path when disabled.
+- :mod:`repro.obs.logs` — structured JSON-lines logging for the serve
+  path.
+- :mod:`repro.obs.counters` — the flat ``group.counter`` namespace
+  ``Maimon.counters()`` reports in.
+"""
+
+from repro.obs.counters import flatten_counters
+from repro.obs.logs import JsonLogger
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimedLock,
+)
+from repro.obs.trace import Trace, format_trace, span, start_trace
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonLogger",
+    "MetricsRegistry",
+    "REGISTRY",
+    "TimedLock",
+    "Trace",
+    "flatten_counters",
+    "format_trace",
+    "span",
+    "start_trace",
+]

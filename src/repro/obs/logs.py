@@ -1,0 +1,59 @@
+"""Structured JSON logging: one object per line, safe under threads.
+
+The serve path logs every finished request as a single JSON line with
+its request id (the job id pollers already hold), so the access log is
+greppable and machine-joinable against ``/jobs/<id>`` and ``/metrics``.
+A ``--slow-ms`` threshold upgrades over-budget requests to a warning
+``slow_request`` event — the "why did *that* request take 5 s" hook.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from datetime import datetime, timezone
+from typing import Any, Optional, TextIO
+
+
+class JsonLogger:
+    """Writes one JSON object per line to a text stream (default stderr).
+
+    Keys are emitted in insertion order (``ts``, ``level``, ``component``,
+    ``event``, then caller fields) so the human-scannable prefix is
+    stable; values that don't serialize fall back to ``str``.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 component: str = "serve") -> None:
+        self._stream: TextIO = stream if stream is not None else sys.stderr
+        self._lock = threading.Lock()
+        self.component = component
+
+    def log(self, event: str, level: str = "info", **fields: Any) -> None:
+        record: "dict[str, Any]" = {
+            "ts": datetime.now(timezone.utc).isoformat(
+                timespec="milliseconds"),
+            "level": level,
+            "component": self.component,
+            "event": event,
+        }
+        record.update(fields)
+        line = json.dumps(record, default=str)
+        with self._lock:
+            try:
+                self._stream.write(line + "\n")
+                self._stream.flush()
+            except ValueError:
+                # Stream closed under us (interpreter teardown, test
+                # capture); logging must never take the request down.
+                pass
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log(event, level="info", **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log(event, level="warning", **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log(event, level="error", **fields)

@@ -1,0 +1,396 @@
+"""Process-wide metrics: counters, gauges and histograms, Prometheus text.
+
+One :class:`MetricsRegistry` holds every metric *family* (a name, a help
+string, a label schema and a kind) and renders all of them in the
+Prometheus text exposition format.  The design goals, in order:
+
+1. **Cheap on the hot path.**  An increment is a dict lookup plus an
+   add under the family's lock; a histogram observe is one ``bisect``
+   into a fixed bucket tuple.  Nothing allocates per call beyond the
+   label-value tuple, and unlabelled metrics reuse one cached key.
+2. **Absorb, don't replace.**  The mining subsystems keep their local
+   plain-int counters (oracle ``queries``/``evals``, kernel dispatch
+   tallies, PLI cache hits...) exactly because those are free; the
+   registry publishes them at scrape time via :meth:`MetricsRegistry.
+   register_callback` sweeps and :meth:`Counter.set_total` — so enabling
+   ``/metrics`` costs the mining loops nothing.
+3. **Deterministic exposition.**  Families render in registration
+   order, children in first-seen order, and every registered family
+   emits its ``# HELP``/``# TYPE`` header even before the first sample —
+   which is what lets the CI smoke assert *every* family appears.
+
+:class:`TimedLock` also lives here: a ``threading.Lock`` wrapper that
+feeds acquisition wait time into a histogram, used by the serving layer
+to expose session-lock queueing (the dominant term in the multi-client
+p50 climb measured by ``serve-bench``).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from time import perf_counter
+from types import TracebackType
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type, Union
+
+Number = Union[int, float]
+LabelValues = Tuple[str, ...]
+
+#: Default histogram buckets (seconds): sub-millisecond to one minute.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+_NO_LABELS: LabelValues = ()
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_number(value: Number) -> str:
+    if isinstance(value, float):
+        return format(value, ".10g")
+    return str(value)
+
+
+def _labels_text(names: Sequence[str], values: Sequence[str],
+                 extra: Sequence[Tuple[str, str]] = ()) -> str:
+    pairs = [
+        '%s="%s"' % (name, _escape_label(value))
+        for name, value in zip(names, values)
+    ]
+    pairs.extend('%s="%s"' % (n, _escape_label(v)) for n, v in extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(pairs) + "}"
+
+
+class MetricFamily:
+    """Shared plumbing: name, help, label schema, one lock per family."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def _key(self, labels: Dict[str, str]) -> LabelValues:
+        if not labels and not self.labelnames:
+            return _NO_LABELS
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                "metric %r takes labels %r, got %r"
+                % (self.name, self.labelnames, tuple(sorted(labels)))
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def sample_lines(self) -> List[str]:
+        raise NotImplementedError
+
+    def render(self) -> List[str]:
+        lines = ["# HELP %s %s" % (self.name, _escape_help(self.help)),
+                 "# TYPE %s %s" % (self.name, self.kind)]
+        lines.extend(self.sample_lines())
+        return lines
+
+
+class Counter(MetricFamily):
+    """A monotonically increasing tally (name them ``*_total``)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self._values: Dict[LabelValues, Number] = {}
+
+    def inc(self, amount: Number = 1, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def set_total(self, total: Number, **labels: str) -> None:
+        """Publish an externally maintained monotonic tally.
+
+        This is the absorption path for counters that subsystems keep as
+        plain ints (kernel dispatch tallies, cache hit counts...): the
+        owner increments its local int for free and a registry callback
+        publishes the running total at scrape time.
+        """
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = total
+
+    def value(self, **labels: str) -> Number:
+        with self._lock:
+            return self._values.get(self._key(labels), 0)
+
+    def sample_lines(self) -> List[str]:
+        with self._lock:
+            items = list(self._values.items())
+        return [
+            "%s%s %s" % (self.name, _labels_text(self.labelnames, key),
+                         _format_number(value))
+            for key, value in items
+        ]
+
+
+class Gauge(MetricFamily):
+    """A value that can go up and down (queue depth, occupancy...)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self._values: Dict[LabelValues, Number] = {}
+
+    def set(self, value: Number, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = value
+
+    def inc(self, amount: Number = 1, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def dec(self, amount: Number = 1, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> Number:
+        with self._lock:
+            return self._values.get(self._key(labels), 0)
+
+    def sample_lines(self) -> List[str]:
+        with self._lock:
+            items = list(self._values.items())
+        return [
+            "%s%s %s" % (self.name, _labels_text(self.labelnames, key),
+                         _format_number(value))
+            for key, value in items
+        ]
+
+
+class _HistogramChild:
+    __slots__ = ("bucket_counts", "total", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        # One slot per finite bucket plus the +Inf overflow slot.
+        self.bucket_counts = [0] * (n_buckets + 1)
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(MetricFamily):
+    """Fixed-bucket histogram (``le`` upper bounds, cumulative on render)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Sequence[str] = (),
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram %r needs at least one bucket" % name)
+        self.buckets: Tuple[float, ...] = bounds
+        self._children: Dict[LabelValues, _HistogramChild] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = _HistogramChild(len(self.buckets))
+                self._children[key] = child
+            child.bucket_counts[index] += 1
+            child.total += value
+            child.count += 1
+
+    def snapshot(self, **labels: str) -> Dict[str, float]:
+        """``{"count": n, "sum": s}`` for one child (zeros if unseen)."""
+        key = self._key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                return {"count": 0, "sum": 0.0}
+            return {"count": child.count, "sum": child.total}
+
+    def sample_lines(self) -> List[str]:
+        with self._lock:
+            items = [
+                (key, list(child.bucket_counts), child.total, child.count)
+                for key, child in self._children.items()
+            ]
+        lines: List[str] = []
+        for key, bucket_counts, total, count in items:
+            running = 0
+            for bound, bucket in zip(self.buckets, bucket_counts):
+                running += bucket
+                lines.append("%s_bucket%s %d" % (
+                    self.name,
+                    _labels_text(self.labelnames, key,
+                                 extra=(("le", _format_number(bound)),)),
+                    running,
+                ))
+            lines.append("%s_bucket%s %d" % (
+                self.name,
+                _labels_text(self.labelnames, key, extra=(("le", "+Inf"),)),
+                count,
+            ))
+            suffix = _labels_text(self.labelnames, key)
+            lines.append("%s_sum%s %s" % (self.name, suffix,
+                                          _format_number(total)))
+            lines.append("%s_count%s %d" % (self.name, suffix, count))
+        return lines
+
+
+class MetricsRegistry:
+    """A named collection of metric families plus scrape-time callbacks.
+
+    Family creation is idempotent: asking for an existing name returns
+    the existing family (so components can declare their metrics without
+    coordinating), but re-declaring with a different kind or label schema
+    is a hard error — silent schema drift is how dashboards rot.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, MetricFamily] = {}
+        self._callbacks: List[Callable[[], None]] = []
+
+    def _get_or_create(self, cls: Type[MetricFamily], name: str, help: str,
+                       labelnames: Sequence[str],
+                       factory: Callable[[], MetricFamily]) -> MetricFamily:
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if type(existing) is not cls:
+                    raise ValueError(
+                        "metric %r already registered as %s"
+                        % (name, existing.kind)
+                    )
+                if existing.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        "metric %r already registered with labels %r"
+                        % (name, existing.labelnames)
+                    )
+                return existing
+            family = factory()
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> Counter:
+        family = self._get_or_create(
+            Counter, name, help, labelnames,
+            lambda: Counter(name, help, labelnames),
+        )
+        assert isinstance(family, Counter)
+        return family
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> Gauge:
+        family = self._get_or_create(
+            Gauge, name, help, labelnames,
+            lambda: Gauge(name, help, labelnames),
+        )
+        assert isinstance(family, Gauge)
+        return family
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        family = self._get_or_create(
+            Histogram, name, help, labelnames,
+            lambda: Histogram(name, help, labelnames, buckets),
+        )
+        assert isinstance(family, Histogram)
+        return family
+
+    def register_callback(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` before every render (scrape-time sweeps)."""
+        with self._lock:
+            self._callbacks.append(callback)
+
+    def collect(self) -> None:
+        with self._lock:
+            callbacks = list(self._callbacks)
+        for callback in callbacks:
+            callback()
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return list(self._families)
+
+    def render(self) -> str:
+        """The full registry in Prometheus text exposition format."""
+        self.collect()
+        with self._lock:
+            families = list(self._families.values())
+        lines: List[str] = []
+        for family in families:
+            lines.extend(family.render())
+        return "\n".join(lines) + "\n"
+
+
+#: Process-wide default registry for library users; the serving layer
+#: builds one registry per service so tests and embedded services don't
+#: bleed samples into each other.
+REGISTRY = MetricsRegistry()
+
+
+class TimedLock:
+    """A ``threading.Lock`` that reports acquisition wait time.
+
+    Drop-in for the subset of the Lock API the serving layer uses
+    (context manager, ``acquire``/``release``/``locked``).  With a
+    histogram attached, every blocking ``acquire`` observes the time the
+    caller spent waiting — under concurrent clients of one warm session
+    that wait *is* the queueing delay, which is how the serve layer's
+    ``repro_session_lock_wait_seconds`` accounts for the multi-client
+    p50 climb seen in ``BENCH_serve.json``.
+    """
+
+    __slots__ = ("_lock", "histogram")
+
+    def __init__(self, histogram: Optional[Histogram] = None) -> None:
+        self._lock = threading.Lock()
+        self.histogram = histogram
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        histogram = self.histogram
+        if histogram is None:
+            return self._lock.acquire(blocking, timeout)
+        started = perf_counter()
+        acquired = self._lock.acquire(blocking, timeout)
+        histogram.observe(perf_counter() - started)
+        return acquired
+
+    def release(self) -> None:
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> "TimedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type: Optional[Type[BaseException]],
+                 exc: Optional[BaseException],
+                 tb: Optional[TracebackType]) -> None:
+        self._lock.release()

@@ -155,3 +155,16 @@ class ServeClient:
 
     def healthz(self) -> dict:
         return self.request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """The raw Prometheus text exposition from ``GET /metrics``."""
+        req = urllib.request.Request(
+            self.base_url + "/metrics",
+            headers={"Accept": "text/plain"},
+            method="GET",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServeAPIError(exc.code, exc.reason) from None

@@ -105,21 +105,32 @@ class Job:
             cancel_event=self.cancel_event,
         )
 
+    def queued_seconds(self) -> float:
+        """Time spent waiting for a pool thread (still counting if queued)."""
+        end = self.started_at or self.finished_at or time.time()
+        return max(0.0, end - self.submitted_at)
+
+    def running_seconds(self) -> Optional[float]:
+        """Time on the pool thread so far; ``None`` if never started."""
+        if self.started_at is None:
+            return None
+        end = self.finished_at if self.finished_at is not None else time.time()
+        return max(0.0, end - self.started_at)
+
     def to_dict(self) -> dict:
+        queued = self.queued_seconds()
         out = {
             "job_id": self.id,
             "kind": self.kind,
             "status": self.status,
             "cancel_requested": self.cancel_event.is_set(),
-            "queued_s": round(
-                (self.started_at or self.finished_at or time.time())
-                - self.submitted_at,
-                6,
-            ),
+            "queued_s": round(queued, 6),
+            "queued_ms": round(queued * 1000.0, 3),
         }
-        if self.started_at is not None:
-            end = self.finished_at if self.finished_at is not None else time.time()
-            out["elapsed_s"] = round(end - self.started_at, 6)
+        running = self.running_seconds()
+        if running is not None:
+            out["elapsed_s"] = round(running, 6)
+            out["running_ms"] = round(running * 1000.0, 3)
         if self.result is not None:
             out["result"] = self.result
         if self.error is not None:
@@ -136,13 +147,20 @@ class JobManager:
         Concurrent mining jobs; further submissions queue (FIFO).
     max_jobs:
         Finished jobs retained for polling; older entries are pruned.
+    observer:
+        Optional callback invoked with each job as it reaches a terminal
+        status (the serve layer's metrics/logging hook).  Runs on the
+        job's worker thread; exceptions are swallowed — telemetry must
+        never turn a finished job into a failed one.
     """
 
-    def __init__(self, max_workers: int = 4, max_jobs: int = 256):
+    def __init__(self, max_workers: int = 4, max_jobs: int = 256,
+                 observer: Optional[Callable[["Job"], None]] = None):
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.max_workers = max_workers
         self.max_jobs = max_jobs
+        self._observer = observer
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-serve-job"
         )
@@ -201,6 +219,13 @@ class JobManager:
         job.status = status
         job.finished_at = time.time()
         job.done_event.set()
+        if self._observer is not None:
+            try:
+                self._observer(job)
+            except Exception:
+                # Telemetry only; the job's own outcome is already set
+                # and must not be overturned by an observer bug.
+                pass
 
     # ------------------------------------------------------------------ #
     # Polling / cancellation

@@ -218,7 +218,11 @@ class DatasetRegistry:
 
     def stats(self) -> Dict[str, int]:
         with self._lock:
-            return {"datasets": len(self._entries), "evictions": self.evictions}
+            return {
+                "datasets": len(self._entries),
+                "capacity": self.capacity,
+                "evictions": self.evictions,
+            }
 
     def __len__(self) -> int:
         with self._lock:

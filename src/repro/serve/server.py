@@ -15,6 +15,8 @@ POST   ``/profile``            column entropies + minimal FDs
 GET    ``/jobs/<id>``          poll a job (``?wait=SECONDS`` blocks)
 POST   ``/jobs/<id>/cancel``   cancel a queued/running job
 GET    ``/healthz``            liveness + registry/session/job stats
+GET    ``/metrics``            Prometheus text exposition (the one
+                               non-JSON route)
 ====== ======================= ==============================================
 
 Mining POSTs accept ``"wait": false`` to return the queued job immediately
@@ -66,6 +68,8 @@ class ServeHandler(BaseHTTPRequestHandler):
         with self._error_envelope():
             if path == "/healthz":
                 self._reply(200, self.service.health())
+            elif path == "/metrics":
+                self._reply_text(200, self.service.metrics_text())
             elif path == "/datasets":
                 self._reply(200, {"datasets": self.service.registry.list()})
             elif path.startswith("/jobs/"):
@@ -170,9 +174,21 @@ class ServeHandler(BaseHTTPRequestHandler):
         return payload
 
     def _reply(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        self._reply_bytes(
+            status, json.dumps(payload).encode("utf-8"), "application/json"
+        )
+
+    def _reply_text(self, status: int, text: str) -> None:
+        # Prometheus' text exposition content type (version 0.0.4 is the
+        # plain-text format every scraper accepts).
+        self._reply_bytes(
+            status, text.encode("utf-8"),
+            "text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    def _reply_bytes(self, status: int, body: bytes, content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)

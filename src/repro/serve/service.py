@@ -38,6 +38,8 @@ from repro.api import (
     stamp_payload,
 )
 from repro.api.specs import _float_or_error, _int_or_error, _str_or_error
+from repro.obs.logs import JsonLogger
+from repro.obs.registry import MetricsRegistry
 from repro.serve.jobs import Job, JobFinishedError, JobManager
 from repro.serve.registry import DatasetRegistry
 from repro.serve.session import SessionCache
@@ -77,6 +79,19 @@ class MiningService:
         requests override its fields per call.  The legacy keyword
         arguments (``engine``, ``workers``, ``persist``, ``cache_dir``)
         build one when ``defaults`` is not given.
+    metrics:
+        The :class:`~repro.obs.registry.MetricsRegistry` to publish on.
+        Each service builds its own by default so embedded services and
+        tests never bleed samples into each other; the HTTP layer serves
+        it on ``GET /metrics``.
+    slow_ms:
+        When set, requests whose *running* time exceeds this many
+        milliseconds increment ``repro_slow_requests_total`` and emit a
+        ``slow_request`` warning on the structured log.
+    logger:
+        Optional :class:`~repro.obs.logs.JsonLogger` for one-line JSON
+        request logs (request id, kind, status, queue/run times).
+        ``None`` disables request logging; metrics stay on regardless.
     """
 
     def __init__(
@@ -90,10 +105,22 @@ class MiningService:
         persist: bool = False,
         cache_dir: Optional[str] = None,
         defaults: Optional[EngineSpec] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        slow_ms: Optional[float] = None,
+        logger: Optional[JsonLogger] = None,
     ):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.slow_ms = slow_ms
+        self.logger = logger
+        self._register_metrics()
         self.registry = DatasetRegistry(capacity=max_datasets)
-        self.sessions = SessionCache(capacity=max_sessions)
-        self.jobs = JobManager(max_workers=job_workers)
+        self.sessions = SessionCache(
+            capacity=max_sessions,
+            lock_wait_histogram=self._lock_wait_seconds,
+        )
+        self.jobs = JobManager(
+            max_workers=job_workers, observer=self._job_finished
+        )
         self.max_request_seconds = max_request_seconds
         if defaults is None:
             defaults = EngineSpec(
@@ -106,6 +133,158 @@ class MiningService:
             raise ServiceError(str(exc), code="invalid_spec") from None
         self.started_at = time.time()
         self._closed = False
+        self.metrics.register_callback(self._sweep_metrics)
+
+    # ------------------------------------------------------------------ #
+    # Metrics / logging
+    # ------------------------------------------------------------------ #
+
+    def _register_metrics(self) -> None:
+        """Declare every metric family up front.
+
+        Families render their ``# HELP``/``# TYPE`` headers even before
+        the first sample, so a scrape right after startup already shows
+        the complete catalogue (the CI smoke asserts exactly that).
+        """
+        m = self.metrics
+        self._requests_total = m.counter(
+            "repro_requests_total",
+            "Finished requests by task kind and terminal status.",
+            labelnames=("task", "status"),
+        )
+        self._request_queued_seconds = m.histogram(
+            "repro_request_queued_seconds",
+            "Time requests spent queued for a job-pool worker.",
+            labelnames=("task",),
+        )
+        self._request_running_seconds = m.histogram(
+            "repro_request_running_seconds",
+            "Time requests spent executing on a job-pool worker.",
+            labelnames=("task",),
+        )
+        self._lock_wait_seconds = m.histogram(
+            "repro_session_lock_wait_seconds",
+            "Time requests waited to acquire a warm session's lock "
+            "(the queueing term of multi-client latency).",
+        )
+        self._slow_requests_total = m.counter(
+            "repro_slow_requests_total",
+            "Requests whose running time exceeded the --slow-ms threshold.",
+            labelnames=("task",),
+        )
+        self._jobs_gauge = m.gauge(
+            "repro_jobs",
+            "Jobs in the journal by lifecycle state.",
+            labelnames=("state",),
+        )
+        self._jobs_queue_depth = m.gauge(
+            "repro_jobs_queue_depth",
+            "Jobs waiting for a free worker right now.",
+        )
+        self._sessions_gauge = m.gauge(
+            "repro_sessions", "Warm sessions currently cached."
+        )
+        self._sessions_capacity = m.gauge(
+            "repro_sessions_capacity", "Session cache capacity."
+        )
+        self._session_cache_events = m.counter(
+            "repro_session_cache_events_total",
+            "Session cache lookups by outcome.",
+            labelnames=("event",),
+        )
+        self._datasets_gauge = m.gauge(
+            "repro_datasets", "Datasets currently registered."
+        )
+        self._datasets_capacity = m.gauge(
+            "repro_datasets_capacity", "Dataset registry capacity."
+        )
+        self._dataset_evictions = m.counter(
+            "repro_dataset_evictions_total",
+            "Datasets evicted from the registry (LRU).",
+        )
+        self._uptime_seconds = m.gauge(
+            "repro_uptime_seconds", "Seconds since the service started."
+        )
+        self._session_counter = m.gauge(
+            "repro_session_counter",
+            "Per-session mining counters (the flat Maimon.counters() "
+            "namespace, one time series per counter key).",
+            labelnames=("dataset_id", "engine", "counter"),
+        )
+
+    def _sweep_metrics(self) -> None:
+        """Scrape-time sweep: publish the subsystems' own plain-int stats.
+
+        The mining loops never touch the registry — their counters stay
+        free local ints; this callback absorbs them into gauges and
+        ``set_total`` counters only when someone actually scrapes.
+        """
+        jobs = self.jobs.stats()
+        for state in ("queued", "running", "done", "error", "cancelled"):
+            self._jobs_gauge.set(jobs.get(state, 0), state=state)
+        self._jobs_queue_depth.set(jobs.get("queued", 0))
+        sessions = self.sessions.stats()
+        self._sessions_gauge.set(sessions["sessions"])
+        self._sessions_capacity.set(sessions["capacity"])
+        for event in ("hits", "misses", "evictions"):
+            self._session_cache_events.set_total(
+                sessions[event], event=event
+            )
+        registry = self.registry.stats()
+        self._datasets_gauge.set(registry["datasets"])
+        self._datasets_capacity.set(registry["capacity"])
+        self._dataset_evictions.set_total(registry["evictions"])
+        self._uptime_seconds.set(round(time.time() - self.started_at, 3))
+        for entry in self.sessions.list():
+            dataset_id = str(entry.get("dataset_id", ""))
+            engine = str(entry.get("engine", ""))
+            for key, value in entry.items():
+                # The flat counter keys are the dotted ones; transport
+                # fields (dataset_id, requests, age_s...) are not.
+                if "." in key and isinstance(value, (int, float)):
+                    self._session_counter.set(
+                        value, dataset_id=dataset_id, engine=engine,
+                        counter=key,
+                    )
+
+    def _job_finished(self, job: Job) -> None:
+        """JobManager observer: one metrics/log update per finished job."""
+        queued = job.queued_seconds()
+        running = job.running_seconds()
+        self._requests_total.inc(task=job.kind, status=job.status)
+        self._request_queued_seconds.observe(queued, task=job.kind)
+        if running is not None:
+            self._request_running_seconds.observe(running, task=job.kind)
+        slow = (
+            self.slow_ms is not None
+            and running is not None
+            and running * 1000.0 > self.slow_ms
+        )
+        if slow:
+            self._slow_requests_total.inc(task=job.kind)
+        if self.logger is not None:
+            fields = {
+                "request_id": job.id,
+                "task": job.kind,
+                "status": job.status,
+                "queued_ms": round(queued * 1000.0, 3),
+            }
+            if running is not None:
+                fields["running_ms"] = round(running * 1000.0, 3)
+            if job.error is not None:
+                fields["error"] = job.error
+            level = "warning" if job.status == "error" else "info"
+            self.logger.log("request", level=level, **fields)
+            if slow:
+                self.logger.warning(
+                    "slow_request", request_id=job.id, task=job.kind,
+                    running_ms=fields.get("running_ms"),
+                    slow_ms=self.slow_ms,
+                )
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition body for ``GET /metrics``."""
+        return self.metrics.render()
 
     # ------------------------------------------------------------------ #
     # Datasets
@@ -391,7 +570,7 @@ class MiningService:
     ENGINE_KEYS = frozenset({
         "engine", "workers", "persist", "block_size", "cache_dir",
         "track_deltas", "estimator", "sample_rows", "confidence",
-        "sample_seed",
+        "sample_seed", "trace",
     })
 
     #: Spec-key aliases the transport accepts beyond the dataclass fields.

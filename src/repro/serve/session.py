@@ -25,6 +25,7 @@ from typing import Dict, Iterator, Optional, Tuple
 
 from repro.api.specs import EngineSpec
 from repro.data.relation import Relation
+from repro.obs.registry import Histogram, TimedLock
 
 #: Hashable session key: dataset fingerprint + the EngineSpec knobs that
 #: change oracle state (engine, workers, persistence location, block size,
@@ -38,15 +39,23 @@ SessionKey = Tuple[
 
 
 class Session:
-    """One warm ``Maimon`` instance plus its serialization lock."""
+    """One warm ``Maimon`` instance plus its serialization lock.
 
-    def __init__(self, key: SessionKey, relation: Relation, maimon):
+    The lock is a :class:`~repro.obs.registry.TimedLock`: when the cache
+    was given a wait-time histogram, every blocking acquire observes how
+    long the request queued on the session — the metric that attributes
+    the multi-client latency climb to lock contention rather than
+    compute.  Without a histogram it degrades to a plain mutex.
+    """
+
+    def __init__(self, key: SessionKey, relation: Relation, maimon,
+                 lock_histogram: Optional[Histogram] = None):
         self.key = key
         self.dataset_id = key[0]
         self.engine = key[1]
         self.relation = relation
         self.maimon = maimon
-        self.lock = threading.Lock()
+        self.lock = TimedLock(lock_histogram)
         self.created_at = time.time()
         self.last_used = self.created_at
         self.requests = 0
@@ -78,12 +87,18 @@ class SessionCache:
         recently used *idle* session is closed; leased sessions are
         skipped (the cache may transiently exceed capacity while every
         session is busy).
+    lock_wait_histogram:
+        Optional :class:`~repro.obs.registry.Histogram` every session
+        lock reports its acquisition wait into (the serve layer passes
+        its ``repro_session_lock_wait_seconds`` family).
     """
 
-    def __init__(self, capacity: int = 8, track_deltas: bool = True):
+    def __init__(self, capacity: int = 8, track_deltas: bool = True,
+                 lock_wait_histogram: Optional[Histogram] = None):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
+        self.lock_wait_histogram = lock_wait_histogram
         #: Serving sessions are long-lived by definition, so they record
         #: delta-maintenance state by default: appends then *patch* the
         #: warm oracle (see :meth:`advance`) instead of discarding it.
@@ -147,7 +162,8 @@ class SessionCache:
                 maimon = spec.make_maimon(
                     relation, track_deltas=self.track_deltas
                 )
-                session = Session(key, relation, maimon)
+                session = Session(key, relation, maimon,
+                                  lock_histogram=self.lock_wait_histogram)
                 self._sessions[key] = session
             else:
                 self.hits += 1
@@ -266,6 +282,7 @@ class SessionCache:
         with self._lock:
             return {
                 "sessions": len(self._sessions),
+                "capacity": self.capacity,
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,

@@ -270,7 +270,7 @@ class TestRunner:
         assert result.payload["mvds"]
         assert result.payload["fingerprint"] == result.fingerprint
         assert result.payload["spec"] == request.provenance()
-        assert result.counters["queries"] > 0
+        assert result.counters["oracle.queries"] > 0
         assert result.raw.mvds  # the in-memory MinerResult rides along
 
     def test_result_envelope_to_dict(self, fig1):

@@ -343,5 +343,5 @@ class TestGoldenParity:
         assert {p: sorted(v) for p, v in want.min_seps.items()} == \
                {p: sorted(v) for p, v in got.min_seps.items()}
         counters = approx.counters()
-        assert counters["escalations"] > 0
-        assert counters["exact_evals"] > 0
+        assert counters["approx.escalations"] > 0
+        assert counters["approx.exact_evals"] > 0

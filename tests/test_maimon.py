@@ -143,15 +143,19 @@ class TestServingHooks:
         with Maimon(fig1) as maimon:
             maimon.mine_mvds(0.0)
             counters = maimon.counters()
-            assert counters["queries"] > 0
-            assert 0 < counters["evals"] <= counters["queries"]
+            assert counters["oracle.queries"] > 0
+            assert 0 < counters["oracle.evals"] <= counters["oracle.queries"]
+            # One flat namespace: every key is "group.counter".
+            assert all("." in key for key in counters)
             maimon.reset_counters()
-            assert maimon.counters() == {"queries": 0, "evals": 0}
+            reset = maimon.counters()
+            assert set(reset) >= {"oracle.queries", "oracle.evals"}
+            assert all(v == 0 for v in reset.values())
             # The memo survives the counter reset: re-mining is all hits.
             maimon.clear_cache()
             maimon.mine_mvds(0.0)
             after = maimon.counters()
-            assert after["queries"] > 0 and after["evals"] == 0
+            assert after["oracle.queries"] > 0 and after["oracle.evals"] == 0
 
     def test_clear_cache_forces_remine(self, fig1):
         maimon = Maimon(fig1)

@@ -136,7 +136,8 @@ class TestSessionCache:
             cache.release(s2)
             assert s1 is s2
             assert cache.stats() == {
-                "sessions": 1, "hits": 1, "misses": 1, "evictions": 0,
+                "sessions": 1, "capacity": 2,
+                "hits": 1, "misses": 1, "evictions": 0,
             }
         finally:
             cache.close()
@@ -440,8 +441,8 @@ class TestConcurrentWarmSession:
             assert session["requests"] == n_threads
             # Counters consistent with exactly one cold run: concurrent
             # requests serialized on the session instead of double-counting.
-            assert session["queries"] == expected["entropy_queries"]
-            assert session["evals"] == expected["entropy_evals"]
+            assert session["oracle.queries"] == expected["entropy_queries"]
+            assert session["oracle.evals"] == expected["entropy_evals"]
         finally:
             server.close()
 
