@@ -57,6 +57,7 @@ EXPECTED_FAMILIES = (
     "repro_datasets_capacity",
     "repro_dataset_evictions_total",
     "repro_uptime_seconds",
+    "repro_store_bytes",
     "repro_session_counter",
 )
 

@@ -395,33 +395,71 @@ class EngineSpec(Spec):
 # Data
 # --------------------------------------------------------------------- #
 
+#: Storage backend names ``DataSpec.backend`` accepts (see
+#: :mod:`repro.backends`).  ``numpy`` is the in-memory default and only
+#: meaningful with ``csv``/``dataset``; ``mmap``/``duckdb`` read a
+#: ``store`` directory.
+STORE_BACKENDS = ("numpy", "mmap", "duckdb")
+
+
 @dataclass(frozen=True)
 class DataSpec(Spec):
-    """Where the input relation comes from: a CSV file or a surrogate.
+    """Where the input relation comes from: CSV, surrogate or store.
 
-    Exactly one of ``csv`` (a file path) or ``dataset`` (a built-in
-    Table 2 surrogate name) must be set.  ``scale`` applies to surrogate
-    row counts; ``max_rows`` caps either source (a *prefix* of the rows).
-    ``sample`` instead draws a uniform row sample without replacement,
+    Exactly one of ``csv`` (a file path), ``dataset`` (a built-in
+    Table 2 surrogate name) or ``store`` (a columnar store directory
+    written by ``repro ingest``; see :mod:`repro.backends`) must be set.
+    ``scale`` applies to surrogate row counts; ``max_rows`` caps either
+    parsed source (rows beyond the cap are never parsed).  ``sample``
+    instead draws a uniform row sample without replacement,
     deterministic in ``seed`` — spec-driven sampling is reproducible end
     to end (``Relation.sample_rows`` takes the seed straight through).
+    ``backend`` picks the storage engine for a ``store`` (``mmap``
+    default, ``duckdb`` optional); stores are pre-encoded and immutable,
+    so the parse/sample knobs do not apply to them.
     """
 
     csv: Optional[str] = None
     dataset: Optional[str] = None
+    store: Optional[str] = None
+    backend: Optional[str] = None
     scale: float = 0.01
     max_rows: Optional[int] = None
     sample: Optional[int] = None
     seed: int = 0
 
     def validate(self) -> "DataSpec":
-        _require((self.csv is None) != (self.dataset is None),
-                 "provide exactly one of 'csv' (a file path) or 'dataset' "
-                 "(a built-in surrogate name)", field="csv")
+        sources = sum(
+            s is not None for s in (self.csv, self.dataset, self.store)
+        )
+        _require(sources == 1,
+                 "provide exactly one of 'csv' (a file path), 'dataset' "
+                 "(a built-in surrogate name) or 'store' (an ingested "
+                 "store directory)", field="csv")
         _require(self.csv is None or isinstance(self.csv, str),
                  "'csv' must be a file path string", field="csv")
         _require(self.dataset is None or isinstance(self.dataset, str),
                  "'dataset' must be a surrogate name string", field="dataset")
+        _require(self.store is None or isinstance(self.store, str),
+                 "'store' must be a store directory path string",
+                 field="store")
+        _require(self.backend is None or self.backend in STORE_BACKENDS,
+                 "'backend' must be one of "
+                 + ", ".join(repr(b) for b in STORE_BACKENDS) + " or null",
+                 field="backend")
+        if self.store is not None:
+            _require(self.backend in (None, "mmap", "duckdb"),
+                     "'backend' for a store must be 'mmap' or 'duckdb'",
+                     field="backend")
+            _require(self.max_rows is None and self.sample is None,
+                     "'max_rows'/'sample' apply while parsing; a store is "
+                     "pre-encoded and immutable — re-ingest a capped CSV "
+                     "instead", field="max_rows")
+        else:
+            _require(self.backend in (None, "numpy"),
+                     "'backend' " + repr(self.backend) + " requires a "
+                     "'store' directory; csv/dataset sources are in-memory "
+                     "('numpy')", field="backend")
         _require(_is_number(self.scale) and self.scale > 0,
                  "'scale' must be a number > 0", field="scale")
         _require(self.max_rows is None
@@ -438,8 +476,26 @@ class DataSpec(Spec):
         return self
 
     def load(self) -> Any:
-        """Resolve this spec to a :class:`~repro.data.relation.Relation`."""
+        """Resolve this spec to a relation (in-memory or store-backed)."""
         self.validate()
+        if self.store is not None:
+            from repro.backends import StoreError, open_store_relation
+
+            if self.backend == "duckdb":
+                from repro.backends import have_duckdb
+
+                if not have_duckdb():
+                    raise SpecError(
+                        "backend 'duckdb' requires the optional duckdb "
+                        "dependency, which is not installed",
+                        field="backend",
+                    )
+            try:
+                return open_store_relation(
+                    self.store, backend=self.backend or "mmap"
+                )
+            except StoreError as exc:
+                raise SpecError(str(exc), field="store") from exc
         if self.dataset is not None:
             from repro.data import datasets
 

@@ -1026,6 +1026,218 @@ def kernel_benchmark(
     }
 
 
+# --------------------------------------------------------------------- #
+# Out-of-core store vs in-memory mining (the ``repro.backends`` bench)
+# --------------------------------------------------------------------- #
+
+def _store_arm(cfg: Dict[str, object]) -> Dict[str, object]:
+    """Run one ``repro.bench.store_arm`` mode in a fresh subprocess.
+
+    Fresh processes are load-bearing: ``ru_maxrss`` is process-wide and
+    monotonic, so the in-memory arm's parse would otherwise inflate the
+    out-of-core arm's reported peak (or vice versa).
+    """
+    import subprocess
+    import sys
+
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.bench.store_arm"],
+        input=json.dumps(cfg), capture_output=True, text=True, env=env,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"store bench arm {cfg['mode']!r} failed:\n{proc.stderr[-2000:]}"
+        )
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def _counts_parity_sweep(
+    n_rows: int = 20_000,
+    n_cols: int = 6,
+    seed: int = 3,
+    chunk_rows_list: Sequence[int] = (997, 4096, 20_000),
+) -> Dict[str, object]:
+    """Chunked-vs-in-memory counts parity over every attribute subset.
+
+    Same data, two count paths — the dense ``GroupCounter`` and a real
+    on-disk store read back through :class:`ChunkedGroupCounter` at
+    several chunk sizes (including one that doesn't divide the row count
+    and one larger than it).  Counts vectors must be *array-identical*
+    (same ascending key order) and entropies bit-identical.
+    """
+    import itertools
+    import shutil
+    import tempfile
+
+    from repro import kernels as kern
+    from repro.backends import open_store_relation, write_store
+    from repro.data.generators import markov_tree
+
+    relation = markov_tree(n_cols, n_rows, seed=seed, name="parity")
+    dense = kern.GroupCounter(relation.codes, relation.radix)
+    subsets = [
+        idx
+        for size in range(1, n_cols + 1)
+        for idx in itertools.combinations(range(n_cols), size)
+    ]
+    tmp = tempfile.mkdtemp(prefix="store-parity-")
+    mismatches: List[str] = []
+    checked = 0
+    try:
+        store = os.path.join(tmp, "store")
+        write_store(relation, store)
+        for chunk in chunk_rows_list:
+            chunked = open_store_relation(store, chunk_rows=chunk).kernels
+            for idx in subsets:
+                checked += 1
+                a = dense.counts(idx)
+                b = chunked.counts(idx)
+                if not np.array_equal(a, b):
+                    mismatches.append(f"chunk_rows={chunk} idx={idx}: counts")
+                elif dense.entropy(idx) != chunked.entropy(idx):
+                    mismatches.append(f"chunk_rows={chunk} idx={idx}: entropy")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return {
+        "rows": n_rows,
+        "cols": n_cols,
+        "chunk_rows": list(chunk_rows_list),
+        "subsets_checked": checked,
+        "passed": not mismatches,
+        "mismatches": mismatches[:5],
+    }
+
+
+def store_benchmark(
+    rows_list: Sequence[int] = (200_000,),
+    n_cols: int = 8,
+    eps: float = 0.01,
+    seed: int = 0,
+    budget_mb: Optional[float] = None,
+    chunk_rows: Optional[int] = None,
+) -> Dict[str, object]:
+    """Out-of-core store mining vs the in-memory pipeline, with gates.
+
+    Per row count a markov-tree surrogate is written to CSV once, then
+    both arms start from those bytes in separate subprocesses (see
+    :mod:`repro.bench.store_arm`): the out-of-core arm ingests into a
+    columnar store and mines through the chunk-streaming kernels; the
+    in-memory arm parses the CSV into a ``Relation`` and mines as the
+    CLI always has.  Gates:
+
+    * **parity** — identical MVDs, minimal separators and relation
+      fingerprints between the arms, on every size;
+    * **memory** (only with ``budget_mb`` set) — at least one run's code
+      matrix must be >= 4x the budget, and every such oversized run's
+      out-of-core arm must keep peak RSS under the budget;
+    * **counts parity** — the :func:`_counts_parity_sweep` subset sweep.
+    """
+    import shutil
+    import tempfile
+
+    from repro.backends import INGEST_CHUNK_ROWS
+
+    chunk = int(chunk_rows or INGEST_CHUNK_ROWS)
+    runs: List[Dict[str, object]] = []
+    failures: List[str] = []
+    workdir = tempfile.mkdtemp(prefix="store-bench-")
+    try:
+        for n in rows_list:
+            csv_path = os.path.join(workdir, f"rows{n}.csv")
+            store_path = os.path.join(workdir, f"rows{n}.store")
+            gen = _store_arm({
+                "mode": "gen", "rows": int(n), "cols": n_cols, "seed": seed,
+                "csv": csv_path, "name": f"store{n}",
+            })
+            store = _store_arm({
+                "mode": "store", "csv": csv_path, "store": store_path,
+                "chunk_rows": chunk, "eps": eps,
+            })
+            memory = _store_arm({
+                "mode": "memory", "csv": csv_path, "eps": eps,
+            })
+            parity = (
+                store["mvds"] == memory["mvds"]
+                and store["min_seps"] == memory["min_seps"]
+                and store["fingerprint"] == memory["fingerprint"]
+            )
+            matrix_mb = gen["matrix_mb"]
+            oversized = budget_mb is not None and matrix_mb >= 4 * budget_mb
+            under = (
+                store["peak_mb"] <= budget_mb if budget_mb is not None
+                else None
+            )
+            if not parity:
+                failures.append(f"rows={n}: arms disagree (parity)")
+            if oversized and not under:
+                failures.append(
+                    f"rows={n}: out-of-core peak {store['peak_mb']} MB over "
+                    f"the {budget_mb} MB budget (matrix {matrix_mb} MB)"
+                )
+            runs.append({
+                "rows": int(n),
+                "cols": n_cols,
+                "matrix_mb": matrix_mb,
+                "store_mb": round(store["store_bytes"] / 1e6, 2),
+                "ingest_s": store["ingest_s"],
+                "ingest_rows_per_s": (
+                    round(n / store["ingest_s"]) if store["ingest_s"] > 0
+                    else None
+                ),
+                "store_peak_mb": store["peak_mb"],
+                "memory_peak_mb": memory["peak_mb"],
+                "store_mine_s": store["mine_s"],
+                "memory_mine_s": memory["mine_s"],
+                "memory_load_s": memory["load_s"],
+                "mvds": len(store["mvds"]),
+                "fingerprint": store["fingerprint"],
+                "oversized": oversized,
+                "under_budget": under,
+                "parity": parity,
+                "chunked_counters": store["chunked"],
+                "subprocess_baseline_mb": store["baseline_mb"],
+            })
+            os.remove(csv_path)
+            shutil.rmtree(store_path, ignore_errors=True)
+        if budget_mb is not None and not any(r["oversized"] for r in runs):
+            failures.append(
+                f"no run's code matrix reached 4x the {budget_mb} MB budget; "
+                "pass larger --rows for an out-of-core proof"
+            )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    counts_parity = _counts_parity_sweep()
+    if not counts_parity["passed"]:
+        failures.append(
+            "chunked counts disagree with in-memory kernels: "
+            + "; ".join(counts_parity["mismatches"])
+        )
+    return {
+        "bench": "store_out_of_core",
+        "eps": eps,
+        "seed": seed,
+        "budget_mb": budget_mb,
+        "ingest_chunk_rows": chunk,
+        "runs": runs,
+        "counts_parity": counts_parity,
+        "gate": {"passed": not failures, "failures": failures},
+        "note": (
+            "store = ingest CSV into a columnar store directory + mine "
+            "through repro.backends chunk-streaming kernels; memory = parse "
+            "the same CSV into an in-memory Relation + mine; each arm is a "
+            "fresh subprocess reporting its own ru_maxrss peak; parity "
+            "asserts identical mvds/min_seps/fingerprints, and with a "
+            "budget the out-of-core arm must stay under it on a workload "
+            "whose code matrix is >= 4x the budget"
+        ),
+    }
+
+
 #: Version of the shared BENCH_*.json envelope (the ``meta`` block below).
 BENCH_SCHEMA_VERSION = 1
 

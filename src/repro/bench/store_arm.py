@@ -1,0 +1,145 @@
+"""Subprocess arms of the out-of-core store bench (``repro store-bench``).
+
+``resource.getrusage`` reports a *process-wide, monotonic* peak RSS, so
+the in-memory and out-of-core arms cannot share a process: whichever ran
+first would inflate the other's peak and the memory gate would measure
+nothing.  The driver (:func:`repro.bench.harness.store_benchmark`) runs
+each arm as ``python -m repro.bench.store_arm`` with a JSON config on
+stdin and reads a JSON report from stdout; each child measures its own
+``ru_maxrss``.
+
+Arms
+----
+``gen``
+    Generate the markov-tree surrogate and stream it to CSV in row
+    blocks (both arms then start from the same bytes on disk).
+``store``
+    The out-of-core pipeline: ``ingest_csv`` -> store directory ->
+    mine through :class:`~repro.backends.BackendRelation` (chunked
+    counting kernels, no full code matrix in memory).
+``memory``
+    The classic pipeline: ``from_csv`` -> in-memory ``Relation`` ->
+    mine.  Its peak RSS includes the full parse, which is the point of
+    the comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import sys
+import time
+
+
+def _peak_mb() -> float:
+    """This process's peak RSS in MB (Linux ru_maxrss is in KB)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _mine(relation, eps: float) -> dict:
+    """Mine full eps-MVDs; return the parity payload + chunked counters."""
+    from repro import io as repro_io
+    from repro.api.specs import EngineSpec
+
+    maimon = EngineSpec().make_maimon(relation)
+    t0 = time.perf_counter()
+    result = maimon.mine_mvds(eps)
+    mine_s = time.perf_counter() - t0
+    payload = repro_io.miner_result_to_dict(result, list(relation.columns))
+    counters = maimon.counters()
+    maimon.close()
+    return {
+        "mine_s": round(mine_s, 4),
+        "mvds": payload["mvds"],
+        "min_seps": payload["min_seps"],
+        "chunked": {
+            k: v for k, v in counters.items() if k.startswith("kernel.chunked")
+        },
+    }
+
+
+def run_gen(cfg: dict) -> dict:
+    """Write the surrogate CSV in bounded row blocks."""
+    import csv
+
+    import numpy as np
+
+    from repro.data.generators import markov_tree
+
+    relation = markov_tree(
+        cfg["cols"], cfg["rows"], seed=cfg["seed"],
+        name=cfg.get("name", "storebench"),
+    )
+    domains = [
+        np.array([str(v) for v in d], dtype=object) for d in relation.domains
+    ]
+    chunk = 1 << 16
+    with open(cfg["csv"], "w", newline="", encoding="utf-8") as f:
+        writer = csv.writer(f)
+        writer.writerow(relation.columns)
+        for start in range(0, relation.n_rows, chunk):
+            block = relation.codes[start:start + chunk]
+            writer.writerows(
+                zip(*(domains[j][block[:, j]]
+                      for j in range(relation.n_cols)))
+            )
+    return {
+        "rows": relation.n_rows,
+        "cols": relation.n_cols,
+        "matrix_mb": round(relation.codes.nbytes / 1e6, 2),
+    }
+
+
+def run_store(cfg: dict) -> dict:
+    """Out-of-core arm: ingest the CSV, then mine straight off the store."""
+    from repro.backends import ingest_csv, open_store_relation
+
+    t0 = time.perf_counter()
+    manifest = ingest_csv(
+        cfg["csv"], cfg["store"],
+        chunk_rows=cfg["chunk_rows"], force=True,
+    )
+    ingest_s = time.perf_counter() - t0
+    relation = open_store_relation(cfg["store"])
+    out = _mine(relation, cfg["eps"])
+    out.update(
+        ingest_s=round(ingest_s, 4),
+        fingerprint=manifest["fingerprint"],
+        store_bytes=relation.backend.store_bytes(),
+        peak_mb=round(_peak_mb(), 2),
+    )
+    return out
+
+
+def run_memory(cfg: dict) -> dict:
+    """In-memory arm: parse the same CSV into a Relation, then mine."""
+    from repro.data.loaders import from_csv
+    from repro.exec.persist import relation_fingerprint
+
+    t0 = time.perf_counter()
+    relation = from_csv(cfg["csv"])
+    load_s = time.perf_counter() - t0
+    out = _mine(relation, cfg["eps"])
+    out.update(
+        load_s=round(load_s, 4),
+        fingerprint=relation_fingerprint(relation),
+        peak_mb=round(_peak_mb(), 2),
+    )
+    return out
+
+
+_MODES = {"gen": run_gen, "store": run_store, "memory": run_memory}
+
+
+def main() -> int:
+    cfg = json.load(sys.stdin)
+    baseline_mb = round(_peak_mb(), 2)  # interpreter + imports, pre-work
+    out = _MODES[cfg["mode"]](cfg)
+    out["baseline_mb"] = baseline_mb
+    json.dump(out, sys.stdout)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

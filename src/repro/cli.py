@@ -90,6 +90,8 @@ def _data_spec(args) -> api.DataSpec:
     return api.DataSpec(
         csv=args.csv,
         dataset=args.dataset,
+        store=getattr(args, "store", None),
+        backend=getattr(args, "backend", None),
         scale=_default(args.scale, 0.01),
         max_rows=args.max_rows,
         sample=getattr(args, "sample", None),
@@ -174,7 +176,12 @@ def _run(request: api.TaskRequest):
             "invalid request: the config carries no 'data' spec; add one "
             "(a 'csv' path or a built-in 'dataset' name)"
         )
-    relation = request.data.load()
+    try:
+        relation = request.data.load()
+    except api.SpecError as exc:
+        # Load-time spec failures (missing store directory, duckdb not
+        # installed) are usage errors, same as validation failures.
+        raise SystemExit(f"invalid request: {exc}") from None
     print(f"{relation.name or 'input'}: {relation.n_rows} rows x {relation.n_cols} cols")
     return relation, api.run(request, relation=relation)
 
@@ -581,6 +588,86 @@ def cmd_datasets(args) -> int:
     return 0
 
 
+def cmd_ingest(args) -> int:
+    """Stream a CSV into an on-disk columnar store (see repro.backends)."""
+    import time
+
+    from repro.backends import INGEST_CHUNK_ROWS, StoreError, ingest_csv
+
+    started = time.perf_counter()
+    trace_ctx = None
+    try:
+        if args.trace:
+            from repro.obs.trace import start_trace
+
+            trace_ctx = start_trace("ingest")
+            trace_ctx.__enter__()
+        try:
+            manifest = ingest_csv(
+                args.csv,
+                args.out,
+                has_header=not args.no_header,
+                delimiter=args.delimiter,
+                name=args.name,
+                null_token=args.null_token,
+                max_rows=args.max_rows,
+                chunk_rows=args.chunk_rows or INGEST_CHUNK_ROWS,
+                force=args.force,
+            )
+        finally:
+            if trace_ctx is not None:
+                trace_ctx.__exit__(None, None, None)
+    except (StoreError, OSError) as exc:
+        raise SystemExit(f"ingest failed: {exc}") from None
+    elapsed = time.perf_counter() - started
+    n_rows = manifest["n_rows"]
+    rate = n_rows / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"ingested {n_rows} rows x {len(manifest['columns'])} cols "
+        f"into {args.out} in {elapsed:.2f}s ({rate:,.0f} rows/s)"
+    )
+    print(f"fingerprint: {manifest['fingerprint']}")
+    print(f"mine it with: repro mine --store {args.out}")
+    if trace_ctx is not None:
+        from repro.obs.trace import format_trace
+
+        print()
+        print(format_trace(trace_ctx.trace.to_dict(), top=5))
+    return 0
+
+
+def cmd_store_bench(args) -> int:
+    """Out-of-core store bench + parity gates; writes ``BENCH_store.json``."""
+    from repro.bench.harness import store_benchmark, write_bench_json
+
+    payload = store_benchmark(
+        rows_list=tuple(args.rows),
+        n_cols=args.cols,
+        eps=args.eps,
+        seed=args.seed,
+        budget_mb=args.budget_mb,
+        chunk_rows=args.chunk_rows,
+    )
+    table = Table(
+        f"Out-of-core store vs in-memory (markov_tree, eps={args.eps}, "
+        f"budget {args.budget_mb} MB)",
+        ["rows", "matrix_mb", "store_mb", "ingest_rows_per_s",
+         "store_peak_mb", "memory_peak_mb", "store_mine_s", "memory_mine_s",
+         "under_budget", "parity"],
+    )
+    for r in payload["runs"]:
+        table.add(r)
+    table.show()
+    path = write_bench_json(payload, args.json)
+    print(f"wrote {path}")
+    # Gate: the out-of-core arm must stay under the memory budget on the
+    # oversized workload, mine bit-identically to the in-memory arm, and
+    # the chunked counts lanes must agree with the in-memory kernels.
+    for failure in payload["gate"]["failures"]:
+        print(f"STORE GATE FAILURE: {failure}")
+    return 0 if payload["gate"]["passed"] else 1
+
+
 def cmd_check(args) -> int:
     # Imported lazily: the analyzer is a dev-facing subsystem and must not
     # tax `repro mine` startup.
@@ -638,6 +725,13 @@ def cmd_check(args) -> int:
 def _common_input_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("csv", nargs="?", help="input CSV file")
     p.add_argument("--dataset", help="built-in surrogate name instead of a CSV")
+    p.add_argument("--store",
+                   help="ingested columnar store directory instead of a CSV "
+                        "(see 'repro ingest'); mined out-of-core")
+    p.add_argument("--backend", choices=["numpy", "mmap", "duckdb"],
+                   default=None,
+                   help="storage backend for --store (default mmap; duckdb "
+                        "needs the optional dependency)")
     p.add_argument("--scale", type=float, default=None,
                    help="row scale for --dataset (default 0.01)")
     p.add_argument("--max-rows", type=int, default=None)
@@ -847,6 +941,53 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("datasets", help="list built-in dataset surrogates")
     p.set_defaults(func=cmd_datasets)
+
+    p = sub.add_parser(
+        "ingest",
+        help="stream a CSV into an on-disk columnar store "
+             "(mine it out-of-core with --store)",
+    )
+    p.add_argument("csv", help="input CSV file")
+    p.add_argument("--out", required=True, metavar="DIR",
+                   help="store directory to create")
+    p.add_argument("--name", default=None,
+                   help="dataset name recorded in the store (default: "
+                        "the CSV file name)")
+    p.add_argument("--delimiter", default=",", help="field separator")
+    p.add_argument("--no-header", action="store_true",
+                   help="the CSV has no header row (columns become A0..An)")
+    p.add_argument("--null-token", default="",
+                   help="cell value to treat as NULL (default: empty)")
+    p.add_argument("--max-rows", type=int, default=None,
+                   help="stop ingesting after this many rows")
+    p.add_argument("--chunk-rows", type=int, default=None,
+                   help="rows per spill block (default 65536)")
+    p.add_argument("--force", action="store_true",
+                   help="replace an existing store directory")
+    p.add_argument("--trace", action="store_true",
+                   help="print the ingest span tree (per-chunk time)")
+    p.set_defaults(func=cmd_ingest)
+
+    p = sub.add_parser(
+        "store-bench",
+        help="out-of-core mining bench: peak RSS + rows/s vs in-memory, "
+             "with parity gates (writes BENCH_store.json)",
+    )
+    p.add_argument("--rows", type=int, nargs="+", default=[200_000],
+                   help="synthetic relation sizes (default 200000)")
+    p.add_argument("--cols", type=int, default=8,
+                   help="synthetic relation width (default 8)")
+    p.add_argument("--eps", type=float, default=0.01,
+                   help="mining threshold (default 0.01)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--budget-mb", type=int, default=None,
+                   help="memory budget for the out-of-core arm in MB "
+                        "(default: a quarter of the largest code matrix)")
+    p.add_argument("--chunk-rows", type=int, default=None,
+                   help="streamed row-block size (default 1048576)")
+    p.add_argument("--json", default="BENCH_store.json",
+                   help="output JSON path (default BENCH_store.json)")
+    p.set_defaults(func=cmd_store_bench)
 
     p = sub.add_parser(
         "check",

@@ -49,7 +49,15 @@ def from_csv(
         value (the string ``"<null>"``), matching how the dependency-
         discovery literature treats missing data (NULL equals NULL).
     max_rows:
-        Optional row cap, useful for scalability experiments.
+        Optional row cap, useful for scalability experiments.  The cap
+        stops the *parse*: rows beyond it are never read, so loading the
+        head of a huge file costs O(max_rows), not O(file).
+
+    The parse is a single streaming pass: each row is normalised and
+    padded/truncated to the header width as it is read, so peak memory
+    is one copy of the retained rows (the chunked ingester in
+    :mod:`repro.backends.store` replicates these exact semantics
+    cell-for-cell; keep the two in sync).
     """
     close = False
     if isinstance(source, str):
@@ -65,27 +73,28 @@ def from_csv(
         reader = csv.reader(stream, delimiter=delimiter)
         rows = []
         columns = None
-        for i, row in enumerate(reader):
-            if i == 0 and has_header:
+        width = None
+        for row in reader:
+            if columns is None and has_header:
                 columns = [c.strip() for c in row]
+                width = len(columns)
                 continue
-            rows.append([null_token_sub(cell, null_token) for cell in row])
+            fixed = [null_token_sub(cell, null_token) for cell in row]
+            if width is None:
+                # Headerless input: the first data row fixes the width.
+                width = len(fixed)
+            # Ragged rows are padded/truncated to the header width: real
+            # profiling datasets occasionally contain short lines.
+            if len(fixed) < width:
+                fixed += ["<null>"] * (width - len(fixed))
+            elif len(fixed) > width:
+                del fixed[width:]
+            rows.append(fixed)
             if max_rows is not None and len(rows) >= max_rows:
                 break
         if columns is None:
-            width = len(rows[0]) if rows else 0
-            columns = [f"A{j}" for j in range(width)]
-        # Ragged rows are padded/truncated to the header width: real
-        # profiling datasets occasionally contain short lines.
-        width = len(columns)
-        fixed = []
-        for r in rows:
-            if len(r) < width:
-                r = r + ["<null>"] * (width - len(r))
-            elif len(r) > width:
-                r = r[:width]
-            fixed.append(r)
-        return Relation.from_rows(fixed, columns, name=name or "")
+            columns = [f"A{j}" for j in range(width or 0)]
+        return Relation.from_rows(rows, columns, name=name or "")
     finally:
         if close:
             stream.close()

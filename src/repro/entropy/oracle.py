@@ -247,6 +247,11 @@ class EntropyOracle:
         """
         if not getattr(self.engine, "tracker_compatible", True):
             return
+        # Store-backed relations (repro.backends.BackendRelation) are
+        # read-only; tracking would materialise them just to maintain
+        # partitions for appends that can never arrive.
+        if not getattr(self.relation, "supports_delta_tracking", True):
+            return
         if self._tracker is None:
             from repro.delta.tracker import DeltaTracker
 

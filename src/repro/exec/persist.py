@@ -44,22 +44,79 @@ def default_cache_dir() -> str:
     return os.environ.get("REPRO_CACHE_DIR", os.path.join(os.getcwd(), ".repro_cache"))
 
 
+#: Row-block size for streamed fingerprinting: 2^20 int64 codes per
+#: column chunk is 8 MB of hash input at a time, however large the
+#: relation.
+FINGERPRINT_CHUNK_ROWS = 1 << 20
+
+
+def fingerprint_stream(
+    n_rows: int,
+    n_cols: int,
+    columns: Iterable[str],
+    column_chunks: Iterable[Iterable[np.ndarray]],
+    params: Iterable[object] = (),
+) -> str:
+    """The canonical relation fingerprint from streamed column chunks.
+
+    The byte stream hashed here — shape header, then per column its name
+    and the int64 code bytes, then the params — is exactly what
+    :func:`relation_fingerprint` has always hashed; chunking the column
+    bytes cannot change the digest (sha256 is incremental).  This is the
+    one definition shared by in-memory relations and the out-of-core
+    stores (:mod:`repro.backends`), so a store ingested from a CSV and
+    the same CSV loaded in memory fingerprint identically.
+    """
+    h = hashlib.sha256()
+    h.update(f"v{CACHE_FORMAT}:{n_rows}x{n_cols}".encode())
+    for name, chunks in zip(columns, column_chunks):
+        h.update(b"\x00" + name.encode())
+        for chunk in chunks:
+            h.update(np.ascontiguousarray(chunk, dtype=np.int64).tobytes())
+    for p in params:
+        h.update(b"\x00" + repr(p).encode())
+    return h.hexdigest()[:40]
+
+
+def _column_chunks(relation, chunk_rows: int):
+    """Per-column iterators of int64 code chunks, backend-aware.
+
+    Store-backed relations expose ``iter_column_chunks`` and stream
+    straight from disk; in-memory relations are sliced in row blocks so
+    the hash never holds more than one chunk's bytes at a time (column
+    slices of a C-ordered matrix are strided views; ``tobytes`` on a
+    bounded slice materializes only ``chunk_rows`` elements).
+    """
+    stream = getattr(relation, "iter_column_chunks", None)
+    for j in range(relation.n_cols):
+        if stream is not None:
+            yield stream(j, chunk_rows)
+        else:
+            col = relation.codes[:, j]
+            yield (
+                col[start : start + chunk_rows]
+                for start in range(0, relation.n_rows, chunk_rows)
+            )
+
+
 def relation_fingerprint(relation: Relation, params: Iterable[object] = ()) -> str:
     """Stable hex fingerprint of a relation plus engine parameters.
 
     Hashes the shape, the column names and every column's code bytes —
     entropies depend only on the grouping structure of the codes, which
     this captures exactly.  ``params`` folds in engine settings so caches
-    produced under different engine configurations never mix.
+    produced under different engine configurations never mix.  Hashing
+    is chunk-streamed (:func:`fingerprint_stream`): peak extra memory is
+    one :data:`FINGERPRINT_CHUNK_ROWS` block per step, never a full
+    column copy, and store-backed relations are read straight from disk.
     """
-    h = hashlib.sha256()
-    h.update(f"v{CACHE_FORMAT}:{relation.n_rows}x{relation.n_cols}".encode())
-    for j in range(relation.n_cols):
-        h.update(b"\x00" + relation.columns[j].encode())
-        h.update(np.ascontiguousarray(relation.codes[:, j]).tobytes())
-    for p in params:
-        h.update(b"\x00" + repr(p).encode())
-    return h.hexdigest()[:40]
+    return fingerprint_stream(
+        relation.n_rows,
+        relation.n_cols,
+        relation.columns,
+        _column_chunks(relation, FINGERPRINT_CHUNK_ROWS),
+        params,
+    )
 
 
 def _encode_mask(mask: int) -> str:

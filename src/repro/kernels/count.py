@@ -115,6 +115,132 @@ def key_counts(
 
 
 # --------------------------------------------------------------------- #
+# Chunk-streaming accumulation (out-of-core counts)
+# --------------------------------------------------------------------- #
+#
+# The streamed lanes answer the same question as the in-memory kernels —
+# group counts in ascending key order — without ever holding all rows at
+# once.  Three merge strategies, mirroring the in-memory dispatch:
+#
+# * bincount-merge: one shared counter table, ``total += bincount(chunk)``
+#   per chunk, when the composed key bound fits a bounded table;
+# * hash-merge: per-chunk ``np.unique`` runs merged through
+#   :func:`merge_key_counts` (sorted-set union + exact int64 adds);
+# * row-merge: for key bounds past the int64 guard the keys stay as
+#   column tuples and :func:`lex_row_counts` groups them
+#   lexicographically — the order equal to ascending mixed-radix keys.
+#
+# Every lane preserves ascending key order, so streamed counts are
+# element-for-element the in-memory counts vector and every downstream
+# entropy is bit-identical (densification in the in-memory path is
+# order-preserving, so it never changes the counts vector either).
+
+
+def merge_key_counts(
+    acc_keys: Optional[np.ndarray],
+    acc_counts: Optional[np.ndarray],
+    keys: np.ndarray,
+    counts: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge two ascending ``(distinct keys, counts)`` runs into one.
+
+    Both runs must be sorted with unique keys (what ``np.unique`` and
+    :func:`key_counts` produce); the accumulator may be ``None`` on the
+    first chunk.  Counts are added in exact int64 arithmetic — never via
+    weighted bincount, which would round-trip through float64.
+    """
+    if acc_keys is None or len(acc_keys) == 0:
+        return keys, counts.astype(np.int64, copy=False)
+    uniq = np.union1d(acc_keys, keys)
+    out = np.zeros(len(uniq), dtype=np.int64)
+    out[np.searchsorted(uniq, acc_keys)] += acc_counts
+    out[np.searchsorted(uniq, keys)] += counts
+    return uniq, out
+
+
+def lex_row_counts(
+    rows: np.ndarray, weights: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Distinct rows of a 2-D key matrix with (weighted) multiplicities.
+
+    Rows come out in lexicographic order (first column most significant)
+    — exactly the ascending order of the mixed-radix keys the rows would
+    compose to, which keeps the counts vector bit-compatible with the
+    composed lanes even when the key product overflows int64.  Sorting
+    is an explicit ``np.lexsort`` (numeric per column), never a raw-byte
+    view, so the order is endianness-independent.
+    """
+    if rows.shape[0] == 0:
+        return rows, np.zeros(0, dtype=np.int64)
+    order = np.lexsort(rows.T[::-1])
+    ordered = rows[order]
+    changed = np.any(ordered[1:] != ordered[:-1], axis=1)
+    starts = np.flatnonzero(np.concatenate(([True], changed)))
+    uniq = ordered[starts]
+    if weights is None:
+        bounds = np.concatenate((starts, [len(ordered)]))
+        return uniq, np.diff(bounds).astype(np.int64, copy=False)
+    return uniq, np.add.reduceat(weights[order], starts).astype(np.int64, copy=False)
+
+
+def merge_row_counts(
+    acc_rows: Optional[np.ndarray],
+    acc_counts: Optional[np.ndarray],
+    rows: np.ndarray,
+    counts: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge two lexicographically grouped row runs (the wide-key lane)."""
+    if acc_rows is None or len(acc_rows) == 0:
+        return rows, counts.astype(np.int64, copy=False)
+    return lex_row_counts(
+        np.concatenate([acc_rows, rows]),
+        np.concatenate([acc_counts, counts.astype(np.int64, copy=False)]),
+    )
+
+
+def chunked_bincount_counts(chunks, bound: int) -> np.ndarray:
+    """Group sizes accumulated over key chunks via one shared table.
+
+    ``chunks`` yields 1-D key arrays all bounded by ``bound``; the table
+    is allocated once and every chunk scatters into it, so peak memory is
+    ``8 * bound`` bytes plus one chunk.  Equivalent to
+    :func:`bincount_counts` over the concatenated keys.
+    """
+    total = np.zeros(int(bound), dtype=np.int64)
+    for chunk in chunks:
+        total += np.bincount(chunk, minlength=len(total))
+    return total[total > 0]
+
+
+def chunked_merge_counts(chunks) -> np.ndarray:
+    """Group sizes accumulated over key chunks via sorted-run merging.
+
+    The fallback for key bounds past the table budget: each chunk is
+    grouped locally (``np.unique``) and merged into the running
+    ``(keys, counts)`` run.  Peak memory is one chunk plus two runs of
+    the distinct-key count.
+    """
+    keys = counts = None
+    for chunk in chunks:
+        uniq, c = np.unique(chunk, return_counts=True)
+        keys, counts = merge_key_counts(keys, counts, uniq, c)
+    if counts is None:
+        return np.zeros(0, dtype=np.int64)
+    return counts
+
+
+def chunked_row_counts(chunks) -> np.ndarray:
+    """Group sizes over chunks of 2-D key-tuple matrices (wide-key lane)."""
+    rows = counts = None
+    for chunk in chunks:
+        uniq, c = lex_row_counts(chunk)
+        rows, counts = merge_row_counts(rows, counts, uniq, c)
+    if counts is None:
+        return np.zeros(0, dtype=np.int64)
+    return counts
+
+
+# --------------------------------------------------------------------- #
 # Dense-id kernels (lexicographic group ids)
 # --------------------------------------------------------------------- #
 

@@ -56,6 +56,20 @@ from repro.obs.trace import ACTIVE as _TRACE
 #: arrays; 2^24 elements is 16 one-million-row prefixes, <= 128 MB).
 PREFIX_BUDGET = 1 << 24
 
+#: Largest bincount table the streamed lanes allocate (2^22 int64
+#: counters = 32 MB) — deliberately tighter than BINCOUNT_HARD_CAP so a
+#: chunk-streamed run under a memory budget never hides a giant counter
+#: table behind the "out-of-core" label.
+CHUNK_TABLE_CAP = 1 << 22
+
+#: Default row-block size for chunk-streamed counting.  A streamed
+#: subset holds one int64 block per projected column plus compose
+#: temporaries, so the working set is roughly
+#: ``chunk_rows * 8 * (n_cols + 2)`` bytes — 2^18 rows keeps a 10-column
+#: stream around 25 MB, small enough to mine under ~100 MB budgets while
+#: still amortising per-chunk read/bincount overhead.
+DEFAULT_CHUNK_ROWS = 1 << 18
+
 _STAT_KEYS = (
     "bincount",
     "sort",
@@ -64,7 +78,82 @@ _STAT_KEYS = (
     "densify_sort",
     "prefix_hits",
     "composed",
+    "chunked_bincount",
+    "chunked_merge",
+    "chunked_wide",
+    "chunked_chunks",
 )
+
+
+def _compose_chunk(
+    cols: Sequence[np.ndarray], radix: Tuple[int, ...]
+) -> np.ndarray:
+    """Mixed-radix keys for one row block, densify-free.
+
+    Densification ranks keys *globally* across all rows, so a streamed
+    composition must never densify per chunk — the caller guarantees the
+    full key product fits int64 before choosing this lane.  Bit-wise the
+    keys equal what :func:`compose.extend_keys` yields when it never
+    densifies; when the in-memory path does densify, the remap is
+    order-preserving so the ascending-order counts vector (and every
+    entropy) still matches element for element.
+    """
+    keys = np.ascontiguousarray(cols[0], dtype=np.int64)
+    for pos in range(1, len(cols)):
+        r = max(int(radix[pos]), 1)
+        keys = keys * r
+        keys += cols[pos]
+    return keys
+
+
+def stream_counts(
+    chunks,
+    radix: Sequence[int],
+    limit: int,
+    stats: Dict[str, int],
+) -> np.ndarray:
+    """Group sizes accumulated from row blocks, in ascending key order.
+
+    ``chunks`` yields one row block at a time as a sequence of aligned
+    per-column int64 code arrays (already projected to the attribute set
+    being grouped); ``radix`` gives the per-column exclusive bounds in
+    the same order.  Lane choice mirrors the in-memory dispatch:
+
+    * key product fits ``min(limit, CHUNK_TABLE_CAP)`` — shared bincount
+      table (:func:`count.chunked_bincount_counts`);
+    * fits int64 — per-chunk sort + run merge
+      (:func:`count.chunked_merge_counts`);
+    * otherwise — lexicographic row-tuple merge
+      (:func:`count.chunked_row_counts`).
+
+    Every lane returns the same counts vector the in-memory kernels
+    produce for the concatenated rows, so streamed entropies are
+    bit-identical.
+    """
+    radix = tuple(max(int(r), 1) for r in radix)
+    bound = 1
+    for r in radix:
+        bound *= r  # Python int: exact, never overflows
+
+    def counted(it):
+        for block in it:
+            stats["chunked_chunks"] += 1
+            yield block
+
+    if 0 <= bound <= min(limit, CHUNK_TABLE_CAP):
+        stats["chunked_bincount"] += 1
+        keyed = (_compose_chunk(cols, radix) for cols in counted(chunks))
+        return count.chunked_bincount_counts(keyed, bound)
+    if bound <= compose.INT64_KEY_BOUND:
+        stats["chunked_merge"] += 1
+        keyed = (_compose_chunk(cols, radix) for cols in counted(chunks))
+        return count.chunked_merge_counts(keyed)
+    stats["chunked_wide"] += 1
+    stacked = (
+        np.column_stack([np.ascontiguousarray(c, dtype=np.int64) for c in cols])
+        for cols in counted(chunks)
+    )
+    return count.chunked_row_counts(stacked)
 
 
 class GroupCounter:
@@ -241,6 +330,37 @@ class GroupCounter:
             return ids, len(uniq)
         self.stats["sort"] += 1
         return count.sort_ids(keys)
+
+    # ------------------------------------------------------------------ #
+    # Chunk-streaming accumulation
+    # ------------------------------------------------------------------ #
+
+    def counts_chunked(
+        self, idx: Tuple[int, ...], chunk_rows: int = DEFAULT_CHUNK_ROWS
+    ) -> np.ndarray:
+        """Group sizes for ``idx`` streamed in row blocks of ``chunk_rows``.
+
+        Bit-identical to :meth:`counts` — the parity hook for the
+        out-of-core backends, which run the same :func:`stream_counts`
+        lanes over chunks read from disk instead of matrix slices.
+        Bypasses the prefix cache (streamed runs own no composed arrays).
+        """
+        if not idx:
+            n = self.n_rows
+            return np.full(min(1, n), n, dtype=np.int64)
+        chunk_rows = max(int(chunk_rows), 1)
+
+        def blocks():
+            for start in range(0, self.n_rows, chunk_rows):
+                stop = start + chunk_rows
+                yield [
+                    np.ascontiguousarray(self.codes[start:stop, j], dtype=np.int64)
+                    for j in idx
+                ]
+
+        return stream_counts(
+            blocks(), tuple(self.radix[j] for j in idx), self.limit, self.stats
+        )
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -29,7 +29,15 @@ kernel     ``kernel.bincount``, ``kernel.sort``, ``kernel.hash``,
            ``kernel.densify_bincount``, ``kernel.densify_sort``,
            ``kernel.prefix_hits``, ``kernel.composed`` — the grouping
            kernel dispatcher (which lane answered, densify fallbacks,
-           composed-prefix cache hits).
+           composed-prefix cache hits).  Store-backed relations add the
+           chunk-streaming lanes of :mod:`repro.backends`:
+           ``kernel.chunked_bincount`` / ``kernel.chunked_merge`` /
+           ``kernel.chunked_wide`` (which streaming lane accumulated the
+           counts), ``kernel.chunked_chunks`` (row blocks consumed),
+           ``kernel.chunked_pushdown`` (counts answered by the backend
+           itself, e.g. DuckDB group-by) and ``kernel.chunked_materialized``
+           (requests that had to densify the full relation, e.g. group
+           *ids* for delta tracking — should stay 0 in pure mining runs).
 =========  ==============================================================
 
 A group appears only when the oracle/engine actually tracks it, so the

@@ -63,6 +63,9 @@ class DatasetEntry:
         }
         if self.parent_id is not None:
             out["parent_id"] = self.parent_id
+        backend = getattr(self.relation, "backend", None)
+        if backend is not None:
+            out["store_bytes"] = backend.store_bytes()
         return out
 
 
@@ -166,6 +169,11 @@ class DatasetRegistry:
         child version.
         """
         parent = self.entry(dataset_id)
+        if not getattr(parent.relation, "supports_delta_tracking", True):
+            raise ValueError(
+                f"dataset {dataset_id!r} is store-backed (read-only); "
+                "append to the source data and re-ingest instead"
+            )
         relation, delta = delta_append_rows(
             parent.relation, rows, name=name or None
         )
@@ -178,6 +186,24 @@ class DatasetRegistry:
             delta_digest=delta.digest,
         )
         return child, parent, delta
+
+    def add_store(self, path: str, backend: str = "mmap") -> DatasetEntry:
+        """Register an ingested store directory (see :mod:`repro.backends`).
+
+        The dataset id is the store's **ingest-time fingerprint** from
+        the manifest — identical by construction to
+        ``relation_fingerprint`` of the same data in memory — so opening
+        a store never rehashes it, and a store dedupes against a
+        byte-identical in-memory upload.  Store-backed datasets are
+        read-only: :meth:`append_rows` on one raises, since the store
+        files cannot grow.
+        """
+        from repro.backends import open_store_relation
+
+        relation = open_store_relation(path, backend=backend)
+        return self._insert(
+            relation.backend.fingerprint(), relation, source=f"store:{backend}"
+        )
 
     def add_rows(self, rows, columns, name: str = "") -> DatasetEntry:
         """Register an explicit ``rows``/``columns`` payload."""

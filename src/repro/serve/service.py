@@ -205,6 +205,11 @@ class MiningService:
         self._uptime_seconds = m.gauge(
             "repro_uptime_seconds", "Seconds since the service started."
         )
+        self._store_bytes = m.gauge(
+            "repro_store_bytes",
+            "On-disk bytes of each store-backed dataset's columnar files.",
+            labelnames=("dataset_id",),
+        )
         self._session_counter = m.gauge(
             "repro_session_counter",
             "Per-session mining counters (the flat Maimon.counters() "
@@ -235,6 +240,12 @@ class MiningService:
         self._datasets_capacity.set(registry["capacity"])
         self._dataset_evictions.set_total(registry["evictions"])
         self._uptime_seconds.set(round(time.time() - self.started_at, 3))
+        for described in self.registry.list():
+            if "store_bytes" in described:
+                self._store_bytes.set(
+                    described["store_bytes"],
+                    dataset_id=str(described["dataset_id"]),
+                )
         for entry in self.sessions.list():
             dataset_id = str(entry.get("dataset_id", ""))
             engine = str(entry.get("engine", ""))
@@ -349,7 +360,36 @@ class MiningService:
                 )
             except KeyError as exc:
                 raise ServiceError(str(exc), status=404) from None
-        raise ServiceError("provide one of 'csv', 'rows' or 'dataset'")
+        if "store" in payload:
+            store = _str_or_error(payload, "store", "",
+                                  "'store' must be a store directory path")
+            backend = _str_or_error(payload, "backend", "mmap",
+                                    "'backend' must be a string")
+            if backend not in ("mmap", "duckdb"):
+                raise SpecError(
+                    "'backend' must be 'mmap' or 'duckdb' for store uploads",
+                    field="backend",
+                )
+            if max_rows is not None:
+                raise SpecError(
+                    "'max_rows' applies while parsing; a store is "
+                    "pre-encoded and immutable — re-ingest a capped CSV "
+                    "instead",
+                    field="max_rows",
+                )
+            from repro.backends import StoreError
+            try:
+                return self.registry.add_store(store, backend=backend)
+            except (StoreError, OSError) as exc:
+                raise ServiceError(
+                    str(exc), code="invalid_store"
+                ) from None
+            except RuntimeError as exc:
+                # duckdb requested but not installed
+                raise ServiceError(str(exc), code="invalid_store") from None
+        raise ServiceError(
+            "provide one of 'csv', 'rows', 'dataset' or 'store'"
+        )
 
     def _resolve(self, payload: dict):
         """Dataset entry for a request: by id, or inline-registered."""
@@ -442,6 +482,9 @@ class MiningService:
             )
         except LookupError as exc:
             raise ServiceError(str(exc), status=404, code="unknown_dataset") from None
+        except ValueError as exc:
+            # Store-backed datasets are read-only; see DatasetRegistry.
+            raise ServiceError(str(exc), code="store_readonly") from None
         request = self._task_request("mine", payload)
         eps = request.spec.eps
         budget_s = self._budget_seconds(request.spec.budget)
